@@ -1,0 +1,88 @@
+"""Appendix A benchmarks: filtered (topic/location) SIM query overhead.
+
+The appendix claims topic/location-aware SIM is "IC/SIC over a sub-stream";
+these benchmarks measure what that costs in practice: observing the full
+stream while maintaining one, four, or a board of filtered queries, versus
+the unfiltered baseline.
+"""
+
+import random
+
+from repro.core.multi import MultiQueryEngine
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.influence.queries import FilteredSIM, TopicAwareSIM
+
+TOPICS = ("a", "b", "c", "d")
+
+
+def _topic_oracle(stream, seed=5):
+    rng = random.Random(seed)
+    topics = {}
+    for action in stream:
+        if action.is_root or action.parent not in topics:
+            topics[action.time] = {rng.choice(TOPICS)}
+        else:
+            topics[action.time] = topics[action.parent]
+    return topics
+
+
+def test_unfiltered_baseline(benchmark, tiny_config, tiny_stream):
+    """SIC over the raw stream (reference cost)."""
+
+    def run():
+        sic = SparseInfluentialCheckpoints(
+            window_size=tiny_config.window_size, k=tiny_config.k, beta=0.3
+        )
+        for action in tiny_stream:
+            sic.process([action])
+        return sic.query().value
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) > 0
+
+
+def test_single_topic_query(benchmark, tiny_config, tiny_stream):
+    """One topic query sees ~1/4 of the stream: cheaper than baseline."""
+    topics = _topic_oracle(tiny_stream)
+
+    def run():
+        query = TopicAwareSIM(
+            {"a"}, topics, window_size=tiny_config.window_size,
+            k=tiny_config.k, batch_size=16,
+        )
+        for action in tiny_stream:
+            query.observe(action)
+        return query.query().value
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) > 0
+
+
+def test_four_topic_board(benchmark, tiny_config, tiny_stream):
+    """A full per-topic board through the multi-query engine."""
+    topics = _topic_oracle(tiny_stream)
+
+    def run():
+        engine = MultiQueryEngine()
+        for topic in TOPICS:
+            engine.add(
+                topic,
+                TopicAwareSIM(
+                    {topic}, topics, window_size=tiny_config.window_size,
+                    k=tiny_config.k, batch_size=16,
+                ),
+            )
+        engine.process(tiny_stream)
+        return sum(answer.value for answer in engine.query_all().values())
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) > 0
+
+
+def test_predicate_overhead_only(benchmark, tiny_stream):
+    """An always-false filter isolates pure predicate/bookkeeping cost."""
+
+    def run():
+        query = FilteredSIM(lambda a: False, window_size=500, k=5)
+        for action in tiny_stream:
+            query.observe(action)
+        return query.observed
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == len(tiny_stream)

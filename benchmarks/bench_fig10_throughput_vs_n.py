@@ -1,0 +1,34 @@
+"""Figure 10 regenerator benchmark: throughput vs window size N.
+
+Paper shape: all approaches slow down as N grows; SIC degrades only
+logarithmically, so the IC↔SIC gap widens with N.
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+from conftest import BENCH_DATASET
+
+
+def test_fig10_sweep(benchmark):
+    """Regenerate a Figure 10 slice (timed end to end)."""
+
+    def sweep():
+        return figures.fig10(
+            scale=Scale.TINY,
+            datasets=(BENCH_DATASET,),
+            factors=(0.5, 1.0, 2.0),
+            algorithms=("sic", "ic"),
+        )
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    sic = table.series({"algorithm": "SIC"}, "throughput")
+    ic = table.series({"algorithm": "IC"}, "throughput")
+    # Both decrease with N...
+    assert ic[-1] < ic[0]
+    # ...and SIC dominates IC at every N.
+    assert all(s > i for s, i in zip(sic, ic))
+    # The relative gap should not shrink as N doubles (log vs linear).
+    assert sic[-1] / ic[-1] >= 0.8 * (sic[0] / ic[0])

@@ -1,0 +1,32 @@
+"""Figure 11 regenerator benchmark: throughput vs slide length L.
+
+Paper shape: IC's throughput grows ~linearly with L (⌈N/L⌉ checkpoints);
+SIC stays above IC throughout.
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+from conftest import BENCH_DATASET
+
+
+def test_fig11_sweep(benchmark):
+    """Regenerate a Figure 11 slice (timed end to end)."""
+
+    def sweep():
+        return figures.fig11(
+            scale=Scale.TINY,
+            datasets=(BENCH_DATASET,),
+            fractions=(0.01, 0.02, 0.04),
+            algorithms=("sic", "ic"),
+        )
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    ic = table.series({"algorithm": "IC"}, "throughput")
+    sic = table.series({"algorithm": "SIC"}, "throughput")
+    # IC throughput improves as L grows.
+    assert ic[-1] > ic[0]
+    # SIC stays on top for every L.
+    assert all(s > i * 0.9 for s, i in zip(sic, ic))

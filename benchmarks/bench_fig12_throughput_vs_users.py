@@ -1,0 +1,30 @@
+"""Figure 12 regenerator benchmark: throughput vs user-universe size |U|.
+
+Paper shape: SIC/IC/UBI get *faster* on larger universes (sparser influence
+graphs per window); Greedy/IMM slow down with |U|.
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+
+def test_fig12_sweep(benchmark):
+    """Regenerate a Figure 12 slice over SYN-N (timed end to end)."""
+
+    def sweep():
+        return figures.fig12(
+            scale=Scale.TINY,
+            datasets=("syn-n",),
+            factors=(0.5, 2.0),
+            algorithms=("sic", "ic"),
+        )
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    sic = table.series({"algorithm": "SIC"}, "throughput")
+    ic = table.series({"algorithm": "IC"}, "throughput")
+    # SIC dominates IC at every universe size.
+    assert all(s > i for s, i in zip(sic, ic))
+    # More users -> sparser windows -> SIC should not get slower by much.
+    assert sic[-1] >= 0.6 * sic[0]

@@ -1,0 +1,42 @@
+"""Figure 5 regenerator benchmark: influence value of IC vs SIC over β.
+
+Paper shape: IC ≥ SIC everywhere, SIC within ~5% of IC, both decreasing
+with β.  The benchmark times one (β, algorithm) cell; the printed table is
+the figure's series for the benchmark grid.
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+from repro.experiments.runner import build_algorithm, make_stream, run_algorithm
+
+from conftest import BENCH_DATASET
+
+
+def test_fig5_cell_sic(benchmark, tiny_config):
+    """Time one SIC run of the Figure 5 sweep (β = 0.3)."""
+
+    def cell():
+        config = tiny_config.with_overrides(beta=0.3)
+        return run_algorithm(
+            build_algorithm("sic", config),
+            make_stream(config),
+            slide=config.slide,
+        ).mean_influence_value
+
+    value = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert value > 0
+
+
+def test_fig5_series_shape(tiny_config):
+    """Regenerate the Figure 5 series and assert the paper's shape."""
+    table = figures.fig5_6_7(
+        scale=Scale.TINY, datasets=(BENCH_DATASET,), betas=(0.1, 0.3, 0.5)
+    )["fig5"]
+    print()
+    print(table.render())
+    for beta in (0.1, 0.3, 0.5):
+        ic = table.series({"algorithm": "IC", "beta": beta}, "influence_value")[0]
+        sic = table.series({"algorithm": "SIC", "beta": beta}, "influence_value")[0]
+        # SIC trades ≤ a modest quality loss for sparsity (paper: ≤5%;
+        # at TINY scale we allow more slack for noise).
+        assert sic >= 0.7 * ic

@@ -1,0 +1,27 @@
+"""Figure 6 regenerator benchmark: number of checkpoints over β.
+
+Paper shape: IC constant at ⌈N/L⌉; SIC at O(log N / β), decreasing in β.
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+from conftest import BENCH_DATASET
+
+
+def test_fig6_series_shape(benchmark):
+    """Regenerate Figure 6's series (timed end to end)."""
+
+    def sweep():
+        return figures.fig5_6_7(
+            scale=Scale.TINY, datasets=(BENCH_DATASET,), betas=(0.1, 0.5)
+        )["fig6"]
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    ic_counts = table.series({"algorithm": "IC"}, "checkpoints")
+    sic_counts = table.series({"algorithm": "SIC"}, "checkpoints")
+    assert ic_counts[0] == ic_counts[1]  # constant in beta
+    assert sic_counts[1] <= sic_counts[0]  # decreasing in beta
+    assert all(s < i for s, i in zip(sic_counts, ic_counts))

@@ -1,0 +1,58 @@
+"""Figure 7 regenerator benchmark: throughput of IC vs SIC over β.
+
+Paper shape: throughput grows with β for both; SIC dominates IC (up to ~8×
+at the paper's scale).
+"""
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+from conftest import BENCH_DATASET
+
+
+def test_fig7_sic_processing(benchmark, tiny_config, tiny_batches):
+    """Time SIC maintenance over the full TINY stream (β = 0.3)."""
+
+    def run():
+        sic = SparseInfluentialCheckpoints(
+            window_size=tiny_config.window_size, k=tiny_config.k, beta=0.3
+        )
+        for batch in tiny_batches:
+            sic.process(batch)
+        return sic
+
+    sic = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sic.query().value > 0
+
+
+def test_fig7_ic_processing(benchmark, tiny_config, tiny_batches):
+    """Time IC maintenance over the same stream (the Figure 7 partner)."""
+
+    def run():
+        ic = InfluentialCheckpoints(
+            window_size=tiny_config.window_size, k=tiny_config.k, beta=0.3
+        )
+        for batch in tiny_batches:
+            ic.process(batch)
+        return ic
+
+    ic = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert ic.query().value > 0
+
+
+def test_fig7_series_shape():
+    """Regenerate Figure 7's series and assert the paper's shape."""
+    table = figures.fig5_6_7(
+        scale=Scale.TINY, datasets=(BENCH_DATASET,), betas=(0.1, 0.5)
+    )["fig7"]
+    print()
+    print(table.render())
+    for algorithm in ("IC", "SIC"):
+        series = table.series({"algorithm": algorithm}, "throughput")
+        assert series[1] > series[0]  # grows with beta
+    for beta in (0.1, 0.5):
+        ic = table.series({"algorithm": "IC", "beta": beta}, "throughput")[0]
+        sic = table.series({"algorithm": "SIC", "beta": beta}, "throughput")[0]
+        assert sic > ic

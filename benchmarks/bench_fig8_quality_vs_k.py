@@ -1,0 +1,50 @@
+"""Figure 8 regenerator benchmark: MC-spread quality of all approaches vs k.
+
+Paper shape: Greedy/IC/SIC within ~10% of IMM; UBI close at small k but
+degrading as k grows.
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+from repro.experiments.runner import build_algorithm, make_stream, run_algorithm
+
+from conftest import BENCH_DATASET
+
+
+def test_fig8_quality_cell(benchmark, tiny_config):
+    """Time one quality-evaluated SIC run (k = 5, MC rounds = 50)."""
+
+    def cell():
+        config = tiny_config.with_overrides(k=5)
+        return run_algorithm(
+            build_algorithm("sic", config),
+            make_stream(config),
+            slide=config.slide,
+            evaluate_quality=True,
+            mc_rounds=50,
+            quality_every=4,
+        ).mean_quality
+
+    quality = benchmark.pedantic(cell, rounds=2, iterations=1)
+    assert quality and quality > 0
+
+
+def test_fig8_series_shape():
+    """Regenerate a Figure 8 slice and assert the quality ordering."""
+    table = figures.fig8_9(
+        scale=Scale.TINY,
+        datasets=(BENCH_DATASET,),
+        ks=(5, 25),
+        algorithms=("sic", "ic", "greedy"),
+        mc_rounds=50,
+        quality_every=4,
+    )["fig8"]
+    print()
+    print(table.render())
+    for k in (5, 25):
+        greedy = table.series({"algorithm": "GREEDY", "k": k}, "spread")[0]
+        sic = table.series({"algorithm": "SIC", "k": k}, "spread")[0]
+        ic = table.series({"algorithm": "IC", "k": k}, "spread")[0]
+        # The checkpoint frameworks stay within a modest factor of greedy.
+        assert sic >= 0.5 * greedy
+        assert ic >= 0.5 * greedy

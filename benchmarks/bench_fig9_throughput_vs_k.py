@@ -1,0 +1,52 @@
+"""Figure 9 regenerator benchmark: throughput of all approaches vs k.
+
+Paper shape: throughput inversely related to k; SIC dominates everything
+(up to 2 orders of magnitude over Greedy/IMM at paper scale).
+"""
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+from repro.experiments.runner import build_algorithm, make_stream, run_algorithm
+
+from conftest import BENCH_DATASET
+
+
+def test_fig9_baseline_cell_greedy(benchmark, tiny_config):
+    """Time the naive-greedy baseline cell (the paper's slow recompute)."""
+
+    def cell():
+        config = tiny_config.with_overrides(k=5)
+        return run_algorithm(
+            build_algorithm("greedy", config),
+            make_stream(config),
+            slide=config.slide,
+        ).throughput
+
+    throughput = benchmark.pedantic(cell, rounds=2, iterations=1)
+    assert throughput > 0
+
+
+def test_fig9_series_shape():
+    """Regenerate a Figure 9 slice with all five approaches (k = 5, 25)."""
+    table = figures.fig8_9(
+        scale=Scale.TINY,
+        datasets=(BENCH_DATASET,),
+        ks=(5, 25),
+        algorithms=("sic", "ic", "greedy", "imm", "ubi"),
+        mc_rounds=20,
+        quality_every=100,
+    )["fig9"]
+    print()
+    print(table.render())
+    for k in (5, 25):
+        rows = {
+            algorithm: table.series({"algorithm": algorithm, "k": k}, "throughput")[0]
+            for algorithm in ("SIC", "IC", "GREEDY", "IMM", "UBI")
+        }
+        # SIC leads IC and the recompute baselines.
+        assert rows["SIC"] > rows["IC"]
+        assert rows["SIC"] > rows["IMM"]
+        assert rows["SIC"] > rows["UBI"]
+    # Throughput decreases (weakly) with k for the checkpoint frameworks.
+    sic_series = table.series({"algorithm": "SIC"}, "throughput")
+    assert sic_series[1] <= sic_series[0] * 1.5

@@ -1,0 +1,45 @@
+"""Table 3 regenerator benchmark: dataset statistics.
+
+Checks that each generated dataset reproduces the original's cascade shape
+(mean depth, relative response distance) and times the generators.
+"""
+
+import pytest
+
+from repro.datasets.stats import stream_statistics
+from repro.datasets.surrogates import reddit_like, twitter_like
+from repro.datasets.synthetic import syn_n, syn_o
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+GENERATORS = {
+    "reddit": reddit_like,
+    "twitter": twitter_like,
+    "syn-o": syn_o,
+    "syn-n": syn_n,
+}
+
+#: Table 3's average cascade depth per dataset.
+PAPER_DEPTH = {"reddit": 4.58, "twitter": 1.87, "syn-o": 2.5, "syn-n": 2.59}
+
+
+@pytest.mark.parametrize("dataset", sorted(GENERATORS))
+def test_generator_throughput(benchmark, dataset):
+    """Time generating a 5K-action stream of each dataset."""
+    maker = GENERATORS[dataset]
+
+    def run():
+        return sum(1 for _ in maker(n_users=1_000, n_actions=5_000, seed=7))
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert count == 5_000
+
+
+def test_table3_depth_shapes():
+    """Regenerate Table 3 and compare depths against the paper."""
+    table = figures.table3(scale=Scale.SMALL)
+    print()
+    print(table.render())
+    depths = dict(zip(table.column("dataset"), table.column("avg_depth")))
+    for dataset, expected in PAPER_DEPTH.items():
+        assert depths[dataset] == pytest.approx(expected, rel=0.3), dataset

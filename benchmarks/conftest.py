@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures: cached tiny streams and configs.
+
+Benchmarks run the same regenerators as the CLI, restricted to one dataset
+and a couple of grid points per figure so that the whole
+``pytest benchmarks/ --benchmark-only`` pass completes in minutes.  Full
+paper grids are a CLI invocation away::
+
+    repro-experiments all --scale small
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale, make_config
+from repro.experiments.runner import make_stream
+
+#: Dataset used by the figure benchmarks (SYN-N: fast-moving influences,
+#: the paper's most demanding setting for SIC).
+BENCH_DATASET = "syn-n"
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """The TINY-scale default configuration."""
+    return make_config(BENCH_DATASET, Scale.TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream(tiny_config):
+    """Materialised TINY stream shared by all benchmarks."""
+    return list(make_stream(tiny_config))
+
+
+@pytest.fixture(scope="session")
+def tiny_batches(tiny_config, tiny_stream):
+    """The stream pre-split into slide batches."""
+    from repro.core.stream import batched
+
+    return [list(b) for b in batched(tiny_stream, tiny_config.slide)]

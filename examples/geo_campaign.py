@@ -1,0 +1,79 @@
+"""Location-aware SIM (Appendix A): influencers inside a target region.
+
+A city-scale promotion only cares about influence exercised *within the
+city*.  Appendix A's recipe: attach a position to every action and run the
+frameworks over the sub-stream of actions located inside the query region.
+This example compares the downtown leaderboard against the global one.
+
+Usage::
+
+    python examples/geo_campaign.py
+"""
+
+import random
+
+from repro import SparseInfluentialCheckpoints, batched
+from repro.datasets import twitter_like
+from repro.influence import Region, filter_stream, region_filter
+
+WINDOW = 1_500
+SLIDE = 300
+K = 4
+
+#: Users live in a unit square; the campaign targets the downtown quarter.
+DOWNTOWN = Region(min_x=0.0, min_y=0.0, max_x=0.5, max_y=0.5)
+
+
+def assign_positions(actions, n_users, seed=23):
+    """Position oracle: each user posts from around a fixed home location."""
+    rng = random.Random(seed)
+    home = {}
+    position_of = {}
+    for action in actions:
+        if action.user not in home:
+            home[action.user] = (rng.random(), rng.random())
+        hx, hy = home[action.user]
+        jitter = 0.02
+        position_of[action.time] = (
+            min(1.0, max(0.0, hx + rng.uniform(-jitter, jitter))),
+            min(1.0, max(0.0, hy + rng.uniform(-jitter, jitter))),
+        )
+    return position_of
+
+
+def run_leaderboard(label, stream):
+    sic = SparseInfluentialCheckpoints(window_size=WINDOW, k=K, beta=0.2)
+    final = None
+    for batch in batched(stream, SLIDE):
+        sic.process(batch)
+        final = sic.query()
+    seeds = ", ".join(f"u{u}" for u in sorted(final.seeds)) if final else "-"
+    value = f"{final.value:.0f}" if final else "-"
+    print(f"  {label:<22} top-{K} = [{seeds}]  influence {value}")
+    return final
+
+
+def main() -> None:
+    n_users = 1_000
+    actions = list(twitter_like(n_users=n_users, n_actions=6_000, seed=5))
+    position_of = assign_positions(actions, n_users)
+
+    downtown_stream = list(
+        filter_stream(actions, region_filter(position_of, DOWNTOWN))
+    )
+    print(
+        f"{len(downtown_stream)} of {len(actions)} actions happened downtown\n"
+    )
+    print("Leaderboards:")
+    global_answer = run_leaderboard("global", actions)
+    downtown_answer = run_leaderboard("downtown only", downtown_stream)
+
+    overlap = global_answer.seeds & downtown_answer.seeds
+    print(
+        f"\nOnly {len(overlap)} of the top-{K} global influencers also lead "
+        "downtown — location-aware targeting changes the buy."
+    )
+
+
+if __name__ == "__main__":
+    main()

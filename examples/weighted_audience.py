@@ -1,0 +1,77 @@
+"""Beyond cardinality: weighted and conformity-aware influence functions.
+
+The frameworks accept any monotone submodular influence function
+(Section 3, Appendix A).  Two business-flavoured variants:
+
+* **weighted audience** — each influenced user is worth their purchase
+  propensity, so the query maximises expected reachable revenue;
+* **conformity-aware** — an influenced user counts according to
+  ``1 − Π (1 − Φ(seed)·Ω(user))``, rewarding seed sets whose members
+  reinforce each other on conformist audiences (Appendix A).
+
+The example runs all three functions over the same stream and shows that
+the selected seed sets differ.
+
+Usage::
+
+    python examples/weighted_audience.py
+"""
+
+import random
+
+from repro import SparseInfluentialCheckpoints, WindowedGreedy, batched
+from repro.datasets import reddit_like
+from repro.influence import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+    WeightedCardinalityInfluence,
+)
+
+WINDOW = 1_200
+SLIDE = 200
+K = 4
+N_USERS = 800
+
+
+def main() -> None:
+    rng = random.Random(9)
+    actions = list(reddit_like(n_users=N_USERS, n_actions=5_000, seed=17))
+
+    # Purchase propensity: a few whales, many casual users.
+    weights = {u: (5.0 if rng.random() < 0.05 else 1.0) for u in range(N_USERS)}
+    # Offline influence/conformity scores for the conformity-aware variant.
+    phi = {u: rng.random() for u in range(N_USERS)}
+    omega = {u: rng.random() for u in range(N_USERS)}
+
+    functions = {
+        "cardinality": CardinalityInfluence(),
+        "weighted": WeightedCardinalityInfluence(weights),
+        "conformity": ConformityAwareInfluence(phi, omega),
+    }
+
+    print(f"top-{K} seeds per influence function (same stream, same window)\n")
+    answers = {}
+    for label, func in functions.items():
+        if func.modular:
+            algorithm = SparseInfluentialCheckpoints(
+                window_size=WINDOW, k=K, beta=0.2, func=func
+            )
+        else:
+            # Non-modular functions: the swap/sieve incremental paths fall
+            # back to re-evaluation; windowed greedy is the pragmatic choice.
+            algorithm = WindowedGreedy(window_size=WINDOW, k=K, func=func)
+        for batch in batched(actions, SLIDE):
+            algorithm.process(batch)
+        answer = algorithm.query()
+        answers[label] = answer
+        seeds = ", ".join(f"u{u}" for u in sorted(answer.seeds))
+        print(f"  {label:<12} -> [{seeds}]  f = {answer.value:.2f}")
+
+    base = answers["cardinality"].seeds
+    for label in ("weighted", "conformity"):
+        moved = len(base ^ answers[label].seeds) // 2
+        print(f"\n{label}: {moved} of {K} seeds differ from plain cardinality")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Analysis helpers: exact optima and empirical approximation ratios."""
+
+from repro.analysis.optimality import RatioReport, RatioTracker, exact_optimum
+
+__all__ = ["RatioReport", "RatioTracker", "exact_optimum"]

@@ -1,0 +1,13 @@
+"""Comparison baselines: IMM (static) and UBI (dynamic) + SIM adapters."""
+
+from repro.baselines.adapters import IMMAlgorithm, UBIAlgorithm
+from repro.baselines.imm import IMMResult, imm_select
+from repro.baselines.ubi import UpperBoundInterchange
+
+__all__ = [
+    "IMMAlgorithm",
+    "IMMResult",
+    "UBIAlgorithm",
+    "UpperBoundInterchange",
+    "imm_select",
+]

@@ -1,0 +1,168 @@
+"""``repro-stream`` — work with action streams from the shell.
+
+Subcommands:
+
+* ``generate`` — synthesise a dataset (reddit/twitter/syn-o/syn-n) to
+  JSONL/CSV;
+* ``stats`` — print Table 3-style statistics for a stream file;
+* ``convert`` — transcode between JSONL and CSV;
+* ``track`` — replay a stream file through SIC (or IC/greedy) and print
+  the evolving top-k influencers.
+
+Examples::
+
+    repro-stream generate --dataset reddit -n 20000 -o reddit.jsonl
+    repro-stream stats reddit.jsonl
+    repro-stream convert reddit.jsonl reddit.csv
+    repro-stream track reddit.jsonl --window 5000 --slide 500 --k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.core.stream import batched
+from repro.datasets.io import read_csv, read_jsonl, write_csv, write_jsonl
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = ("reddit", "twitter", "syn-o", "syn-n")
+_ALGORITHMS = ("sic", "ic", "greedy")
+
+
+def _reader_for(path: pathlib.Path):
+    if path.suffix == ".jsonl":
+        return read_jsonl(path)
+    if path.suffix == ".csv":
+        return read_csv(path)
+    raise ValueError(f"unsupported extension {path.suffix!r} (use .jsonl/.csv)")
+
+
+def _writer_for(path: pathlib.Path):
+    if path.suffix == ".jsonl":
+        return write_jsonl
+    if path.suffix == ".csv":
+        return write_csv
+    raise ValueError(f"unsupported extension {path.suffix!r} (use .jsonl/.csv)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stream", description="Action-stream toolbox."
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesise a dataset")
+    generate.add_argument("--dataset", choices=_GENERATORS, default="syn-n")
+    generate.add_argument("-n", "--actions", type=int, default=10_000)
+    generate.add_argument("-u", "--users", type=int, default=2_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("-o", "--output", required=True)
+
+    stats = commands.add_parser("stats", help="Table 3 statistics of a file")
+    stats.add_argument("file")
+
+    convert = commands.add_parser("convert", help="transcode jsonl <-> csv")
+    convert.add_argument("source")
+    convert.add_argument("target")
+
+    track = commands.add_parser("track", help="replay a file through SIM")
+    track.add_argument("file")
+    track.add_argument("--algorithm", choices=_ALGORITHMS, default="sic")
+    track.add_argument("--window", type=int, default=5_000)
+    track.add_argument("--slide", type=int, default=500)
+    track.add_argument("-k", type=int, default=10)
+    track.add_argument("--beta", type=float, default=0.2)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from repro.datasets.surrogates import reddit_like, twitter_like
+    from repro.datasets.synthetic import syn_n, syn_o
+
+    makers = {
+        "reddit": reddit_like,
+        "twitter": twitter_like,
+        "syn-o": syn_o,
+        "syn-n": syn_n,
+    }
+    output = pathlib.Path(args.output)
+    writer = _writer_for(output)
+    stream = makers[args.dataset](
+        n_users=args.users, n_actions=args.actions, seed=args.seed
+    )
+    count = writer(stream, output)
+    print(f"wrote {count} {args.dataset} actions to {output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.datasets.stats import stream_statistics
+
+    path = pathlib.Path(args.file)
+    stats = stream_statistics(_reader_for(path))
+    print(f"{'users':<22}{stats.users:,}")
+    print(f"{'actions':<22}{stats.actions:,}")
+    print(f"{'mean resp. distance':<22}{stats.mean_response_distance:.1f}")
+    print(f"{'mean cascade depth':<22}{stats.mean_depth:.2f}")
+    print(f"{'max cascade depth':<22}{stats.max_depth}")
+    print(f"{'root fraction':<22}{stats.root_fraction:.2%}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    source = pathlib.Path(args.source)
+    target = pathlib.Path(args.target)
+    writer = _writer_for(target)
+    count = writer(_reader_for(source), target)
+    print(f"converted {count} actions: {source} -> {target}")
+    return 0
+
+
+def _cmd_track(args) -> int:
+    from repro.core.greedy import WindowedGreedy
+    from repro.core.ic import InfluentialCheckpoints
+    from repro.core.sic import SparseInfluentialCheckpoints
+
+    path = pathlib.Path(args.file)
+    if args.algorithm == "sic":
+        algorithm = SparseInfluentialCheckpoints(
+            window_size=args.window, k=args.k, beta=args.beta
+        )
+    elif args.algorithm == "ic":
+        algorithm = InfluentialCheckpoints(
+            window_size=args.window, k=args.k, beta=args.beta
+        )
+    else:
+        algorithm = WindowedGreedy(window_size=args.window, k=args.k)
+    print(f"{'time':>10}  {'influence':>10}  seeds")
+    for batch in batched(_reader_for(path), args.slide):
+        algorithm.process(batch)
+        answer = algorithm.query()
+        seeds = ",".join(str(u) for u in sorted(answer.seeds))
+        print(f"{answer.time:>10}  {answer.value:>10.0f}  [{seeds}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "convert": _cmd_convert,
+        "track": _cmd_track,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Core of the reproduction: SIM queries, checkpoints, IC and SIC.
+
+Public surface:
+
+* :class:`~repro.core.actions.Action` and stream helpers;
+* :class:`~repro.core.window.SlidingWindow` and
+  :class:`~repro.core.diffusion.DiffusionForest` substrates;
+* :class:`~repro.core.ic.InfluentialCheckpoints` (Algorithm 1);
+* :class:`~repro.core.sic.SparseInfluentialCheckpoints` (Algorithm 2);
+* :class:`~repro.core.greedy.WindowedGreedy` (the ``1 − 1/e`` baseline);
+* the checkpoint oracles package :mod:`repro.core.oracles`.
+"""
+
+from repro.core.actions import ROOT, Action
+from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.checkpoint import Checkpoint, OracleSpec
+from repro.core.diffusion import ActionRecord, DiffusionForest
+from repro.core.greedy import WindowedGreedy, greedy_seed_selection
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.influence_index import (
+    AppendOnlyInfluenceIndex,
+    WindowInfluenceIndex,
+)
+from repro.core.multi import MultiQueryEngine
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import ListStream, batched, renumber, validate_stream
+from repro.core.window import SlidingWindow
+
+__all__ = [
+    "MultiQueryEngine",
+    "ROOT",
+    "Action",
+    "ActionRecord",
+    "AppendOnlyInfluenceIndex",
+    "Checkpoint",
+    "DiffusionForest",
+    "InfluentialCheckpoints",
+    "ListStream",
+    "OracleSpec",
+    "SIMAlgorithm",
+    "SIMResult",
+    "SlidingWindow",
+    "SparseInfluentialCheckpoints",
+    "WindowInfluenceIndex",
+    "WindowedGreedy",
+    "batched",
+    "greedy_seed_selection",
+    "renumber",
+    "validate_stream",
+]

@@ -1,0 +1,76 @@
+"""Social actions: the atomic events of a social stream.
+
+The paper (Section 3) models a social stream as an unbounded, time-sequenced
+series of *actions* ``a_t = <u, a_t'>_t``: user ``u`` performs an action at
+time ``t`` in response to an earlier action ``a_t'`` (``t' < t``).  An action
+with no parent (an original post/tweet) is a *root action* ``<u, nil>_t``.
+
+Timestamps double as action identifiers because the stream is sequence-based:
+the ``t``-th arrival has timestamp ``t``.  This mirrors the paper's
+``W_t = {a_{t-N+1}, ..., a_t}`` indexing and keeps bookkeeping integer-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Action", "ROOT"]
+
+#: Sentinel parent id marking a root action (the paper's ``nil``).
+ROOT: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One social action ``a_t = <user, parent>_t``.
+
+    Attributes:
+        time: Arrival timestamp; also the action's unique id.  Strictly
+            increasing along a stream, starting from 1 (matching Example 1
+            of the paper where the first action is ``a_1``).
+        user: Id of the user who performed the action.
+        parent: Timestamp/id of the action being responded to, or
+            :data:`ROOT` for a root action.
+    """
+
+    time: int
+    user: int
+    parent: int = ROOT
+
+    def __post_init__(self) -> None:
+        if self.time <= 0:
+            raise ValueError(f"action time must be positive, got {self.time}")
+        if self.user < 0:
+            raise ValueError(f"user id must be non-negative, got {self.user}")
+        if self.parent != ROOT and not 0 < self.parent < self.time:
+            raise ValueError(
+                f"parent must be an earlier action id in (0, {self.time}) "
+                f"or ROOT, got {self.parent}"
+            )
+
+    @property
+    def is_root(self) -> bool:
+        """True when this action does not respond to any earlier action."""
+        return self.parent == ROOT
+
+    @property
+    def response_distance(self) -> Optional[int]:
+        """The paper's response distance ``Δ = t - t'``; None for roots."""
+        if self.is_root:
+            return None
+        return self.time - self.parent
+
+    @classmethod
+    def root(cls, time: int, user: int) -> "Action":
+        """Create a root action ``<user, nil>_time``."""
+        return cls(time=time, user=user, parent=ROOT)
+
+    @classmethod
+    def response(cls, time: int, user: int, parent: int) -> "Action":
+        """Create a response action ``<user, a_parent>_time``."""
+        return cls(time=time, user=user, parent=parent)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        target = "nil" if self.is_root else f"a{self.parent}"
+        return f"<u{self.user}, {target}>_{self.time}"

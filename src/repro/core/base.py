@@ -1,0 +1,132 @@
+"""Shared plumbing for continuous SIM query processors.
+
+Every algorithm in this library (IC, SIC, windowed greedy, and the adapted
+graph baselines) consumes the same inputs: batches of arriving actions that
+slide a sequence-based window of size ``N`` by ``L = len(batch)`` positions.
+:class:`SIMAlgorithm` centralises the bookkeeping each of them needs —
+sliding window, diffusion-forest ancestor resolution, and the parallel
+record queue used to report expiries — so that concrete algorithms only
+implement :meth:`SIMAlgorithm._on_slide` and :meth:`SIMAlgorithm.query`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, FrozenSet, List, Optional, Sequence
+
+from repro.core.actions import Action
+from repro.core.diffusion import ActionRecord, DiffusionForest
+from repro.core.window import SlidingWindow
+
+__all__ = ["SIMResult", "SIMAlgorithm"]
+
+
+@dataclass(frozen=True, slots=True)
+class SIMResult:
+    """Answer of one SIM query.
+
+    Attributes:
+        time: The window end time ``t`` the answer refers to.
+        seeds: Selected seed users (at most ``k``).
+        value: The algorithm's (approximate) influence value for the seeds.
+    """
+
+    time: int
+    seeds: FrozenSet[int]
+    value: float
+
+
+class SIMAlgorithm(ABC):
+    """Base class for continuous SIM processors over sliding windows."""
+
+    def __init__(
+        self,
+        window_size: int,
+        k: int,
+        retention: Optional[int] = None,
+    ):
+        """
+        Args:
+            window_size: The paper's ``N``.
+            k: Seed-set cardinality constraint.
+            retention: Diffusion-forest retention horizon.  Must be at least
+                ``window_size`` when provided (expiring actions must still be
+                resolvable); defaults to unbounded.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if retention is not None and retention < window_size:
+            raise ValueError(
+                f"retention ({retention}) must be >= window size ({window_size})"
+            )
+        self._k = k
+        self._window = SlidingWindow(window_size)
+        self._forest = DiffusionForest(retention=retention)
+        self._window_records: Deque[ActionRecord] = deque()
+        self._actions_processed = 0
+
+    # -- public interface ---------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """The cardinality constraint."""
+        return self._k
+
+    @property
+    def window_size(self) -> int:
+        """The window capacity ``N``."""
+        return self._window.size
+
+    @property
+    def now(self) -> int:
+        """Timestamp of the latest processed action (0 before any)."""
+        return self._window.end_time
+
+    @property
+    def actions_processed(self) -> int:
+        """Total number of actions consumed."""
+        return self._actions_processed
+
+    @property
+    def window(self) -> SlidingWindow:
+        """The underlying sliding window."""
+        return self._window
+
+    @property
+    def forest(self) -> DiffusionForest:
+        """The shared diffusion forest."""
+        return self._forest
+
+    def process(self, batch: Sequence[Action]) -> None:
+        """Slide the window by ``len(batch)`` actions (Section 5.3's ``L``)."""
+        if not batch:
+            return
+        arrived: List[ActionRecord] = [self._forest.add(a) for a in batch]
+        self._window.slide(batch)
+        self._window_records.extend(arrived)
+        expired: List[ActionRecord] = []
+        while len(self._window_records) > self._window.size:
+            expired.append(self._window_records.popleft())
+        self._actions_processed += len(batch)
+        self._on_slide(arrived, expired)
+
+    def process_stream(self, batches) -> None:
+        """Consume an iterable of batches (see :func:`repro.core.stream.batched`)."""
+        for batch in batches:
+            self.process(batch)
+
+    @abstractmethod
+    def query(self) -> SIMResult:
+        """Answer the SIM query for the current window."""
+
+    # -- to implement --------------------------------------------------------
+
+    @abstractmethod
+    def _on_slide(
+        self,
+        arrived: Sequence[ActionRecord],
+        expired: Sequence[ActionRecord],
+    ) -> None:
+        """React to one window slide (records are already resolved)."""

@@ -1,0 +1,75 @@
+"""ASCII rendering of diffusion cascades — a debugging/teaching aid.
+
+Given the raw actions, :func:`render_cascade` draws the response tree of
+one root action the way the paper's Figure 1(d) sketches diffusion:
+
+    a1 u1*
+    ├── a2 u2
+    └── a4 u3
+        └── a5 u4
+
+:func:`cascade_roots` groups a stream into its cascades so whole streams
+can be browsed.  Used by tests to cross-check the diffusion forest and by
+the examples for human-readable output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.actions import Action
+
+__all__ = ["cascade_roots", "render_cascade"]
+
+
+def cascade_roots(actions: Iterable[Action]) -> Dict[int, List[int]]:
+    """Map each root action's time to the times of its whole cascade.
+
+    Responses whose parent is missing from ``actions`` are treated as roots
+    (exactly how the diffusion forest treats truncated chains).
+    """
+    root_of: Dict[int, int] = {}
+    members: Dict[int, List[int]] = {}
+    for action in actions:
+        if action.is_root or action.parent not in root_of:
+            root_of[action.time] = action.time
+            members[action.time] = [action.time]
+        else:
+            root = root_of[action.parent]
+            root_of[action.time] = root
+            members[root].append(action.time)
+    return members
+
+
+def render_cascade(actions: Iterable[Action], root_time: int) -> str:
+    """Draw the response tree rooted at ``root_time`` as ASCII art.
+
+    Raises:
+        KeyError: when ``root_time`` is not in ``actions``.
+    """
+    action_list = list(actions)
+    by_time = {a.time: a for a in action_list}
+    if root_time not in by_time:
+        raise KeyError(f"no action at time {root_time}")
+    children: Dict[int, List[int]] = {}
+    for action in action_list:
+        if not action.is_root and action.parent in by_time:
+            children.setdefault(action.parent, []).append(action.time)
+
+    lines: List[str] = []
+
+    def draw(time: int, prefix: str, connector: str) -> None:
+        action = by_time[time]
+        marker = "*" if action.is_root else ""
+        lines.append(f"{prefix}{connector}a{time} u{action.user}{marker}")
+        child_times = sorted(children.get(time, ()))
+        for i, child in enumerate(child_times):
+            last = i == len(child_times) - 1
+            if connector == "":
+                child_prefix = ""
+            else:
+                child_prefix = prefix + ("    " if connector == "└── " else "│   ")
+            draw(child, child_prefix, "└── " if last else "├── ")
+
+    draw(root_time, "", "")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Influential checkpoint: one append-only oracle over an action suffix.
+
+A checkpoint ``Λ_t[i]`` (Section 4.1) maintains an ε-approximate SIM
+solution for the contiguous actions ``{W_t[i], ..., W_t[N]}`` — i.e. for the
+suffix of the stream starting at the checkpoint's *start time*.  It bundles
+
+* an :class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` holding
+  ``I_t[i](u)`` for every user observed in the suffix, and
+* a :class:`~repro.core.oracles.base.CheckpointOracle` fed through the SSM
+  steps: the index reports which users' influence sets grew, and the oracle
+  re-processes exactly those users.
+
+Checkpoints never see expiries: deletion of whole checkpoints is the IC/SIC
+frameworks' job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet
+
+from repro.core.diffusion import ActionRecord
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles.base import CheckpointOracle, make_oracle
+from repro.influence.functions import InfluenceFunction
+
+__all__ = ["Checkpoint", "OracleSpec"]
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    """Recipe for building one checkpoint oracle.
+
+    Attributes:
+        name: Registered oracle name (``"sieve"``, ``"threshold"``, ...).
+        k: Cardinality constraint of the SIM query.
+        func: The influence function ``f``.
+        params: Extra keyword arguments (e.g. ``{"beta": 0.2}`` for the
+            threshold-guessing oracles).
+    """
+
+    name: str
+    k: int
+    func: InfluenceFunction
+    params: dict = field(default_factory=dict)
+
+    def build(self, index: AppendOnlyInfluenceIndex) -> CheckpointOracle:
+        """Instantiate the oracle against a fresh checkpoint index."""
+        return make_oracle(
+            self.name, k=self.k, func=self.func, index=index, **self.params
+        )
+
+
+class Checkpoint:
+    """``Λ_t[i]``: oracle + append-only influence index for one suffix."""
+
+    __slots__ = ("start", "_index", "_oracle", "_actions_processed")
+
+    def __init__(self, start: int, spec: OracleSpec):
+        """
+        Args:
+            start: Timestamp of the first action this checkpoint covers.
+            spec: Oracle recipe shared by all checkpoints of a framework.
+        """
+        if start <= 0:
+            raise ValueError(f"checkpoint start must be positive, got {start}")
+        self.start = start
+        self._index = AppendOnlyInfluenceIndex()
+        self._oracle = spec.build(self._index)
+        self._actions_processed = 0
+
+    def process(self, record: ActionRecord) -> None:
+        """SSM steps (1)–(3) for one arriving action."""
+        if record.time < self.start:
+            raise ValueError(
+                f"checkpoint starting at {self.start} received "
+                f"older action {record.time}"
+            )
+        self._actions_processed += 1
+        for user in self._index.add(record):
+            self._oracle.process(user, record.user)
+
+    @property
+    def value(self) -> float:
+        """The checkpoint's influence value Λ (monotone non-decreasing)."""
+        return self._oracle.value
+
+    @property
+    def seeds(self) -> FrozenSet[int]:
+        """The maintained seed users."""
+        return self._oracle.seeds
+
+    @property
+    def oracle(self) -> CheckpointOracle:
+        """The underlying oracle (for introspection/ablation)."""
+        return self._oracle
+
+    @property
+    def index(self) -> AppendOnlyInfluenceIndex:
+        """The suffix influence index ``I_t[i](·)``."""
+        return self._index
+
+    @property
+    def actions_processed(self) -> int:
+        """How many actions this checkpoint has absorbed."""
+        return self._actions_processed
+
+    def position(self, now: int, window_size: int) -> int:
+        """The paper's relative index ``x_i`` within ``W_now``.
+
+        ``1`` means the checkpoint covers the whole window; ``<= 0`` means it
+        has expired (covers more actions than the window holds).
+        """
+        return self.start - (now - window_size)
+
+    def covers_window(self, now: int, window_size: int) -> bool:
+        """True while the checkpoint covers at most the window's actions."""
+        return self.position(now, window_size) >= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Checkpoint(start={self.start}, value={self.value:.1f}, "
+            f"seeds={sorted(self.seeds)})"
+        )

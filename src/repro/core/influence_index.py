@@ -1,0 +1,140 @@
+"""Influence-set indexes: the paper's ``I_t(u)`` materialised.
+
+Two variants are needed:
+
+* :class:`WindowInfluenceIndex` — the *exact* influence sets with respect to
+  the current sliding window ``W_t`` (Definition 1).  It supports removal,
+  because influence contributed by an action disappears when that action
+  expires from the window.  Contributions are reference-counted per
+  ``(influencer, influenced)`` pair: ``v ∈ I_t(u)`` iff at least one window
+  action performed by ``v`` credits ``u`` (Example 1: ``u1`` still influences
+  ``u3`` in ``W_10`` through ``a_4`` even after ``a_1`` expired).
+
+* :class:`AppendOnlyInfluenceIndex` — the influence sets ``I_t[i](u)`` over
+  the *suffix* of actions covered by one checkpoint (Section 4.2).  Sets only
+  grow, which is exactly what lets SSM reuse append-only SSO oracles.
+
+Both indexes work on :class:`~repro.core.diffusion.ActionRecord` inputs:
+``record.user`` is the influenced performer and ``record.influencers`` lists
+the users credited.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Set
+
+from repro.core.diffusion import ActionRecord
+
+__all__ = ["WindowInfluenceIndex", "AppendOnlyInfluenceIndex"]
+
+
+class WindowInfluenceIndex:
+    """Exact windowed influence sets with reference-counted expiry."""
+
+    def __init__(self) -> None:
+        self._pair_counts: Dict[int, Dict[int, int]] = {}
+        self._influence: Dict[int, Set[int]] = {}
+
+    def add(self, record: ActionRecord) -> None:
+        """Account for an arriving action."""
+        v = record.user
+        for u in record.influencers:
+            counts = self._pair_counts.setdefault(u, {})
+            counts[v] = counts.get(v, 0) + 1
+            if counts[v] == 1:
+                self._influence.setdefault(u, set()).add(v)
+
+    def remove(self, record: ActionRecord) -> None:
+        """Account for an expiring action (must have been added before)."""
+        v = record.user
+        for u in record.influencers:
+            counts = self._pair_counts.get(u)
+            if counts is None or v not in counts:
+                raise KeyError(
+                    f"cannot expire pair ({u} -> {v}): it was never added"
+                )
+            counts[v] -= 1
+            if counts[v] == 0:
+                del counts[v]
+                members = self._influence[u]
+                members.discard(v)
+                if not members:
+                    del self._influence[u]
+                if not counts:
+                    del self._pair_counts[u]
+
+    def influence_set(self, user: int) -> FrozenSet[int]:
+        """``I_t(user)`` — empty when the user influences nobody."""
+        members = self._influence.get(user)
+        return frozenset(members) if members else frozenset()
+
+    def coverage(self, seeds) -> Set[int]:
+        """``I_t(S) = ∪_{u∈S} I_t(u)`` for a seed iterable ``S``."""
+        covered: Set[int] = set()
+        for u in seeds:
+            members = self._influence.get(u)
+            if members:
+                covered.update(members)
+        return covered
+
+    def influencers(self) -> Iterator[int]:
+        """Users with a non-empty influence set in the current window."""
+        return iter(self._influence)
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._influence
+
+    def __len__(self) -> int:
+        """Number of users with non-empty influence sets."""
+        return len(self._influence)
+
+    def pair_count(self) -> int:
+        """Total number of distinct ``(u, v)`` influence pairs."""
+        return sum(len(members) for members in self._influence.values())
+
+    def edges(self) -> Iterator[tuple]:
+        """Yield ``(u, v, multiplicity)`` influence pairs (``u`` may equal ``v``)."""
+        for u, counts in self._pair_counts.items():
+            for v, count in counts.items():
+                yield u, v, count
+
+
+class AppendOnlyInfluenceIndex:
+    """Grow-only influence sets for one checkpoint's action suffix."""
+
+    __slots__ = ("_influence",)
+
+    def __init__(self) -> None:
+        self._influence: Dict[int, Set[int]] = {}
+
+    def add(self, record: ActionRecord) -> list:
+        """Account for an arriving action.
+
+        Returns the list of influencer users whose set actually gained a new
+        member — exactly the users SSM must re-feed to the oracle.
+        """
+        v = record.user
+        updated = []
+        for u in record.influencers:
+            members = self._influence.setdefault(u, set())
+            if v not in members:
+                members.add(v)
+                updated.append(u)
+        return updated
+
+    def influence_set(self, user: int) -> Set[int]:
+        """``I_t[i](user)`` — a live (do not mutate) set view."""
+        return self._influence.get(user, set())
+
+    def coverage(self, seeds) -> Set[int]:
+        """Union of the influence sets of ``seeds``."""
+        covered: Set[int] = set()
+        for u in seeds:
+            covered.update(self._influence.get(u, ()))
+        return covered
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._influence
+
+    def __len__(self) -> int:
+        return len(self._influence)

@@ -1,0 +1,82 @@
+"""MultiQueryEngine: many SIM queries behind one ingest loop.
+
+Real deployments rarely run a single query: a monitoring dashboard tracks
+several ``k``/``β`` settings, per-topic campaigns, and per-region boards at
+once.  The engine is the single place the stream is fed; registered
+queries — plain :class:`~repro.core.base.SIMAlgorithm` instances and
+filtered sub-stream queries from :mod:`repro.influence.queries` — all
+advance together, and one call answers the whole board.
+
+(Each framework already shares ancestor resolution across its own
+checkpoints through its diffusion forest; the engine adds the operational
+layer: uniform feeding, naming, and collective answers.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.actions import Action
+from repro.core.base import SIMAlgorithm, SIMResult
+from repro.influence.queries import FilteredSIM
+
+__all__ = ["MultiQueryEngine"]
+
+
+class MultiQueryEngine:
+    """Fan one action stream out to many named SIM queries."""
+
+    def __init__(self) -> None:
+        self._algorithms: Dict[str, SIMAlgorithm] = {}
+        self._filtered: Dict[str, FilteredSIM] = {}
+        self._actions_processed = 0
+
+    def add(self, name: str, query) -> "MultiQueryEngine":
+        """Register a SIM algorithm or a FilteredSIM under ``name``.
+
+        Returns self for chaining.
+        """
+        if name in self._algorithms or name in self._filtered:
+            raise ValueError(f"query name {name!r} already registered")
+        if isinstance(query, FilteredSIM):
+            self._filtered[name] = query
+        elif isinstance(query, SIMAlgorithm):
+            self._algorithms[name] = query
+        else:
+            raise TypeError(
+                f"expected SIMAlgorithm or FilteredSIM, got {type(query).__name__}"
+            )
+        return self
+
+    @property
+    def names(self) -> List[str]:
+        """Registered query names (insertion order not guaranteed)."""
+        return sorted(list(self._algorithms) + list(self._filtered))
+
+    @property
+    def actions_processed(self) -> int:
+        """Actions fanned out so far."""
+        return self._actions_processed
+
+    def process(self, batch: Sequence[Action]) -> None:
+        """Feed one slide batch to every registered query."""
+        if not batch:
+            return
+        for algorithm in self._algorithms.values():
+            algorithm.process(batch)
+        for query in self._filtered.values():
+            for action in batch:
+                query.observe(action)
+        self._actions_processed += len(batch)
+
+    def query(self, name: str) -> SIMResult:
+        """Answer one registered query."""
+        if name in self._algorithms:
+            return self._algorithms[name].query()
+        if name in self._filtered:
+            return self._filtered[name].query()
+        raise KeyError(f"unknown query {name!r}; registered: {self.names}")
+
+    def query_all(self) -> Dict[str, SIMResult]:
+        """Answer every registered query."""
+        return {name: self.query(name) for name in self.names}

@@ -1,0 +1,42 @@
+"""Checkpoint oracles: append-only SSO algorithms behind the SSM interface.
+
+Importing this package registers the four oracles of the paper's Table 2:
+
+========================  ==================  ============  ============
+name                      class               ratio         functions
+========================  ==================  ============  ============
+``sieve``                 SieveStreaming      ``1/2 − β``   general
+``threshold``             ThresholdStream     ``1/2 − β``   general
+``blog_watch``            Blog-Watch          ``1/4``       modular
+``mkc``                   online Max-k-Cover  ``1/4``       modular
+========================  ==================  ============  ============
+
+plus one extra oracle beyond the paper's table, for small-scale studies:
+``greedy`` (periodic CELF re-computation, ``1 − 1/e``, general functions).
+
+Use :func:`~repro.core.oracles.base.make_oracle` to instantiate by name.
+"""
+
+from repro.core.oracles.base import (
+    CheckpointOracle,
+    make_oracle,
+    oracle_names,
+    register_oracle,
+)
+from repro.core.oracles.blog_watch import BlogWatchOracle
+from repro.core.oracles.greedy_oracle import GreedyOracle
+from repro.core.oracles.mkc import MkCOracle
+from repro.core.oracles.sieve import SieveStreamingOracle
+from repro.core.oracles.threshold import ThresholdStreamOracle
+
+__all__ = [
+    "CheckpointOracle",
+    "make_oracle",
+    "oracle_names",
+    "register_oracle",
+    "SieveStreamingOracle",
+    "ThresholdStreamOracle",
+    "BlogWatchOracle",
+    "MkCOracle",
+    "GreedyOracle",
+]

@@ -1,0 +1,141 @@
+"""Checkpoint oracle interface: append-only SSO behind the SSM mapping.
+
+Section 4.2 adapts append-only *set-stream* algorithms into checkpoint
+oracles through the Set-Stream Mapping (SSM) interface:
+
+1. identify users whose suffix influence set ``I_t[i](·)`` changed;
+2. feed the oracle a stream of those updated influence sets;
+3. the oracle maintains at most ``k`` users approximating the best seed set.
+
+In this implementation the checkpoint's
+:class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` applies the
+update first and reports exactly which influencer users gained a new member
+(always the performer of the arriving action).  :meth:`CheckpointOracle.process`
+then receives ``(user, new_member)`` — the finest-grained SSM event.
+
+The oracle's reported value must be *monotone non-decreasing* over time:
+Lemma 2's proof needs it, and SIC's pruning rule compares values across
+checkpoints.  Greedy-style oracles are naturally monotone, but e.g.
+SieveStreaming deletes threshold instances when its OPT estimate grows,
+which can transiently lower the current maximum.  The base class therefore
+keeps a *best-so-far snapshot* (seeds + value).  The snapshot remains a
+valid lower bound: on an append-only suffix, influence sets only grow, so a
+recorded ``f`` value never overstates the snapshot seeds' current value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.influence.functions import InfluenceFunction
+
+__all__ = [
+    "CheckpointOracle",
+    "register_oracle",
+    "make_oracle",
+    "oracle_names",
+]
+
+
+class CheckpointOracle(ABC):
+    """An ε-approximate streaming submodular maximiser over one suffix."""
+
+    #: Documented approximation ratio in the append-only model (Table 2);
+    #: informational, expressed as a function of β where applicable.
+    ratio_description: str = "unspecified"
+
+    def __init__(
+        self,
+        k: int,
+        func: InfluenceFunction,
+        index: AppendOnlyInfluenceIndex,
+    ):
+        if k <= 0:
+            raise ValueError(f"cardinality constraint k must be positive, got {k}")
+        self._k = k
+        self._func = func
+        self._index = index
+        self._best_value: float = 0.0
+        self._best_seeds: Tuple[int, ...] = ()
+
+    @property
+    def k(self) -> int:
+        """The cardinality constraint."""
+        return self._k
+
+    @abstractmethod
+    def process(self, user: int, new_member: int) -> None:
+        """Notify that ``user``'s influence set gained ``new_member``.
+
+        The checkpoint index already reflects the update; implementations
+        read the full current set via ``self._index.influence_set(user)``.
+        """
+
+    @property
+    def value(self) -> float:
+        """Monotone best-so-far influence value Λ of the maintained seeds."""
+        return self._best_value
+
+    @property
+    def seeds(self) -> FrozenSet[int]:
+        """The best-so-far seed set (at most ``k`` users)."""
+        return frozenset(self._best_seeds)
+
+    def _offer_solution(self, value: float, seeds) -> None:
+        """Snapshot ``seeds`` when they beat the best recorded solution."""
+        if value > self._best_value:
+            self._best_value = value
+            self._best_seeds = tuple(seeds)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _singleton_value(self, user: int) -> float:
+        """``f(I(user))`` for the current suffix."""
+        if self._func.modular:
+            return self._func.value_of_covered(self._index.influence_set(user))
+        return self._func.evaluate((user,), self._index)
+
+    def _set_value(self, seeds) -> float:
+        """``f(I(seeds))`` for the current suffix."""
+        if self._func.modular:
+            return self._func.value_of_covered(self._index.coverage(seeds))
+        return self._func.evaluate(seeds, self._index)
+
+
+_REGISTRY: Dict[str, Callable[..., CheckpointOracle]] = {}
+
+
+def register_oracle(name: str) -> Callable:
+    """Class decorator registering an oracle under ``name``."""
+
+    def decorator(cls):
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"oracle name {name!r} already registered")
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def make_oracle(
+    name: str,
+    k: int,
+    func: InfluenceFunction,
+    index: AppendOnlyInfluenceIndex,
+    **kwargs,
+) -> CheckpointOracle:
+    """Instantiate a registered oracle by name (see :func:`oracle_names`)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown oracle {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](k=k, func=func, index=index, **kwargs)
+
+
+def oracle_names() -> list:
+    """Names of all registered oracles."""
+    return sorted(_REGISTRY)

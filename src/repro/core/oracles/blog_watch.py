@@ -1,0 +1,46 @@
+"""Blog-Watch swap oracle (Saha & Getoor, SDM 2009).
+
+A swap-based algorithm for online Maximum k-Coverage with a 1/4
+approximation ratio and O(k) update cost (Table 2).  It fills the candidate
+set greedily while smaller than ``k``; once full, an incoming user ``u`` is
+swapped against the seed ``Y`` maximising the post-swap value, and the swap
+is committed when the improvement is at least ``f(S)/k``:
+
+    f(S − Y + u) − f(S) ≥ f(S) / k.
+
+Coverage arithmetic (reference counts, exclusive contributions, post-swap
+values) lives in :class:`~repro.core.oracles.swap_base.SwapOracleBase`.
+Modular influence functions only (Table 2 lists this oracle under
+"Cardinality"; weighted cardinality also works because it stays modular).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.oracles.base import register_oracle
+from repro.core.oracles.swap_base import SwapOracleBase
+
+__all__ = ["BlogWatchOracle"]
+
+
+@register_oracle("blog_watch")
+class BlogWatchOracle(SwapOracleBase):
+    """Best-eviction swap oracle: 1/4-approximate, O(k) per update."""
+
+    ratio_description = "1/4"
+
+    def _consider_swap(self, user: int) -> None:
+        """Swap in ``user`` for the best eviction when gain ≥ f(S)/k."""
+        best_value = self._value
+        best_evicted: Optional[int] = None
+        for candidate in self._seeds:
+            value = self._post_swap_value(candidate, user)
+            if value > best_value:
+                best_value = value
+                best_evicted = candidate
+        if best_evicted is None:
+            return
+        if best_value - self._value >= self._value / self._k:
+            self._remove_seed(best_evicted)
+            self._add_seed(user)

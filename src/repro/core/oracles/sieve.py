@@ -1,0 +1,156 @@
+"""SieveStreaming checkpoint oracle (Badanidiyuru et al., KDD 2014).
+
+The oracle of Section 4.3.  It maintains one *instance* per guess
+``v_j = (1+β)^j`` of the optimum over the suffix, for ``j`` such that
+``m ≤ (1+β)^j ≤ 2·k·m`` where ``m = max_u f(I_t[i](u))`` is the largest
+single influence-set value observed so far.  Instance ``j`` adds user ``u``
+to its candidate set ``CX_j`` when ``|CX_j| < k`` and the marginal gain
+clears the sieve threshold
+
+    f(I(CX_j ∪ {u})) − f(I(CX_j)) ≥ (v_j/2 − f(I(CX_j))) / (k − |CX_j|).
+
+At least one maintained guess is within ``(1+β)`` of the true optimum, which
+yields the ``(1/2 − β)`` approximation ratio (Table 2).  When ``m`` grows,
+instances whose guesses drop below the valid range are discarded and new
+ones are created lazily — freshly created instances do *not* replay past
+elements, exactly as in the streaming original.
+
+The reported Λ value is the best-so-far snapshot maintained by the base
+class, covering both all instance solutions and the best singleton.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set
+
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles.base import CheckpointOracle, register_oracle
+from repro.influence.functions import InfluenceFunction
+
+__all__ = ["SieveStreamingOracle"]
+
+#: Tolerance guarding float rounding in ``log`` index computations.
+_EPS = 1e-9
+
+
+class _Instance:
+    """One sieve instance: a guess of OPT plus its candidate solution."""
+
+    __slots__ = ("guess", "seeds", "covered", "value")
+
+    def __init__(self, guess: float):
+        self.guess = guess
+        self.seeds: Set[int] = set()
+        self.covered: Set[int] = set()
+        self.value: float = 0.0
+
+
+@register_oracle("sieve")
+class SieveStreamingOracle(CheckpointOracle):
+    """SieveStreaming adapted to SIM through SSM (case study, Section 4.3)."""
+
+    ratio_description = "1/2 - beta"
+
+    def __init__(
+        self,
+        k: int,
+        func: InfluenceFunction,
+        index: AppendOnlyInfluenceIndex,
+        beta: float = 0.1,
+    ):
+        super().__init__(k=k, func=func, index=index)
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self._beta = beta
+        self._log_base = math.log1p(beta)
+        self._m: float = 0.0
+        self._instances: Dict[int, _Instance] = {}
+        self._singleton_cache: Dict[int, float] = {}
+
+    @property
+    def instance_count(self) -> int:
+        """Number of live sieve instances (``O(log k / β)``)."""
+        return len(self._instances)
+
+    @property
+    def max_singleton(self) -> float:
+        """The running ``m`` (Figure 3's "Max Cardinality" generalised)."""
+        return self._m
+
+    def process(self, user: int, new_member: int) -> None:
+        singleton = self._refresh_singleton(user, new_member)
+        if singleton > self._m:
+            self._m = singleton
+            self._refresh_instances()
+        modular = self._func.modular
+        weight = self._func.weight(new_member) if modular else 0.0
+        best_instance = None
+        for instance in self._instances.values():
+            if user in instance.seeds:
+                self._refresh_member(instance, user, new_member, weight)
+            elif len(instance.seeds) < self._k:
+                self._try_admit(instance, user)
+            if best_instance is None or instance.value > best_instance.value:
+                best_instance = instance
+        self._offer_solution(singleton, (user,))
+        if best_instance is not None:
+            self._offer_solution(best_instance.value, best_instance.seeds)
+
+    # -- internals -------------------------------------------------------
+
+    def _refresh_singleton(self, user: int, new_member: int) -> float:
+        """Update and return ``f(I(user))`` after ``new_member`` joined."""
+        if self._func.modular:
+            value = self._singleton_cache.get(user, 0.0) + self._func.weight(
+                new_member
+            )
+        else:
+            value = self._func.evaluate((user,), self._index)
+        self._singleton_cache[user] = value
+        return value
+
+    def _refresh_instances(self) -> None:
+        """Align the instance set with ``{j : m ≤ (1+β)^j ≤ 2·k·m}``."""
+        if self._m <= 0.0:
+            return
+        low = math.ceil(math.log(self._m) / self._log_base - _EPS)
+        high = math.floor(math.log(2 * self._k * self._m) / self._log_base + _EPS)
+        for j in [j for j in self._instances if j < low or j > high]:
+            del self._instances[j]
+        for j in range(low, high + 1):
+            if j not in self._instances:
+                self._instances[j] = _Instance(guess=(1.0 + self._beta) ** j)
+
+    def _refresh_member(
+        self, instance: _Instance, user: int, new_member: int, weight: float
+    ) -> None:
+        """A selected seed's influence set grew; update the instance value."""
+        if self._func.modular:
+            if new_member not in instance.covered:
+                instance.covered.add(new_member)
+                instance.value += weight
+        else:
+            instance.value = self._func.evaluate(instance.seeds, self._index)
+
+    def _try_admit(self, instance: _Instance, user: int) -> None:
+        """Apply the sieve threshold test for a non-member user."""
+        remaining = self._k - len(instance.seeds)
+        threshold = (instance.guess / 2.0 - instance.value) / remaining
+        if self._func.modular:
+            members = self._index.influence_set(user)
+            covered = instance.covered
+            weight = self._func.weight
+            gain = sum(weight(v) for v in members if v not in covered)
+            if gain >= threshold and gain > 0.0:
+                instance.seeds.add(user)
+                covered.update(members)
+                instance.value += gain
+        else:
+            with_user = self._func.evaluate(
+                list(instance.seeds) + [user], self._index
+            )
+            gain = with_user - instance.value
+            if gain >= threshold and gain > 0.0:
+                instance.seeds.add(user)
+                instance.value = with_user

@@ -1,0 +1,138 @@
+"""Shared bookkeeping for the swap-based oracles (Blog-Watch, MkC).
+
+Both maintain at most ``k`` seeds with reference-counted coverage.  One
+subtlety of the SSM event model: when an action updates several influence
+sets at once, the checkpoint index applies *all* updates before the
+per-user ``process`` calls fire.  A seed's live influence set can therefore
+momentarily contain members whose coverage event is still pending; reading
+live sets during a swap would corrupt the reference counts (double counts
+on admission, missing counts on eviction).
+
+The base class therefore tracks, per seed, the exact member set it has
+*counted* (``_counted``).  All coverage arithmetic — gains, exclusive
+contributions, post-swap values, evictions — goes through these counted
+views; pending members are picked up by the ordinary
+``process(user, new_member)`` calls as they arrive.  Counted views converge
+to the live sets at the end of every SSM event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles.base import CheckpointOracle
+from repro.influence.functions import InfluenceFunction
+
+__all__ = ["SwapOracleBase"]
+
+
+class SwapOracleBase(CheckpointOracle):
+    """Reference-counted ≤k seed set with exact swap arithmetic."""
+
+    def __init__(
+        self,
+        k: int,
+        func: InfluenceFunction,
+        index: AppendOnlyInfluenceIndex,
+    ):
+        super().__init__(k=k, func=func, index=index)
+        if not func.modular:
+            raise ValueError(
+                f"{type(self).__name__} supports modular influence "
+                "functions only"
+            )
+        self._seeds: Set[int] = set()
+        self._counted: Dict[int, Set[int]] = {}
+        self._cover_counts: Dict[int, int] = {}
+        self._value: float = 0.0
+
+    @property
+    def current_seeds(self) -> frozenset:
+        """The live (pre-snapshot) candidate set."""
+        return frozenset(self._seeds)
+
+    @property
+    def current_value(self) -> float:
+        """The live coverage value of :attr:`current_seeds`."""
+        return self._value
+
+    def process(self, user: int, new_member: int) -> None:
+        if user in self._seeds:
+            counted = self._counted[user]
+            if new_member not in counted:
+                counted.add(new_member)
+                self._cover(new_member)
+        elif len(self._seeds) < self._k:
+            if self._gain_if_added(user) > 0.0:
+                self._add_seed(user)
+        else:
+            self._consider_swap(user)
+        self._offer_solution(self._value, self._seeds)
+
+    # -- coverage bookkeeping ---------------------------------------------
+
+    def _cover(self, member: int) -> None:
+        """One more seed now covers ``member``."""
+        count = self._cover_counts.get(member, 0)
+        self._cover_counts[member] = count + 1
+        if count == 0:
+            self._value += self._func.weight(member)
+
+    def _uncover(self, member: int) -> None:
+        """One fewer seed covers ``member``."""
+        count = self._cover_counts[member] - 1
+        if count:
+            self._cover_counts[member] = count
+        else:
+            del self._cover_counts[member]
+            self._value -= self._func.weight(member)
+
+    def _gain_if_added(self, user: int) -> float:
+        """Marginal coverage gain of adding ``user`` now."""
+        counts = self._cover_counts
+        weight = self._func.weight
+        return sum(
+            weight(v)
+            for v in self._index.influence_set(user)
+            if counts.get(v, 0) == 0
+        )
+
+    def _add_seed(self, user: int) -> None:
+        members = set(self._index.influence_set(user))
+        self._seeds.add(user)
+        self._counted[user] = members
+        for v in members:
+            self._cover(v)
+
+    def _remove_seed(self, user: int) -> None:
+        self._seeds.remove(user)
+        for v in self._counted.pop(user):
+            self._uncover(v)
+
+    def _exclusive_contribution(self, seed: int) -> float:
+        """Value lost if ``seed`` were evicted right now."""
+        counts = self._cover_counts
+        weight = self._func.weight
+        return sum(
+            weight(v) for v in self._counted[seed] if counts.get(v, 0) == 1
+        )
+
+    def _post_swap_value(self, evicted: int, user: int) -> float:
+        """Value of ``S − evicted + user`` without mutating state."""
+        counts = self._cover_counts
+        weight = self._func.weight
+        evicted_members = self._counted[evicted]
+        lost = sum(weight(v) for v in evicted_members if counts.get(v, 0) == 1)
+        gained = 0.0
+        for v in self._index.influence_set(user):
+            count = counts.get(v, 0)
+            if count == 0 or (count == 1 and v in evicted_members):
+                gained += weight(v)
+        return self._value - lost + gained
+
+    # -- to implement --------------------------------------------------------
+
+    def _consider_swap(self, user: int) -> None:
+        """Decide whether ``user`` replaces a current seed."""
+        raise NotImplementedError

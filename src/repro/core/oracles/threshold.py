@@ -1,0 +1,133 @@
+"""ThresholdStream checkpoint oracle (Kumar et al., TOPC 2015).
+
+The second general-function oracle of Table 2.  Like SieveStreaming it runs
+one instance per geometric guess ``v_j = (1+β)^j`` of the optimum, but uses
+the simpler *threshold-greedy* admission rule: user ``u`` joins instance
+``j`` while ``|CX_j| < k`` whenever its marginal gain is at least
+
+    v_j / (2·k).
+
+An element clearing this bar ``k`` times yields value ≥ ``v_j/2``; combined
+with the geometric guessing this gives the same ``(1/2 − β)`` ratio with
+``O(log k / β)`` update cost (Table 2).  The admission rule differs from the
+sieve rule (which tightens as the instance fills up), making this oracle a
+useful ablation partner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Set
+
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles.base import CheckpointOracle, register_oracle
+from repro.influence.functions import InfluenceFunction
+
+__all__ = ["ThresholdStreamOracle"]
+
+_EPS = 1e-9
+
+
+class _Instance:
+    """One guess of OPT with its threshold-greedy candidate solution."""
+
+    __slots__ = ("guess", "seeds", "covered", "value")
+
+    def __init__(self, guess: float):
+        self.guess = guess
+        self.seeds: Set[int] = set()
+        self.covered: Set[int] = set()
+        self.value: float = 0.0
+
+
+@register_oracle("threshold")
+class ThresholdStreamOracle(CheckpointOracle):
+    """Threshold-greedy SSO adapted to SIM through SSM."""
+
+    ratio_description = "1/2 - beta"
+
+    def __init__(
+        self,
+        k: int,
+        func: InfluenceFunction,
+        index: AppendOnlyInfluenceIndex,
+        beta: float = 0.1,
+    ):
+        super().__init__(k=k, func=func, index=index)
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self._beta = beta
+        self._log_base = math.log1p(beta)
+        self._m: float = 0.0
+        self._instances: Dict[int, _Instance] = {}
+        self._singleton_cache: Dict[int, float] = {}
+
+    @property
+    def instance_count(self) -> int:
+        """Number of live instances."""
+        return len(self._instances)
+
+    def process(self, user: int, new_member: int) -> None:
+        if self._func.modular:
+            singleton = self._singleton_cache.get(user, 0.0) + self._func.weight(
+                new_member
+            )
+        else:
+            singleton = self._func.evaluate((user,), self._index)
+        self._singleton_cache[user] = singleton
+        if singleton > self._m:
+            self._m = singleton
+            self._refresh_instances()
+        modular = self._func.modular
+        weight = self._func.weight(new_member) if modular else 0.0
+        best = None
+        for instance in self._instances.values():
+            if user in instance.seeds:
+                if modular:
+                    if new_member not in instance.covered:
+                        instance.covered.add(new_member)
+                        instance.value += weight
+                else:
+                    instance.value = self._func.evaluate(
+                        instance.seeds, self._index
+                    )
+            elif len(instance.seeds) < self._k:
+                self._try_admit(instance, user)
+            if best is None or instance.value > best.value:
+                best = instance
+        self._offer_solution(singleton, (user,))
+        if best is not None:
+            self._offer_solution(best.value, best.seeds)
+
+    def _refresh_instances(self) -> None:
+        """Keep instances for ``{j : m ≤ (1+β)^j ≤ 2·k·m}``."""
+        if self._m <= 0.0:
+            return
+        low = math.ceil(math.log(self._m) / self._log_base - _EPS)
+        high = math.floor(math.log(2 * self._k * self._m) / self._log_base + _EPS)
+        for j in [j for j in self._instances if j < low or j > high]:
+            del self._instances[j]
+        for j in range(low, high + 1):
+            if j not in self._instances:
+                self._instances[j] = _Instance(guess=(1.0 + self._beta) ** j)
+
+    def _try_admit(self, instance: _Instance, user: int) -> None:
+        """Admit ``user`` when its gain reaches ``guess / (2k)``."""
+        bar = instance.guess / (2.0 * self._k)
+        if self._func.modular:
+            members = self._index.influence_set(user)
+            covered = instance.covered
+            weight = self._func.weight
+            gain = sum(weight(v) for v in members if v not in covered)
+            if gain >= bar and gain > 0.0:
+                instance.seeds.add(user)
+                covered.update(members)
+                instance.value += gain
+        else:
+            with_user = self._func.evaluate(
+                list(instance.seeds) + [user], self._index
+            )
+            gain = with_user - instance.value
+            if gain >= bar and gain > 0.0:
+                instance.seeds.add(user)
+                instance.value = with_user

@@ -1,0 +1,145 @@
+"""SIC — the Sparse Influential Checkpoints framework (Section 5).
+
+SIC keeps only ``O(log N / β)`` of IC's checkpoints.  After every slide it
+prunes checkpoints that are well-approximated by their successors
+(Algorithm 2 lines 9-20): scanning from each retained checkpoint ``x_i``,
+any checkpoint ``x_j`` is deleted while **both** ``Λ[x_j]`` and
+``Λ[x_{j+1}]`` are still within a ``(1−β)`` factor of ``Λ[x_i]`` — the
+successor then approximates the deleted ones forever after (Lemma 2), so the
+answer stays ``ε(1−β)/2``-approximate (Theorem 3), i.e. ``1/4 − β`` with
+SieveStreaming (Theorem 4).
+
+One *expired* checkpoint ``Λ_t[x_0]`` — covering slightly more than the
+window — is retained (lines 21-23) so the optimum of the full window remains
+upper-bounded; it is discarded once its successor expires too.  The query
+answer is the oldest non-expired checkpoint ``Λ_t[x_1]`` (line 25).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.checkpoint import Checkpoint, OracleSpec
+from repro.core.diffusion import ActionRecord
+from repro.influence.functions import CardinalityInfluence, InfluenceFunction
+
+__all__ = ["SparseInfluentialCheckpoints"]
+
+
+class SparseInfluentialCheckpoints(SIMAlgorithm):
+    """Continuous SIM with logarithmically many checkpoints (Algorithm 2)."""
+
+    def __init__(
+        self,
+        window_size: int,
+        k: int,
+        beta: float = 0.1,
+        oracle: str = "sieve",
+        func: Optional[InfluenceFunction] = None,
+        retention: Optional[int] = None,
+        oracle_beta: Optional[float] = None,
+    ):
+        """
+        Args:
+            window_size: The paper's ``N``.
+            k: Seed-set cardinality constraint.
+            beta: SIC's pruning parameter β ∈ (0, 1) — the quality/efficiency
+                trade-off of Section 6.2.  Also reused as the oracle's guess
+                granularity unless ``oracle_beta`` overrides it (the paper
+                uses a single β for both).
+            oracle: Registered checkpoint-oracle name.
+            func: Influence function; defaults to cardinality.
+            retention: Diffusion-forest retention horizon.
+            oracle_beta: Optional separate β for the oracle's OPT guessing.
+        """
+        super().__init__(window_size=window_size, k=k, retention=retention)
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self._beta = beta
+        func = func if func is not None else CardinalityInfluence()
+        guess_beta = oracle_beta if oracle_beta is not None else beta
+        params = {"beta": guess_beta} if oracle in ("sieve", "threshold") else {}
+        self._spec = OracleSpec(name=oracle, k=k, func=func, params=params)
+        self._checkpoints: List[Checkpoint] = []
+        self._pruned_total = 0
+
+    @property
+    def beta(self) -> float:
+        """The pruning parameter β."""
+        return self._beta
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Number of live checkpoints (``O(log N / β)``, Theorem 5)."""
+        return len(self._checkpoints)
+
+    @property
+    def checkpoints(self) -> Sequence[Checkpoint]:
+        """Live checkpoints, oldest first (read-only view)."""
+        return tuple(self._checkpoints)
+
+    @property
+    def pruned_total(self) -> int:
+        """Checkpoints deleted by the pruning rule since construction."""
+        return self._pruned_total
+
+    def _on_slide(
+        self,
+        arrived: Sequence[ActionRecord],
+        expired: Sequence[ActionRecord],
+    ) -> None:
+        # Lines 2-8: new checkpoint for the arriving slide, then feed all.
+        self._checkpoints.append(Checkpoint(arrived[0].time, self._spec))
+        for record in arrived:
+            for checkpoint in self._checkpoints:
+                checkpoint.process(record)
+        self._prune()
+        self._retire_expired_head()
+
+    # -- Algorithm 2 lines 9-20 -------------------------------------------
+
+    def _prune(self) -> None:
+        """Delete checkpoints approximated by their successors."""
+        cps = self._checkpoints
+        if len(cps) <= 2:
+            return
+        keep: List[Checkpoint] = []
+        i = 0
+        while i < len(cps):
+            keep.append(cps[i])
+            bar = (1.0 - self._beta) * cps[i].value
+            j = i + 1
+            # Delete cps[j] while both it and its successor still clear the
+            # (1-β) bar relative to cps[i]; the successor will answer for
+            # the deleted ones (Lemma 2).  j+1 <= s keeps the newest alive.
+            while j + 1 < len(cps) and cps[j].value >= bar and cps[j + 1].value >= bar:
+                j += 1
+            self._pruned_total += j - (i + 1)
+            i = j
+        self._checkpoints = keep
+
+    # -- Algorithm 2 lines 21-23 --------------------------------------------
+
+    def _retire_expired_head(self) -> None:
+        """Keep exactly one expired checkpoint (the paper's ``Λ_t[x_0]``)."""
+        now = self.now
+        size = self.window_size
+        cps = self._checkpoints
+        while len(cps) > 1 and not cps[1].covers_window(now, size):
+            cps.pop(0)
+
+    def query(self) -> SIMResult:
+        """Return the solution of ``Λ_t[x_1]`` (Algorithm 2 line 25)."""
+        if not self._checkpoints:
+            return SIMResult(time=self.now, seeds=frozenset(), value=0.0)
+        now, size = self.now, self.window_size
+        for checkpoint in self._checkpoints:
+            if checkpoint.covers_window(now, size):
+                return SIMResult(
+                    time=now, seeds=checkpoint.seeds, value=checkpoint.value
+                )
+        # All checkpoints expired (cannot happen after a slide, as the newest
+        # always covers the window); fall back to the newest.
+        newest = self._checkpoints[-1]
+        return SIMResult(time=now, seeds=newest.seeds, value=newest.value)

@@ -1,0 +1,22 @@
+"""Dataset generators: SYN-O/SYN-N, Reddit/Twitter surrogates, statistics."""
+
+from repro.datasets.stats import StreamStatistics, stream_statistics
+from repro.datasets.surrogates import heavy_tail_stream, reddit_like, twitter_like
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    syn_n,
+    syn_o,
+    synthetic_stream,
+)
+
+__all__ = [
+    "StreamStatistics",
+    "SyntheticConfig",
+    "heavy_tail_stream",
+    "reddit_like",
+    "stream_statistics",
+    "syn_n",
+    "syn_o",
+    "synthetic_stream",
+    "twitter_like",
+]

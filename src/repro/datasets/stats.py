@@ -1,0 +1,73 @@
+"""Stream statistics — the regenerator for the paper's Table 3.
+
+:func:`stream_statistics` consumes any action stream once and reports the
+four columns of Table 3: distinct users, action count, mean response
+distance of non-root actions, and mean cascade depth (resolved through a
+:class:`~repro.core.diffusion.DiffusionForest`, so indirect chains count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.actions import Action
+from repro.core.diffusion import DiffusionForest
+
+__all__ = ["StreamStatistics", "stream_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamStatistics:
+    """Table 3 row for one dataset.
+
+    Attributes:
+        users: Number of distinct users.
+        actions: Number of actions.
+        mean_response_distance: Average ``Δ = t − t'`` over response actions
+            (0.0 when the stream has no responses).
+        mean_depth: Average response-chain depth over all actions.
+        max_depth: Deepest observed chain.
+        root_fraction: Fraction of root actions.
+    """
+
+    users: int
+    actions: int
+    mean_response_distance: float
+    mean_depth: float
+    max_depth: int
+    root_fraction: float
+
+    def as_row(self, name: str) -> str:
+        """Format as an aligned Table 3 style row."""
+        return (
+            f"{name:<12}{self.users:>10,}{self.actions:>14,}"
+            f"{self.mean_response_distance:>14.1f}{self.mean_depth:>12.2f}"
+        )
+
+
+def stream_statistics(actions: Iterable[Action]) -> StreamStatistics:
+    """Single-pass computation of Table 3's statistics for a stream."""
+    forest = DiffusionForest()
+    users = set()
+    count = 0
+    roots = 0
+    distance_sum = 0
+    responses = 0
+    for action in actions:
+        forest.add(action)
+        users.add(action.user)
+        count += 1
+        if action.is_root:
+            roots += 1
+        else:
+            distance_sum += action.response_distance
+            responses += 1
+    return StreamStatistics(
+        users=len(users),
+        actions=count,
+        mean_response_distance=(distance_sum / responses) if responses else 0.0,
+        mean_depth=forest.mean_depth,
+        max_depth=forest.max_depth,
+        root_fraction=(roots / count) if count else 0.0,
+    )

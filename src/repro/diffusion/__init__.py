@@ -1,0 +1,16 @@
+"""Diffusion simulation: IC-model Monte Carlo and RR-set sampling."""
+
+from repro.diffusion.monte_carlo import estimate_spread, simulate_spread
+from repro.diffusion.rr_sets import (
+    coverage_greedy,
+    generate_rr_sets,
+    random_rr_set,
+)
+
+__all__ = [
+    "coverage_greedy",
+    "estimate_spread",
+    "generate_rr_sets",
+    "random_rr_set",
+    "simulate_spread",
+]

@@ -1,0 +1,153 @@
+"""``repro-experiments`` — regenerate the paper's figures from the shell.
+
+Examples::
+
+    repro-experiments table3
+    repro-experiments fig7 --scale small --datasets syn-n
+    repro-experiments fig9 --datasets twitter --csv out.csv
+    repro-experiments all --scale small
+
+Every command prints the figure as an aligned text table (the paper's plots
+as series); ``--csv`` additionally writes machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures
+from repro.experiments.config import DATASETS, Scale
+
+__all__ = ["main", "build_parser"]
+
+_COMMANDS = (
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "table3",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures/tables of 'Real-Time Influence "
+            "Maximization on Dynamic Social Streams' (VLDB 2017)."
+        ),
+    )
+    parser.add_argument("command", choices=_COMMANDS, help="artefact to regenerate")
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.SMALL.value,
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=list(DATASETS),
+        default=None,
+        help="restrict to these datasets (default: the figure's own set)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="stream generation seed"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, help="also write the table(s) as CSV"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each figure as an ASCII line chart",
+    )
+    return parser
+
+
+def _render_charts(table) -> str:
+    """ASCII charts for a figure table (one per dataset), or ''. """
+    headers = table.headers
+    if len(headers) != 4 or headers[2] != "algorithm":
+        return ""
+    x, y = headers[1], headers[3]
+    blocks = []
+    for dataset in sorted(set(table.column("dataset"))):
+        try:
+            chart = table.chart(x, y, "algorithm", filters={"dataset": dataset})
+        except ValueError:
+            continue
+        blocks.append(f"[{dataset}] {y} vs {x}\n{chart}")
+    return "\n\n".join(blocks)
+
+
+def _tables_for(command: str, scale: Scale, datasets, seed: int) -> List:
+    kwargs = {"scale": scale, "seed": seed}
+    if datasets:
+        kwargs["datasets"] = tuple(datasets)
+    if command in ("fig5", "fig6", "fig7"):
+        return [figures.fig5_6_7(**kwargs)[command]]
+    if command in ("fig8", "fig9"):
+        return [figures.fig8_9(**kwargs)[command]]
+    if command == "fig10":
+        return [figures.fig10(**kwargs)]
+    if command == "fig11":
+        return [figures.fig11(**kwargs)]
+    if command == "fig12":
+        return [figures.fig12(**kwargs)]
+    if command == "table2":
+        kwargs.pop("datasets", None)
+        return [figures.table2(scale=scale, seed=seed)]
+    if command == "table3":
+        return [figures.table3(**kwargs)]
+    if command == "all":
+        tables = list(fig5_6_7_tables := figures.fig5_6_7(**kwargs).values())
+        tables.extend(figures.fig8_9(**kwargs).values())
+        tables.append(figures.fig10(**kwargs))
+        tables.append(figures.fig11(**kwargs))
+        fig12_kwargs = dict(kwargs)
+        if datasets:
+            fig12_kwargs["datasets"] = tuple(
+                d for d in datasets if d.startswith("syn")
+            ) or ("syn-o", "syn-n")
+        tables.append(figures.fig12(**fig12_kwargs))
+        tables.append(figures.table2(scale=scale, seed=seed))
+        tables.append(figures.table3(**kwargs))
+        return tables
+    raise KeyError(command)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = Scale(args.scale)
+    tables = _tables_for(args.command, scale, args.datasets, args.seed)
+    for table in tables:
+        print(table.render())
+        print()
+        if args.chart:
+            charts = _render_charts(table)
+            if charts:
+                print(charts)
+                print()
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            for table in tables:
+                handle.write(f"# {table.title}\n")
+                handle.write(table.to_csv())
+                handle.write("\n")
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,298 @@
+"""Per-figure experiment definitions — one function per paper artefact.
+
+Every figure and table of Section 6 has a regenerator here returning an
+:class:`~repro.experiments.reporting.ExperimentTable` whose rows are the
+points of the paper's plots:
+
+=========  =====================================================
+function   paper artefact
+=========  =====================================================
+fig5_6_7   Figures 5, 6, 7 — IC vs SIC sweep over β (one pass
+           yields influence value, checkpoint count, throughput)
+fig8_9     Figures 8, 9 — all approaches, sweep over k
+           (quality via Monte-Carlo WC spread + throughput)
+fig10      Figure 10 — throughput sweep over window size N
+fig11      Figure 11 — throughput sweep over slide length L
+fig12      Figure 12 — throughput sweep over |U| (SYN datasets)
+table2     Table 2 ablation — the four checkpoint oracles
+table3     Table 3 — dataset statistics
+=========  =====================================================
+
+Grids replicate Table 4 relative to the chosen
+:class:`~repro.experiments.config.Scale` (see that module for the scaling
+rationale); pass ``datasets=(...)`` to restrict the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import (
+    BETA_GRID,
+    DATASETS,
+    K_GRID,
+    L_FRACTIONS,
+    N_FACTORS,
+    U_FACTORS,
+    ExperimentConfig,
+    Scale,
+    make_config,
+)
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import build_algorithm, make_stream, run_algorithm
+
+__all__ = [
+    "fig5_6_7",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8_9",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "table3",
+]
+
+#: The five compared approaches of Section 6.1, fastest first.
+ALL_ALGORITHMS: Tuple[str, ...] = ("sic", "ic", "greedy", "imm", "ubi")
+
+
+def _run(config: ExperimentConfig, algorithm_name: str, **kwargs):
+    algorithm = build_algorithm(algorithm_name, config)
+    stream = make_stream(config)
+    return run_algorithm(
+        algorithm,
+        stream,
+        slide=config.slide,
+        name=algorithm_name.upper(),
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7: IC vs SIC over β
+# ---------------------------------------------------------------------------
+
+def fig5_6_7(
+    scale: Scale = Scale.SMALL,
+    datasets: Sequence[str] = DATASETS,
+    betas: Sequence[float] = BETA_GRID,
+    seed: int = 7,
+) -> Dict[str, ExperimentTable]:
+    """One β sweep yielding Figures 5 (value), 6 (checkpoints), 7 (rate)."""
+    value = ExperimentTable(
+        "Figure 5: influence value vs beta (IC vs SIC)",
+        ["dataset", "beta", "algorithm", "influence_value"],
+    )
+    checkpoints = ExperimentTable(
+        "Figure 6: number of checkpoints vs beta (IC vs SIC)",
+        ["dataset", "beta", "algorithm", "checkpoints"],
+    )
+    throughput = ExperimentTable(
+        "Figure 7: throughput vs beta (IC vs SIC)",
+        ["dataset", "beta", "algorithm", "throughput"],
+    )
+    for dataset in datasets:
+        for beta in betas:
+            config = make_config(dataset, scale, beta=beta, seed=seed)
+            for algorithm in ("ic", "sic"):
+                result = _run(config, algorithm)
+                label = algorithm.upper()
+                value.add_row(dataset, beta, label, result.mean_influence_value)
+                checkpoints.add_row(dataset, beta, label, result.mean_checkpoints)
+                throughput.add_row(dataset, beta, label, result.throughput)
+    return {"fig5": value, "fig6": checkpoints, "fig7": throughput}
+
+
+def fig5(**kwargs) -> ExperimentTable:
+    """Figure 5: influence values of IC and SIC with varying β."""
+    return fig5_6_7(**kwargs)["fig5"]
+
+
+def fig6(**kwargs) -> ExperimentTable:
+    """Figure 6: checkpoints maintained by IC and SIC with varying β."""
+    return fig5_6_7(**kwargs)["fig6"]
+
+
+def fig7(**kwargs) -> ExperimentTable:
+    """Figure 7: throughputs of IC and SIC with varying β."""
+    return fig5_6_7(**kwargs)["fig7"]
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-9: all approaches over k
+# ---------------------------------------------------------------------------
+
+def fig8_9(
+    scale: Scale = Scale.SMALL,
+    datasets: Sequence[str] = DATASETS,
+    ks: Sequence[int] = K_GRID,
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+    mc_rounds: int = 100,
+    quality_every: int = 4,
+    seed: int = 7,
+) -> Dict[str, ExperimentTable]:
+    """One k sweep yielding Figures 8 (MC quality) and 9 (throughput)."""
+    quality = ExperimentTable(
+        "Figure 8: solution quality (MC spread under WC) vs k",
+        ["dataset", "k", "algorithm", "spread"],
+    )
+    throughput = ExperimentTable(
+        "Figure 9: throughput vs k",
+        ["dataset", "k", "algorithm", "throughput"],
+    )
+    for dataset in datasets:
+        for k in ks:
+            config = make_config(dataset, scale, k=k, seed=seed)
+            for algorithm in algorithms:
+                result = _run(
+                    config,
+                    algorithm,
+                    evaluate_quality=True,
+                    mc_rounds=mc_rounds,
+                    quality_every=quality_every,
+                )
+                label = algorithm.upper()
+                quality.add_row(dataset, k, label, result.mean_quality)
+                throughput.add_row(dataset, k, label, result.throughput)
+    return {"fig8": quality, "fig9": throughput}
+
+
+def fig8(**kwargs) -> ExperimentTable:
+    """Figure 8: solution qualities of all approaches with varying k."""
+    return fig8_9(**kwargs)["fig8"]
+
+
+def fig9(**kwargs) -> ExperimentTable:
+    """Figure 9: throughputs of all approaches with varying k."""
+    return fig8_9(**kwargs)["fig9"]
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-12: scalability sweeps
+# ---------------------------------------------------------------------------
+
+def fig10(
+    scale: Scale = Scale.SMALL,
+    datasets: Sequence[str] = DATASETS,
+    factors: Sequence[float] = N_FACTORS,
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Figure 10: throughput with varying window size N."""
+    table = ExperimentTable(
+        "Figure 10: throughput vs window size N",
+        ["dataset", "window_size", "algorithm", "throughput"],
+    )
+    for dataset in datasets:
+        base = make_config(dataset, scale, seed=seed)
+        for factor in factors:
+            # Table 4 varies N with L held at its default, so IC's
+            # checkpoint population ceil(N/L) grows with the window.
+            window = max(base.slide, int(base.window_size * factor))
+            config = base.with_overrides(window_size=window)
+            for algorithm in algorithms:
+                result = _run(config, algorithm)
+                table.add_row(dataset, window, algorithm.upper(), result.throughput)
+    return table
+
+
+def fig11(
+    scale: Scale = Scale.SMALL,
+    datasets: Sequence[str] = DATASETS,
+    fractions: Sequence[float] = L_FRACTIONS,
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Figure 11: throughput with varying slide length L."""
+    table = ExperimentTable(
+        "Figure 11: throughput vs slide length L",
+        ["dataset", "slide", "algorithm", "throughput"],
+    )
+    for dataset in datasets:
+        base = make_config(dataset, scale, seed=seed)
+        for fraction in fractions:
+            slide = max(1, int(base.window_size * fraction))
+            config = base.with_overrides(slide=slide)
+            for algorithm in algorithms:
+                result = _run(config, algorithm)
+                table.add_row(dataset, slide, algorithm.upper(), result.throughput)
+    return table
+
+
+def fig12(
+    scale: Scale = Scale.SMALL,
+    datasets: Sequence[str] = ("syn-o", "syn-n"),
+    factors: Sequence[float] = U_FACTORS,
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Figure 12: throughput with varying user-universe size |U|."""
+    table = ExperimentTable(
+        "Figure 12: throughput vs number of users |U|",
+        ["dataset", "n_users", "algorithm", "throughput"],
+    )
+    for dataset in datasets:
+        base = make_config(dataset, scale, seed=seed)
+        for factor in factors:
+            users = max(100, int(base.n_users * factor))
+            config = base.with_overrides(n_users=users)
+            for algorithm in algorithms:
+                result = _run(config, algorithm)
+                table.add_row(dataset, users, algorithm.upper(), result.throughput)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Tables 2-3
+# ---------------------------------------------------------------------------
+
+def table2(
+    scale: Scale = Scale.SMALL,
+    dataset: str = "syn-n",
+    oracles: Sequence[str] = ("sieve", "threshold", "blog_watch", "mkc"),
+    seed: int = 7,
+) -> ExperimentTable:
+    """Table 2 ablation: the four checkpoint oracles inside SIC."""
+    table = ExperimentTable(
+        "Table 2 (ablation): checkpoint oracles inside SIC",
+        ["oracle", "influence_value", "throughput", "checkpoints"],
+    )
+    for oracle in oracles:
+        config = make_config(dataset, scale, seed=seed, oracle=oracle)
+        result = _run(config, "sic")
+        table.add_row(
+            oracle,
+            result.mean_influence_value,
+            result.throughput,
+            result.mean_checkpoints,
+        )
+    return table
+
+
+def table3(
+    scale: Scale = Scale.SMALL,
+    datasets: Sequence[str] = DATASETS,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Table 3: dataset statistics (scaled surrogates)."""
+    from repro.datasets.stats import stream_statistics
+
+    table = ExperimentTable(
+        "Table 3: statistics on datasets",
+        ["dataset", "users", "actions", "resp_dist", "avg_depth"],
+    )
+    for dataset in datasets:
+        config = make_config(dataset, scale, seed=seed)
+        stats = stream_statistics(make_stream(config))
+        table.add_row(
+            dataset,
+            stats.users,
+            stats.actions,
+            stats.mean_response_distance,
+            stats.mean_depth,
+        )
+    return table

@@ -1,0 +1,86 @@
+"""Memory accounting for the checkpoint frameworks.
+
+Figure 6's commentary argues SIC's sparse checkpoints buy "both space and
+time efficiencies".  Throughput (time) is directly measurable; this module
+makes the *space* side measurable too, without psutil: it counts the
+logical footprint of a framework's state — checkpoints, their influence
+indexes (user→set entries), and oracle instances — which is what actually
+scales with N, L, and β.
+
+The counts are implementation-level but deterministic, so tests can assert
+e.g. that SIC's entry count is a fraction of IC's on the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+
+__all__ = ["FrameworkFootprint", "measure_footprint"]
+
+
+@dataclass(frozen=True)
+class FrameworkFootprint:
+    """Logical size of a checkpoint framework's state.
+
+    Attributes:
+        checkpoints: Live checkpoint count.
+        index_users: Total users tracked across checkpoint indexes.
+        index_entries: Total ``(user, influenced)`` entries across indexes
+            — the dominant O(N·checkpoints) term.
+        oracle_instances: Threshold-guess instances across all oracles
+            (0 for swap/greedy oracles).
+        oracle_covered_entries: Covered-set entries across all instances.
+    """
+
+    checkpoints: int
+    index_users: int
+    index_entries: int
+    oracle_instances: int
+    oracle_covered_entries: int
+
+    @property
+    def total_entries(self) -> int:
+        """A single comparable figure: all set entries held."""
+        return self.index_entries + self.oracle_covered_entries
+
+    def ratio_to(self, other: "FrameworkFootprint") -> float:
+        """This footprint's total entries relative to ``other``'s."""
+        if other.total_entries == 0:
+            return 0.0
+        return self.total_entries / other.total_entries
+
+
+def measure_footprint(
+    framework: Union[InfluentialCheckpoints, SparseInfluentialCheckpoints],
+) -> FrameworkFootprint:
+    """Count the logical footprint of an IC or SIC instance."""
+    checkpoints = 0
+    index_users = 0
+    index_entries = 0
+    instances = 0
+    covered = 0
+    for checkpoint in framework.checkpoints:
+        checkpoints += 1
+        influence = checkpoint.index._influence  # noqa: SLF001 - accounting
+        index_users += len(influence)
+        index_entries += sum(len(members) for members in influence.values())
+        oracle = checkpoint.oracle
+        oracle_instances = getattr(oracle, "_instances", None)
+        if oracle_instances:
+            instances += len(oracle_instances)
+            for instance in oracle_instances.values():
+                covered += len(getattr(instance, "covered", ()))
+        cover_counts = getattr(oracle, "_cover_counts", None)
+        if cover_counts is not None:
+            covered += len(cover_counts)
+    return FrameworkFootprint(
+        checkpoints=checkpoints,
+        index_users=index_users,
+        index_entries=index_entries,
+        oracle_instances=instances,
+        oracle_covered_entries=covered,
+    )

@@ -1,0 +1,112 @@
+"""Measurement utilities: throughput, exact influence value, MC quality.
+
+The paper's two metrics (Section 6.1):
+
+* **Throughput** — actions per second of CPU time spent maintaining (and,
+  for the recompute-on-query baselines, answering) each approach, measured
+  per window slide of ``L`` actions.
+* **Quality** — the expected IC-model spread of the returned seeds on the
+  window's influence graph under WC probabilities, by Monte-Carlo
+  simulation.
+
+:class:`StreamEvaluator` maintains the *exact* window influence index
+independently of the algorithm under test, so influence values and quality
+are computed from ground truth rather than the algorithm's own caches, and
+the evaluator's cost never pollutes throughput numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+from repro.core.actions import Action
+from repro.core.diffusion import DiffusionForest
+from repro.core.influence_index import WindowInfluenceIndex
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.graphs.influence_graph import build_influence_graph
+
+__all__ = ["ThroughputMeter", "StreamEvaluator"]
+
+
+class ThroughputMeter:
+    """Accumulates timed work and reports actions/second."""
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._actions = 0
+        self._started: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin timing one slide."""
+        if self._started is not None:
+            raise RuntimeError("meter already started")
+        self._started = time.perf_counter()
+
+    def stop(self, actions: int) -> float:
+        """End timing; credit ``actions`` processed.  Returns the interval."""
+        if self._started is None:
+            raise RuntimeError("meter was not started")
+        interval = time.perf_counter() - self._started
+        self._started = None
+        self._elapsed += interval
+        self._actions += actions
+        return interval
+
+    @property
+    def elapsed(self) -> float:
+        """Total timed seconds."""
+        return self._elapsed
+
+    @property
+    def actions(self) -> int:
+        """Total credited actions."""
+        return self._actions
+
+    @property
+    def throughput(self) -> float:
+        """Actions per second (0.0 before any measurement)."""
+        if self._elapsed <= 0.0:
+            return 0.0
+        return self._actions / self._elapsed
+
+
+class StreamEvaluator:
+    """Ground-truth window state for influence values and MC quality."""
+
+    def __init__(self, window_size: int):
+        self._forest = DiffusionForest()
+        self._index = WindowInfluenceIndex()
+        self._records: Deque = deque()
+        self._window_size = window_size
+        self._count = 0
+
+    @property
+    def index(self) -> WindowInfluenceIndex:
+        """The exact windowed influence index."""
+        return self._index
+
+    def feed(self, batch: Sequence[Action]) -> None:
+        """Advance the ground-truth window by one slide."""
+        for action in batch:
+            record = self._forest.add(action)
+            self._records.append(record)
+            self._index.add(record)
+            self._count += 1
+        while len(self._records) > self._window_size:
+            self._index.remove(self._records.popleft())
+
+    def influence_value(self, seeds) -> float:
+        """Exact ``|I_t(seeds)|`` for the current window."""
+        return float(len(self._index.coverage(seeds)))
+
+    def quality(
+        self,
+        seeds,
+        mc_rounds: int = 200,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Expected WC-model spread of ``seeds`` on the window's ``G_t``."""
+        graph = build_influence_graph(self._index)
+        return estimate_spread(graph, seeds, rounds=mc_rounds, seed=seed)

@@ -1,0 +1,174 @@
+"""Plain-text experiment reports (the figures as printed series)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentTable", "format_table", "ascii_chart"]
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence,
+    width: int = 52,
+    height: int = 12,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    The figures of the paper are line plots; this gives the CLI a quick
+    visual of each regenerated series without any plotting dependency.
+
+    Args:
+        series: ``{label: y-values}`` — all the same length as ``x_labels``.
+        x_labels: Sweep coordinates (β, k, N, ...), shown under the chart.
+        width: Plot width in characters.
+        height: Plot height in rows.
+    """
+    if not series:
+        return "(no data)"
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("all series must match the x-label count")
+    if len(x_labels) < 2:
+        raise ValueError("need at least two points to chart")
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    markers = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(values):
+            col = round(i * (width - 1) / (len(values) - 1))
+            row = (height - 1) - round((value - low) / span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = high - span * row_index / (height - 1)
+        lines.append(f"{level:>10.1f} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    first, last = str(x_labels[0]), str(x_labels[-1])
+    pad = max(1, width - len(first) - len(last))
+    lines.append(" " * 12 + first + " " * pad + last)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(sorted(series))
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A figure/table rendered as rows of measurements.
+
+    Attributes:
+        title: Human-readable caption (e.g. "Figure 7: throughput vs β").
+        headers: Column names; the first columns are the sweep coordinates.
+        rows: One list per measurement point.
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one measurement row."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """The table as aligned text, with its caption."""
+        return f"{self.title}\n{format_table(self.headers, self.rows)}"
+
+    def to_csv(self) -> str:
+        """The table as CSV (headers included)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def column(self, name: str) -> List:
+        """All values of one column."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def series(self, filters: Dict[str, object], y: str) -> List:
+        """Values of column ``y`` in rows matching all ``filters``."""
+        indexes = {name: self.headers.index(name) for name in filters}
+        y_index = self.headers.index(y)
+        return [
+            row[y_index]
+            for row in self.rows
+            if all(row[indexes[name]] == value for name, value in filters.items())
+        ]
+
+    def chart(
+        self,
+        x: str,
+        y: str,
+        group: str,
+        filters: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """ASCII line chart of ``y`` over ``x``, one series per ``group``.
+
+        Rows are optionally pre-filtered (e.g. to one dataset).  Series with
+        missing (None) points are skipped.
+        """
+        filters = filters or {}
+        rows = [
+            row
+            for row in self.rows
+            if all(
+                row[self.headers.index(name)] == value
+                for name, value in filters.items()
+            )
+        ]
+        x_index = self.headers.index(x)
+        y_index = self.headers.index(y)
+        group_index = self.headers.index(group)
+        x_values = sorted({row[x_index] for row in rows})
+        series: Dict[str, List[float]] = {}
+        for label in sorted({row[group_index] for row in rows}):
+            points = {
+                row[x_index]: row[y_index]
+                for row in rows
+                if row[group_index] == label
+            }
+            if all(points.get(xv) is not None for xv in x_values):
+                series[str(label)] = [float(points[xv]) for xv in x_values]
+        return ascii_chart(series, x_values)

@@ -1,0 +1,18 @@
+"""Graph substrate: DiGraph, R-MAT generation, WC model, influence graphs."""
+
+from repro.graphs.graph import DiGraph
+from repro.graphs.influence_graph import build_influence_graph
+from repro.graphs.rmat import rmat_adjacency, rmat_edges
+from repro.graphs.wc_model import (
+    assign_weighted_cascade,
+    weighted_cascade_probability,
+)
+
+__all__ = [
+    "DiGraph",
+    "assign_weighted_cascade",
+    "build_influence_graph",
+    "rmat_adjacency",
+    "rmat_edges",
+    "weighted_cascade_probability",
+]

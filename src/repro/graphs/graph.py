@@ -1,0 +1,124 @@
+"""A lightweight directed graph with edge probabilities.
+
+The influence graphs ``G_t`` of Section 6.1 are small relative to the user
+universe (only users active around the current window appear), change every
+window, and are consumed by three clients with different access patterns:
+
+* Monte-Carlo diffusion — forward adjacency with probabilities;
+* RR-set sampling (IMM) — reverse adjacency with probabilities;
+* the WC model — in-degrees.
+
+:class:`DiGraph` therefore keeps dict-of-dict adjacency in both directions.
+Nodes are integers; parallel edges collapse (last probability wins unless
+merged by the caller); self-loops are rejected because influence-graph
+semantics exclude them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """Directed graph with per-edge activation probabilities."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[int, Dict[int, float]] = {}
+        self._pred: Dict[int, Dict[int, float]] = {}
+        self._edge_count = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: int) -> None:
+        """Ensure ``node`` exists (no-op when present)."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, source: int, target: int, probability: float = 1.0) -> None:
+        """Insert or overwrite the edge ``source → target``."""
+        if source == target:
+            raise ValueError(f"self-loop on node {source} not allowed")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.add_node(source)
+        self.add_node(target)
+        if target not in self._succ[source]:
+            self._edge_count += 1
+        self._succ[source][target] = probability
+        self._pred[target][source] = probability
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return self._edge_count
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._succ
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all nodes."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(source, target, probability)`` triples."""
+        for source, targets in self._succ.items():
+            for target, probability in targets.items():
+                yield source, target, probability
+
+    def successors(self, node: int) -> Dict[int, float]:
+        """Outgoing ``{target: probability}`` (live view, do not mutate)."""
+        return self._succ.get(node, {})
+
+    def predecessors(self, node: int) -> Dict[int, float]:
+        """Incoming ``{source: probability}`` (live view, do not mutate)."""
+        return self._pred.get(node, {})
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing edges."""
+        return len(self._succ.get(node, ()))
+
+    def in_degree(self, node: int) -> int:
+        """Number of incoming edges."""
+        return len(self._pred.get(node, ()))
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """True when ``source → target`` exists."""
+        return target in self._succ.get(source, ())
+
+    def probability(self, source: int, target: int) -> float:
+        """Activation probability of an existing edge.
+
+        Raises:
+            KeyError: when the edge is absent.
+        """
+        return self._succ[source][target]
+
+    def copy(self) -> "DiGraph":
+        """Deep copy (probabilities included)."""
+        clone = DiGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for source, target, probability in self.edges():
+            clone.add_edge(source, target, probability)
+        return clone
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int, float]]) -> "DiGraph":
+        """Build a graph from ``(source, target, probability)`` triples."""
+        graph = cls()
+        for source, target, probability in edges:
+            graph.add_edge(source, target, probability)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiGraph({self.node_count} nodes, {self.edge_count} edges)"

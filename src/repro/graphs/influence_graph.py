@@ -1,0 +1,39 @@
+"""Building the influence graph ``G_t`` from a window of actions.
+
+Section 6.1: "we construct an influence graph ``G_t`` by treating users as
+vertices and the influence relationships between users wrt. ``W_t`` as
+directed edges.  The edge probabilities between users are assigned by the
+weighted cascade (WC) model."  This graph is the common substrate of the
+IMM/UBI baselines and of the Monte-Carlo quality metric.
+
+The influence relationships are exactly the pairs materialised by
+:class:`~repro.core.influence_index.WindowInfluenceIndex`; self-influence
+pairs ``(u, u)`` are skipped because cascade models have no self-loops.
+"""
+
+from __future__ import annotations
+
+from repro.core.influence_index import WindowInfluenceIndex
+from repro.graphs.graph import DiGraph
+from repro.graphs.wc_model import assign_weighted_cascade
+
+__all__ = ["build_influence_graph"]
+
+
+def build_influence_graph(index: WindowInfluenceIndex) -> DiGraph:
+    """Materialise ``G_t`` from the current window's influence pairs.
+
+    Args:
+        index: The exact windowed influence index.
+
+    Returns:
+        A :class:`~repro.graphs.graph.DiGraph` whose edge ``u → v`` means
+        ``u`` influences ``v`` in the window, with WC probabilities
+        ``p(u, v) = 1 / indegree(v)``.
+    """
+    graph = DiGraph()
+    for u, v, _count in index.edges():
+        if u != v:
+            graph.add_edge(u, v, 1.0)
+    assign_weighted_cascade(graph)
+    return graph

@@ -1,0 +1,36 @@
+"""The weighted cascade (WC) model of Kempe, Kleinberg, Tardos (KDD 2003).
+
+Under WC, every edge ``u → v`` activates independently with probability
+``1 / indegree(v)``: a user's attention is divided equally across the users
+influencing them.  The paper assigns WC probabilities to the influence
+graphs fed to IMM and UBI and to the Monte-Carlo quality metric
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import DiGraph
+
+__all__ = ["assign_weighted_cascade", "weighted_cascade_probability"]
+
+
+def weighted_cascade_probability(in_degree: int) -> float:
+    """``p = 1 / indegree`` (0 for isolated targets, which have no edges)."""
+    if in_degree <= 0:
+        raise ValueError(f"in-degree must be positive, got {in_degree}")
+    return 1.0 / in_degree
+
+
+def assign_weighted_cascade(graph: DiGraph) -> DiGraph:
+    """Overwrite all edge probabilities in place with WC values.
+
+    Returns the same graph for chaining.
+    """
+    for node in list(graph.nodes()):
+        predecessors = graph.predecessors(node)
+        if not predecessors:
+            continue
+        probability = weighted_cascade_probability(len(predecessors))
+        for source in list(predecessors):
+            graph.add_edge(source, node, probability)
+    return graph

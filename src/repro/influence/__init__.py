@@ -1,0 +1,29 @@
+"""Influence functions and stream filters (Section 3 and Appendix A)."""
+
+from repro.influence.filters import (
+    Region,
+    filter_stream,
+    region_filter,
+    topic_filter,
+)
+from repro.influence.functions import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+    InfluenceFunction,
+    WeightedCardinalityInfluence,
+)
+from repro.influence.queries import FilteredSIM, LocationAwareSIM, TopicAwareSIM
+
+__all__ = [
+    "CardinalityInfluence",
+    "ConformityAwareInfluence",
+    "FilteredSIM",
+    "InfluenceFunction",
+    "LocationAwareSIM",
+    "Region",
+    "TopicAwareSIM",
+    "WeightedCardinalityInfluence",
+    "filter_stream",
+    "region_filter",
+    "topic_filter",
+]

@@ -1,0 +1,179 @@
+"""Monotone submodular influence functions ``f(I_t(S))``.
+
+The paper's main text uses the cardinality function ``f(I_t(S)) = |I_t(S)|``
+but the frameworks accept any nonnegative monotone submodular function
+(Section 3, Appendix A).  Two families are provided:
+
+* **Modular** functions — ``f`` is additive over the covered users
+  (:class:`CardinalityInfluence`, :class:`WeightedCardinalityInfluence`).
+  They expose per-user :meth:`InfluenceFunction.weight`, which lets oracles
+  maintain coverage values incrementally in O(1) per newly covered user.
+
+* **Non-modular** submodular functions —
+  :class:`ConformityAwareInfluence` (Appendix A): the value of an influenced
+  user ``v`` depends on *which* seeds influence it,
+  ``w_S(v) = 1 − Π_{u∈S, v∈I(u)} (1 − Φ(u)·Ω(v))`` with offline influence
+  scores ``Φ`` and conformity scores ``Ω``.  Oracles fall back to full
+  re-evaluation for these.
+
+Functions are evaluated against an *index* — any object with
+``influence_set(user)`` and ``coverage(seeds)`` (both window and append-only
+indexes qualify).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import AbstractSet, Iterable, Mapping, Optional
+
+__all__ = [
+    "InfluenceFunction",
+    "CardinalityInfluence",
+    "WeightedCardinalityInfluence",
+    "ConformityAwareInfluence",
+]
+
+
+class InfluenceFunction(ABC):
+    """A nonnegative monotone submodular function over influenced users."""
+
+    #: True when ``f`` is additive over covered users, enabling the fast
+    #: incremental oracle path (value = Σ weight(v) over the coverage union).
+    modular: bool = False
+
+    @abstractmethod
+    def evaluate(self, seeds: Iterable[int], index) -> float:
+        """Compute ``f(I(seeds))`` against an influence index."""
+
+    def weight(self, user: int) -> float:
+        """Additive weight of covering ``user`` (modular functions only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is not modular and has no per-user weight"
+        )
+
+    def value_of_covered(self, covered: AbstractSet[int]) -> float:
+        """``f`` applied directly to a coverage set (modular functions only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot be evaluated on a bare coverage set"
+        )
+
+
+class CardinalityInfluence(InfluenceFunction):
+    """The main text's ``f(I_t(S)) = |I_t(S)|``."""
+
+    modular = True
+
+    def evaluate(self, seeds: Iterable[int], index) -> float:
+        return float(len(index.coverage(seeds)))
+
+    def weight(self, user: int) -> float:
+        return 1.0
+
+    def value_of_covered(self, covered: AbstractSet[int]) -> float:
+        return float(len(covered))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CardinalityInfluence()"
+
+
+class WeightedCardinalityInfluence(InfluenceFunction):
+    """``f(I_t(S)) = Σ_{v ∈ I_t(S)} w(v)`` with nonnegative user weights.
+
+    Useful for value-weighted audiences (e.g. purchase propensity in viral
+    marketing).  Unknown users fall back to ``default`` weight.
+    """
+
+    modular = True
+
+    def __init__(self, weights: Mapping[int, float], default: float = 1.0):
+        if default < 0:
+            raise ValueError(f"default weight must be >= 0, got {default}")
+        negative = [u for u, w in weights.items() if w < 0]
+        if negative:
+            raise ValueError(f"weights must be >= 0; negative for users {negative[:5]}")
+        self._weights = dict(weights)
+        self._default = default
+
+    def evaluate(self, seeds: Iterable[int], index) -> float:
+        return self.value_of_covered(index.coverage(seeds))
+
+    def weight(self, user: int) -> float:
+        return self._weights.get(user, self._default)
+
+    def value_of_covered(self, covered: AbstractSet[int]) -> float:
+        get = self._weights.get
+        default = self._default
+        return float(sum(get(v, default) for v in covered))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WeightedCardinalityInfluence({len(self._weights)} weights, "
+            f"default={self._default})"
+        )
+
+
+class ConformityAwareInfluence(InfluenceFunction):
+    """Appendix A's conformity-aware influence function.
+
+    ``f(S) = Σ_{v ∈ I(S)} (1 − Π_{u ∈ S, v ∈ I(u)} (1 − Φ(u)·Ω(v)))``
+
+    where ``Φ(u) ∈ [0, 1]`` is the offline influence score of seed ``u`` and
+    ``Ω(v) ∈ [0, 1]`` the conformity score of user ``v``.  The function is
+    monotone and submodular but *not* modular: a user influenced by two
+    seeds is worth more than when influenced by either alone, with
+    diminishing returns.
+    """
+
+    modular = False
+
+    def __init__(
+        self,
+        influence_scores: Mapping[int, float],
+        conformity_scores: Mapping[int, float],
+        default_influence: float = 0.5,
+        default_conformity: float = 0.5,
+    ):
+        for name, value in (
+            ("default_influence", default_influence),
+            ("default_conformity", default_conformity),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._phi = dict(influence_scores)
+        self._omega = dict(conformity_scores)
+        self._default_phi = default_influence
+        self._default_omega = default_conformity
+        self._validate_scores(self._phi, "influence")
+        self._validate_scores(self._omega, "conformity")
+
+    @staticmethod
+    def _validate_scores(scores: Mapping[int, float], label: str) -> None:
+        bad = [u for u, s in scores.items() if not 0.0 <= s <= 1.0]
+        if bad:
+            raise ValueError(f"{label} scores must lie in [0, 1]; bad users {bad[:5]}")
+
+    def influence_score(self, user: int) -> float:
+        """``Φ(user)``."""
+        return self._phi.get(user, self._default_phi)
+
+    def conformity_score(self, user: int) -> float:
+        """``Ω(user)``."""
+        return self._omega.get(user, self._default_omega)
+
+    def evaluate(self, seeds: Iterable[int], index) -> float:
+        seed_list = list(seeds)
+        # survival[v] = Π (1 − Φ(u)·Ω(v)) over seeds u influencing v.
+        survival: dict = {}
+        for u in seed_list:
+            phi = self.influence_score(u)
+            if phi == 0.0:
+                continue
+            for v in index.influence_set(u):
+                factor = 1.0 - phi * self.conformity_score(v)
+                survival[v] = survival.get(v, 1.0) * factor
+        return float(sum(1.0 - s for s in survival.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConformityAwareInfluence({len(self._phi)} Φ, {len(self._omega)} Ω)"
+        )

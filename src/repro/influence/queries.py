@@ -1,0 +1,174 @@
+"""High-level topic-aware and location-aware SIM queries (Appendix A).
+
+:mod:`repro.influence.filters` provides the offline building blocks; this
+module packages them as *online* continuous queries: each query owns a SIM
+processor (SIC by default) fed the re-timed sub-stream of relevant actions,
+so many concurrent campaign/region queries can share one ingest loop:
+
+    queries = [
+        TopicAwareSIM({"sports"}, topic_oracle, window_size=10_000, k=10),
+        LocationAwareSIM(region, position_oracle, window_size=10_000, k=10),
+    ]
+    for action in stream:
+        for query in queries:
+            query.observe(action)
+    top = queries[0].query()
+
+Filtering changes window semantics exactly as the paper prescribes: the
+window covers the latest ``N`` *relevant* actions, and a response whose
+parent was irrelevant becomes a root of the sub-stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Set
+
+from typing import TYPE_CHECKING
+
+from repro.core.actions import Action
+from repro.influence.filters import Region
+
+if TYPE_CHECKING:  # import-time cycle guard: core imports influence.functions
+    from repro.core.base import SIMAlgorithm, SIMResult
+
+__all__ = ["FilteredSIM", "TopicAwareSIM", "LocationAwareSIM"]
+
+
+class FilteredSIM:
+    """A continuous SIM query over the sub-stream matching a predicate."""
+
+    def __init__(
+        self,
+        predicate: Callable[[Action], bool],
+        window_size: int,
+        k: int,
+        beta: float = 0.2,
+        algorithm: Optional[SIMAlgorithm] = None,
+        batch_size: int = 1,
+    ):
+        """
+        Args:
+            predicate: Keeps the relevant actions.
+            window_size: ``N`` counted in *relevant* actions.
+            k: Seed-set size.
+            beta: SIC trade-off parameter (ignored when ``algorithm`` given).
+            algorithm: Custom SIM processor; defaults to SIC.
+            batch_size: Relevant actions buffered per window slide (the
+                sub-stream's ``L``).
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        self._predicate = predicate
+        if algorithm is None:
+            from repro.core.sic import SparseInfluentialCheckpoints
+
+            algorithm = SparseInfluentialCheckpoints(
+                window_size=window_size, k=k, beta=beta
+            )
+        self._algorithm = algorithm
+        self._batch_size = batch_size
+        self._new_time: Dict[int, int] = {}
+        self._next_time = 1
+        self._pending: list = []
+        self._observed = 0
+        self._matched = 0
+
+    @property
+    def algorithm(self) -> SIMAlgorithm:
+        """The underlying SIM processor."""
+        return self._algorithm
+
+    @property
+    def observed(self) -> int:
+        """Actions seen (relevant or not)."""
+        return self._observed
+
+    @property
+    def matched(self) -> int:
+        """Relevant actions forwarded to the processor."""
+        return self._matched
+
+    def observe(self, action: Action) -> bool:
+        """Feed one stream action; returns True when it was relevant."""
+        self._observed += 1
+        if not self._predicate(action):
+            return False
+        self._matched += 1
+        new_parent = None
+        if not action.is_root:
+            new_parent = self._new_time.get(action.parent)
+        self._new_time[action.time] = self._next_time
+        if new_parent is None:
+            retimed = Action.root(self._next_time, action.user)
+        else:
+            retimed = Action.response(self._next_time, action.user, new_parent)
+        self._next_time += 1
+        self._pending.append(retimed)
+        if len(self._pending) >= self._batch_size:
+            self.flush()
+        return True
+
+    def flush(self) -> None:
+        """Slide the processor's window with any buffered actions."""
+        if self._pending:
+            self._algorithm.process(self._pending)
+            self._pending = []
+
+    def query(self) -> SIMResult:
+        """Answer with all observed relevant actions applied."""
+        self.flush()
+        return self._algorithm.query()
+
+
+class TopicAwareSIM(FilteredSIM):
+    """Track influencers for a set of query topics (Appendix A)."""
+
+    def __init__(
+        self,
+        query_topics: Set[str],
+        topics_of: Mapping[int, Set[str]],
+        window_size: int,
+        k: int,
+        **kwargs,
+    ):
+        """
+        Args:
+            query_topics: The campaign's topic set ``T_q``.
+            topics_of: Topic oracle, action time -> topic set.  May be a
+                live mapping that is populated as the stream progresses.
+        """
+        query = set(query_topics)
+        if not query:
+            raise ValueError("query topic set must not be empty")
+        self.query_topics = frozenset(query)
+
+        def predicate(action: Action) -> bool:
+            return bool(topics_of.get(action.time, set()) & query)
+
+        super().__init__(predicate, window_size, k, **kwargs)
+
+
+class LocationAwareSIM(FilteredSIM):
+    """Track influencers inside a spatial region (Appendix A)."""
+
+    def __init__(
+        self,
+        region: Region,
+        position_of: Mapping[int, tuple],
+        window_size: int,
+        k: int,
+        **kwargs,
+    ):
+        """
+        Args:
+            region: The query region ``R``.
+            position_of: Position oracle, action time -> ``(x, y)``.  May be
+                a live mapping populated as the stream progresses.
+        """
+        self.region = region
+
+        def predicate(action: Action) -> bool:
+            position = position_of.get(action.time)
+            return position is not None and region.contains(position)
+
+        super().__init__(predicate, window_size, k, **kwargs)

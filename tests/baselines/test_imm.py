@@ -1,0 +1,82 @@
+"""Unit and quality tests for the IMM baseline."""
+
+import pytest
+
+from repro.baselines.imm import IMMResult, imm_select
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.graphs.graph import DiGraph
+from repro.graphs.rmat import rmat_edges
+from repro.graphs.wc_model import assign_weighted_cascade
+
+
+def wc_graph(n_nodes=60, n_edges=240, seed=1):
+    graph = DiGraph.from_edges(
+        (s, t, 1.0) for s, t in rmat_edges(n_nodes, n_edges, seed=seed)
+    )
+    assign_weighted_cascade(graph)
+    return graph
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        result = imm_select(DiGraph(), k=3, seed=1)
+        assert result.seeds == ()
+        assert result.spread_estimate == 0.0
+
+    def test_graph_smaller_than_k(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, 0.5)
+        result = imm_select(graph, k=5, seed=1)
+        assert set(result.seeds) == {1, 2}
+        assert result.spread_estimate == 2.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            imm_select(DiGraph(), k=0)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            imm_select(DiGraph(), k=1, epsilon=1.5)
+
+
+class TestSelection:
+    def test_returns_at_most_k_seeds(self):
+        result = imm_select(wc_graph(), k=4, seed=2, max_rr_sets=3000)
+        assert 0 < len(result.seeds) <= 4
+        assert result.rr_sets_used > 0
+
+    def test_deterministic_under_seed(self):
+        a = imm_select(wc_graph(), k=3, seed=5, max_rr_sets=2000)
+        b = imm_select(wc_graph(), k=3, seed=5, max_rr_sets=2000)
+        assert a.seeds == b.seeds
+
+    def test_truncation_reported(self):
+        result = imm_select(wc_graph(), k=3, seed=3, max_rr_sets=50)
+        assert result.truncated
+        assert result.rr_sets_used <= 50 + 1
+
+    def test_hub_graph_picks_the_hub(self):
+        """A star around node 0 makes 0 the obvious single seed."""
+        graph = DiGraph()
+        for leaf in range(1, 30):
+            graph.add_edge(0, leaf, 1.0)
+        result = imm_select(graph, k=1, seed=4, max_rr_sets=2000)
+        assert result.seeds == (0,)
+        assert result.spread_estimate == pytest.approx(30, rel=0.1)
+
+
+class TestQuality:
+    def test_beats_worst_singletons(self):
+        """IMM seeds should outperform the k lowest-degree nodes by MC."""
+        graph = wc_graph(n_nodes=80, n_edges=400, seed=6)
+        result = imm_select(graph, k=3, seed=7, max_rr_sets=4000)
+        imm_spread = estimate_spread(graph, result.seeds, rounds=2000, seed=8)
+        worst = sorted(graph.nodes(), key=graph.out_degree)[:3]
+        worst_spread = estimate_spread(graph, worst, rounds=2000, seed=8)
+        assert imm_spread >= worst_spread
+
+    def test_close_to_rr_estimate(self):
+        graph = wc_graph(n_nodes=60, n_edges=300, seed=9)
+        result = imm_select(graph, k=3, seed=10, max_rr_sets=5000)
+        mc = estimate_spread(graph, result.seeds, rounds=4000, seed=11)
+        assert result.spread_estimate == pytest.approx(mc, rel=0.25, abs=1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the UBI dynamic baseline."""
+
+import pytest
+
+from repro.baselines.ubi import UpperBoundInterchange
+from repro.graphs.graph import DiGraph
+from repro.graphs.rmat import rmat_edges
+from repro.graphs.wc_model import assign_weighted_cascade
+
+
+def wc_graph(n_nodes=50, n_edges=200, seed=1):
+    graph = DiGraph.from_edges(
+        (s, t, 1.0) for s, t in rmat_edges(n_nodes, n_edges, seed=seed)
+    )
+    assign_weighted_cascade(graph)
+    return graph
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            UpperBoundInterchange(k=0)
+        with pytest.raises(ValueError, match="gamma"):
+            UpperBoundInterchange(k=1, gamma=0.0)
+        with pytest.raises(ValueError, match="rr_samples"):
+            UpperBoundInterchange(k=1, rr_samples=0)
+
+
+class TestTracking:
+    def test_initial_update_seeds_greedily(self):
+        ubi = UpperBoundInterchange(k=3, seed=1, rr_samples=500)
+        seeds = ubi.update(wc_graph())
+        assert 0 < len(seeds) <= 3
+
+    def test_empty_graph_keeps_state(self):
+        ubi = UpperBoundInterchange(k=2, seed=1, rr_samples=200)
+        ubi.update(wc_graph())
+        before = ubi.seeds
+        ubi.update(DiGraph())
+        assert ubi.seeds == before
+
+    def test_vanished_seeds_replaced(self):
+        ubi = UpperBoundInterchange(k=3, seed=2, rr_samples=500)
+        ubi.update(wc_graph(seed=3))
+        # A disjoint node universe: all old seeds vanish.
+        shifted = DiGraph()
+        for s, t in rmat_edges(40, 150, seed=4):
+            shifted.add_edge(s + 1000, t + 1000, 1.0)
+        assign_weighted_cascade(shifted)
+        seeds = ubi.update(shifted)
+        assert all(u >= 1000 for u in seeds)
+        assert len(seeds) == 3
+
+    def test_interchange_follows_drift(self):
+        """When the graph's hub moves, UBI should eventually follow."""
+        ubi = UpperBoundInterchange(k=1, seed=5, rr_samples=800, gamma=0.01)
+        star_a = DiGraph()
+        for leaf in range(1, 20):
+            star_a.add_edge(0, leaf, 1.0)
+        ubi.update(star_a)
+        assert ubi.seeds == {0}
+        # New graph: node 100 is a far bigger hub; node 0 shrinks.
+        star_b = DiGraph()
+        star_b.add_edge(0, 1, 1.0)
+        for leaf in range(101, 160):
+            star_b.add_edge(100, leaf, 1.0)
+        ubi.update(star_b)
+        assert ubi.seeds == {100}
+        assert ubi.interchanges_performed >= 1
+
+    def test_spread_estimate(self):
+        ubi = UpperBoundInterchange(k=2, seed=6, rr_samples=500)
+        graph = wc_graph(seed=7)
+        ubi.update(graph)
+        estimate = ubi.spread_estimate(graph)
+        assert estimate >= len(ubi.seeds) * 0.5
+
+    def test_seed_count_never_exceeds_k(self):
+        ubi = UpperBoundInterchange(k=2, seed=8, rr_samples=300)
+        for seed in range(5):
+            ubi.update(wc_graph(seed=seed))
+            assert len(ubi.seeds) <= 2

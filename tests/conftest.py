@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's running example and random stream builders."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core.actions import Action
+
+
+def make_paper_stream() -> List[Action]:
+    """Figure 1(a): the ten actions of the paper's running example.
+
+    Users are numbered as in the paper (u1..u6 -> 1..6).
+    """
+    return [
+        Action.root(1, 1),  # a1 = <u1, nil>
+        Action.response(2, 2, 1),  # a2 = <u2, a1>
+        Action.root(3, 3),  # a3 = <u3, nil>
+        Action.response(4, 3, 1),  # a4 = <u3, a1>
+        Action.response(5, 4, 3),  # a5 = <u4, a3>
+        Action.response(6, 1, 3),  # a6 = <u1, a3>
+        Action.response(7, 5, 3),  # a7 = <u5, a3>
+        Action.response(8, 4, 7),  # a8 = <u4, a7>
+        Action.root(9, 2),  # a9 = <u2, nil>
+        Action.response(10, 6, 9),  # a10 = <u6, a9>
+    ]
+
+
+@pytest.fixture
+def paper_stream() -> List[Action]:
+    """The running example stream (Example 1)."""
+    return make_paper_stream()
+
+
+def random_stream(
+    n_actions: int,
+    n_users: int,
+    seed: int = 0,
+    root_probability: float = 0.4,
+    recent_bias: int = 0,
+) -> List[Action]:
+    """A random valid action stream for property tests.
+
+    Args:
+        n_actions: Stream length.
+        n_users: User universe size.
+        seed: RNG seed.
+        root_probability: Chance each action is a root.
+        recent_bias: When positive, parents are drawn from the last this
+            many actions (otherwise uniformly from the whole past).
+    """
+    rng = random.Random(seed)
+    actions: List[Action] = []
+    for t in range(1, n_actions + 1):
+        user = rng.randrange(n_users)
+        if t == 1 or rng.random() < root_probability:
+            actions.append(Action.root(t, user))
+        else:
+            low = max(1, t - recent_bias) if recent_bias else 1
+            parent = rng.randint(low, t - 1)
+            actions.append(Action.response(t, user, parent))
+    return actions
+
+
+@pytest.fixture
+def small_random_stream() -> List[Action]:
+    """A 60-action stream over 8 users (dense interactions)."""
+    return random_stream(60, 8, seed=13)

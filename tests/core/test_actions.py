@@ -1,0 +1,74 @@
+"""Unit tests for the Action model."""
+
+import pytest
+
+from repro.core.actions import ROOT, Action
+
+
+class TestConstruction:
+    def test_root_action(self):
+        action = Action.root(5, 3)
+        assert action.time == 5
+        assert action.user == 3
+        assert action.parent == ROOT
+        assert action.is_root
+
+    def test_response_action(self):
+        action = Action.response(7, 2, 4)
+        assert not action.is_root
+        assert action.parent == 4
+
+    def test_default_parent_is_root(self):
+        assert Action(time=1, user=0).is_root
+
+    def test_actions_are_frozen(self):
+        action = Action.root(1, 1)
+        with pytest.raises(AttributeError):
+            action.user = 2
+
+    def test_actions_are_hashable_and_equal_by_value(self):
+        assert Action.root(1, 1) == Action(time=1, user=1, parent=ROOT)
+        assert len({Action.root(1, 1), Action.root(1, 1)}) == 1
+
+
+class TestValidation:
+    def test_rejects_non_positive_time(self):
+        with pytest.raises(ValueError, match="time must be positive"):
+            Action(time=0, user=1)
+
+    def test_rejects_negative_user(self):
+        with pytest.raises(ValueError, match="user id"):
+            Action(time=1, user=-2)
+
+    def test_rejects_future_parent(self):
+        with pytest.raises(ValueError, match="parent"):
+            Action.response(3, 1, 5)
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError, match="parent"):
+            Action.response(3, 1, 3)
+
+    def test_rejects_zero_or_negative_parent(self):
+        with pytest.raises(ValueError, match="parent"):
+            Action(time=3, user=1, parent=0)
+        with pytest.raises(ValueError, match="parent"):
+            Action(time=3, user=1, parent=-7)
+
+
+class TestResponseDistance:
+    def test_root_has_no_distance(self):
+        assert Action.root(4, 1).response_distance is None
+
+    def test_distance_is_time_gap(self):
+        assert Action.response(10, 1, 3).response_distance == 7
+
+    def test_minimal_distance(self):
+        assert Action.response(2, 1, 1).response_distance == 1
+
+
+class TestDisplay:
+    def test_str_of_root(self):
+        assert str(Action.root(3, 7)) == "<u7, nil>_3"
+
+    def test_str_of_response(self):
+        assert str(Action.response(9, 2, 4)) == "<u2, a4>_9"

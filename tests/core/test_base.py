@@ -1,0 +1,84 @@
+"""Unit tests for the SIMAlgorithm base plumbing."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.base import SIMAlgorithm, SIMResult
+from tests.conftest import random_stream
+
+
+class Recorder(SIMAlgorithm):
+    """Minimal concrete algorithm capturing slide callbacks."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.slides = []
+
+    def _on_slide(self, arrived, expired):
+        self.slides.append((list(arrived), list(expired)))
+
+    def query(self):
+        return SIMResult(time=self.now, seeds=frozenset(), value=0.0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            Recorder(window_size=5, k=0)
+
+    def test_rejects_small_retention(self):
+        with pytest.raises(ValueError, match="retention"):
+            Recorder(window_size=10, k=1, retention=9)
+
+    def test_accepts_retention_equal_to_window(self):
+        Recorder(window_size=10, k=1, retention=10)
+
+
+class TestSliding:
+    def test_empty_batch_is_noop(self):
+        algorithm = Recorder(window_size=4, k=1)
+        algorithm.process([])
+        assert algorithm.slides == []
+        assert algorithm.actions_processed == 0
+
+    def test_arrived_records_match_batch(self):
+        algorithm = Recorder(window_size=4, k=1)
+        batch = [Action.root(1, 5), Action.response(2, 6, 1)]
+        algorithm.process(batch)
+        (arrived, expired), = algorithm.slides
+        assert [r.time for r in arrived] == [1, 2]
+        assert [r.user for r in arrived] == [5, 6]
+        assert expired == []
+
+    def test_expired_records_reported_in_order(self):
+        algorithm = Recorder(window_size=3, k=1)
+        actions = random_stream(10, 4, seed=1)
+        for action in actions:
+            algorithm.process([action])
+        # After 10 single slides with N=3, expiries are actions 1..7.
+        expired_times = [
+            r.time for _, expired in algorithm.slides for r in expired
+        ]
+        assert expired_times == list(range(1, 8))
+
+    def test_now_tracks_latest_action(self):
+        algorithm = Recorder(window_size=4, k=1)
+        algorithm.process([Action.root(1, 0)])
+        assert algorithm.now == 1
+        algorithm.process([Action.root(2, 0), Action.root(3, 1)])
+        assert algorithm.now == 3
+
+    def test_process_stream(self):
+        algorithm = Recorder(window_size=4, k=1)
+        from repro.core.stream import batched
+
+        algorithm.process_stream(batched(random_stream(9, 3, seed=2), 3))
+        assert algorithm.actions_processed == 9
+        assert len(algorithm.slides) == 3
+
+    def test_properties(self):
+        algorithm = Recorder(window_size=7, k=3)
+        assert algorithm.k == 3
+        assert algorithm.window_size == 7
+        assert algorithm.window.size == 7
+        assert algorithm.forest.actions_seen == 0

@@ -1,0 +1,65 @@
+"""Tests for the cascade ASCII renderer."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.cascade_view import cascade_roots, render_cascade
+from tests.conftest import make_paper_stream, random_stream
+
+
+class TestCascadeRoots:
+    def test_paper_stream_cascades(self, paper_stream):
+        cascades = cascade_roots(paper_stream)
+        assert set(cascades) == {1, 3, 9}
+        assert sorted(cascades[1]) == [1, 2, 4]
+        assert sorted(cascades[3]) == [3, 5, 6, 7, 8]
+        assert sorted(cascades[9]) == [9, 10]
+
+    def test_orphan_becomes_root(self):
+        actions = [Action.response(5, 1, 2)]  # parent never seen
+        cascades = cascade_roots(actions)
+        assert cascades == {5: [5]}
+
+    def test_every_action_in_exactly_one_cascade(self):
+        actions = random_stream(80, 6, seed=1)
+        cascades = cascade_roots(actions)
+        all_members = [t for members in cascades.values() for t in members]
+        assert sorted(all_members) == [a.time for a in actions]
+
+
+class TestRenderCascade:
+    def test_paper_cascade_3(self, paper_stream):
+        art = render_cascade(paper_stream, 3)
+        lines = art.splitlines()
+        assert lines[0] == "a3 u3*"
+        assert any("a5 u4" in line for line in lines)
+        assert any("a8 u4" in line for line in lines)
+        # a8 responds to a7, so it must be indented deeper than a7.
+        a7_line = next(line for line in lines if "a7" in line)
+        a8_line = next(line for line in lines if "a8" in line)
+        assert len(a8_line) - len(a8_line.lstrip("│ ")) > len(a7_line) - len(
+            a7_line.lstrip("│ ")
+        )
+
+    def test_single_root(self):
+        art = render_cascade([Action.root(1, 9)], 1)
+        assert art == "a1 u9*"
+
+    def test_unknown_root_raises(self, paper_stream):
+        with pytest.raises(KeyError, match="no action at time 99"):
+            render_cascade(paper_stream, 99)
+
+    def test_connectors(self):
+        actions = [
+            Action.root(1, 0),
+            Action.response(2, 1, 1),
+            Action.response(3, 2, 1),
+        ]
+        art = render_cascade(actions, 1)
+        assert "├── a2 u1" in art
+        assert "└── a3 u2" in art
+
+    def test_renders_every_descendant(self, paper_stream):
+        art = render_cascade(paper_stream, 3)
+        for time in (3, 5, 6, 7, 8):
+            assert f"a{time} " in art

@@ -1,0 +1,164 @@
+"""Unit and property tests for the diffusion forest."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Action
+from repro.core.diffusion import DiffusionForest
+from tests.conftest import random_stream
+
+
+class TestResolution:
+    def test_root_influences_itself(self):
+        forest = DiffusionForest()
+        record = forest.add(Action.root(1, 7))
+        assert record.influencers == (7,)
+        assert record.depth == 1
+
+    def test_response_credits_parent_chain(self):
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 1))
+        forest.add(Action.response(2, 2, 1))
+        record = forest.add(Action.response(3, 3, 2))
+        assert record.influencers == (1, 2, 3)
+        assert record.depth == 3
+
+    def test_duplicate_user_in_chain_collapses(self):
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 1))
+        forest.add(Action.response(2, 2, 1))
+        record = forest.add(Action.response(3, 1, 2))  # u1 responds to own chain
+        assert record.influencers == (2, 1)
+        assert record.fanout == 2
+
+    def test_paper_example_influencers(self, paper_stream):
+        forest = DiffusionForest()
+        records = {a.time: forest.add(a) for a in paper_stream}
+        # a8 = <u4, a7>, chain a7 -> a3 (u5, u3): influencers u3, u5, u4.
+        assert set(records[8].influencers) == {3, 5, 4}
+        assert records[8].depth == 3
+        # a4 = <u3, a1>: u1 then u3.
+        assert records[4].influencers == (1, 3)
+
+    def test_rejects_duplicate_add(self):
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 1))
+        with pytest.raises(ValueError, match="already added"):
+            forest.add(Action.root(1, 2))
+
+    def test_record_lookup(self):
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 4))
+        assert forest.record(1).user == 4
+        with pytest.raises(KeyError):
+            forest.record(99)
+
+
+class TestStatistics:
+    def test_mean_and_max_depth(self):
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 1))  # depth 1
+        forest.add(Action.response(2, 2, 1))  # depth 2
+        forest.add(Action.response(3, 3, 2))  # depth 3
+        assert forest.mean_depth == pytest.approx(2.0)
+        assert forest.max_depth == 3
+        assert forest.actions_seen == 3
+
+    def test_empty_forest_statistics(self):
+        forest = DiffusionForest()
+        assert forest.mean_depth == 0.0
+        assert forest.max_depth == 0
+
+
+class TestRetention:
+    def test_prune_before_drops_old_records(self):
+        forest = DiffusionForest()
+        for t in range(1, 6):
+            forest.add(Action.root(t, t))
+        dropped = forest.prune_before(4)
+        assert dropped == 3
+        assert 3 not in forest
+        assert 4 in forest
+
+    def test_retention_truncates_late_responses(self):
+        forest = DiffusionForest(retention=2)
+        forest.add(Action.root(1, 1))
+        forest.add(Action.root(2, 2))
+        forest.add(Action.root(3, 3))
+        forest.add(Action.root(4, 4))  # prunes t=1
+        record = forest.add(Action.response(5, 5, 1))  # parent pruned
+        assert record.influencers == (5,)
+        assert record.depth == 1
+        assert forest.truncated_chains == 1
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiffusionForest(retention=0)
+
+    def test_prune_with_large_sparse_gap(self):
+        """Pruning far past the retained range must not orphan records."""
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 1))
+        forest.add(Action.root(10_000, 2))
+        forest.add(Action.root(10_001, 3))
+        dropped = forest.prune_before(50_000)
+        assert dropped == 3
+        assert len(forest) == 0
+        assert 10_000 not in forest
+
+    def test_prune_sparse_keeps_recent(self):
+        forest = DiffusionForest()
+        forest.add(Action.root(1, 1))
+        forest.add(Action.root(90_000, 2))
+        assert forest.prune_before(80_000) == 1
+        assert 90_000 in forest
+        assert 1 not in forest
+
+    def test_records_between(self):
+        forest = DiffusionForest()
+        for t in range(1, 6):
+            forest.add(Action.root(t, t))
+        times = [r.time for r in forest.records_between(2, 4)]
+        assert times == [2, 3, 4]
+
+
+def brute_force_influencers(actions, time):
+    """Reference: walk parent pointers explicitly."""
+    by_time = {a.time: a for a in actions}
+    chain = []
+    current = by_time[time]
+    while True:
+        chain.append(current.user)
+        if current.is_root:
+            break
+        current = by_time[current.parent]
+    # De-dup keeping the *last* occurrence along root->leaf order.
+    ordered = list(reversed(chain))
+    seen = set()
+    result = []
+    for user in ordered:
+        if user not in seen:
+            seen.add(user)
+            result.append(user)
+    # The performer must come last, as in DiffusionForest.
+    performer = by_time[time].user
+    result.remove(performer)
+    result.append(performer)
+    return tuple(result), len(chain)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_influencers_match_brute_force(seed):
+    """Property: incremental ancestor resolution == explicit chain walk."""
+    actions = random_stream(40, 6, seed=seed)
+    forest = DiffusionForest()
+    for action in actions:
+        record = forest.add(action)
+        expected_users, expected_depth = brute_force_influencers(
+            actions, action.time
+        )
+        assert set(record.influencers) == set(expected_users)
+        assert record.influencers[-1] == action.user
+        assert record.depth == expected_depth

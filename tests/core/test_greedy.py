@@ -1,0 +1,134 @@
+"""Unit and property tests for windowed greedy (CELF and naive)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import WindowedGreedy, greedy_seed_selection
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.diffusion import DiffusionForest
+from repro.core.stream import batched
+from repro.influence.functions import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+    WeightedCardinalityInfluence,
+)
+from tests.conftest import make_paper_stream, random_stream
+
+
+def build_index(actions):
+    forest = DiffusionForest()
+    index = AppendOnlyInfluenceIndex()
+    for action in actions:
+        index.add(forest.add(action))
+    return index
+
+
+def drive(algorithm, actions, slide=1):
+    for batch in batched(actions, slide):
+        algorithm.process(batch)
+    return algorithm
+
+
+class TestSeedSelection:
+    def test_empty_candidates(self):
+        index = build_index([])
+        seeds, value = greedy_seed_selection(index, [], 3, CardinalityInfluence())
+        assert seeds == set() and value == 0.0
+
+    def test_stops_when_gain_exhausted(self):
+        actions = random_stream(20, 3, seed=1)
+        index = build_index(actions)
+        seeds, _ = greedy_seed_selection(
+            index, range(3), 10, CardinalityInfluence()
+        )
+        assert len(seeds) <= 3
+
+    def test_lazy_equals_naive(self):
+        """CELF must select the same value as the plain greedy."""
+        func = CardinalityInfluence()
+        for seed in range(6):
+            actions = random_stream(80, 9, seed=seed)
+            index = build_index(actions)
+            candidates = list(range(9))
+            lazy_seeds, lazy_value = greedy_seed_selection(
+                index, candidates, 3, func, lazy=True
+            )
+            naive_seeds, naive_value = greedy_seed_selection(
+                index, candidates, 3, func, lazy=False
+            )
+            assert lazy_value == pytest.approx(naive_value)
+
+    def test_weighted_function(self):
+        actions = random_stream(60, 6, seed=3)
+        index = build_index(actions)
+        weights = {u: 10.0 if u == 0 else 1.0 for u in range(6)}
+        func = WeightedCardinalityInfluence(weights)
+        seeds, value = greedy_seed_selection(index, range(6), 1, func)
+        # The single best seed must cover user 0 if anyone influences it.
+        covering = [u for u in range(6) if 0 in index.influence_set(u)]
+        if covering:
+            chosen = next(iter(seeds))
+            assert 0 in index.influence_set(chosen)
+
+    def test_non_modular_function(self):
+        actions = random_stream(50, 5, seed=4)
+        index = build_index(actions)
+        func = ConformityAwareInfluence({}, {}, 0.7, 0.6)
+        seeds, value = greedy_seed_selection(index, range(5), 2, func)
+        assert value == pytest.approx(func.evaluate(seeds, index))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 3))
+def test_greedy_respects_1_minus_1_over_e(seed, k):
+    """Property: greedy value >= (1 - 1/e) * OPT (Nemhauser et al.)."""
+    actions = random_stream(40, 6, seed=seed)
+    index = build_index(actions)
+    func = CardinalityInfluence()
+    users = [u for u in range(6) if u in index]
+    seeds, value = greedy_seed_selection(index, users, k, func)
+    best = 0.0
+    for combo in itertools.combinations(users, min(k, len(users))):
+        best = max(best, func.evaluate(combo, index))
+    assert value >= (1 - 1 / 2.718281828) * best - 1e-9
+
+
+class TestWindowedGreedy:
+    def test_paper_example(self):
+        greedy = drive(WindowedGreedy(window_size=8, k=2), make_paper_stream()[:8])
+        result = greedy.query()
+        assert result.seeds == {1, 3}
+        assert result.value == 5.0
+
+    def test_paper_example_after_slide(self):
+        greedy = drive(WindowedGreedy(window_size=8, k=2), make_paper_stream())
+        result = greedy.query()
+        assert result.seeds == {2, 3}
+        assert result.value == 6.0
+
+    def test_expiry_reduces_values(self):
+        actions = random_stream(100, 6, seed=5)
+        greedy = WindowedGreedy(window_size=10, k=2)
+        drive(greedy, actions)
+        # Window holds 10 actions; influence value bounded by active users.
+        assert greedy.query().value <= len(greedy.window.active_users)
+
+    def test_naive_flag(self):
+        actions = random_stream(60, 6, seed=6)
+        lazy = drive(WindowedGreedy(window_size=20, k=2, lazy=True), actions)
+        naive = drive(WindowedGreedy(window_size=20, k=2, lazy=False), actions)
+        assert lazy.query().value == pytest.approx(naive.query().value)
+
+    def test_query_is_stateless(self):
+        greedy = drive(WindowedGreedy(window_size=10, k=2),
+                       random_stream(30, 5, seed=7))
+        first = greedy.query()
+        second = greedy.query()
+        assert first == second
+
+    def test_retention_validation(self):
+        with pytest.raises(ValueError, match="retention"):
+            WindowedGreedy(window_size=10, k=1, retention=5)

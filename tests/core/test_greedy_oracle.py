@@ -1,0 +1,101 @@
+"""Unit tests for the (1 − 1/e) greedy checkpoint oracle."""
+
+import itertools
+
+import pytest
+
+from repro.core.diffusion import DiffusionForest
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles import GreedyOracle, make_oracle
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.influence.functions import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+)
+from tests.conftest import random_stream
+
+
+def drive(actions, k=2, refresh_factor=1.0, func=None):
+    func = func if func is not None else CardinalityInfluence()
+    index = AppendOnlyInfluenceIndex()
+    oracle = GreedyOracle(
+        k=k, func=func, index=index, refresh_factor=refresh_factor
+    )
+    forest = DiffusionForest()
+    for action in actions:
+        record = forest.add(action)
+        for user in index.add(record):
+            oracle.process(user, record.user)
+    return oracle, index
+
+
+class TestBasics:
+    def test_registered(self):
+        oracle = make_oracle(
+            "greedy", k=2, func=CardinalityInfluence(),
+            index=AppendOnlyInfluenceIndex(),
+        )
+        assert isinstance(oracle, GreedyOracle)
+
+    def test_refresh_factor_validation(self):
+        with pytest.raises(ValueError, match="refresh factor"):
+            GreedyOracle(
+                k=1, func=CardinalityInfluence(),
+                index=AppendOnlyInfluenceIndex(), refresh_factor=0.9,
+            )
+
+    def test_candidate_tracking(self):
+        oracle, _ = drive(random_stream(40, 6, seed=1))
+        assert 0 < oracle.candidate_count <= 6
+
+    def test_respects_k(self):
+        oracle, _ = drive(random_stream(80, 10, seed=2), k=3)
+        assert len(oracle.seeds) <= 3
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_exact_refresh_achieves_1_minus_1_over_e(self, seed):
+        actions = random_stream(60, 7, seed=seed)
+        oracle, index = drive(actions, k=2, refresh_factor=1.0)
+        users = [u for u in range(7) if u in index]
+        func = CardinalityInfluence()
+        best = 0.0
+        for combo in itertools.combinations(users, min(2, len(users))):
+            best = max(best, func.evaluate(combo, index))
+        assert oracle.value >= (1 - 1 / 2.718281828) * best - 1e-9
+
+    def test_beats_sieve_on_value(self):
+        """At equal inputs the greedy oracle should match or beat sieve."""
+        actions = random_stream(120, 9, seed=5)
+        greedy, _ = drive(actions, k=3, refresh_factor=1.0)
+        index = AppendOnlyInfluenceIndex()
+        sieve = make_oracle(
+            "sieve", k=3, func=CardinalityInfluence(), index=index, beta=0.2
+        )
+        forest = DiffusionForest()
+        for action in actions:
+            record = forest.add(action)
+            for user in index.add(record):
+                sieve.process(user, record.user)
+        assert greedy.value >= sieve.value - 1e-9
+
+    def test_amortised_refresh_stays_close(self):
+        actions = random_stream(150, 8, seed=6)
+        exact, _ = drive(actions, k=2, refresh_factor=1.0)
+        amortised, _ = drive(actions, k=2, refresh_factor=1.2)
+        assert amortised.value >= 0.75 * exact.value
+
+    def test_non_modular_function(self):
+        func = ConformityAwareInfluence({}, {}, 0.6, 0.6)
+        oracle, index = drive(random_stream(50, 5, seed=7), k=2, func=func)
+        assert oracle.value > 0
+        assert func.evaluate(oracle.seeds, index) >= oracle.value - 1e-9
+
+
+class TestInsideSIC:
+    def test_usable_as_checkpoint_oracle(self):
+        sic = SparseInfluentialCheckpoints(window_size=30, k=2, oracle="greedy")
+        for action in random_stream(90, 8, seed=8):
+            sic.process([action])
+        assert sic.query().value > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the IC framework (Algorithm 1)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.stream import batched
+from tests.conftest import random_stream
+
+
+def drive(algorithm, actions, slide=1):
+    for batch in batched(actions, slide):
+        algorithm.process(batch)
+    return algorithm
+
+
+class TestCheckpointPopulation:
+    def test_one_checkpoint_per_action_while_filling(self):
+        ic = InfluentialCheckpoints(window_size=5, k=2)
+        for i, action in enumerate(random_stream(5, 4, seed=1), start=1):
+            ic.process([action])
+            assert ic.checkpoint_count == i
+
+    def test_steady_state_keeps_n_checkpoints(self):
+        ic = InfluentialCheckpoints(window_size=5, k=2)
+        drive(ic, random_stream(30, 4, seed=1))
+        assert ic.checkpoint_count == 5
+
+    def test_batch_slides_keep_n_over_l_checkpoints(self):
+        ic = InfluentialCheckpoints(window_size=20, k=2)
+        drive(ic, random_stream(100, 6, seed=2), slide=5)
+        assert ic.checkpoint_count == 4  # ceil(N/L) = 20/5
+
+    def test_oldest_checkpoint_covers_window_exactly(self):
+        ic = InfluentialCheckpoints(window_size=6, k=2)
+        drive(ic, random_stream(25, 5, seed=3))
+        oldest = ic.checkpoints[0]
+        assert oldest.start == ic.now - ic.window_size + 1
+
+    def test_checkpoint_starts_are_increasing(self):
+        ic = InfluentialCheckpoints(window_size=8, k=2)
+        drive(ic, random_stream(40, 5, seed=4), slide=2)
+        starts = [c.start for c in ic.checkpoints]
+        assert starts == sorted(starts)
+
+
+class TestQuery:
+    def test_query_before_any_action(self):
+        ic = InfluentialCheckpoints(window_size=4, k=2)
+        result = ic.query()
+        assert result.seeds == frozenset()
+        assert result.value == 0.0
+        assert result.time == 0
+
+    def test_query_returns_oldest_checkpoint_solution(self):
+        ic = InfluentialCheckpoints(window_size=6, k=2)
+        drive(ic, random_stream(30, 5, seed=5))
+        result = ic.query()
+        oldest = ic.checkpoints[0]
+        assert result.seeds == oldest.seeds
+        assert result.value == oldest.value
+        assert result.time == ic.now
+
+    def test_seed_count_respects_k(self):
+        ic = InfluentialCheckpoints(window_size=10, k=3)
+        drive(ic, random_stream(50, 8, seed=6))
+        assert len(ic.query().seeds) <= 3
+
+
+class TestOracleSelection:
+    @pytest.mark.parametrize("oracle", ["sieve", "threshold", "blog_watch", "mkc"])
+    def test_all_oracles_usable(self, oracle):
+        ic = InfluentialCheckpoints(window_size=8, k=2, oracle=oracle)
+        drive(ic, random_stream(30, 6, seed=7))
+        assert ic.query().value > 0
+
+    def test_unknown_oracle_raises_on_first_checkpoint(self):
+        ic = InfluentialCheckpoints(window_size=4, k=2, oracle="bogus")
+        with pytest.raises(KeyError):
+            ic.process([Action.root(1, 0)])
+
+
+class TestMisalignedSlides:
+    def test_slide_not_dividing_window_keeps_superset_checkpoint(self):
+        # N=8, L=3: starts at 1,4,7,10,...; the answering checkpoint covers
+        # a superset of the window rather than a strict subset.
+        ic = InfluentialCheckpoints(window_size=8, k=2)
+        drive(ic, random_stream(30, 5, seed=8), slide=3)
+        oldest = ic.checkpoints[0]
+        assert oldest.start <= ic.now - ic.window_size + 1
+
+    def test_empty_batch_is_noop(self):
+        ic = InfluentialCheckpoints(window_size=4, k=2)
+        ic.process([])
+        assert ic.checkpoint_count == 0

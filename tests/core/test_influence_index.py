@@ -1,0 +1,174 @@
+"""Unit and property tests for the influence indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diffusion import DiffusionForest
+from repro.core.influence_index import (
+    AppendOnlyInfluenceIndex,
+    WindowInfluenceIndex,
+)
+from tests.conftest import make_paper_stream, random_stream
+
+
+def feed_window(actions, window_size):
+    """Reference driver: exact window index over the last `window_size`."""
+    forest = DiffusionForest()
+    index = WindowInfluenceIndex()
+    records = []
+    for action in actions:
+        record = forest.add(action)
+        records.append(record)
+        index.add(record)
+        if len(records) > window_size:
+            index.remove(records.pop(0))
+    return index
+
+
+def brute_force_influence(actions, window_size):
+    """Definition 1 computed from scratch: v in I(u) iff some window action
+    by v is (in)directly triggered by an action of u (or v == performer of
+    an action crediting itself)."""
+    by_time = {a.time: a for a in actions}
+    window = actions[-window_size:]
+    influence = {}
+    for action in window:
+        # All chain users influence the performer.
+        current = action
+        chain_users = set()
+        while True:
+            chain_users.add(current.user)
+            if current.is_root:
+                break
+            current = by_time[current.parent]
+        for u in chain_users:
+            influence.setdefault(u, set()).add(action.user)
+    return influence
+
+
+class TestPaperExample:
+    def test_influence_sets_at_time_8(self):
+        index = feed_window(make_paper_stream()[:8], 8)
+        assert index.influence_set(1) == {1, 2, 3}
+        assert index.influence_set(2) == {2}
+        assert index.influence_set(3) == {1, 3, 4, 5}
+        assert index.influence_set(4) == {4}
+        assert index.influence_set(5) == {4, 5}
+        assert index.influence_set(6) == frozenset()
+
+    def test_influence_sets_at_time_10(self):
+        index = feed_window(make_paper_stream(), 8)
+        assert index.influence_set(1) == {1, 3}
+        assert index.influence_set(2) == {2, 6}
+        assert index.influence_set(3) == {1, 3, 4, 5}
+        assert index.influence_set(4) == {4}
+        assert index.influence_set(5) == {4, 5}
+        assert index.influence_set(6) == {6}
+
+    def test_optimal_coverage_at_8_and_10(self):
+        index8 = feed_window(make_paper_stream()[:8], 8)
+        assert index8.coverage([1, 3]) == {1, 2, 3, 4, 5}
+        index10 = feed_window(make_paper_stream(), 8)
+        assert index10.coverage([2, 3]) == {1, 2, 3, 4, 5, 6}
+        # The old optimum loses u2 (Example 2).
+        assert len(index10.coverage([1, 3])) == 4
+
+
+class TestWindowIndex:
+    def test_empty_index(self):
+        index = WindowInfluenceIndex()
+        assert len(index) == 0
+        assert index.influence_set(1) == frozenset()
+        assert index.coverage([1, 2]) == set()
+        assert 1 not in index
+
+    def test_remove_unknown_pair_raises(self):
+        index = WindowInfluenceIndex()
+        forest = DiffusionForest()
+        from repro.core.actions import Action
+
+        record = forest.add(Action.root(1, 1))
+        with pytest.raises(KeyError, match="never added"):
+            index.remove(record)
+
+    def test_add_remove_roundtrip_is_empty(self, small_random_stream):
+        forest = DiffusionForest()
+        index = WindowInfluenceIndex()
+        records = [forest.add(a) for a in small_random_stream]
+        for record in records:
+            index.add(record)
+        for record in records:
+            index.remove(record)
+        assert len(index) == 0
+        assert index.pair_count() == 0
+
+    def test_edges_multiplicity(self):
+        from repro.core.actions import Action
+
+        forest = DiffusionForest()
+        index = WindowInfluenceIndex()
+        index.add(forest.add(Action.root(1, 1)))
+        index.add(forest.add(Action.response(2, 2, 1)))
+        index.add(forest.add(Action.response(3, 2, 1)))
+        edges = {(u, v): m for u, v, m in index.edges()}
+        assert edges[(1, 2)] == 2
+        assert edges[(1, 1)] == 1
+        assert edges[(2, 2)] == 2
+
+    def test_influencers_iteration(self):
+        index = feed_window(make_paper_stream()[:8], 8)
+        assert set(index.influencers()) == {1, 2, 3, 4, 5}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    window_size=st.integers(1, 25),
+)
+def test_window_index_matches_brute_force(seed, window_size):
+    """Property: incremental index == recompute-from-definition."""
+    actions = random_stream(50, 7, seed=seed)
+    index = feed_window(actions, window_size)
+    expected = brute_force_influence(actions, window_size)
+    assert set(index.influencers()) == set(expected)
+    for user in expected:
+        assert index.influence_set(user) == expected[user], user
+
+
+class TestAppendOnlyIndex:
+    def test_add_reports_updated_users(self):
+        from repro.core.actions import Action
+
+        forest = DiffusionForest()
+        index = AppendOnlyInfluenceIndex()
+        r1 = forest.add(Action.root(1, 1))
+        assert index.add(r1) == [1]
+        r2 = forest.add(Action.response(2, 2, 1))
+        assert set(index.add(r2)) == {1, 2}
+        # Same structure again: no set grows.
+        r3 = forest.add(Action.response(3, 2, 1))
+        assert index.add(r3) == []
+
+    def test_sets_only_grow(self, small_random_stream):
+        forest = DiffusionForest()
+        index = AppendOnlyInfluenceIndex()
+        previous_sizes = {}
+        for action in small_random_stream:
+            index.add(forest.add(action))
+            for user in list(previous_sizes):
+                assert len(index.influence_set(user)) >= previous_sizes[user]
+            for user in range(8):
+                previous_sizes[user] = len(index.influence_set(user))
+
+    def test_coverage_union(self):
+        from repro.core.actions import Action
+
+        forest = DiffusionForest()
+        index = AppendOnlyInfluenceIndex()
+        index.add(forest.add(Action.root(1, 1)))
+        index.add(forest.add(Action.response(2, 2, 1)))
+        index.add(forest.add(Action.root(3, 3)))
+        assert index.coverage([1, 3]) == {1, 2, 3}
+        assert index.coverage([]) == set()
+        assert 1 in index and 9 not in index

@@ -1,0 +1,86 @@
+"""Unit tests for the multi-query engine."""
+
+import pytest
+
+from repro.core.greedy import WindowedGreedy
+from repro.core.multi import MultiQueryEngine
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.influence.queries import FilteredSIM
+from tests.conftest import make_paper_stream, random_stream
+
+
+class TestRegistration:
+    def test_add_and_names(self):
+        engine = MultiQueryEngine()
+        engine.add("a", WindowedGreedy(window_size=8, k=2))
+        engine.add("b", FilteredSIM(lambda a: True, window_size=8, k=2))
+        assert engine.names == ["a", "b"]
+
+    def test_duplicate_name_rejected(self):
+        engine = MultiQueryEngine().add("a", WindowedGreedy(window_size=8, k=2))
+        with pytest.raises(ValueError, match="already registered"):
+            engine.add("a", WindowedGreedy(window_size=8, k=2))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="expected"):
+            MultiQueryEngine().add("a", object())
+
+    def test_chaining(self):
+        engine = (
+            MultiQueryEngine()
+            .add("a", WindowedGreedy(window_size=8, k=2))
+            .add("b", WindowedGreedy(window_size=8, k=1))
+        )
+        assert len(engine.names) == 2
+
+
+class TestProcessing:
+    def test_all_queries_advance_together(self):
+        engine = (
+            MultiQueryEngine()
+            .add("greedy", WindowedGreedy(window_size=8, k=2))
+            .add("sic", SparseInfluentialCheckpoints(window_size=8, k=2, beta=0.3))
+            .add("filtered", FilteredSIM(lambda a: True, window_size=8, k=2))
+        )
+        for batch in batched(make_paper_stream(), 2):
+            engine.process(batch)
+        assert engine.actions_processed == 10
+        answers = engine.query_all()
+        assert set(answers) == {"greedy", "sic", "filtered"}
+        assert answers["greedy"].seeds == {2, 3}
+        assert answers["greedy"].value == 6.0
+
+    def test_engine_matches_standalone(self):
+        actions = random_stream(80, 8, seed=2)
+        standalone = WindowedGreedy(window_size=20, k=2)
+        engine = MultiQueryEngine().add("q", WindowedGreedy(window_size=20, k=2))
+        for batch in batched(actions, 5):
+            standalone.process(batch)
+            engine.process(batch)
+        assert engine.query("q") == standalone.query()
+
+    def test_empty_batch_is_noop(self):
+        engine = MultiQueryEngine().add("a", WindowedGreedy(window_size=4, k=1))
+        engine.process([])
+        assert engine.actions_processed == 0
+
+    def test_unknown_query(self):
+        engine = MultiQueryEngine()
+        with pytest.raises(KeyError, match="unknown query"):
+            engine.query("missing")
+
+    def test_filtered_query_sees_substream(self):
+        engine = MultiQueryEngine().add(
+            "evens",
+            FilteredSIM(
+                lambda a: a.user % 2 == 0,
+                window_size=20,
+                k=2,
+                algorithm=WindowedGreedy(window_size=20, k=2),
+            ),
+        )
+        for batch in batched(random_stream(40, 6, seed=3), 4):
+            engine.process(batch)
+        answer = engine.query("evens")
+        assert all(u % 2 == 0 for u in answer.seeds)

@@ -1,0 +1,87 @@
+"""Properties of multiple window shifts (Section 5.3, L > 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from tests.conftest import random_stream
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), slide=st.integers(1, 4))
+def test_ic_batched_equals_unbatched_at_aligned_times(seed, slide):
+    """When L divides N, IC(L) answers exactly like IC(1) at times where
+    the window boundary coincides with a checkpoint start: the answering
+    checkpoint covers the same suffix and processes the same actions in the
+    same order, so the oracle state is identical."""
+    window = 12  # slide ∈ {1,2,3,4} all divide 12
+    actions = random_stream(48, 6, seed=seed)
+    single = InfluentialCheckpoints(window_size=window, k=2, beta=0.2)
+    batched_ic = InfluentialCheckpoints(window_size=window, k=2, beta=0.2)
+    for action in actions:
+        single.process([action])
+    for batch in batched(actions, slide):
+        batched_ic.process(batch)
+    assert batched_ic.query().value == single.query().value
+    assert batched_ic.query().seeds == single.query().seeds
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), slide=st.integers(1, 6))
+def test_greedy_is_slide_invariant(seed, slide):
+    """The exact window state is independent of how arrivals are batched."""
+    actions = random_stream(60, 7, seed=seed)
+    one = WindowedGreedy(window_size=18, k=2)
+    many = WindowedGreedy(window_size=18, k=2)
+    for action in actions:
+        one.process([action])
+    for batch in batched(actions, slide):
+        many.process(batch)
+    assert one.query().value == many.query().value
+    for user in range(7):
+        assert one.index.influence_set(user) == many.index.influence_set(user)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), slide=st.integers(1, 4))
+def test_sic_batched_keeps_theorem3_bound(seed, slide):
+    """SIC's ratio survives batch shifts (Section 5.3's claim)."""
+    import itertools
+
+    from repro.core.diffusion import DiffusionForest
+    from repro.core.influence_index import WindowInfluenceIndex
+
+    window = 12
+    beta = 0.2
+    actions = random_stream(48, 6, seed=seed)
+    sic = SparseInfluentialCheckpoints(window_size=window, k=2, beta=beta)
+    for batch in batched(actions, slide):
+        sic.process(batch)
+    # Ground truth for the final window.
+    forest = DiffusionForest()
+    index = WindowInfluenceIndex()
+    records = []
+    for action in actions:
+        record = forest.add(action)
+        records.append(record)
+        index.add(record)
+        if len(records) > window:
+            index.remove(records.pop(0))
+    users = list(index.influencers())
+    opt = 0
+    for combo in itertools.combinations(users, min(2, len(users))):
+        opt = max(opt, len(index.coverage(combo)))
+    achieved = len(index.coverage(sic.query().seeds))
+    assert achieved >= (0.25 - beta) * opt - 1e-9
+
+
+def test_ic_checkpoint_count_follows_ceil_n_over_l():
+    for window, slide, expected in [(20, 5, 4), (20, 4, 5), (24, 6, 4)]:
+        ic = InfluentialCheckpoints(window_size=window, k=2)
+        for batch in batched(random_stream(120, 6, seed=1), slide):
+            ic.process(batch)
+        assert ic.checkpoint_count == expected, (window, slide)

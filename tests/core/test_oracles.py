@@ -1,0 +1,220 @@
+"""Unit tests for the four checkpoint oracles and the registry."""
+
+import itertools
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.diffusion import DiffusionForest
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles import (
+    BlogWatchOracle,
+    MkCOracle,
+    SieveStreamingOracle,
+    ThresholdStreamOracle,
+    make_oracle,
+    oracle_names,
+)
+from repro.influence.functions import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+    WeightedCardinalityInfluence,
+)
+from tests.conftest import random_stream
+
+ALL_ORACLES = ["sieve", "threshold", "blog_watch", "mkc"]
+GENERAL_ORACLES = ["sieve", "threshold"]
+
+
+def drive(oracle_name, actions, k=2, func=None, **params):
+    """Feed a stream through one oracle via the SSM steps."""
+    func = func if func is not None else CardinalityInfluence()
+    index = AppendOnlyInfluenceIndex()
+    oracle = make_oracle(oracle_name, k=k, func=func, index=index, **params)
+    forest = DiffusionForest()
+    for action in actions:
+        record = forest.add(action)
+        for user in index.add(record):
+            oracle.process(user, record.user)
+    return oracle, index
+
+
+def brute_force_optimum(index, k, func=None):
+    """Exact OPT over the append-only index by exhaustive search."""
+    func = func if func is not None else CardinalityInfluence()
+    users = [u for u in range(50) if u in index]
+    best = 0.0
+    for size in range(1, min(k, len(users)) + 1):
+        for combo in itertools.combinations(users, size):
+            best = max(best, func.evaluate(combo, index))
+    return best
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(ALL_ORACLES) <= set(oracle_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown oracle"):
+            make_oracle("nope", k=1, func=CardinalityInfluence(),
+                        index=AppendOnlyInfluenceIndex())
+
+    def test_classes_match_names(self):
+        index = AppendOnlyInfluenceIndex()
+        func = CardinalityInfluence()
+        assert isinstance(
+            make_oracle("sieve", k=1, func=func, index=index),
+            SieveStreamingOracle,
+        )
+        assert isinstance(
+            make_oracle("threshold", k=1, func=func, index=index),
+            ThresholdStreamOracle,
+        )
+        assert isinstance(
+            make_oracle("blog_watch", k=1, func=func, index=index),
+            BlogWatchOracle,
+        )
+        assert isinstance(
+            make_oracle("mkc", k=1, func=func, index=index), MkCOracle
+        )
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_fresh_oracle_is_empty(self, name):
+        oracle = make_oracle(
+            name, k=2, func=CardinalityInfluence(),
+            index=AppendOnlyInfluenceIndex(),
+        )
+        assert oracle.value == 0.0
+        assert oracle.seeds == frozenset()
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_rejects_non_positive_k(self, name):
+        with pytest.raises(ValueError, match="positive"):
+            make_oracle(
+                name, k=0, func=CardinalityInfluence(),
+                index=AppendOnlyInfluenceIndex(),
+            )
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_cardinality_constraint_respected(self, name):
+        actions = random_stream(120, 10, seed=3)
+        oracle, _ = drive(name, actions, k=3)
+        assert len(oracle.seeds) <= 3
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_value_is_monotone_over_time(self, name):
+        func = CardinalityInfluence()
+        index = AppendOnlyInfluenceIndex()
+        oracle = make_oracle(name, k=2, func=func, index=index)
+        forest = DiffusionForest()
+        last = 0.0
+        for action in random_stream(150, 9, seed=5):
+            record = forest.add(action)
+            for user in index.add(record):
+                oracle.process(user, record.user)
+            assert oracle.value >= last
+            last = oracle.value
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_reported_value_is_achievable(self, name):
+        """The snapshot value never overstates f of the snapshot seeds."""
+        actions = random_stream(150, 9, seed=8)
+        oracle, index = drive(name, actions, k=3)
+        func = CardinalityInfluence()
+        assert func.evaluate(oracle.seeds, index) >= oracle.value - 1e-9
+
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_single_user_stream(self, name):
+        actions = [Action.root(t, 0) for t in range(1, 8)]
+        oracle, _ = drive(name, actions, k=2)
+        assert oracle.seeds == frozenset({0})
+        assert oracle.value == 1.0
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("name,ratio", [
+        ("sieve", 0.5 - 0.2),
+        ("threshold", 0.5 - 0.2),
+        ("blog_watch", 0.25),
+        ("mkc", 0.25),
+    ])
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_ratio_on_random_streams(self, name, ratio, seed):
+        actions = random_stream(80, 8, seed=seed)
+        params = {"beta": 0.2} if name in GENERAL_ORACLES else {}
+        oracle, index = drive(name, actions, k=2, **params)
+        opt = brute_force_optimum(index, k=2)
+        assert oracle.value >= ratio * opt - 1e-9
+
+    @pytest.mark.parametrize("name", GENERAL_ORACLES)
+    def test_invalid_beta_rejected(self, name):
+        for beta in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="beta"):
+                make_oracle(
+                    name, k=1, func=CardinalityInfluence(),
+                    index=AppendOnlyInfluenceIndex(), beta=beta,
+                )
+
+
+class TestWeightedFunction:
+    @pytest.mark.parametrize("name", ALL_ORACLES)
+    def test_weighted_cardinality_supported(self, name):
+        weights = {u: float(u + 1) for u in range(10)}
+        func = WeightedCardinalityInfluence(weights)
+        actions = random_stream(100, 10, seed=11)
+        oracle, index = drive(name, actions, k=2, func=func)
+        assert oracle.value > 0
+        assert func.evaluate(oracle.seeds, index) >= oracle.value - 1e-9
+
+
+class TestGeneralFunctionSupport:
+    @pytest.mark.parametrize("name", GENERAL_ORACLES)
+    def test_non_modular_function_works(self, name):
+        func = ConformityAwareInfluence({}, {}, 0.6, 0.7)
+        actions = random_stream(60, 6, seed=21)
+        oracle, index = drive(name, actions, k=2, func=func)
+        assert oracle.value > 0
+        assert func.evaluate(oracle.seeds, index) >= oracle.value - 1e-9
+
+    @pytest.mark.parametrize("name", ["blog_watch", "mkc"])
+    def test_swap_oracles_reject_non_modular(self, name):
+        func = ConformityAwareInfluence({}, {}, 0.5, 0.5)
+        with pytest.raises(ValueError, match="modular"):
+            make_oracle(
+                name, k=1, func=func, index=AppendOnlyInfluenceIndex()
+            )
+
+
+class TestSieveInternals:
+    def test_instances_track_opt_range(self):
+        actions = random_stream(120, 10, seed=2)
+        oracle, _ = drive("sieve", actions, k=3, beta=0.2)
+        assert oracle.instance_count > 0
+        # |Omega| = O(log k / beta): generous upper bound check.
+        assert oracle.instance_count <= 60
+        assert oracle.max_singleton >= 1.0
+
+    def test_threshold_instances(self):
+        actions = random_stream(120, 10, seed=2)
+        oracle, _ = drive("threshold", actions, k=3, beta=0.2)
+        assert 0 < oracle.instance_count <= 60
+
+
+class TestSwapInternals:
+    @pytest.mark.parametrize("name", ["blog_watch", "mkc"])
+    def test_cover_counts_consistent(self, name):
+        func = CardinalityInfluence()
+        index = AppendOnlyInfluenceIndex()
+        oracle = make_oracle(name, k=3, func=func, index=index)
+        forest = DiffusionForest()
+        for action in random_stream(200, 8, seed=31):
+            record = forest.add(action)
+            for user in index.add(record):
+                oracle.process(user, record.user)
+            expected = {}
+            for seed_user in oracle.current_seeds:
+                for member in oracle._counted[seed_user]:
+                    expected[member] = expected.get(member, 0) + 1
+            assert expected == oracle._cover_counts

@@ -1,0 +1,130 @@
+"""Adversarial and property-based stress tests for the checkpoint oracles.
+
+The ratio tests in test_oracles.py use benign random streams; these
+construct orderings known to stress threshold/swap algorithms — big
+elements arriving first, last, or sandwiched between noise — plus
+hypothesis-driven random instances with weighted functions.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Action
+from repro.core.diffusion import DiffusionForest
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.oracles import make_oracle
+from repro.influence.functions import (
+    CardinalityInfluence,
+    WeightedCardinalityInfluence,
+)
+from tests.conftest import random_stream
+
+ALL = ["sieve", "threshold", "blog_watch", "mkc", "greedy"]
+RATIO = {
+    "sieve": 0.5 - 0.2,
+    "threshold": 0.5 - 0.2,
+    "blog_watch": 0.25,
+    "mkc": 0.25,
+    "greedy": 1 - 1 / 2.718281828,
+}
+
+
+def drive_actions(name, actions, k=2, func=None):
+    func = func if func is not None else CardinalityInfluence()
+    index = AppendOnlyInfluenceIndex()
+    params = {"beta": 0.2} if name in ("sieve", "threshold") else {}
+    if name == "greedy":
+        params = {"refresh_factor": 1.0}
+    oracle = make_oracle(name, k=k, func=func, index=index, **params)
+    forest = DiffusionForest()
+    for action in actions:
+        record = forest.add(action)
+        for user in index.add(record):
+            oracle.process(user, record.user)
+    return oracle, index
+
+
+def optimum(index, k, func=None, universe=range(30)):
+    func = func if func is not None else CardinalityInfluence()
+    users = [u for u in universe if u in index]
+    best = 0.0
+    for combo in itertools.combinations(users, min(k, len(users))):
+        best = max(best, func.evaluate(combo, index))
+    return best
+
+
+def star_burst(hub: int, leaves, start: int):
+    """One root by ``hub`` answered by each of ``leaves`` in order."""
+    actions = [Action.root(start, hub)]
+    for offset, leaf in enumerate(leaves, start=1):
+        actions.append(Action.response(start + offset, leaf, start))
+    return actions
+
+
+class TestAdversarialOrderings:
+    @pytest.mark.parametrize("name", ALL)
+    def test_giant_first_then_noise(self, name):
+        """A dominant influencer arrives before anything else."""
+        actions = star_burst(0, range(10, 22), start=1)
+        t = actions[-1].time
+        for i in range(1, 9):
+            actions.extend(star_burst(i, [22 + i], start=t + 1))
+            t = actions[-1].time
+        oracle, index = drive_actions(name, actions, k=2)
+        assert oracle.value >= RATIO[name] * optimum(index, 2) - 1e-9
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_giant_last_after_noise(self, name):
+        """Swap oracles must displace early mediocre picks."""
+        actions = []
+        t = 0
+        for i in range(1, 9):
+            actions.extend(star_burst(i, [22 + i], start=t + 1))
+            t = actions[-1].time
+        actions.extend(star_burst(0, range(10, 22), start=t + 1))
+        oracle, index = drive_actions(name, actions, k=2)
+        assert oracle.value >= RATIO[name] * optimum(index, 2) - 1e-9
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_two_giants_between_noise(self, name):
+        actions = []
+        t = 0
+        actions.extend(star_burst(1, [10], start=t + 1)); t = actions[-1].time
+        actions.extend(star_burst(8, range(11, 19), start=t + 1)); t = actions[-1].time
+        actions.extend(star_burst(2, [19], start=t + 1)); t = actions[-1].time
+        actions.extend(star_burst(9, range(20, 28), start=t + 1)); t = actions[-1].time
+        oracle, index = drive_actions(name, actions, k=2)
+        assert oracle.value >= RATIO[name] * optimum(index, 2) - 1e-9
+        # The two hubs together cover everything: good oracles find both.
+        if name in ("sieve", "threshold", "greedy"):
+            assert oracle.value >= 0.5 * optimum(index, 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    name=st.sampled_from(ALL),
+    k=st.integers(1, 3),
+)
+def test_ratio_with_weighted_function(seed, name, k):
+    """The guarantees hold for weighted (still modular) objectives."""
+    weights = {u: ((u * 7) % 5) + 0.5 for u in range(8)}
+    func = WeightedCardinalityInfluence(weights)
+    actions = random_stream(60, 8, seed=seed)
+    oracle, index = drive_actions(name, actions, k=k, func=func)
+    best = optimum(index, k, func=func, universe=range(8))
+    assert oracle.value >= RATIO[name] * best - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_oracles_agree_on_trivial_instances(seed):
+    """With one user, every oracle returns exactly that user."""
+    actions = [Action.root(t, 0) for t in range(1, 12)]
+    for name in ALL:
+        oracle, _ = drive_actions(name, actions, k=3)
+        assert oracle.seeds == frozenset({0})
+        assert oracle.value == 1.0

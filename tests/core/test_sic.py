@@ -1,0 +1,149 @@
+"""Unit tests for the SIC framework (Algorithm 2)."""
+
+import math
+
+import pytest
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from tests.conftest import random_stream
+
+
+def drive(algorithm, actions, slide=1):
+    for batch in batched(actions, slide):
+        algorithm.process(batch)
+    return algorithm
+
+
+class TestSparsity:
+    def test_fewer_checkpoints_than_ic(self):
+        actions = random_stream(300, 10, seed=1)
+        ic = drive(InfluentialCheckpoints(window_size=100, k=3), actions)
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=100, k=3, beta=0.3), actions
+        )
+        assert sic.checkpoint_count < ic.checkpoint_count
+
+    def test_checkpoint_count_obeys_theorem5_bound(self):
+        # Theorem 5: at most 2·log(N) / log(1/(1-beta)) checkpoints (+O(1)).
+        beta = 0.3
+        window = 200
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=window, k=3, beta=beta),
+            random_stream(600, 12, seed=2),
+        )
+        bound = 2 * math.log(window) / math.log(1.0 / (1.0 - beta)) + 3
+        assert sic.checkpoint_count <= bound
+
+    def test_larger_beta_keeps_fewer_checkpoints(self):
+        actions = random_stream(400, 10, seed=3)
+        counts = {}
+        for beta in (0.1, 0.5):
+            sic = drive(
+                SparseInfluentialCheckpoints(window_size=150, k=3, beta=beta),
+                actions,
+            )
+            counts[beta] = sic.checkpoint_count
+        assert counts[0.5] <= counts[0.1]
+
+    def test_pruning_counter_increases(self):
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=100, k=3, beta=0.4),
+            random_stream(300, 10, seed=4),
+        )
+        assert sic.pruned_total > 0
+
+
+class TestStructure:
+    def test_at_most_one_expired_checkpoint(self):
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=50, k=2, beta=0.3),
+            random_stream(200, 8, seed=5),
+        )
+        expired = [
+            c for c in sic.checkpoints
+            if not c.covers_window(sic.now, sic.window_size)
+        ]
+        assert len(expired) <= 1
+        if expired:
+            assert sic.checkpoints[0] is expired[0]
+
+    def test_newest_checkpoint_never_pruned(self):
+        sic = SparseInfluentialCheckpoints(window_size=40, k=2, beta=0.5)
+        for batch in batched(random_stream(120, 8, seed=6), 4):
+            sic.process(batch)
+            assert sic.checkpoints[-1].start == batch[0].time
+
+    def test_neighbor_invariant_lemma3(self):
+        """Among any two consecutive live successors of a checkpoint, at
+        least one falls below the (1-beta) bar (Lemma 3 conditions 1/3)."""
+        beta = 0.3
+        sic = SparseInfluentialCheckpoints(window_size=80, k=3, beta=beta)
+        for batch in batched(random_stream(400, 10, seed=7), 2):
+            sic.process(batch)
+            cps = sic.checkpoints
+            for i in range(len(cps) - 2):
+                bar = (1.0 - beta) * cps[i].value
+                # Condition: not both successors can clear the bar, unless
+                # the second of them is the newest checkpoint (protected).
+                if cps[i + 1].value >= bar and cps[i + 2].value >= bar:
+                    assert i + 2 == len(cps) - 1
+
+
+class TestQuery:
+    def test_query_before_any_action(self):
+        sic = SparseInfluentialCheckpoints(window_size=4, k=2)
+        result = sic.query()
+        assert result.seeds == frozenset()
+        assert result.value == 0.0
+
+    def test_query_uses_first_covering_checkpoint(self):
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=60, k=2, beta=0.3),
+            random_stream(200, 8, seed=8),
+        )
+        answer = sic.query()
+        covering = [
+            c for c in sic.checkpoints
+            if c.covers_window(sic.now, sic.window_size)
+        ]
+        assert covering
+        assert answer.seeds == covering[0].seeds
+
+    def test_seed_count_respects_k(self):
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=50, k=4, beta=0.2),
+            random_stream(200, 12, seed=9),
+        )
+        assert len(sic.query().seeds) <= 4
+
+
+class TestParameters:
+    def test_invalid_beta_rejected(self):
+        for beta in (0.0, 1.0, -1.0):
+            with pytest.raises(ValueError, match="beta"):
+                SparseInfluentialCheckpoints(window_size=4, k=1, beta=beta)
+
+    def test_separate_oracle_beta(self):
+        sic = SparseInfluentialCheckpoints(
+            window_size=20, k=2, beta=0.4, oracle_beta=0.1
+        )
+        drive(sic, random_stream(60, 6, seed=10))
+        assert sic.beta == 0.4
+        assert sic.query().value > 0
+
+    @pytest.mark.parametrize("oracle", ["sieve", "threshold", "blog_watch", "mkc"])
+    def test_all_oracles_usable(self, oracle):
+        sic = SparseInfluentialCheckpoints(window_size=20, k=2, oracle=oracle)
+        drive(sic, random_stream(80, 8, seed=11))
+        assert sic.query().value > 0
+
+    def test_batch_slides(self):
+        sic = drive(
+            SparseInfluentialCheckpoints(window_size=40, k=2, beta=0.3),
+            random_stream(200, 8, seed=12),
+            slide=8,
+        )
+        assert sic.query().value > 0
+        assert sic.checkpoint_count <= 40 // 8 + 1

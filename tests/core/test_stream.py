@@ -1,0 +1,102 @@
+"""Unit tests for stream helpers (validation, renumbering, batching)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.stream import ListStream, batched, renumber, validate_stream
+
+
+class TestValidateStream:
+    def test_passes_valid_stream(self, paper_stream):
+        assert list(validate_stream(paper_stream)) == paper_stream
+
+    def test_rejects_non_increasing_timestamps(self):
+        actions = [Action.root(1, 0), Action.root(1, 1)]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            list(validate_stream(actions))
+
+    def test_rejects_decreasing_timestamps(self):
+        actions = [Action.root(5, 0), Action.root(2, 1)]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            list(validate_stream(actions))
+
+    def test_rejects_unseen_parent(self):
+        actions = [Action.root(1, 0), Action.response(5, 1, 3)]
+        with pytest.raises(ValueError, match="unseen action"):
+            list(validate_stream(actions))
+
+    def test_allows_timestamp_gaps(self):
+        actions = [Action.root(1, 0), Action.response(10, 1, 1)]
+        assert len(list(validate_stream(actions))) == 2
+
+    def test_is_lazy(self):
+        # The generator validates element by element.
+        iterator = validate_stream([Action.root(1, 0), Action.root(1, 1)])
+        assert next(iterator).time == 1
+        with pytest.raises(ValueError):
+            next(iterator)
+
+
+class TestListStream:
+    def test_len_iter_getitem(self, paper_stream):
+        stream = ListStream(paper_stream)
+        assert len(stream) == 10
+        assert stream[0].time == 1
+        assert [a.time for a in stream] == list(range(1, 11))
+
+    def test_users(self, paper_stream):
+        assert ListStream(paper_stream).users == {1, 2, 3, 4, 5, 6}
+
+    def test_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            ListStream([Action.root(2, 0), Action.root(2, 1)])
+
+
+class TestRenumber:
+    def test_assigns_contiguous_times(self):
+        actions = renumber([(7, None), (9, 0), (7, 1)])
+        assert [a.time for a in actions] == [1, 2, 3]
+        assert [a.user for a in actions] == [7, 9, 7]
+
+    def test_links_parents_by_position(self):
+        actions = renumber([(1, None), (2, 0), (3, 1)])
+        assert actions[1].parent == 1
+        assert actions[2].parent == 2
+
+    def test_rejects_forward_reference(self):
+        with pytest.raises(ValueError, match="earlier event"):
+            renumber([(1, 1), (2, None)])
+
+    def test_rejects_self_reference(self):
+        with pytest.raises(ValueError, match="earlier event"):
+            renumber([(1, None), (2, 1)])
+
+    def test_empty(self):
+        assert renumber([]) == []
+
+
+class TestBatched:
+    def test_exact_batches(self, paper_stream):
+        batches = list(batched(paper_stream, 5))
+        assert [len(b) for b in batches] == [5, 5]
+        assert batches[0][0].time == 1
+        assert batches[1][-1].time == 10
+
+    def test_ragged_final_batch(self, paper_stream):
+        batches = list(batched(paper_stream, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_batch_of_one(self, paper_stream):
+        assert len(list(batched(paper_stream, 1))) == 10
+
+    def test_oversized_batch(self, paper_stream):
+        batches = list(batched(paper_stream, 100))
+        assert len(batches) == 1 and len(batches[0]) == 10
+
+    def test_rejects_non_positive_size(self, paper_stream):
+        with pytest.raises(ValueError, match="positive"):
+            list(batched(paper_stream, 0))
+
+    def test_consumes_generators(self):
+        gen = (Action.root(t, 0) for t in range(1, 8))
+        assert [len(b) for b in batched(gen, 3)] == [3, 3, 1]

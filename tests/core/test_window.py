@@ -1,0 +1,111 @@
+"""Unit and property tests for the sliding window."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Action
+from repro.core.window import SlidingWindow
+
+
+def roots(times):
+    return [Action.root(t, t % 5) for t in times]
+
+
+class TestBasics:
+    def test_empty_window(self):
+        window = SlidingWindow(4)
+        assert len(window) == 0
+        assert not window.is_full
+        assert window.start_time == 0
+        assert window.end_time == 0
+        assert window.active_users == set()
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            SlidingWindow(0)
+
+    def test_fills_without_expiry(self):
+        window = SlidingWindow(5)
+        expired = window.slide(roots([1, 2, 3]))
+        assert expired == []
+        assert len(window) == 3
+        assert not window.is_full
+
+    def test_expiry_on_overflow(self):
+        window = SlidingWindow(3)
+        window.slide(roots([1, 2, 3]))
+        expired = window.slide(roots([4, 5]))
+        assert [a.time for a in expired] == [1, 2]
+        assert window.start_time == 3
+        assert window.end_time == 5
+        assert window.is_full
+
+    def test_batch_larger_than_window(self):
+        window = SlidingWindow(2)
+        expired = window.slide(roots([1, 2, 3, 4, 5]))
+        assert [a.time for a in expired] == [1, 2, 3]
+        assert [a.time for a in window] == [4, 5]
+
+    def test_rejects_out_of_order(self):
+        window = SlidingWindow(3)
+        window.slide(roots([5]))
+        with pytest.raises(ValueError, match="out-of-order"):
+            window.slide(roots([5]))
+        with pytest.raises(ValueError, match="out-of-order"):
+            window.slide(roots([4]))
+
+
+class TestIndexing:
+    def test_one_based_indexing(self):
+        window = SlidingWindow(3)
+        window.slide(roots([7, 8, 9]))
+        assert window[1].time == 7
+        assert window[3].time == 9
+
+    def test_index_bounds(self):
+        window = SlidingWindow(3)
+        window.slide(roots([1, 2]))
+        with pytest.raises(IndexError):
+            window[0]
+        with pytest.raises(IndexError):
+            window[3]
+
+
+class TestActiveUsers:
+    def test_tracks_arrivals_and_expiries(self):
+        window = SlidingWindow(2)
+        window.slide([Action.root(1, 10), Action.root(2, 11)])
+        assert window.active_users == {10, 11}
+        window.slide([Action.root(3, 12)])
+        assert window.active_users == {11, 12}
+
+    def test_multiplicity(self):
+        window = SlidingWindow(3)
+        window.slide([Action.root(1, 7), Action.root(2, 7), Action.root(3, 8)])
+        assert window.activity(7) == 2
+        window.slide([Action.root(4, 9)])
+        assert window.activity(7) == 1
+        assert 7 in window.active_users
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=st.integers(1, 10),
+    batch_sizes=st.lists(st.integers(1, 7), min_size=1, max_size=10),
+)
+def test_window_matches_naive_model(size, batch_sizes):
+    """Property: window contents always equal the last `size` actions."""
+    window = SlidingWindow(size)
+    model = []  # reference: at most `size` most recent actions
+    t = 1
+    for batch_size in batch_sizes:
+        batch = [Action.root(t + i, (t + i) % 4) for i in range(batch_size)]
+        t += batch_size
+        expired = window.slide(batch)
+        combined = model + batch
+        expected_expired = combined[:-size] if len(combined) > size else []
+        model = combined[-size:]
+        assert list(window) == model
+        assert expired == expected_expired
+        assert window.active_users == {a.user for a in model}

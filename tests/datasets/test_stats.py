@@ -1,0 +1,46 @@
+"""Unit tests for stream statistics (Table 3 regenerator)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.datasets.stats import StreamStatistics, stream_statistics
+from tests.conftest import make_paper_stream
+
+
+class TestStreamStatistics:
+    def test_empty_stream(self):
+        stats = stream_statistics([])
+        assert stats.users == 0
+        assert stats.actions == 0
+        assert stats.mean_response_distance == 0.0
+        assert stats.mean_depth == 0.0
+        assert stats.root_fraction == 0.0
+
+    def test_paper_stream(self):
+        stats = stream_statistics(make_paper_stream())
+        assert stats.users == 6
+        assert stats.actions == 10
+        assert stats.root_fraction == pytest.approx(0.3)
+        # Distances: a2:1, a4:3, a5:2, a6:3, a7:4, a8:1, a10:1 -> mean 15/7.
+        assert stats.mean_response_distance == pytest.approx(15 / 7)
+        # Depths: 1,2,1,2,2,2,2,3,1,2 -> mean 1.8, max 3.
+        assert stats.mean_depth == pytest.approx(1.8)
+        assert stats.max_depth == 3
+
+    def test_all_roots(self):
+        actions = [Action.root(t, t) for t in range(1, 6)]
+        stats = stream_statistics(actions)
+        assert stats.root_fraction == 1.0
+        assert stats.mean_response_distance == 0.0
+        assert stats.mean_depth == 1.0
+
+    def test_as_row_formatting(self):
+        stats = StreamStatistics(
+            users=1000, actions=50000, mean_response_distance=123.4,
+            mean_depth=2.5, max_depth=9, root_fraction=0.4,
+        )
+        row = stats.as_row("test")
+        assert "test" in row
+        assert "1,000" in row
+        assert "123.4" in row
+        assert "2.50" in row

@@ -1,0 +1,62 @@
+"""Statistical tests for the Reddit/Twitter surrogate streams."""
+
+import pytest
+
+from repro.core.stream import validate_stream
+from repro.datasets.stats import stream_statistics
+from repro.datasets.surrogates import heavy_tail_stream, reddit_like, twitter_like
+
+
+class TestValidity:
+    def test_reddit_stream_is_valid(self):
+        actions = list(validate_stream(reddit_like(n_users=300, n_actions=2000, seed=1)))
+        assert len(actions) == 2000
+
+    def test_twitter_stream_is_valid(self):
+        actions = list(validate_stream(twitter_like(n_users=300, n_actions=2000, seed=1)))
+        assert len(actions) == 2000
+
+    def test_heavy_tail_validation(self):
+        with pytest.raises(ValueError, match="follow probability"):
+            list(heavy_tail_stream(10, 10, 1.0, 0.1))
+        with pytest.raises(ValueError, match="zipf"):
+            list(heavy_tail_stream(10, 10, 0.5, 0.1, zipf_exponent=1.0))
+
+    def test_deterministic(self):
+        a = list(reddit_like(n_users=200, n_actions=800, seed=5))
+        b = list(reddit_like(n_users=200, n_actions=800, seed=5))
+        assert a == b
+
+
+class TestTable3Shapes:
+    def test_reddit_depth(self):
+        """Table 3: Reddit average depth 4.58."""
+        stats = stream_statistics(reddit_like(n_users=800, n_actions=10_000, seed=2))
+        assert stats.mean_depth == pytest.approx(4.58, abs=0.9)
+
+    def test_twitter_depth(self):
+        """Table 3: Twitter average depth 1.87."""
+        stats = stream_statistics(twitter_like(n_users=800, n_actions=10_000, seed=2))
+        assert stats.mean_depth == pytest.approx(1.87, abs=0.4)
+
+    def test_response_distance_fractions(self):
+        """Distances keep the original fraction of the stream length."""
+        n = 10_000
+        reddit_stats = stream_statistics(reddit_like(n_users=800, n_actions=n, seed=3))
+        twitter_stats = stream_statistics(twitter_like(n_users=800, n_actions=n, seed=3))
+        assert reddit_stats.mean_response_distance == pytest.approx(
+            n * 404_714.9 / 48_104_875, rel=0.35
+        )
+        assert twitter_stats.mean_response_distance == pytest.approx(
+            n * 294_609.4 / 9_724_908, rel=0.35
+        )
+
+    def test_activity_is_heavy_tailed(self):
+        """A few users should dominate the action count."""
+        from collections import Counter
+
+        counts = Counter(
+            a.user for a in reddit_like(n_users=1000, n_actions=8000, seed=4)
+        )
+        top_share = sum(c for _, c in counts.most_common(10)) / 8000
+        assert top_share > 0.2

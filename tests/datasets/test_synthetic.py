@@ -1,0 +1,68 @@
+"""Unit and statistical tests for SYN-O/SYN-N generators."""
+
+import pytest
+
+from repro.core.stream import validate_stream
+from repro.datasets.stats import stream_statistics
+from repro.datasets.synthetic import SyntheticConfig, syn_n, syn_o, synthetic_stream
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="users"):
+            SyntheticConfig(1, 100, 10.0)
+        with pytest.raises(ValueError, match="action count"):
+            SyntheticConfig(10, 0, 10.0)
+        with pytest.raises(ValueError, match="distance"):
+            SyntheticConfig(10, 100, 0.0)
+        with pytest.raises(ValueError, match="follow probability"):
+            SyntheticConfig(10, 100, 10.0, follow_probability=1.0)
+
+
+class TestStreamValidity:
+    def test_stream_is_valid(self):
+        config = SyntheticConfig(100, 500, 20.0, seed=1)
+        actions = list(validate_stream(synthetic_stream(config)))
+        assert len(actions) == 500
+        assert actions[0].time == 1
+        assert actions[-1].time == 500
+
+    def test_deterministic_under_seed(self):
+        config = SyntheticConfig(100, 300, 20.0, seed=9)
+        first = list(synthetic_stream(config))
+        second = list(synthetic_stream(SyntheticConfig(100, 300, 20.0, seed=9)))
+        assert first == second
+
+    def test_users_within_universe(self):
+        config = SyntheticConfig(50, 400, 15.0, seed=2)
+        assert all(0 <= a.user < 50 for a in synthetic_stream(config))
+
+    def test_first_action_is_root(self):
+        config = SyntheticConfig(10, 50, 5.0, seed=3)
+        assert next(iter(synthetic_stream(config))).is_root
+
+
+class TestStatisticsShape:
+    def test_follow_probability_controls_depth(self):
+        """Mean depth ~ 1/(1 - p) in steady state."""
+        shallow = SyntheticConfig(200, 4000, 50.0, follow_probability=0.3, seed=4)
+        deep = SyntheticConfig(200, 4000, 50.0, follow_probability=0.75, seed=4)
+        shallow_stats = stream_statistics(synthetic_stream(shallow))
+        deep_stats = stream_statistics(synthetic_stream(deep))
+        assert deep_stats.mean_depth > shallow_stats.mean_depth
+        assert shallow_stats.mean_depth == pytest.approx(1 / 0.7, rel=0.2)
+
+    def test_mean_response_distance_matches_config(self):
+        config = SyntheticConfig(200, 6000, 40.0, seed=5)
+        stats = stream_statistics(synthetic_stream(config))
+        assert stats.mean_response_distance == pytest.approx(40.0, rel=0.25)
+
+    def test_syn_o_vs_syn_n_distances(self):
+        """SYN-O's distances are ~100x SYN-N's (Table 3 ratio)."""
+        o_stats = stream_statistics(syn_o(500, 5000, seed=6))
+        n_stats = stream_statistics(syn_n(500, 5000, seed=6))
+        assert o_stats.mean_response_distance > 20 * n_stats.mean_response_distance
+
+    def test_table3_depth_shape(self):
+        stats = stream_statistics(syn_o(500, 5000, seed=7))
+        assert stats.mean_depth == pytest.approx(2.5, abs=0.5)

@@ -1,0 +1,64 @@
+"""Unit and statistical tests for IC-model Monte-Carlo simulation."""
+
+import random
+
+import pytest
+
+from repro.diffusion.monte_carlo import estimate_spread, simulate_spread
+from repro.graphs.graph import DiGraph
+
+
+def chain(length, probability=1.0):
+    graph = DiGraph()
+    for i in range(length - 1):
+        graph.add_edge(i, i + 1, probability)
+    return graph
+
+
+class TestSimulateSpread:
+    def test_deterministic_chain(self):
+        graph = chain(5, probability=1.0)
+        assert simulate_spread(graph, [0], random.Random(0)) == 5
+
+    def test_zero_probability_spreads_nothing(self):
+        graph = chain(5, probability=0.0)
+        assert simulate_spread(graph, [0], random.Random(0)) == 1
+
+    def test_seed_not_in_graph(self):
+        graph = chain(3)
+        assert simulate_spread(graph, [99], random.Random(0)) == 0
+
+    def test_multiple_seeds_counted_once(self):
+        graph = chain(4, probability=1.0)
+        assert simulate_spread(graph, [0, 1], random.Random(0)) == 4
+
+
+class TestEstimateSpread:
+    def test_empty_seeds(self):
+        assert estimate_spread(chain(3), [], rounds=10) == 0.0
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            estimate_spread(chain(3), [0], rounds=0)
+
+    def test_deterministic_graph_exact(self):
+        assert estimate_spread(chain(4, 1.0), [0], rounds=50, seed=1) == 4.0
+
+    def test_reproducible_under_seed(self):
+        graph = chain(10, probability=0.5)
+        a = estimate_spread(graph, [0], rounds=200, seed=42)
+        b = estimate_spread(graph, [0], rounds=200, seed=42)
+        assert a == b
+
+    def test_single_edge_expectation(self):
+        """Spread of {0} on 0->1 with p: expectation is 1 + p."""
+        graph = DiGraph()
+        graph.add_edge(0, 1, 0.3)
+        estimate = estimate_spread(graph, [0], rounds=20_000, seed=7)
+        assert estimate == pytest.approx(1.3, abs=0.02)
+
+    def test_monotone_in_seeds(self):
+        graph = chain(8, probability=0.5)
+        small = estimate_spread(graph, [0], rounds=3000, seed=3)
+        large = estimate_spread(graph, [0, 4], rounds=3000, seed=3)
+        assert large >= small

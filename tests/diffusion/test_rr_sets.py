@@ -1,0 +1,100 @@
+"""Unit and statistical tests for RR-set sampling and coverage greedy."""
+
+import random
+
+import pytest
+
+from repro.diffusion.monte_carlo import estimate_spread
+from repro.diffusion.rr_sets import (
+    coverage_greedy,
+    generate_rr_sets,
+    random_rr_set,
+)
+from repro.graphs.graph import DiGraph
+from repro.graphs.rmat import rmat_edges
+from repro.graphs.wc_model import assign_weighted_cascade
+
+
+def chain(length, probability=1.0):
+    graph = DiGraph()
+    for i in range(length - 1):
+        graph.add_edge(i, i + 1, probability)
+    return graph
+
+
+class TestRandomRRSet:
+    def test_deterministic_chain_collects_ancestors(self):
+        graph = chain(5, probability=1.0)
+        rr = random_rr_set(graph, 4, random.Random(0))
+        assert rr == {0, 1, 2, 3, 4}
+
+    def test_zero_probability_is_singleton(self):
+        graph = chain(5, probability=0.0)
+        assert random_rr_set(graph, 4, random.Random(0)) == {4}
+
+    def test_root_always_included(self):
+        graph = chain(3, probability=0.5)
+        for seed in range(10):
+            assert 2 in random_rr_set(graph, 2, random.Random(seed))
+
+
+class TestGenerateRRSets:
+    def test_count(self):
+        graph = chain(4)
+        rr_sets = generate_rr_sets(graph, 25, random.Random(1))
+        assert len(rr_sets) == 25
+
+    def test_empty_graph(self):
+        assert generate_rr_sets(DiGraph(), 10, random.Random(1)) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_rr_sets(chain(3), -1)
+
+    def test_explicit_roots(self):
+        graph = chain(4, probability=0.0)
+        rr_sets = generate_rr_sets(graph, 3, random.Random(1), roots=[0, 1, 2])
+        assert rr_sets == [{0}, {1}, {2}]
+
+
+class TestCoverageGreedy:
+    def test_simple_cover(self):
+        rr_sets = [{1, 2}, {2, 3}, {4}, {4, 5}]
+        seeds, covered = coverage_greedy(rr_sets, 2)
+        assert covered == 4  # {2 covers 2 sets} + {4 covers 2 sets}
+        assert set(seeds) == {2, 4}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            coverage_greedy([{1}], 0)
+
+    def test_empty_rr_sets(self):
+        seeds, covered = coverage_greedy([], 3)
+        assert seeds == [] and covered == 0
+
+    def test_stops_at_zero_gain(self):
+        rr_sets = [{1}, {1}, {1}]
+        seeds, covered = coverage_greedy(rr_sets, 3)
+        assert seeds == [1] and covered == 3
+
+    def test_respects_k(self):
+        rr_sets = [{i} for i in range(10)]
+        seeds, covered = coverage_greedy(rr_sets, 4)
+        assert len(seeds) == 4 and covered == 4
+
+
+class TestRISIdentity:
+    def test_rr_estimate_matches_monte_carlo(self):
+        """Borgs et al. identity: n * E[coverage fraction] == E[spread]."""
+        graph = DiGraph.from_edges(
+            (s, t, 1.0) for s, t in rmat_edges(40, 120, seed=9)
+        )
+        assign_weighted_cascade(graph)
+        n = graph.node_count
+        seeds = [0, 1]
+        rng = random.Random(11)
+        rr_sets = generate_rr_sets(graph, 8000, rng)
+        hits = sum(1 for rr in rr_sets if rr & set(seeds))
+        ris_estimate = n * hits / len(rr_sets)
+        mc_estimate = estimate_spread(graph, seeds, rounds=8000, seed=13)
+        assert ris_estimate == pytest.approx(mc_estimate, rel=0.15, abs=0.5)

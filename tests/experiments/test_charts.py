@@ -1,0 +1,86 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.reporting import ExperimentTable, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart({"A": [1, 2, 3]}, [10, 20, 30], width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + labels + legend
+        assert "o=A" in lines[-1]
+        assert "10" in lines[-2] and "30" in lines[-2]
+
+    def test_two_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"SIC": [5, 6], "IC": [1, 2]}, [0.1, 0.5], width=10, height=4
+        )
+        assert "o=IC" in chart
+        assert "x=SIC" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_extremes_on_first_and_last_rows(self):
+        chart = ascii_chart({"A": [0, 10]}, [1, 2], width=10, height=4)
+        lines = chart.splitlines()
+        assert "o" in lines[3]  # min on the bottom grid row
+        assert "o" in lines[0]  # max on the top grid row
+
+    def test_constant_series(self):
+        chart = ascii_chart({"A": [5, 5, 5]}, [1, 2, 3], width=12, height=4)
+        assert "o" in chart  # must not divide by zero
+
+    def test_validation(self):
+        assert ascii_chart({}, []) == "(no data)"
+        with pytest.raises(ValueError, match="x-label"):
+            ascii_chart({"A": [1, 2]}, [1, 2, 3])
+        with pytest.raises(ValueError, match="two points"):
+            ascii_chart({"A": [1]}, [1])
+
+
+class TestTableChart:
+    def make(self):
+        table = ExperimentTable(
+            "Fig", ["dataset", "beta", "algorithm", "throughput"]
+        )
+        for beta, sic, ic in [(0.1, 3.0, 1.0), (0.5, 17.0, 3.2)]:
+            table.add_row("syn-n", beta, "SIC", sic)
+            table.add_row("syn-n", beta, "IC", ic)
+            table.add_row("reddit", beta, "SIC", sic * 2)
+        return table
+
+    def test_chart_by_group(self):
+        chart = self.make().chart(
+            "beta", "throughput", "algorithm", filters={"dataset": "syn-n"}
+        )
+        assert "o=IC" in chart and "x=SIC" in chart
+
+    def test_filter_excludes_other_datasets(self):
+        chart = self.make().chart(
+            "beta", "throughput", "algorithm", filters={"dataset": "reddit"}
+        )
+        # reddit rows only contain SIC.
+        assert "SIC" in chart and "o=IC" not in chart
+
+    def test_series_with_none_skipped(self):
+        table = ExperimentTable("Fig", ["dataset", "x", "algorithm", "y"])
+        table.add_row("d", 1, "A", 1.0)
+        table.add_row("d", 2, "A", None)
+        table.add_row("d", 1, "B", 1.0)
+        table.add_row("d", 2, "B", 2.0)
+        chart = table.chart("x", "y", "algorithm")
+        assert "o=B" in chart and "A" not in chart.splitlines()[-1].replace("o=B", "")
+
+
+class TestCliChartFlag:
+    def test_chart_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main([
+            "fig6", "--scale", "tiny", "--datasets", "syn-n", "--chart",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints vs beta" in out
+        assert "=SIC" in out  # legend of the chart

@@ -1,0 +1,56 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.scale == "small"
+        assert args.datasets is None
+        assert args.seed == 7
+
+    def test_dataset_choices(self):
+        args = build_parser().parse_args(
+            ["fig7", "--datasets", "syn-n", "reddit"]
+        )
+        assert args.datasets == ["syn-n", "reddit"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--datasets", "myspace"])
+
+
+class TestMain:
+    def test_table3_runs(self, capsys):
+        code = main(["table3", "--scale", "tiny", "--datasets", "syn-n"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "syn-n" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        code = main([
+            "table3", "--scale", "tiny", "--datasets", "syn-n",
+            "--csv", str(target),
+        ])
+        assert code == 0
+        content = target.read_text()
+        assert content.startswith("# Table 3")
+        assert "dataset" in content
+
+    def test_fig6_runs(self, capsys):
+        code = main(["fig6", "--scale", "tiny", "--datasets", "syn-n"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "SIC" in out

@@ -1,0 +1,75 @@
+"""Unit tests for experiment configuration and scale presets."""
+
+import pytest
+
+from repro.experiments.config import (
+    BETA_GRID,
+    DATASETS,
+    K_GRID,
+    ExperimentConfig,
+    Scale,
+    make_config,
+)
+
+
+class TestExperimentConfig:
+    def test_valid_construction(self):
+        config = ExperimentConfig(
+            dataset="syn-o", n_users=100, n_actions=1000,
+            window_size=200, slide=10, k=5, beta=0.3,
+        )
+        assert config.dataset == "syn-o"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            ExperimentConfig(
+                dataset="facebook", n_users=10, n_actions=10,
+                window_size=5, slide=1, k=1, beta=0.1,
+            )
+
+    def test_slide_exceeding_window(self):
+        with pytest.raises(ValueError, match="slide"):
+            ExperimentConfig(
+                dataset="syn-o", n_users=10, n_actions=10,
+                window_size=5, slide=6, k=1, beta=0.1,
+            )
+
+    def test_with_overrides(self):
+        config = make_config("syn-n", Scale.TINY)
+        changed = config.with_overrides(k=99, beta=0.5)
+        assert changed.k == 99
+        assert changed.beta == 0.5
+        assert changed.dataset == config.dataset
+        assert config.k != 99  # original untouched
+
+
+class TestPresets:
+    def test_grids_match_table4(self):
+        assert BETA_GRID == (0.1, 0.2, 0.3, 0.4, 0.5)
+        assert K_GRID == (5, 25, 50, 75, 100)
+        assert set(DATASETS) == {"reddit", "twitter", "syn-o", "syn-n"}
+
+    @pytest.mark.parametrize("scale", list(Scale))
+    def test_all_scales_resolve(self, scale):
+        config = make_config("reddit", scale)
+        assert config.window_size <= config.n_actions
+        assert 1 <= config.slide <= config.window_size
+        assert config.beta == 0.3  # Table 4 default
+
+    def test_paper_scale_is_table4(self):
+        config = make_config("reddit", Scale.PAPER)
+        assert config.window_size == 500_000
+        assert config.slide == 5_000
+        assert config.k == 50
+        assert config.n_users == 2_000_000
+
+    def test_scales_are_ordered(self):
+        sizes = [
+            make_config("syn-o", scale).window_size
+            for scale in (Scale.TINY, Scale.SMALL, Scale.MEDIUM, Scale.PAPER)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_make_config_overrides(self):
+        config = make_config("syn-o", Scale.TINY, k=77)
+        assert config.k == 77

@@ -1,0 +1,104 @@
+"""Integration tests for the per-figure regenerators (reduced grids)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import Scale
+
+
+@pytest.fixture(scope="module")
+def beta_tables():
+    """One shared tiny β sweep for the fig5/6/7 assertions."""
+    return figures.fig5_6_7(
+        scale=Scale.TINY, datasets=("syn-n",), betas=(0.1, 0.4), seed=7
+    )
+
+
+class TestFig567(object):
+    def test_tables_present(self, beta_tables):
+        assert set(beta_tables) == {"fig5", "fig6", "fig7"}
+
+    def test_fig5_rows(self, beta_tables):
+        table = beta_tables["fig5"]
+        assert len(table.rows) == 4  # 2 betas x 2 algorithms
+        assert set(table.column("algorithm")) == {"IC", "SIC"}
+
+    def test_fig6_ic_constant_sic_decreasing(self, beta_tables):
+        table = beta_tables["fig6"]
+        ic_counts = table.series({"algorithm": "IC"}, "checkpoints")
+        sic_counts = table.series({"algorithm": "SIC"}, "checkpoints")
+        # IC: constant ceil(N/L); SIC: fewer, and fewer still for larger β.
+        assert ic_counts[0] == ic_counts[1]
+        assert all(s < i for s, i in zip(sic_counts, ic_counts))
+        assert sic_counts[1] <= sic_counts[0]
+
+    def test_fig7_sic_faster_than_ic(self, beta_tables):
+        table = beta_tables["fig7"]
+        for beta in (0.1, 0.4):
+            ic = table.series({"algorithm": "IC", "beta": beta}, "throughput")[0]
+            sic = table.series({"algorithm": "SIC", "beta": beta}, "throughput")[0]
+            assert sic > ic
+
+    def test_fig5_values_positive(self, beta_tables):
+        assert all(v > 0 for v in beta_tables["fig5"].column("influence_value"))
+
+
+class TestFig89:
+    def test_reduced_sweep(self):
+        tables = figures.fig8_9(
+            scale=Scale.TINY,
+            datasets=("syn-n",),
+            ks=(5,),
+            algorithms=("sic", "greedy"),
+            mc_rounds=30,
+            quality_every=5,
+            seed=7,
+        )
+        quality = tables["fig8"]
+        throughput = tables["fig9"]
+        assert len(quality.rows) == 2
+        assert all(v is not None and v > 0 for v in quality.column("spread"))
+        assert all(v > 0 for v in throughput.column("throughput"))
+
+
+class TestScalabilityFigures:
+    def test_fig10_structure(self):
+        table = figures.fig10(
+            scale=Scale.TINY, datasets=("syn-n",), factors=(0.5, 1.0),
+            algorithms=("sic",), seed=7,
+        )
+        assert len(table.rows) == 2
+        sizes = table.column("window_size")
+        assert sizes[0] < sizes[1]
+
+    def test_fig11_structure(self):
+        table = figures.fig11(
+            scale=Scale.TINY, datasets=("syn-n",), fractions=(0.01, 0.02),
+            algorithms=("sic", "ic"), seed=7,
+        )
+        assert len(table.rows) == 4
+        # IC throughput grows with L (fewer checkpoints per action).
+        ic = table.series({"algorithm": "IC"}, "throughput")
+        assert ic[1] > ic[0] * 0.8  # allow noise, expect roughly increasing
+
+    def test_fig12_structure(self):
+        table = figures.fig12(
+            scale=Scale.TINY, datasets=("syn-n",), factors=(1.0, 2.0),
+            algorithms=("sic",), seed=7,
+        )
+        users = table.column("n_users")
+        assert users[0] < users[1]
+
+
+class TestTables:
+    def test_table2_all_oracles(self):
+        table = figures.table2(scale=Scale.TINY, dataset="syn-n", seed=7)
+        assert table.column("oracle") == [
+            "sieve", "threshold", "blog_watch", "mkc"
+        ]
+        assert all(v > 0 for v in table.column("influence_value"))
+
+    def test_table3_all_datasets(self):
+        table = figures.table3(scale=Scale.TINY, seed=7)
+        assert len(table.rows) == 4
+        assert all(v > 0 for v in table.column("avg_depth"))

@@ -1,0 +1,72 @@
+"""Unit tests for throughput metering and the ground-truth evaluator."""
+
+import time
+
+import pytest
+
+from repro.core.actions import Action
+from repro.experiments.metrics import StreamEvaluator, ThroughputMeter
+from tests.conftest import make_paper_stream
+
+
+class TestThroughputMeter:
+    def test_initial_state(self):
+        meter = ThroughputMeter()
+        assert meter.throughput == 0.0
+        assert meter.elapsed == 0.0
+        assert meter.actions == 0
+
+    def test_accumulates(self):
+        meter = ThroughputMeter()
+        meter.start()
+        time.sleep(0.01)
+        interval = meter.stop(100)
+        assert interval > 0
+        assert meter.actions == 100
+        assert meter.throughput == pytest.approx(100 / meter.elapsed)
+
+    def test_double_start_rejected(self):
+        meter = ThroughputMeter()
+        meter.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            meter.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not started"):
+            ThroughputMeter().stop(1)
+
+
+class TestStreamEvaluator:
+    def test_influence_value_matches_example(self):
+        evaluator = StreamEvaluator(window_size=8)
+        evaluator.feed(make_paper_stream()[:8])
+        assert evaluator.influence_value({1, 3}) == 5.0
+        evaluator.feed(make_paper_stream()[8:])
+        assert evaluator.influence_value({2, 3}) == 6.0
+        assert evaluator.influence_value({1, 3}) == 4.0
+
+    def test_window_expiry(self):
+        evaluator = StreamEvaluator(window_size=2)
+        evaluator.feed([Action.root(1, 1), Action.root(2, 2), Action.root(3, 3)])
+        assert evaluator.influence_value({1}) == 0.0
+        assert evaluator.influence_value({2, 3}) == 2.0
+
+    def test_quality_runs_monte_carlo(self):
+        evaluator = StreamEvaluator(window_size=8)
+        evaluator.feed(make_paper_stream()[:8])
+        spread = evaluator.quality({1, 3}, mc_rounds=200, seed=1)
+        # Seeds themselves activate, so spread >= |{1,3} ∩ graph nodes|.
+        assert spread >= 2.0
+        assert spread <= 6.0
+
+    def test_quality_deterministic_under_seed(self):
+        evaluator = StreamEvaluator(window_size=8)
+        evaluator.feed(make_paper_stream()[:8])
+        a = evaluator.quality({1, 3}, mc_rounds=100, seed=3)
+        b = evaluator.quality({1, 3}, mc_rounds=100, seed=3)
+        assert a == b
+
+    def test_empty_seed_quality(self):
+        evaluator = StreamEvaluator(window_size=8)
+        evaluator.feed(make_paper_stream()[:8])
+        assert evaluator.quality(set(), mc_rounds=10, seed=1) == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for text-table reporting."""
+
+import pytest
+
+from repro.experiments.reporting import ExperimentTable, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [33, None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "-" in lines[1]
+        assert "33" in lines[3]
+        assert "-" in lines[3]  # None rendered as '-'
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1234.5], [0.125]])
+        assert "1,234" in text or "1,235" in text
+        assert "0.12" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestExperimentTable:
+    def make(self):
+        table = ExperimentTable("Fig X", ["dataset", "beta", "value"])
+        table.add_row("syn-o", 0.1, 10.0)
+        table.add_row("syn-o", 0.2, 8.0)
+        table.add_row("syn-n", 0.1, 5.0)
+        return table
+
+    def test_add_row_validates_length(self):
+        table = self.make()
+        with pytest.raises(ValueError, match="expected 3"):
+            table.add_row(1, 2)
+
+    def test_render_contains_title(self):
+        assert self.make().render().startswith("Fig X")
+
+    def test_column(self):
+        assert self.make().column("beta") == [0.1, 0.2, 0.1]
+        with pytest.raises(ValueError):
+            self.make().column("missing")
+
+    def test_series_filters(self):
+        table = self.make()
+        assert table.series({"dataset": "syn-o"}, "value") == [10.0, 8.0]
+        assert table.series({"dataset": "syn-n", "beta": 0.1}, "value") == [5.0]
+        assert table.series({"dataset": "none"}, "value") == []
+
+    def test_to_csv(self):
+        csv_text = self.make().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "dataset,beta,value"
+        assert len(lines) == 4

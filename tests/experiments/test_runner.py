@@ -1,0 +1,100 @@
+"""Integration tests for the experiment runner."""
+
+import pytest
+
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.experiments.config import Scale, make_config
+from repro.experiments.runner import build_algorithm, make_stream, run_algorithm
+from tests.conftest import random_stream
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        n_users=200, n_actions=600, window_size=150, slide=30, k=3,
+    )
+    defaults.update(overrides)
+    return make_config("syn-n", Scale.TINY).with_overrides(**defaults)
+
+
+class TestRunAlgorithm:
+    def test_basic_run(self):
+        config = tiny_config()
+        result = run_algorithm(
+            build_algorithm("sic", config),
+            make_stream(config),
+            slide=config.slide,
+            name="SIC",
+        )
+        assert result.name == "SIC"
+        assert result.queries > 0
+        assert result.throughput > 0
+        assert result.mean_influence_value > 0
+        assert result.mean_checkpoints is not None
+        assert result.mean_quality is None
+
+    def test_quality_evaluation(self):
+        config = tiny_config()
+        result = run_algorithm(
+            build_algorithm("greedy", config),
+            make_stream(config),
+            slide=config.slide,
+            evaluate_quality=True,
+            mc_rounds=50,
+            quality_every=2,
+        )
+        assert result.mean_quality is not None
+        assert result.mean_quality > 0
+
+    def test_warmup_excludes_early_windows(self):
+        config = tiny_config()
+        algorithm = SparseInfluentialCheckpoints(
+            window_size=config.window_size, k=config.k
+        )
+        result = run_algorithm(
+            algorithm,
+            make_stream(config),
+            slide=config.slide,
+            warmup_fraction=0.5,
+        )
+        total_slides = config.n_actions // config.slide
+        assert result.queries == total_slides - int(total_slides * 0.5)
+
+    def test_validation(self):
+        config = tiny_config()
+        algorithm = build_algorithm("sic", config)
+        with pytest.raises(ValueError, match="slide"):
+            run_algorithm(algorithm, [], slide=0)
+        with pytest.raises(ValueError, match="warmup"):
+            run_algorithm(algorithm, [], slide=1, warmup_fraction=1.0)
+
+    def test_default_name_is_class_name(self):
+        config = tiny_config()
+        result = run_algorithm(
+            build_algorithm("sic", config),
+            random_stream(300, 50, seed=1),
+            slide=30,
+        )
+        assert result.name == "SparseInfluentialCheckpoints"
+
+
+class TestBuildAlgorithm:
+    @pytest.mark.parametrize("name,expected_k", [
+        ("sic", 3), ("ic", 3), ("greedy", 3), ("imm", 3), ("ubi", 3),
+    ])
+    def test_all_names(self, name, expected_k):
+        algorithm = build_algorithm(name, tiny_config())
+        assert algorithm.k == expected_k
+        assert algorithm.window_size == 150
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            build_algorithm("magic", tiny_config())
+
+
+class TestMakeStream:
+    @pytest.mark.parametrize("dataset", ["reddit", "twitter", "syn-o", "syn-n"])
+    def test_all_datasets(self, dataset):
+        config = tiny_config().with_overrides(dataset=dataset)
+        actions = list(make_stream(config))
+        assert len(actions) == config.n_actions
+        assert all(0 <= a.user < config.n_users for a in actions)

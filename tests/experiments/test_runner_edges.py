@@ -1,0 +1,76 @@
+"""Edge-case tests for the experiment runner and figure plumbing."""
+
+import pytest
+
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.experiments.config import Scale, make_config
+from repro.experiments.runner import build_algorithm, make_stream, run_algorithm
+from tests.conftest import random_stream
+
+
+class TestQualityCadence:
+    def test_quality_every_reduces_evaluations(self):
+        config = make_config("syn-n", Scale.TINY).with_overrides(
+            n_actions=600, window_size=150, slide=30, k=3
+        )
+        dense = run_algorithm(
+            build_algorithm("sic", config), make_stream(config),
+            slide=config.slide, evaluate_quality=True, mc_rounds=20,
+            quality_every=1, warmup_fraction=0.0,
+        )
+        sparse = run_algorithm(
+            build_algorithm("sic", config), make_stream(config),
+            slide=config.slide, evaluate_quality=True, mc_rounds=20,
+            quality_every=5, warmup_fraction=0.0,
+        )
+        # Same stream, same seeds -> similar quality, fewer MC calls.
+        assert dense.mean_quality is not None
+        assert sparse.mean_quality is not None
+        assert dense.queries == sparse.queries
+
+    def test_zero_warmup_measures_all_slides(self):
+        config = make_config("syn-n", Scale.TINY).with_overrides(
+            n_actions=300, window_size=100, slide=50, k=2
+        )
+        result = run_algorithm(
+            build_algorithm("greedy", config), make_stream(config),
+            slide=config.slide, warmup_fraction=0.0,
+        )
+        assert result.queries == 6
+
+    def test_short_stream_with_large_warmup(self):
+        algorithm = SparseInfluentialCheckpoints(window_size=50, k=2)
+        result = run_algorithm(
+            algorithm, random_stream(40, 5, seed=1), slide=20,
+            warmup_fraction=0.9,
+        )
+        # 2 batches, warmup floor(2*0.9)=1 -> exactly one measured query.
+        assert result.queries == 1
+
+    def test_empty_stream(self):
+        algorithm = SparseInfluentialCheckpoints(window_size=10, k=2)
+        result = run_algorithm(algorithm, [], slide=5)
+        assert result.queries == 0
+        assert result.throughput == 0.0
+        assert result.mean_influence_value == 0.0
+
+
+class TestConfigInteraction:
+    def test_oracle_override_flows_to_frameworks(self):
+        config = make_config("syn-n", Scale.TINY, oracle="threshold")
+        sic = build_algorithm("sic", config)
+        for action in random_stream(60, 8, seed=2):
+            sic.process([action])
+        from repro.core.oracles.threshold import ThresholdStreamOracle
+
+        assert isinstance(sic.checkpoints[0].oracle, ThresholdStreamOracle)
+
+    def test_beta_override_flows_to_sic(self):
+        config = make_config("syn-n", Scale.TINY, beta=0.42)
+        sic = build_algorithm("sic", config)
+        assert sic.beta == pytest.approx(0.42)
+
+    def test_k_flows_to_all(self):
+        config = make_config("syn-n", Scale.TINY, k=7)
+        for name in ("sic", "ic", "greedy", "imm", "ubi"):
+            assert build_algorithm(name, config).k == 7

@@ -1,0 +1,87 @@
+"""Unit tests for the DiGraph substrate."""
+
+import pytest
+
+from repro.graphs.graph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert 1 not in graph
+
+    def test_add_nodes_and_edges(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 3, 0.25)
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_add_node_idempotent(self):
+        graph = DiGraph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert graph.node_count == 1
+
+    def test_overwrite_probability(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(1, 2, 0.9)
+        assert graph.edge_count == 1
+        assert graph.probability(1, 2) == 0.9
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DiGraph().add_edge(3, 3)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            DiGraph().add_edge(1, 2, 1.5)
+        with pytest.raises(ValueError, match="probability"):
+            DiGraph().add_edge(1, 2, -0.1)
+
+    def test_from_edges(self):
+        graph = DiGraph.from_edges([(1, 2, 0.5), (2, 3, 1.0)])
+        assert graph.edge_count == 2
+
+
+class TestAccessors:
+    @pytest.fixture
+    def diamond(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(1, 3, 0.5)
+        graph.add_edge(2, 4, 1.0)
+        graph.add_edge(3, 4, 1.0)
+        return graph
+
+    def test_successors_predecessors(self, diamond):
+        assert set(diamond.successors(1)) == {2, 3}
+        assert set(diamond.predecessors(4)) == {2, 3}
+        assert diamond.successors(4) == {}
+        assert diamond.predecessors(1) == {}
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(1) == 2
+        assert diamond.in_degree(4) == 2
+        assert diamond.in_degree(1) == 0
+        assert diamond.out_degree(99) == 0
+
+    def test_edges_iteration(self, diamond):
+        edges = set((s, t) for s, t, _ in diamond.edges())
+        assert edges == {(1, 2), (1, 3), (2, 4), (3, 4)}
+
+    def test_probability_missing_edge(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.probability(4, 1)
+
+    def test_copy_is_deep(self, diamond):
+        clone = diamond.copy()
+        clone.add_edge(4, 5, 1.0)
+        assert 5 not in diamond
+        assert clone.edge_count == diamond.edge_count + 1
+        assert clone.probability(1, 2) == diamond.probability(1, 2)

@@ -1,0 +1,62 @@
+"""Unit and statistical tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.rmat import rmat_adjacency, rmat_edges
+
+
+class TestBasics:
+    def test_edge_count_and_validity(self):
+        edges = rmat_edges(64, 200, seed=1)
+        assert len(edges) == 200
+        assert len(set(edges)) == 200  # distinct
+        for s, t in edges:
+            assert 0 <= s < 64
+            assert 0 <= t < 64
+            assert s != t
+
+    def test_deterministic_under_seed(self):
+        assert rmat_edges(32, 100, seed=5) == rmat_edges(32, 100, seed=5)
+        assert rmat_edges(32, 100, seed=5) != rmat_edges(32, 100, seed=6)
+
+    def test_non_power_of_two_universe(self):
+        edges = rmat_edges(100, 300, seed=2)
+        assert all(0 <= s < 100 and 0 <= t < 100 for s, t in edges)
+
+    def test_zero_edges(self):
+        assert rmat_edges(10, 0, seed=1) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            rmat_edges(1, 5)
+        with pytest.raises(ValueError, match="non-negative"):
+            rmat_edges(10, -1)
+        with pytest.raises(ValueError, match="quadrant"):
+            rmat_edges(10, 5, a=0.9, b=0.2, c=0.2)
+
+    def test_adjacency_form(self):
+        adjacency = rmat_adjacency(32, 100, seed=3)
+        total = sum(len(targets) for targets in adjacency.values())
+        assert total == 100
+
+
+class TestSkew:
+    def test_degree_distribution_is_skewed(self):
+        """R-MAT with a=0.57 concentrates edges on low-id quadrants: the
+        max out-degree should far exceed the mean (power-law behaviour)."""
+        edges = rmat_edges(256, 2000, seed=7)
+        out_degree = np.zeros(256)
+        for s, _ in edges:
+            out_degree[s] += 1
+        mean = out_degree[out_degree > 0].mean()
+        assert out_degree.max() >= 4 * mean
+
+    def test_uniform_quadrants_are_not_skewed(self):
+        edges = rmat_edges(256, 2000, a=0.25, b=0.25, c=0.25, seed=7)
+        out_degree = np.zeros(256)
+        for s, _ in edges:
+            out_degree[s] += 1
+        mean = out_degree[out_degree > 0].mean()
+        # Uniform R-MAT is an Erdos-Renyi-like graph: much flatter.
+        assert out_degree.max() <= 6 * mean

@@ -1,0 +1,96 @@
+"""Unit tests for topic/region stream filters (Appendix A)."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.stream import validate_stream
+from repro.influence.filters import (
+    Region,
+    filter_stream,
+    region_filter,
+    topic_filter,
+)
+from tests.conftest import make_paper_stream
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(0, 0, 1, 1)
+        assert region.contains((0.5, 0.5))
+        assert region.contains((0, 1))
+        assert not region.contains((1.1, 0.5))
+        assert not region.contains((0.5, -0.1))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Region(1, 0, 0, 1)
+
+    def test_point_region(self):
+        region = Region(0.5, 0.5, 0.5, 0.5)
+        assert region.contains((0.5, 0.5))
+
+
+class TestTopicFilter:
+    def test_keeps_matching_topics(self):
+        topics = {1: {"a"}, 2: {"b"}, 3: {"a", "b"}}
+        predicate = topic_filter(topics, {"a"})
+        stream = make_paper_stream()[:3]
+        assert [predicate(action) for action in stream] == [True, False, True]
+
+    def test_unlabelled_actions_dropped(self):
+        predicate = topic_filter({}, {"a"})
+        assert not predicate(Action.root(1, 1))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            topic_filter({}, set())
+
+
+class TestRegionFilter:
+    def test_keeps_in_region_actions(self):
+        positions = {1: (0.2, 0.2), 2: (0.9, 0.9)}
+        predicate = region_filter(positions, Region(0, 0, 0.5, 0.5))
+        assert predicate(Action.root(1, 1))
+        assert not predicate(Action.root(2, 2))
+
+    def test_unlocated_actions_dropped(self):
+        predicate = region_filter({}, Region(0, 0, 1, 1))
+        assert not predicate(Action.root(1, 1))
+
+
+class TestFilterStream:
+    def test_retimes_contiguously(self, paper_stream):
+        kept = list(filter_stream(paper_stream, lambda a: a.time % 2 == 1))
+        assert [a.time for a in kept] == [1, 2, 3, 4, 5]
+        # Result is itself a valid stream.
+        assert list(validate_stream(kept)) == kept
+
+    def test_relinks_surviving_parents(self, paper_stream):
+        # Keep everything: parents must be preserved under re-timing.
+        kept = list(filter_stream(paper_stream, lambda a: True))
+        assert [a.parent for a in kept] == [a.parent for a in paper_stream]
+
+    def test_orphaned_responses_become_roots(self):
+        actions = [
+            Action.root(1, 1),
+            Action.response(2, 2, 1),
+            Action.response(3, 3, 2),
+        ]
+        # Drop the middle action: a3's parent vanishes.
+        kept = list(filter_stream(actions, lambda a: a.time != 2))
+        assert [a.time for a in kept] == [1, 2]
+        assert kept[1].is_root
+
+    def test_chain_through_surviving_parent(self):
+        actions = [
+            Action.root(1, 1),
+            Action.response(2, 2, 1),
+            Action.response(3, 3, 2),
+        ]
+        kept = list(filter_stream(actions, lambda a: a.time != 1))
+        # a2 becomes a root; a3 still points at a2 (re-timed to 1).
+        assert kept[0].is_root
+        assert kept[1].parent == 1
+
+    def test_empty_result(self, paper_stream):
+        assert list(filter_stream(paper_stream, lambda a: False)) == []

@@ -1,0 +1,128 @@
+"""Unit and property tests for the influence functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diffusion import DiffusionForest
+from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.influence.functions import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+    WeightedCardinalityInfluence,
+)
+from tests.conftest import random_stream
+
+
+def build_index(actions):
+    forest = DiffusionForest()
+    index = AppendOnlyInfluenceIndex()
+    for action in actions:
+        index.add(forest.add(action))
+    return index
+
+
+class TestCardinality:
+    def test_is_modular(self):
+        func = CardinalityInfluence()
+        assert func.modular
+        assert func.weight(42) == 1.0
+
+    def test_evaluate_counts_union(self):
+        index = build_index(random_stream(40, 5, seed=1))
+        func = CardinalityInfluence()
+        assert func.evaluate([0, 1], index) == len(index.coverage([0, 1]))
+
+    def test_value_of_covered(self):
+        assert CardinalityInfluence().value_of_covered({1, 2, 3}) == 3.0
+
+    def test_empty(self):
+        index = build_index([])
+        assert CardinalityInfluence().evaluate([], index) == 0.0
+
+
+class TestWeighted:
+    def test_weights_applied(self):
+        index = build_index(random_stream(40, 5, seed=2))
+        weights = {u: float(u) for u in range(5)}
+        func = WeightedCardinalityInfluence(weights, default=0.0)
+        covered = index.coverage([0, 1, 2])
+        assert func.evaluate([0, 1, 2], index) == sum(weights[v] for v in covered)
+
+    def test_default_weight(self):
+        func = WeightedCardinalityInfluence({}, default=2.5)
+        assert func.weight(99) == 2.5
+        assert func.value_of_covered({1, 2}) == 5.0
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            WeightedCardinalityInfluence({1: -1.0})
+        with pytest.raises(ValueError, match="default"):
+            WeightedCardinalityInfluence({}, default=-0.1)
+
+
+class TestConformity:
+    def test_not_modular(self):
+        func = ConformityAwareInfluence({}, {})
+        assert not func.modular
+        with pytest.raises(NotImplementedError):
+            func.weight(1)
+        with pytest.raises(NotImplementedError):
+            func.value_of_covered({1})
+
+    def test_single_seed_formula(self):
+        index = build_index(random_stream(40, 5, seed=3))
+        phi = {u: 0.8 for u in range(5)}
+        omega = {u: 0.5 for u in range(5)}
+        func = ConformityAwareInfluence(phi, omega)
+        for u in range(5):
+            members = index.influence_set(u)
+            expected = len(members) * (0.8 * 0.5)
+            assert func.evaluate([u], index) == pytest.approx(expected)
+
+    def test_reinforcement_bounded_by_one_per_user(self):
+        index = build_index(random_stream(60, 4, seed=4))
+        func = ConformityAwareInfluence({}, {}, 1.0, 1.0)
+        # With phi = omega = 1 every influenced user saturates to 1.
+        value = func.evaluate(range(4), index)
+        assert value == pytest.approx(len(index.coverage(range(4))))
+
+    def test_score_validation(self):
+        with pytest.raises(ValueError, match="influence scores"):
+            ConformityAwareInfluence({1: 1.5}, {})
+        with pytest.raises(ValueError, match="conformity scores"):
+            ConformityAwareInfluence({}, {1: -0.2})
+        with pytest.raises(ValueError, match="default_influence"):
+            ConformityAwareInfluence({}, {}, default_influence=2.0)
+
+    def test_score_lookup(self):
+        func = ConformityAwareInfluence({1: 0.9}, {2: 0.1}, 0.4, 0.6)
+        assert func.influence_score(1) == 0.9
+        assert func.influence_score(5) == 0.4
+        assert func.conformity_score(2) == 0.1
+        assert func.conformity_score(5) == 0.6
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_all_functions_monotone_and_submodular(seed):
+    """Property: f(A) <= f(B) for A ⊆ B, and diminishing returns."""
+    index = build_index(random_stream(50, 6, seed=seed))
+    functions = [
+        CardinalityInfluence(),
+        WeightedCardinalityInfluence({u: (u % 3) + 0.5 for u in range(6)}),
+        ConformityAwareInfluence(
+            {u: 0.3 + 0.1 * u for u in range(6)},
+            {u: 0.9 - 0.1 * u for u in range(6)},
+        ),
+    ]
+    a = [0, 1]
+    b = [0, 1, 2, 3]
+    x = 4
+    for func in functions:
+        fa = func.evaluate(a, index)
+        fb = func.evaluate(b, index)
+        assert fb >= fa - 1e-12  # monotone
+        gain_a = func.evaluate(a + [x], index) - fa
+        gain_b = func.evaluate(b + [x], index) - fb
+        assert gain_a >= gain_b - 1e-9  # submodular

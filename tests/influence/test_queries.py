@@ -1,0 +1,108 @@
+"""Unit tests for the online topic/location-aware SIM query wrappers."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.greedy import WindowedGreedy
+from repro.influence.filters import Region, filter_stream
+from repro.influence.queries import FilteredSIM, LocationAwareSIM, TopicAwareSIM
+from tests.conftest import make_paper_stream, random_stream
+
+
+class TestFilteredSIM:
+    def test_counts(self, paper_stream):
+        query = FilteredSIM(lambda a: a.user != 3, window_size=8, k=2)
+        for action in paper_stream:
+            query.observe(action)
+        assert query.observed == 10
+        assert query.matched == 8  # u3 performed a3 and a4
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError, match="batch size"):
+            FilteredSIM(lambda a: True, window_size=4, k=1, batch_size=0)
+
+    def test_online_matches_offline_filtering(self):
+        """Feeding online must equal filter_stream + process offline."""
+        actions = random_stream(120, 8, seed=4)
+        predicate = lambda a: a.user % 2 == 0
+
+        online = FilteredSIM(
+            predicate, window_size=30, k=2,
+            algorithm=WindowedGreedy(window_size=30, k=2),
+        )
+        for action in actions:
+            online.observe(action)
+        online_answer = online.query()
+
+        offline_algorithm = WindowedGreedy(window_size=30, k=2)
+        retimed = list(filter_stream(actions, predicate))
+        for action in retimed:
+            offline_algorithm.process([action])
+        offline_answer = offline_algorithm.query()
+
+        assert online_answer.value == offline_answer.value
+        assert online_answer.seeds == offline_answer.seeds
+
+    def test_buffering_flushes_on_query(self):
+        query = FilteredSIM(lambda a: True, window_size=8, k=2, batch_size=100)
+        for action in make_paper_stream()[:8]:
+            query.observe(action)
+        # Nothing processed yet (buffered), but query() flushes.
+        assert query.algorithm.actions_processed == 0
+        answer = query.query()
+        assert query.algorithm.actions_processed == 8
+        assert answer.value > 0
+
+    def test_default_algorithm_is_sic(self):
+        from repro.core.sic import SparseInfluentialCheckpoints
+
+        query = FilteredSIM(lambda a: True, window_size=8, k=2)
+        assert isinstance(query.algorithm, SparseInfluentialCheckpoints)
+
+
+class TestTopicAwareSIM:
+    def test_tracks_only_query_topics(self):
+        topics = {t: ({"sports"} if t % 2 else {"music"}) for t in range(1, 50)}
+        query = TopicAwareSIM(
+            {"sports"}, topics, window_size=20, k=2,
+            algorithm=WindowedGreedy(window_size=20, k=2),
+        )
+        for action in random_stream(49, 6, seed=5):
+            query.observe(action)
+        assert query.matched == 25  # odd timestamps
+
+    def test_empty_topics_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TopicAwareSIM(set(), {}, window_size=4, k=1)
+
+    def test_live_topic_oracle(self):
+        """The oracle mapping may be populated while streaming."""
+        topics = {}
+        query = TopicAwareSIM({"x"}, topics, window_size=10, k=1)
+        for t, action in enumerate(random_stream(20, 4, seed=6), start=1):
+            topics[t] = {"x"} if t > 10 else {"y"}
+            query.observe(action)
+        assert query.matched == 10
+
+
+class TestLocationAwareSIM:
+    def test_region_filtering(self):
+        positions = {t: (0.1, 0.1) if t <= 5 else (0.9, 0.9) for t in range(1, 11)}
+        query = LocationAwareSIM(
+            Region(0, 0, 0.5, 0.5), positions, window_size=8, k=2,
+        )
+        for action in make_paper_stream():
+            query.observe(action)
+        assert query.matched == 5
+
+    def test_answer_reflects_subwindow(self):
+        positions = {t: (0.2, 0.2) for t in range(1, 11)}
+        query = LocationAwareSIM(
+            Region(0, 0, 1, 1), positions, window_size=8, k=2,
+            algorithm=WindowedGreedy(window_size=8, k=2),
+        )
+        for action in make_paper_stream()[:8]:
+            query.observe(action)
+        answer = query.query()
+        assert answer.seeds == {1, 3}
+        assert answer.value == 5.0

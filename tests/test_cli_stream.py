@@ -1,0 +1,87 @@
+"""Tests for the repro-stream CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "-o", "x.jsonl"])
+        assert args.dataset == "syn-n"
+        assert args.actions == 10_000
+
+    def test_track_defaults(self):
+        args = build_parser().parse_args(["track", "x.jsonl"])
+        assert args.algorithm == "sic"
+        assert args.window == 5_000
+
+
+class TestGenerate:
+    def test_generate_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "s.jsonl"
+        code = main([
+            "generate", "--dataset", "twitter", "-n", "500", "-u", "100",
+            "-o", str(target),
+        ])
+        assert code == 0
+        assert "wrote 500 twitter actions" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_generate_csv(self, tmp_path):
+        target = tmp_path / "s.csv"
+        assert main(["generate", "-n", "200", "-u", "50", "-o", str(target)]) == 0
+        assert target.read_text().startswith("time,user,parent")
+
+    def test_bad_extension(self, tmp_path, capsys):
+        code = main(["generate", "-n", "10", "-o", str(tmp_path / "s.txt")])
+        assert code == 1
+        assert "unsupported extension" in capsys.readouterr().err
+
+
+class TestStatsConvertTrack:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        target = tmp_path / "s.jsonl"
+        main(["generate", "--dataset", "syn-n", "-n", "600", "-u", "80",
+              "--seed", "3", "-o", str(target)])
+        return target
+
+    def test_stats(self, stream_file, capsys):
+        assert main(["stats", str(stream_file)]) == 0
+        out = capsys.readouterr().out
+        assert "actions" in out and "600" in out
+        assert "mean cascade depth" in out
+
+    def test_convert_roundtrip(self, stream_file, tmp_path, capsys):
+        csv_file = tmp_path / "s.csv"
+        assert main(["convert", str(stream_file), str(csv_file)]) == 0
+        back = tmp_path / "back.jsonl"
+        assert main(["convert", str(csv_file), str(back)]) == 0
+        assert back.read_text() == stream_file.read_text()
+
+    def test_track(self, stream_file, capsys):
+        code = main([
+            "track", str(stream_file), "--window", "200", "--slide", "100",
+            "-k", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeds" in out
+        assert out.count("\n") >= 6  # header + one line per slide
+
+    @pytest.mark.parametrize("algorithm", ["sic", "ic", "greedy"])
+    def test_track_all_algorithms(self, stream_file, algorithm, capsys):
+        code = main([
+            "track", str(stream_file), "--algorithm", algorithm,
+            "--window", "200", "--slide", "200", "-k", "2",
+        ])
+        assert code == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/x.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,71 @@
+"""Determinism: identical seeds must yield identical end-to-end results.
+
+Reproducibility is a design requirement (DESIGN.md §6): every stochastic
+component takes an explicit seed, and nothing in the frameworks themselves
+may depend on hash ordering or wall-clock.
+"""
+
+import pytest
+
+from repro.baselines.adapters import IMMAlgorithm, UBIAlgorithm
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.datasets.surrogates import reddit_like, twitter_like
+from repro.datasets.synthetic import syn_n, syn_o
+
+
+def run_twice(make_algorithm, make_stream, slide=25):
+    answers = []
+    for _ in range(2):
+        algorithm = make_algorithm()
+        trace = []
+        for batch in batched(make_stream(), slide):
+            algorithm.process(batch)
+            answer = algorithm.query()
+            trace.append((answer.time, answer.seeds, answer.value))
+        answers.append(trace)
+    return answers
+
+
+@pytest.mark.parametrize("maker", [syn_o, syn_n, reddit_like, twitter_like])
+def test_generators_are_deterministic(maker):
+    a = list(maker(n_users=200, n_actions=800, seed=11))
+    b = list(maker(n_users=200, n_actions=800, seed=11))
+    assert a == b
+    c = list(maker(n_users=200, n_actions=800, seed=12))
+    assert a != c
+
+
+@pytest.mark.parametrize("make_algorithm", [
+    lambda: SparseInfluentialCheckpoints(window_size=200, k=3, beta=0.3),
+    lambda: InfluentialCheckpoints(window_size=200, k=3, beta=0.3),
+    lambda: WindowedGreedy(window_size=200, k=3),
+])
+def test_frameworks_are_deterministic(make_algorithm):
+    make_stream = lambda: twitter_like(n_users=150, n_actions=800, seed=9)
+    first, second = run_twice(make_algorithm, make_stream)
+    assert first == second
+
+
+def test_seeded_baselines_are_deterministic():
+    make_stream = lambda: twitter_like(n_users=120, n_actions=600, seed=4)
+    for make_algorithm in (
+        lambda: IMMAlgorithm(window_size=200, k=3, seed=5, max_rr_sets=400),
+        lambda: UBIAlgorithm(window_size=200, k=3, seed=5, rr_samples=200),
+    ):
+        first, second = run_twice(make_algorithm, make_stream, slide=50)
+        assert first == second
+
+
+def test_quality_metric_is_deterministic():
+    from repro.experiments.metrics import StreamEvaluator
+
+    actions = list(syn_n(150, 600, seed=2))
+    values = []
+    for _ in range(2):
+        evaluator = StreamEvaluator(window_size=200)
+        evaluator.feed(actions)
+        values.append(evaluator.quality({1, 2, 3}, mc_rounds=150, seed=8))
+    assert values[0] == values[1]

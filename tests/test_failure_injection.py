@@ -1,0 +1,85 @@
+"""Failure injection: malformed inputs must fail loudly, never corrupt.
+
+The frameworks keep derived state (windows, forests, indexes, oracles); a
+malformed action must be rejected *before* any of it mutates, so that a
+caller catching the exception can continue with the next event.
+"""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from tests.conftest import random_stream
+
+ALGORITHMS = [
+    lambda: SparseInfluentialCheckpoints(window_size=10, k=2),
+    lambda: InfluentialCheckpoints(window_size=10, k=2),
+    lambda: WindowedGreedy(window_size=10, k=2),
+]
+
+
+@pytest.mark.parametrize("make", ALGORITHMS)
+class TestOutOfOrderActions:
+    def test_duplicate_timestamp_rejected(self, make):
+        algorithm = make()
+        algorithm.process([Action.root(1, 0)])
+        with pytest.raises(ValueError):
+            algorithm.process([Action.root(1, 1)])
+
+    def test_past_timestamp_rejected(self, make):
+        algorithm = make()
+        algorithm.process([Action.root(5, 0)])
+        with pytest.raises(ValueError):
+            algorithm.process([Action.root(3, 1)])
+
+    def test_recovery_after_rejection(self, make):
+        """A rejected action must not poison subsequent processing."""
+        algorithm = make()
+        algorithm.process([Action.root(1, 0)])
+        with pytest.raises(ValueError):
+            algorithm.process([Action.root(1, 9)])
+        algorithm.process([Action.root(2, 1)])
+        answer = algorithm.query()
+        assert answer.time == 2
+        assert answer.value >= 1.0
+
+
+class TestMalformedActions:
+    def test_action_validation_happens_at_construction(self):
+        with pytest.raises(ValueError):
+            Action(time=-1, user=0)
+        with pytest.raises(ValueError):
+            Action(time=5, user=0, parent=9)
+
+    def test_duplicate_forest_insertion(self):
+        algorithm = SparseInfluentialCheckpoints(window_size=5, k=1)
+        action = Action.root(1, 0)
+        algorithm.process([action])
+        with pytest.raises(ValueError):
+            algorithm.process([action])
+
+
+class TestStateConsistencyAfterFailure:
+    def test_window_unchanged_after_rejected_batch(self):
+        algorithm = WindowedGreedy(window_size=10, k=2)
+        for action in random_stream(10, 4, seed=1):
+            algorithm.process([action])
+        before = algorithm.query()
+        with pytest.raises(ValueError):
+            algorithm.process([Action.root(2, 0)])  # past timestamp
+        after = algorithm.query()
+        assert before == after
+
+    def test_long_run_with_periodic_failures(self):
+        algorithm = SparseInfluentialCheckpoints(window_size=20, k=2)
+        good = 0
+        for action in random_stream(100, 6, seed=2):
+            algorithm.process([action])
+            good += 1
+            if good % 10 == 0:
+                with pytest.raises(ValueError):
+                    algorithm.process([Action.root(action.time, 0)])
+        assert algorithm.actions_processed == 100
+        assert algorithm.query().value > 0

@@ -1,0 +1,110 @@
+"""Cross-module integration tests: the full pipeline, end to end."""
+
+import pytest
+
+from repro.analysis.optimality import exact_optimum
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.datasets.surrogates import twitter_like
+from repro.datasets.synthetic import syn_n
+from repro.experiments.metrics import StreamEvaluator
+
+
+class TestEndToEndPipeline:
+    """Generate -> stream -> frameworks -> evaluate -> compare."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        window, slide, k = 400, 50, 5
+        actions = list(twitter_like(n_users=300, n_actions=1600, seed=21))
+        algorithms = {
+            "sic": SparseInfluentialCheckpoints(window_size=window, k=k, beta=0.2),
+            "ic": InfluentialCheckpoints(window_size=window, k=k, beta=0.2),
+            "greedy": WindowedGreedy(window_size=window, k=k),
+        }
+        evaluator = StreamEvaluator(window)
+        values = {name: [] for name in algorithms}
+        for batch in batched(actions, slide):
+            evaluator.feed(batch)
+            for name, algorithm in algorithms.items():
+                algorithm.process(batch)
+                answer = algorithm.query()
+                values[name].append(evaluator.influence_value(answer.seeds))
+        return algorithms, values, evaluator
+
+    def test_all_algorithms_track_the_stream(self, setting):
+        algorithms, values, _ = setting
+        for name, series in values.items():
+            assert len(series) == 32, name
+            assert series[-1] > 0, name
+
+    def test_greedy_dominates_on_exact_values(self, setting):
+        """(1−1/e)-greedy should be the strongest on the exact metric."""
+        _, values, _ = setting
+        mean = {name: sum(s) / len(s) for name, s in values.items()}
+        assert mean["greedy"] >= mean["sic"] * 0.99
+        assert mean["greedy"] >= mean["ic"] * 0.99
+
+    def test_checkpoint_frameworks_close_to_greedy(self, setting):
+        """The paper's quality story: IC/SIC within ~10% of recompute."""
+        _, values, _ = setting
+        mean = {name: sum(s) / len(s) for name, s in values.items()}
+        assert mean["ic"] >= 0.8 * mean["greedy"]
+        assert mean["sic"] >= 0.75 * mean["greedy"]
+
+    def test_final_window_vs_exact_optimum(self, setting):
+        algorithms, values, evaluator = setting
+        try:
+            _, optimum = exact_optimum(evaluator.index, k=5)
+        except ValueError:
+            pytest.skip("window too dense for brute force")
+        assert values["greedy"][-1] >= (1 - 1 / 2.718281828) * optimum
+
+
+class TestLongRunSoak:
+    """SIC invariants hold continuously over a long SYN-N stream."""
+
+    def test_invariants_every_slide(self):
+        import math
+
+        window, beta, k = 300, 0.25, 4
+        sic = SparseInfluentialCheckpoints(window_size=window, k=k, beta=beta)
+        bound = 2 * math.log(window) / math.log(1 / (1 - beta)) + 3
+        last_starts = set()
+        for batch in batched(syn_n(400, 3000, seed=33), 30):
+            sic.process(batch)
+            # Theorem 5 population bound.
+            assert sic.checkpoint_count <= bound
+            # Starts strictly increase across the list.
+            starts = [c.start for c in sic.checkpoints]
+            assert starts == sorted(set(starts))
+            # At most one expired checkpoint, and only at the head.
+            expired = [
+                i for i, c in enumerate(sic.checkpoints)
+                if not c.covers_window(sic.now, window)
+            ]
+            assert expired in ([], [0])
+            # The newest checkpoint always starts within the last slide.
+            assert sic.checkpoints[-1].start > sic.now - 30
+            # Answers always respect k.
+            assert len(sic.query().seeds) <= k
+            # Checkpoints only ever disappear, never resurrect.
+            resurrected = set(starts) - last_starts - {sic.checkpoints[-1].start}
+            if last_starts:
+                assert all(s in last_starts for s in starts[:-1])
+            last_starts = set(starts)
+
+    def test_memory_stays_bounded(self):
+        from repro.experiments.memory import measure_footprint
+
+        window = 300
+        sic = SparseInfluentialCheckpoints(window_size=window, k=3, beta=0.3)
+        peaks = []
+        for batch in batched(syn_n(400, 4000, seed=34), 50):
+            sic.process(batch)
+            peaks.append(measure_footprint(sic).total_entries)
+        # Steady state: the second half must not keep growing.
+        half = len(peaks) // 2
+        assert max(peaks[half:]) <= 2.5 * (sum(peaks[half:]) / len(peaks[half:]))

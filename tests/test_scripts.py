@@ -1,0 +1,48 @@
+"""Smoke tests for the repository scripts."""
+
+import pathlib
+import subprocess
+import sys
+
+SCRIPTS = pathlib.Path(__file__).parent.parent / "scripts"
+
+
+class TestRunExperiments:
+    def test_only_table3(self, tmp_path):
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(SCRIPTS / "run_experiments.py"),
+                "--only", "table3",
+                "--beta-scale", "tiny",
+                "--sweep-scale", "tiny",
+                "--out", str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-1500:]
+        assert (tmp_path / "table3.csv").exists()
+        assert (tmp_path / "table3.txt").exists()
+        assert "wrote table3" in completed.stdout
+        # Nothing else was produced.
+        produced = {p.name for p in tmp_path.iterdir()}
+        assert produced == {"table3.csv", "table3.txt"}
+
+    def test_csv_has_all_datasets(self, tmp_path):
+        subprocess.run(
+            [
+                sys.executable,
+                str(SCRIPTS / "run_experiments.py"),
+                "--only", "table3",
+                "--beta-scale", "tiny",
+                "--out", str(tmp_path),
+            ],
+            capture_output=True,
+            timeout=300,
+            check=True,
+        )
+        content = (tmp_path / "table3.csv").read_text()
+        for dataset in ("reddit", "twitter", "syn-o", "syn-n"):
+            assert dataset in content
