@@ -70,3 +70,35 @@ def test_single_checkpoint_ssm_update(benchmark, tiny_stream):
         return checkpoint.value
 
     assert benchmark.pedantic(run, rounds=3, iterations=1) > 0
+
+
+def test_ic_processing_n1000_l1_shared(benchmark, tiny_stream):
+    """IC over the shared versioned index at N=1000, L=1 (the headline)."""
+    from repro.core.ic import InfluentialCheckpoints
+
+    prefix = tiny_stream[:1500]
+
+    def run():
+        ic = InfluentialCheckpoints(window_size=1000, k=5, beta=0.3)
+        for action in prefix:
+            ic.process([action])
+        return ic.query().value
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) > 0
+
+
+def test_ic_processing_n1000_l1_reference(benchmark, tiny_stream):
+    """The same workload on the per-checkpoint reference indexes."""
+    from repro.core.ic import InfluentialCheckpoints
+
+    prefix = tiny_stream[:1500]
+
+    def run():
+        ic = InfluentialCheckpoints(
+            window_size=1000, k=5, beta=0.3, shared_index=False
+        )
+        for action in prefix:
+            ic.process([action])
+        return ic.query().value
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) > 0

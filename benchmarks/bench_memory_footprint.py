@@ -2,7 +2,11 @@
 
 Figure 6 counts checkpoints; this benchmark weighs them — total influence
 set entries plus oracle state — confirming that SIC's sparsity translates
-into proportional memory savings, and that β controls the trade-off.
+into proportional memory savings, and that β controls the trade-off.  The
+Figure 6 story is about the paper's *per-checkpoint* index copies, so the
+comparison runs in reference mode (``shared_index=False``); a second test
+weighs the default shared ``VersionedInfluenceIndex``, whose physical size
+is the distinct visible pairs regardless of checkpoint count.
 """
 
 from repro.core.ic import InfluentialCheckpoints
@@ -29,10 +33,13 @@ def test_footprint_measurement_cost(benchmark, tiny_config, tiny_batches):
 
 
 def test_sic_vs_ic_footprint(tiny_config, tiny_batches):
-    """Print and assert the Figure 6 space story."""
+    """Print and assert the Figure 6 space story (reference indexes)."""
     ic = _run(
         InfluentialCheckpoints(
-            window_size=tiny_config.window_size, k=tiny_config.k, beta=0.3
+            window_size=tiny_config.window_size,
+            k=tiny_config.k,
+            beta=0.3,
+            shared_index=False,
         ),
         tiny_batches,
     )
@@ -40,7 +47,10 @@ def test_sic_vs_ic_footprint(tiny_config, tiny_batches):
     for beta in (0.1, 0.3, 0.5):
         sic = _run(
             SparseInfluentialCheckpoints(
-                window_size=tiny_config.window_size, k=tiny_config.k, beta=beta
+                window_size=tiny_config.window_size,
+                k=tiny_config.k,
+                beta=beta,
+                shared_index=False,
             ),
             tiny_batches,
         )
@@ -56,3 +66,30 @@ def test_sic_vs_ic_footprint(tiny_config, tiny_batches):
         )
         assert ratio < 0.75
     assert results[0.5].total_entries <= results[0.1].total_entries
+
+
+def test_shared_index_footprint(tiny_config, tiny_batches):
+    """The shared plane stores distinct pairs once, not per checkpoint."""
+    shared = _run(
+        InfluentialCheckpoints(
+            window_size=tiny_config.window_size, k=tiny_config.k, beta=0.3
+        ),
+        tiny_batches,
+    )
+    reference = _run(
+        InfluentialCheckpoints(
+            window_size=tiny_config.window_size,
+            k=tiny_config.k,
+            beta=0.3,
+            shared_index=False,
+        ),
+        tiny_batches,
+    )
+    shared_fp = measure_footprint(shared)
+    reference_fp = measure_footprint(reference)
+    print(
+        f"\nshared: {shared_fp.index_entries:,} pairs vs reference "
+        f"{reference_fp.index_entries:,} per-checkpoint entries"
+    )
+    assert shared_fp.checkpoints == reference_fp.checkpoints
+    assert shared_fp.index_entries * 5 < reference_fp.index_entries

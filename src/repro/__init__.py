@@ -24,6 +24,8 @@ from repro.core import (
     Action,
     ActionRecord,
     AppendOnlyInfluenceIndex,
+    SuffixView,
+    VersionedInfluenceIndex,
     Checkpoint,
     DiffusionForest,
     InfluentialCheckpoints,
@@ -61,6 +63,8 @@ __all__ = [
     "Action",
     "ActionRecord",
     "AppendOnlyInfluenceIndex",
+    "SuffixView",
+    "VersionedInfluenceIndex",
     "CardinalityInfluence",
     "Checkpoint",
     "ConformityAwareInfluence",

@@ -19,6 +19,8 @@ from repro.core.greedy import WindowedGreedy, greedy_seed_selection
 from repro.core.ic import InfluentialCheckpoints
 from repro.core.influence_index import (
     AppendOnlyInfluenceIndex,
+    SuffixView,
+    VersionedInfluenceIndex,
     WindowInfluenceIndex,
 )
 from repro.core.multi import MultiQueryEngine
@@ -32,6 +34,8 @@ __all__ = [
     "Action",
     "ActionRecord",
     "AppendOnlyInfluenceIndex",
+    "SuffixView",
+    "VersionedInfluenceIndex",
     "Checkpoint",
     "DiffusionForest",
     "InfluentialCheckpoints",

@@ -4,11 +4,22 @@ A checkpoint ``Λ_t[i]`` (Section 4.1) maintains an ε-approximate SIM
 solution for the contiguous actions ``{W_t[i], ..., W_t[N]}`` — i.e. for the
 suffix of the stream starting at the checkpoint's *start time*.  It bundles
 
-* an :class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` holding
-  ``I_t[i](u)`` for every user observed in the suffix, and
+* a suffix influence index holding ``I_t[i](u)`` for every user observed in
+  the suffix, and
 * a :class:`~repro.core.oracles.base.CheckpointOracle` fed through the SSM
   steps: the index reports which users' influence sets grew, and the oracle
   re-processes exactly those users.
+
+Two index arrangements exist:
+
+* **standalone** (the reference implementation) — the checkpoint owns a
+  private :class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` and
+  :meth:`Checkpoint.process` drives both index and oracle per record;
+* **shared** — the checkpoint is built over a
+  :class:`~repro.core.influence_index.SuffixView` of the framework's single
+  :class:`~repro.core.influence_index.VersionedInfluenceIndex`.  The
+  framework indexes each action once and calls :meth:`Checkpoint.feed` for
+  exactly the checkpoints whose suffix set grew (see :func:`feed_shared`).
 
 Checkpoints never see expiries: deletion of whole checkpoints is the IC/SIC
 frameworks' job.
@@ -16,15 +27,19 @@ frameworks' job.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet
+from typing import FrozenSet, Sequence
 
 from repro.core.diffusion import ActionRecord
-from repro.core.influence_index import AppendOnlyInfluenceIndex
+from repro.core.influence_index import (
+    AppendOnlyInfluenceIndex,
+    VersionedInfluenceIndex,
+)
 from repro.core.oracles.base import CheckpointOracle, make_oracle
 from repro.influence.functions import InfluenceFunction
 
-__all__ = ["Checkpoint", "OracleSpec"]
+__all__ = ["Checkpoint", "OracleSpec", "feed_shared"]
 
 
 @dataclass(frozen=True)
@@ -44,33 +59,38 @@ class OracleSpec:
     func: InfluenceFunction
     params: dict = field(default_factory=dict)
 
-    def build(self, index: AppendOnlyInfluenceIndex) -> CheckpointOracle:
-        """Instantiate the oracle against a fresh checkpoint index."""
+    def build(self, index) -> CheckpointOracle:
+        """Instantiate the oracle against a checkpoint index or suffix view."""
         return make_oracle(
             self.name, k=self.k, func=self.func, index=index, **self.params
         )
 
 
 class Checkpoint:
-    """``Λ_t[i]``: oracle + append-only influence index for one suffix."""
+    """``Λ_t[i]``: oracle + suffix influence index for one suffix."""
 
     __slots__ = ("start", "_index", "_oracle", "_actions_processed")
 
-    def __init__(self, start: int, spec: OracleSpec):
+    def __init__(self, start: int, spec: OracleSpec, index=None):
         """
         Args:
             start: Timestamp of the first action this checkpoint covers.
             spec: Oracle recipe shared by all checkpoints of a framework.
+            index: A :class:`~repro.core.influence_index.SuffixView` of the
+                framework's shared index.  ``None`` (standalone/reference
+                mode) gives the checkpoint a private
+                :class:`~repro.core.influence_index.AppendOnlyInfluenceIndex`
+                driven through :meth:`process`.
         """
         if start <= 0:
             raise ValueError(f"checkpoint start must be positive, got {start}")
         self.start = start
-        self._index = AppendOnlyInfluenceIndex()
+        self._index = AppendOnlyInfluenceIndex() if index is None else index
         self._oracle = spec.build(self._index)
         self._actions_processed = 0
 
     def process(self, record: ActionRecord) -> None:
-        """SSM steps (1)–(3) for one arriving action."""
+        """SSM steps (1)–(3) for one arriving action (standalone mode)."""
         if record.time < self.start:
             raise ValueError(
                 f"checkpoint starting at {self.start} received "
@@ -78,7 +98,20 @@ class Checkpoint:
             )
         self._actions_processed += 1
         for user in self._index.add(record):
-            self._oracle.process(user, record.user)
+            self.feed(user, record.user)
+
+    def feed(self, user: int, new_member: int) -> None:
+        """SSM steps (2)–(3): the oracle learns ``user`` gained ``new_member``.
+
+        The suffix index already reflects the update — in standalone mode
+        :meth:`process` applied it, in shared mode the framework's
+        :class:`~repro.core.influence_index.VersionedInfluenceIndex` did.
+        """
+        self._oracle.process(user, new_member)
+
+    def note_processed(self, count: int) -> None:
+        """Account ``count`` absorbed actions (shared-index mode bookkeeping)."""
+        self._actions_processed += count
 
     @property
     def value(self) -> float:
@@ -96,8 +129,8 @@ class Checkpoint:
         return self._oracle
 
     @property
-    def index(self) -> AppendOnlyInfluenceIndex:
-        """The suffix influence index ``I_t[i](·)``."""
+    def index(self):
+        """The suffix influence index ``I_t[i](·)`` (own index or view)."""
         return self._index
 
     @property
@@ -122,3 +155,38 @@ class Checkpoint:
             f"Checkpoint(start={self.start}, value={self.value:.1f}, "
             f"seeds={sorted(self.seeds)})"
         )
+
+
+def feed_shared(
+    shared: VersionedInfluenceIndex,
+    checkpoints: Sequence[Checkpoint],
+    arrived: Sequence[ActionRecord],
+) -> None:
+    """Index ``arrived`` once and fan oracle feeds out to ``checkpoints``.
+
+    This is the shared-index hot path replacing the per-checkpoint loop: one
+    :meth:`VersionedInfluenceIndex.add` per record (O(d) dict writes), then
+    for each updated pair a ``bisect`` over the sorted checkpoint starts
+    locates the first checkpoint whose suffix actually gained a member —
+    only those are fed.  Per-action *index and oracle* work is O(d + feeds)
+    instead of O(d · checkpoints) set probes; the call also performs
+    O(checkpoints) per-slide pointer bookkeeping (start/feed lists and
+    absorbed-action counters), whose constants are trivial next to a
+    single oracle feed.
+
+    ``checkpoints`` must be sorted by ascending start and every start must
+    be at most the earliest arrived record's time (both invariants hold for
+    IC's and SIC's checkpoint lists after appending the slide's newcomer).
+    """
+    starts = [checkpoint.start for checkpoint in checkpoints]
+    feeds = [checkpoint.feed for checkpoint in checkpoints]
+    count = len(checkpoints)
+    add = shared.add
+    for record in arrived:
+        performer = record.user
+        for user, previous in add(record):
+            for i in range(bisect_right(starts, previous), count):
+                feeds[i](user, performer)
+    absorbed = len(arrived)
+    for checkpoint in checkpoints:
+        checkpoint.note_processed(absorbed)

@@ -10,16 +10,33 @@ exactly the current window, so IC inherits the oracle's ε ratio (Theorem 2).
 
 With slide batches of ``L`` actions, IC maintains ``⌈N/L⌉`` checkpoints
 (Section 5.3); with ``L = 1`` that is the full ``N`` of Algorithm 1.
+
+**Shared-index data plane.**  The paper's per-action cost is dominated by
+updating ``d`` influence sets in *every* live checkpoint — O(d · N/L) set
+probes per action when each checkpoint owns an
+:class:`~repro.core.influence_index.AppendOnlyInfluenceIndex`.  By default
+IC instead keeps one
+:class:`~repro.core.influence_index.VersionedInfluenceIndex` shared by all
+checkpoints: each action is indexed once (O(d) latest-credit dict writes)
+and the previous credit time of each pair locates — via ``bisect`` over the
+sorted checkpoint starts — exactly the checkpoints whose suffix gained a
+new member, which receive oracle feeds they would have received anyway.
+Per-action index/oracle work is O(d + feeds) — plus trivial O(⌈N/L⌉)
+per-slide dispatch bookkeeping — and index memory is the count of
+distinct pairs rather than the sum of all suffix sizes.  Pass ``shared_index=False``
+for the literal per-checkpoint reference implementation (used by the
+equivalence tests, which prove both modes produce identical feeds, values,
+and seeds).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.base import SIMAlgorithm, SIMResult
-from repro.core.checkpoint import Checkpoint, OracleSpec
+from repro.core.checkpoint import Checkpoint, OracleSpec, feed_shared
 from repro.core.diffusion import ActionRecord
+from repro.core.influence_index import VersionedInfluenceIndex
 from repro.influence.functions import CardinalityInfluence, InfluenceFunction
 
 __all__ = ["InfluentialCheckpoints"]
@@ -36,6 +53,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
         oracle: str = "sieve",
         func: Optional[InfluenceFunction] = None,
         retention: Optional[int] = None,
+        shared_index: bool = True,
     ):
         """
         Args:
@@ -46,12 +64,18 @@ class InfluentialCheckpoints(SIMAlgorithm):
                 SieveStreaming).
             func: Influence function; defaults to cardinality.
             retention: Diffusion-forest retention horizon.
+            shared_index: Share one versioned influence index across all
+                checkpoints (the fast data plane).  ``False`` restores the
+                per-checkpoint reference indexes.
         """
         super().__init__(window_size=window_size, k=k, retention=retention)
         func = func if func is not None else CardinalityInfluence()
         params = {"beta": beta} if oracle in ("sieve", "threshold") else {}
         self._spec = OracleSpec(name=oracle, k=k, func=func, params=params)
-        self._checkpoints: Deque[Checkpoint] = deque()
+        self._checkpoints: List[Checkpoint] = []
+        self._shared: Optional[VersionedInfluenceIndex] = (
+            VersionedInfluenceIndex() if shared_index else None
+        )
 
     @property
     def checkpoint_count(self) -> int:
@@ -63,6 +87,11 @@ class InfluentialCheckpoints(SIMAlgorithm):
         """Live checkpoints, oldest first (read-only view)."""
         return tuple(self._checkpoints)
 
+    @property
+    def shared_index(self) -> Optional[VersionedInfluenceIndex]:
+        """The shared versioned index (``None`` in reference mode)."""
+        return self._shared
+
     def _on_slide(
         self,
         arrived: Sequence[ActionRecord],
@@ -70,22 +99,31 @@ class InfluentialCheckpoints(SIMAlgorithm):
     ) -> None:
         # Algorithm 1 lines 2-5: retire the checkpoint that no longer covers
         # a window suffix, then open one for the arriving slide.
-        self._checkpoints.append(Checkpoint(arrived[0].time, self._spec))
-        for record in arrived:
-            for checkpoint in self._checkpoints:
-                checkpoint.process(record)
+        cps = self._checkpoints
+        start = arrived[0].time
+        shared = self._shared
+        if shared is not None:
+            cps.append(Checkpoint(start, self._spec, index=shared.view(start)))
+            feed_shared(shared, cps, arrived)
+        else:
+            cps.append(Checkpoint(start, self._spec))
+            for record in arrived:
+                for checkpoint in cps:
+                    checkpoint.process(record)
         now = self.now
         size = self.window_size
-        while self._checkpoints and not self._checkpoints[0].covers_window(now, size):
+        while cps and not cps[0].covers_window(now, size):
             # The oldest checkpoint covers more than N actions.  Drop it
             # unless it is the only one still covering the whole window
             # (start-up/misaligned-slide corner: the next checkpoint would
             # cover strictly less than the window).
-            second = self._checkpoints[1] if len(self._checkpoints) > 1 else None
+            second = cps[1] if len(cps) > 1 else None
             if second is not None and second.start <= max(1, now - size + 1):
-                self._checkpoints.popleft()
+                cps.pop(0)
             else:
                 break
+        if shared is not None and cps:
+            shared.compact(cps[0].start)
 
     def query(self) -> SIMResult:
         """Return the solution of ``Λ_t[1]`` (Algorithm 1 lines 9-10)."""

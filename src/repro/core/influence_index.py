@@ -1,6 +1,6 @@
 """Influence-set indexes: the paper's ``I_t(u)`` materialised.
 
-Two variants are needed:
+Three variants are needed:
 
 * :class:`WindowInfluenceIndex` — the *exact* influence sets with respect to
   the current sliding window ``W_t`` (Definition 1).  It supports removal,
@@ -12,20 +12,46 @@ Two variants are needed:
 
 * :class:`AppendOnlyInfluenceIndex` — the influence sets ``I_t[i](u)`` over
   the *suffix* of actions covered by one checkpoint (Section 4.2).  Sets only
-  grow, which is exactly what lets SSM reuse append-only SSO oracles.
+  grow, which is exactly what lets SSM reuse append-only SSO oracles.  Since
+  the shared index below landed, this is the *reference implementation*:
+  standalone checkpoints and the equivalence tests use it, the IC/SIC hot
+  path does not.
 
-Both indexes work on :class:`~repro.core.diffusion.ActionRecord` inputs:
+* :class:`VersionedInfluenceIndex` — **one** shared structure replacing the
+  ⌈N/L⌉ per-checkpoint copies of :class:`AppendOnlyInfluenceIndex`.  For
+  each influence pair ``(u, v)`` it stores only the *latest crediting action
+  time*; checkpoint ``Λ_t[i]``'s suffix set is recovered as
+
+      ``I_t[i](u) = {v : latest(u, v) ≥ start_i}``
+
+  through lightweight :class:`SuffixView` objects that satisfy the same
+  ``influence_set``/``coverage`` protocol oracles already consume.  On each
+  pair update the previous ``latest`` tells the caller exactly which
+  checkpoints gained a *new* member — those whose start exceeds it — so
+  per-action index work drops from O(d · N/L) set probes to O(d) dict
+  writes plus the oracle feeds that were necessary anyway, and index memory
+  drops from the sum of all suffix sizes to the number of distinct pairs.
+
+All indexes work on :class:`~repro.core.diffusion.ActionRecord` inputs:
 ``record.user`` is the influenced performer and ``record.influencers`` lists
 the users credited.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Set
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 from repro.core.diffusion import ActionRecord
 
-__all__ = ["WindowInfluenceIndex", "AppendOnlyInfluenceIndex"]
+__all__ = [
+    "WindowInfluenceIndex",
+    "AppendOnlyInfluenceIndex",
+    "VersionedInfluenceIndex",
+    "SuffixView",
+]
+
+#: Shared result for empty influence-set queries (never cached per user).
+_EMPTY_FROZENSET: FrozenSet[int] = frozenset()
 
 
 class WindowInfluenceIndex:
@@ -34,6 +60,9 @@ class WindowInfluenceIndex:
     def __init__(self) -> None:
         self._pair_counts: Dict[int, Dict[int, int]] = {}
         self._influence: Dict[int, Set[int]] = {}
+        # Memoised frozenset per user, dropped whenever that user's set
+        # actually changes (multiplicity-only updates keep it valid).
+        self._frozen: Dict[int, FrozenSet[int]] = {}
 
     def add(self, record: ActionRecord) -> None:
         """Account for an arriving action."""
@@ -43,6 +72,7 @@ class WindowInfluenceIndex:
             counts[v] = counts.get(v, 0) + 1
             if counts[v] == 1:
                 self._influence.setdefault(u, set()).add(v)
+                self._frozen.pop(u, None)
 
     def remove(self, record: ActionRecord) -> None:
         """Account for an expiring action (must have been added before)."""
@@ -56,6 +86,7 @@ class WindowInfluenceIndex:
             counts[v] -= 1
             if counts[v] == 0:
                 del counts[v]
+                self._frozen.pop(u, None)
                 members = self._influence[u]
                 members.discard(v)
                 if not members:
@@ -64,9 +95,22 @@ class WindowInfluenceIndex:
                     del self._pair_counts[u]
 
     def influence_set(self, user: int) -> FrozenSet[int]:
-        """``I_t(user)`` — empty when the user influences nobody."""
+        """``I_t(user)`` — empty when the user influences nobody.
+
+        The returned frozenset is cached until the user's set next changes,
+        so repeated reads between mutations cost O(1) instead of a copy.
+        Empty results share one singleton and are never cached, so queries
+        for absent users cannot grow the cache.
+        """
+        cached = self._frozen.get(user)
+        if cached is not None:
+            return cached
         members = self._influence.get(user)
-        return frozenset(members) if members else frozenset()
+        if not members:
+            return _EMPTY_FROZENSET
+        frozen = frozenset(members)
+        self._frozen[user] = frozen
+        return frozen
 
     def coverage(self, seeds) -> Set[int]:
         """``I_t(S) = ∪_{u∈S} I_t(u)`` for a seed iterable ``S``."""
@@ -126,6 +170,11 @@ class AppendOnlyInfluenceIndex:
         """``I_t[i](user)`` — a live (do not mutate) set view."""
         return self._influence.get(user, set())
 
+    def fresh_members(self, user: int, covered) -> Set[int]:
+        """``I_t[i](user) − covered`` — the members an admission would gain."""
+        members = self._influence.get(user)
+        return members - covered if members else set()
+
     def coverage(self, seeds) -> Set[int]:
         """Union of the influence sets of ``seeds``."""
         covered: Set[int] = set()
@@ -138,3 +187,204 @@ class AppendOnlyInfluenceIndex:
 
     def __len__(self) -> int:
         return len(self._influence)
+
+
+class VersionedInfluenceIndex:
+    """Latest-credit influence pairs shared by every live checkpoint.
+
+    The structure is a two-level dict ``u -> {v -> latest}`` where
+    ``latest`` is the timestamp of the most recent action by ``v`` crediting
+    ``u``.  Because checkpoint suffixes are nested (they differ only in
+    their start time), this single map answers every checkpoint's
+    ``I_t[i](u)`` exactly: a pair is in checkpoint ``i``'s set iff its
+    latest credit is no older than the checkpoint's start.
+
+    :meth:`add` returns, per influencer, the *previous* latest credit time
+    (0 for never-seen pairs); the caller dispatches oracle feeds to exactly
+    the checkpoints whose start exceeds it — a ``bisect`` over the sorted
+    checkpoint starts instead of probing every checkpoint.
+
+    Pairs whose latest credit predates every live checkpoint are invisible
+    and reclaimed by :meth:`compact` with an amortised-O(1) doubling policy,
+    so steady-state memory is O(distinct visible pairs), independent of the
+    checkpoint count.
+    """
+
+    __slots__ = ("_latest", "_pair_total", "_floor", "_live_at_sweep")
+
+    #: Sweep only once the index has doubled since the last sweep (with a
+    #: small absolute floor so tiny streams never bother).
+    _MIN_SWEEP_PAIRS = 64
+
+    def __init__(self) -> None:
+        self._latest: Dict[int, Dict[int, int]] = {}
+        self._pair_total = 0
+        # Every stored latest is >= _floor; a view whose start is <= _floor
+        # therefore sees the *full* pair map of a user (fast path).
+        self._floor = 0
+        self._live_at_sweep = 0
+
+    def add(self, record: ActionRecord) -> List[Tuple[int, int]]:
+        """Record one arriving action in O(d) dict writes.
+
+        Returns ``[(influencer, previous_latest), ...]`` in influencer
+        order, ``previous_latest`` being 0 when the pair was never credited
+        before.  A checkpoint gains a new member for the pair exactly when
+        its start exceeds ``previous_latest``.
+        """
+        v = record.user
+        time = record.time
+        latest = self._latest
+        updates: List[Tuple[int, int]] = []
+        for u in record.influencers:
+            pairs = latest.get(u)
+            if pairs is None:
+                latest[u] = {v: time}
+                self._pair_total += 1
+                updates.append((u, 0))
+                continue
+            old = pairs.get(v, 0)
+            pairs[v] = time
+            if old == 0:
+                self._pair_total += 1
+            updates.append((u, old))
+        return updates
+
+    def view(self, start: int) -> "SuffixView":
+        """A read-only ``I_t[i]`` facade for the suffix starting at ``start``."""
+        return SuffixView(self, start)
+
+    def latest(self, influencer: int, influenced: int) -> int:
+        """Latest credit time of the pair, or 0 when never credited."""
+        pairs = self._latest.get(influencer)
+        return pairs.get(influenced, 0) if pairs else 0
+
+    def compact(self, cutoff: int, force: bool = False) -> int:
+        """Reclaim pairs invisible to every checkpoint (latest < ``cutoff``).
+
+        A full sweep costs O(pairs), so unless ``force`` is set it only runs
+        once the stored pair count has doubled since the previous sweep —
+        amortised O(1) per :meth:`add` while bounding memory to twice the
+        visible pairs.  Returns the number of pairs dropped.
+        """
+        if cutoff <= self._floor:
+            return 0
+        if not force and self._pair_total < max(
+            self._MIN_SWEEP_PAIRS, 2 * self._live_at_sweep
+        ):
+            return 0
+        dropped = 0
+        latest = self._latest
+        for u in list(latest):
+            pairs = latest[u]
+            stale = [v for v, t in pairs.items() if t < cutoff]
+            for v in stale:
+                del pairs[v]
+            dropped += len(stale)
+            if not pairs:
+                del latest[u]
+        self._pair_total -= dropped
+        self._floor = cutoff
+        self._live_at_sweep = self._pair_total
+        return dropped
+
+    @property
+    def floor(self) -> int:
+        """Every stored pair's latest credit is at least this time."""
+        return self._floor
+
+    @property
+    def user_count(self) -> int:
+        """Users with at least one stored pair."""
+        return len(self._latest)
+
+    @property
+    def pair_count(self) -> int:
+        """Distinct stored ``(u, v)`` pairs — the index's physical size."""
+        return self._pair_total
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._latest
+
+    def __len__(self) -> int:
+        """Number of users with at least one stored pair."""
+        return len(self._latest)
+
+
+class SuffixView:
+    """One checkpoint's read-only ``I_t[i]`` over the shared index.
+
+    Satisfies the ``influence_set``/``coverage`` protocol that oracles and
+    influence functions consume, by filtering the shared pair map against
+    the checkpoint's start time.  Views hold no per-checkpoint state, so a
+    live checkpoint costs O(1) index memory.
+    """
+
+    __slots__ = ("_index", "start")
+
+    def __init__(self, index: VersionedInfluenceIndex, start: int):
+        if start <= 0:
+            raise ValueError(f"suffix start must be positive, got {start}")
+        self._index = index
+        #: The checkpoint's start time (pairs credited earlier are hidden).
+        self.start = start
+
+    def influence_set(self, user: int) -> Set[int]:
+        """``I_t[i](user)``: pairs credited at or after the view's start."""
+        pairs = self._index._latest.get(user)
+        if not pairs:
+            return set()
+        start = self.start
+        if start <= self._index._floor:
+            return set(pairs)
+        return {v for v, t in pairs.items() if t >= start}
+
+    def fresh_members(self, user: int, covered) -> Set[int]:
+        """``I_t[i](user) − covered`` in one pass (the admission hot path)."""
+        pairs = self._index._latest.get(user)
+        if not pairs:
+            return set()
+        start = self.start
+        if start <= self._index._floor:
+            # Dict keys are a set view: the difference runs at C level.
+            return pairs.keys() - covered
+        return {
+            v for v, t in pairs.items() if t >= start and v not in covered
+        }
+
+    def coverage(self, seeds) -> Set[int]:
+        """Union of the influence sets of ``seeds``."""
+        latest = self._index._latest
+        start = self.start
+        full = start <= self._index._floor
+        covered: Set[int] = set()
+        for u in seeds:
+            pairs = latest.get(u)
+            if not pairs:
+                continue
+            if full:
+                covered.update(pairs)
+            else:
+                covered.update(v for v, t in pairs.items() if t >= start)
+        return covered
+
+    def __contains__(self, user: int) -> bool:
+        pairs = self._index._latest.get(user)
+        if not pairs:
+            return False
+        start = self.start
+        if start <= self._index._floor:
+            return True
+        return any(t >= start for t in pairs.values())
+
+    def __len__(self) -> int:
+        """Number of users with a non-empty suffix influence set."""
+        latest = self._index._latest
+        start = self.start
+        if start <= self._index._floor:
+            return len(latest)
+        return sum(
+            1
+            for pairs in latest.values()
+            if any(t >= start for t in pairs.values())
+        )

@@ -7,11 +7,15 @@ oracles through the Set-Stream Mapping (SSM) interface:
 2. feed the oracle a stream of those updated influence sets;
 3. the oracle maintains at most ``k`` users approximating the best seed set.
 
-In this implementation the checkpoint's
-:class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` applies the
-update first and reports exactly which influencer users gained a new member
-(always the performer of the arriving action).  :meth:`CheckpointOracle.process`
-then receives ``(user, new_member)`` — the finest-grained SSM event.
+In this implementation the checkpoint's suffix index — either a private
+:class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` (reference
+mode) or a :class:`~repro.core.influence_index.SuffixView` of the
+framework's shared :class:`~repro.core.influence_index.VersionedInfluenceIndex`
+— applies the update first, and the caller reports exactly which influencer
+users gained a new member (always the performer of the arriving action).
+:meth:`CheckpointOracle.process` then receives ``(user, new_member)`` — the
+finest-grained SSM event.  Oracles never mutate the index; they only read
+``influence_set``/``coverage``, which both index kinds provide.
 
 The oracle's reported value must be *monotone non-decreasing* over time:
 Lemma 2's proof needs it, and SIC's pruning rule compares values across
@@ -28,7 +32,6 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, FrozenSet, Tuple
 
-from repro.core.influence_index import AppendOnlyInfluenceIndex
 from repro.influence.functions import InfluenceFunction
 
 __all__ = [
@@ -50,7 +53,7 @@ class CheckpointOracle(ABC):
         self,
         k: int,
         func: InfluenceFunction,
-        index: AppendOnlyInfluenceIndex,
+        index,
     ):
         if k <= 0:
             raise ValueError(f"cardinality constraint k must be positive, got {k}")
@@ -124,7 +127,7 @@ def make_oracle(
     name: str,
     k: int,
     func: InfluenceFunction,
-    index: AppendOnlyInfluenceIndex,
+    index,
     **kwargs,
 ) -> CheckpointOracle:
     """Instantiate a registered oracle by name (see :func:`oracle_names`)."""

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Set
 
-from repro.core.influence_index import AppendOnlyInfluenceIndex
 from repro.core.oracles.base import CheckpointOracle, register_oracle
 from repro.influence.functions import InfluenceFunction
 
@@ -35,7 +34,7 @@ class GreedyOracle(CheckpointOracle):
         self,
         k: int,
         func: InfluenceFunction,
-        index: AppendOnlyInfluenceIndex,
+        index,
         refresh_factor: float = 1.05,
     ):
         """

@@ -17,14 +17,29 @@ elements, exactly as in the streaming original.
 
 The reported Λ value is the best-so-far snapshot maintained by the base
 class, covering both all instance solutions and the best singleton.
+
+**Hot-path structure.**  A feed only matters to an instance when the fed
+user is one of its seeds (coverage bookkeeping) or when it could clear the
+admission threshold.  For *modular* functions the admission gain is
+computed purely from the fed user's fresh members, so it is bounded by the
+user's singleton value ``f(I(u))`` — which the oracle already tracks.  The
+update therefore keeps a per-user count of instances holding the user as a
+seed and the minimum admission threshold over unfilled instances
+(``_admit_floor``): feeds from non-seed users below the floor are
+dismissed with two O(1) checks and no set work at all.  (Non-modular
+functions skip the prefilter: their gains are measured against lazily
+refreshed instance values and may exceed the singleton bound.)  Solutions
+are offered to the best-so-far snapshot at *mutation* time (admission,
+coverage growth), which is equivalent to the previous per-feed
+best-instance scan because an instance's value can only become the new
+maximum by changing.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Set
+from typing import Dict, Set
 
-from repro.core.influence_index import AppendOnlyInfluenceIndex
 from repro.core.oracles.base import CheckpointOracle, register_oracle
 from repro.influence.functions import InfluenceFunction
 
@@ -56,7 +71,7 @@ class SieveStreamingOracle(CheckpointOracle):
         self,
         k: int,
         func: InfluenceFunction,
-        index: AppendOnlyInfluenceIndex,
+        index,
         beta: float = 0.1,
     ):
         super().__init__(k=k, func=func, index=index)
@@ -67,6 +82,18 @@ class SieveStreamingOracle(CheckpointOracle):
         self._m: float = 0.0
         self._instances: Dict[int, _Instance] = {}
         self._singleton_cache: Dict[int, float] = {}
+        # Guess-exponent range [low, high] of the live instances; refreshes
+        # that leave it unchanged skip the rebuild entirely.
+        self._bounds = (0, -1)
+        self._modular = func.modular
+        self._uniform = func.uniform_weight
+        # user -> number of instances holding the user as a seed.
+        self._member_counts: Dict[int, int] = {}
+        # Minimum admission threshold over instances with free seats; a
+        # non-seed user whose singleton value is below it cannot join any
+        # instance (gain <= f(I(u)) by submodularity), so the whole
+        # instance loop is skipped.
+        self._admit_floor: float = math.inf
 
     @property
     def instance_count(self) -> int:
@@ -79,36 +106,65 @@ class SieveStreamingOracle(CheckpointOracle):
         return self._m
 
     def process(self, user: int, new_member: int) -> None:
-        singleton = self._refresh_singleton(user, new_member)
+        if self._modular:
+            weight = (
+                self._uniform
+                if self._uniform is not None
+                else self._func.weight(new_member)
+            )
+            singleton = self._singleton_cache.get(user, 0.0) + weight
+        else:
+            weight = 0.0
+            singleton = self._func.evaluate((user,), self._index)
+        self._singleton_cache[user] = singleton
         if singleton > self._m:
             self._m = singleton
             self._refresh_instances()
-        modular = self._func.modular
-        weight = self._func.weight(new_member) if modular else 0.0
-        best_instance = None
-        for instance in self._instances.values():
-            if user in instance.seeds:
-                self._refresh_member(instance, user, new_member, weight)
-            elif len(instance.seeds) < self._k:
-                self._try_admit(instance, user)
-            if best_instance is None or instance.value > best_instance.value:
-                best_instance = instance
-        self._offer_solution(singleton, (user,))
-        if best_instance is not None:
-            self._offer_solution(best_instance.value, best_instance.seeds)
+        if singleton > self._best_value:
+            self._offer_solution(singleton, (user,))
+        k = self._k
+        # The singleton prefilters below are only sound for modular
+        # functions, where the admission gain is computed purely from the
+        # fed user's fresh members (gain <= f(I(u)) = singleton).  In the
+        # non-modular path the gain is measured against a lazily-refreshed
+        # instance value that can be stale-low, so the realized gain may
+        # exceed the singleton bound — every under-k instance must be
+        # offered the user.
+        modular = self._modular
+        if self._member_counts.get(user):
+            for instance in self._instances.values():
+                seats = k - len(instance.seeds)
+                if user in instance.seeds:
+                    self._refresh_member(instance, user, new_member, weight)
+                elif seats > 0 and (
+                    not modular
+                    or singleton
+                    >= (instance.guess / 2.0 - instance.value) / seats
+                ):
+                    self._try_admit(instance, user)
+        elif not modular or singleton >= self._admit_floor:
+            for instance in self._instances.values():
+                seats = k - len(instance.seeds)
+                if seats > 0 and (
+                    not modular
+                    or singleton
+                    >= (instance.guess / 2.0 - instance.value) / seats
+                ):
+                    self._try_admit(instance, user)
 
     # -- internals -------------------------------------------------------
 
-    def _refresh_singleton(self, user: int, new_member: int) -> float:
-        """Update and return ``f(I(user))`` after ``new_member`` joined."""
-        if self._func.modular:
-            value = self._singleton_cache.get(user, 0.0) + self._func.weight(
-                new_member
-            )
-        else:
-            value = self._func.evaluate((user,), self._index)
-        self._singleton_cache[user] = value
-        return value
+    def _recompute_admit_floor(self) -> None:
+        """Refresh the minimum admission threshold over unfilled instances."""
+        k = self._k
+        floor = math.inf
+        for instance in self._instances.values():
+            seats = k - len(instance.seeds)
+            if seats > 0:
+                threshold = (instance.guess / 2.0 - instance.value) / seats
+                if threshold < floor:
+                    floor = threshold
+        self._admit_floor = floor
 
     def _refresh_instances(self) -> None:
         """Align the instance set with ``{j : m ≤ (1+β)^j ≤ 2·k·m}``."""
@@ -116,36 +172,68 @@ class SieveStreamingOracle(CheckpointOracle):
             return
         low = math.ceil(math.log(self._m) / self._log_base - _EPS)
         high = math.floor(math.log(2 * self._k * self._m) / self._log_base + _EPS)
-        for j in [j for j in self._instances if j < low or j > high]:
-            del self._instances[j]
+        if (low, high) == self._bounds:
+            return
+        self._bounds = (low, high)
+        instances = self._instances
+        for j in [j for j in instances if j < low or j > high]:
+            for seed in instances.pop(j).seeds:
+                count = self._member_counts[seed] - 1
+                if count:
+                    self._member_counts[seed] = count
+                else:
+                    del self._member_counts[seed]
+        base = 1.0 + self._beta
+        guess = base ** low
         for j in range(low, high + 1):
-            if j not in self._instances:
-                self._instances[j] = _Instance(guess=(1.0 + self._beta) ** j)
+            if j not in instances:
+                instances[j] = _Instance(guess=guess)
+            guess *= base
+        self._recompute_admit_floor()
 
     def _refresh_member(
         self, instance: _Instance, user: int, new_member: int, weight: float
     ) -> None:
         """A selected seed's influence set grew; update the instance value."""
-        if self._func.modular:
+        if self._modular:
             if new_member not in instance.covered:
                 instance.covered.add(new_member)
                 instance.value += weight
+            else:
+                return
         else:
             instance.value = self._func.evaluate(instance.seeds, self._index)
+        if instance.value > self._best_value:
+            self._offer_solution(instance.value, instance.seeds)
+        seats = self._k - len(instance.seeds)
+        if seats > 0:
+            # A value increase only ever lowers this instance's admission
+            # threshold, so a one-sided min-update keeps the floor valid
+            # (too low merely skips fewer feeds; never too high).
+            threshold = (instance.guess / 2.0 - instance.value) / seats
+            if threshold < self._admit_floor:
+                self._admit_floor = threshold
 
     def _try_admit(self, instance: _Instance, user: int) -> None:
         """Apply the sieve threshold test for a non-member user."""
         remaining = self._k - len(instance.seeds)
         threshold = (instance.guess / 2.0 - instance.value) / remaining
-        if self._func.modular:
-            members = self._index.influence_set(user)
-            covered = instance.covered
-            weight = self._func.weight
-            gain = sum(weight(v) for v in members if v not in covered)
+        if self._modular:
+            # One C-level set difference yields the uncovered members; with
+            # a uniform weight the gain is just its size.
+            fresh = self._index.fresh_members(user, instance.covered)
+            if not fresh:
+                return
+            if self._uniform is not None:
+                gain = self._uniform * len(fresh)
+            else:
+                weight = self._func.weight
+                gain = sum(weight(v) for v in fresh)
             if gain >= threshold and gain > 0.0:
                 instance.seeds.add(user)
-                covered.update(members)
+                instance.covered |= fresh
                 instance.value += gain
+                self._note_admission(instance, user)
         else:
             with_user = self._func.evaluate(
                 list(instance.seeds) + [user], self._index
@@ -154,3 +242,11 @@ class SieveStreamingOracle(CheckpointOracle):
             if gain >= threshold and gain > 0.0:
                 instance.seeds.add(user)
                 instance.value = with_user
+                self._note_admission(instance, user)
+
+    def _note_admission(self, instance: _Instance, user: int) -> None:
+        """Bookkeeping after a successful admission."""
+        self._member_counts[user] = self._member_counts.get(user, 0) + 1
+        if instance.value > self._best_value:
+            self._offer_solution(instance.value, instance.seeds)
+        self._recompute_admit_floor()

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from repro.core.influence_index import AppendOnlyInfluenceIndex
 from repro.core.oracles.base import CheckpointOracle
 from repro.influence.functions import InfluenceFunction
 
@@ -34,7 +33,7 @@ class SwapOracleBase(CheckpointOracle):
         self,
         k: int,
         func: InfluenceFunction,
-        index: AppendOnlyInfluenceIndex,
+        index,
     ):
         super().__init__(k=k, func=func, index=index)
         if not func.modular:

@@ -13,6 +13,18 @@ One *expired* checkpoint ``Λ_t[x_0]`` — covering slightly more than the
 window — is retained (lines 21-23) so the optimum of the full window remains
 upper-bounded; it is discarded once its successor expires too.  The query
 answer is the oldest non-expired checkpoint ``Λ_t[x_1]`` (line 25).
+
+**Shared-index data plane.**  Like IC, SIC by default keeps one
+:class:`~repro.core.influence_index.VersionedInfluenceIndex` for all its
+checkpoints instead of one append-only copy each: an arriving action is
+indexed once in O(d), and a ``bisect`` over the retained checkpoints'
+starts dispatches oracle feeds to exactly those whose suffix set gained a
+new member (the pair's previous credit time tells which).  Combined with
+the logarithmic checkpoint population this makes SIC's per-action cost
+O(d + feeds) with index memory equal to the distinct visible pairs —
+pruned checkpoints cost nothing because views hold no per-checkpoint
+state.  ``shared_index=False`` restores the reference per-checkpoint
+indexes proven equivalent by the property tests.
 """
 
 from __future__ import annotations
@@ -20,8 +32,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.base import SIMAlgorithm, SIMResult
-from repro.core.checkpoint import Checkpoint, OracleSpec
+from repro.core.checkpoint import Checkpoint, OracleSpec, feed_shared
 from repro.core.diffusion import ActionRecord
+from repro.core.influence_index import VersionedInfluenceIndex
 from repro.influence.functions import CardinalityInfluence, InfluenceFunction
 
 __all__ = ["SparseInfluentialCheckpoints"]
@@ -39,6 +52,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         func: Optional[InfluenceFunction] = None,
         retention: Optional[int] = None,
         oracle_beta: Optional[float] = None,
+        shared_index: bool = True,
     ):
         """
         Args:
@@ -52,6 +66,9 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             func: Influence function; defaults to cardinality.
             retention: Diffusion-forest retention horizon.
             oracle_beta: Optional separate β for the oracle's OPT guessing.
+            shared_index: Share one versioned influence index across all
+                checkpoints (the fast data plane).  ``False`` restores the
+                per-checkpoint reference indexes.
         """
         super().__init__(window_size=window_size, k=k, retention=retention)
         if not 0.0 < beta < 1.0:
@@ -63,6 +80,9 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         self._spec = OracleSpec(name=oracle, k=k, func=func, params=params)
         self._checkpoints: List[Checkpoint] = []
         self._pruned_total = 0
+        self._shared: Optional[VersionedInfluenceIndex] = (
+            VersionedInfluenceIndex() if shared_index else None
+        )
 
     @property
     def beta(self) -> float:
@@ -84,18 +104,34 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         """Checkpoints deleted by the pruning rule since construction."""
         return self._pruned_total
 
+    @property
+    def shared_index(self) -> Optional[VersionedInfluenceIndex]:
+        """The shared versioned index (``None`` in reference mode)."""
+        return self._shared
+
     def _on_slide(
         self,
         arrived: Sequence[ActionRecord],
         expired: Sequence[ActionRecord],
     ) -> None:
         # Lines 2-8: new checkpoint for the arriving slide, then feed all.
-        self._checkpoints.append(Checkpoint(arrived[0].time, self._spec))
-        for record in arrived:
-            for checkpoint in self._checkpoints:
-                checkpoint.process(record)
+        cps = self._checkpoints
+        start = arrived[0].time
+        shared = self._shared
+        if shared is not None:
+            cps.append(Checkpoint(start, self._spec, index=shared.view(start)))
+            feed_shared(shared, cps, arrived)
+        else:
+            cps.append(Checkpoint(start, self._spec))
+            for record in arrived:
+                for checkpoint in cps:
+                    checkpoint.process(record)
         self._prune()
         self._retire_expired_head()
+        # _prune rebuilt the checkpoint list — re-read it for the cutoff.
+        cps = self._checkpoints
+        if shared is not None and cps:
+            shared.compact(cps[0].start)
 
     # -- Algorithm 2 lines 9-20 -------------------------------------------
 

@@ -33,6 +33,7 @@ class ListStream:
 
     def __init__(self, actions: Iterable[Action]):
         self._actions: List[Action] = list(validate_stream(actions))
+        self._users: "frozenset | None" = None
 
     def __iter__(self) -> Iterator[Action]:
         return iter(self._actions)
@@ -44,9 +45,15 @@ class ListStream:
         return self._actions[index]
 
     @property
-    def users(self) -> set:
-        """The set of distinct users appearing in the stream."""
-        return {a.user for a in self._actions}
+    def users(self) -> frozenset:
+        """The distinct users appearing in the stream.
+
+        The stream is immutable after construction, so the set is computed
+        once and the same frozenset is returned on every access.
+        """
+        if self._users is None:
+            self._users = frozenset(a.user for a in self._actions)
+        return self._users
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ListStream({len(self._actions)} actions)"

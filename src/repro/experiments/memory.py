@@ -3,12 +3,22 @@
 Figure 6's commentary argues SIC's sparse checkpoints buy "both space and
 time efficiencies".  Throughput (time) is directly measurable; this module
 makes the *space* side measurable too, without psutil: it counts the
-logical footprint of a framework's state — checkpoints, their influence
-indexes (user→set entries), and oracle instances — which is what actually
-scales with N, L, and β.
+logical footprint of a framework's state — checkpoints, influence-index
+entries, and oracle instances — which is what actually scales with N, L,
+and β.
+
+The counts are *physical*: what the process actually stores.  A framework
+running the default shared
+:class:`~repro.core.influence_index.VersionedInfluenceIndex` stores each
+distinct ``(u, v)`` influence pair exactly once, no matter how many
+checkpoints view it, so ``index_entries`` no longer scales with the
+checkpoint count.  In the per-checkpoint reference mode
+(``shared_index=False``) the old per-suffix sums are reported, which is
+what the paper's Figure 6 analysis describes.
 
 The counts are implementation-level but deterministic, so tests can assert
-e.g. that SIC's entry count is a fraction of IC's on the same stream.
+e.g. that the shared index is a fraction of the per-checkpoint copies on
+the same stream.
 """
 
 from __future__ import annotations
@@ -28,12 +38,17 @@ class FrameworkFootprint:
 
     Attributes:
         checkpoints: Live checkpoint count.
-        index_users: Total users tracked across checkpoint indexes.
-        index_entries: Total ``(user, influenced)`` entries across indexes
-            — the dominant O(N·checkpoints) term.
+        index_users: Users tracked by the influence index state.  With the
+            shared index this is the user count of the single versioned
+            map; in reference mode it sums users over checkpoint copies.
+        index_entries: ``(user, influenced)`` influence-index entries
+            physically stored.  Shared mode: distinct pairs, counted once.
+            Reference mode: the sum of all suffix sizes — the dominant
+            O(N·checkpoints) term the shared index eliminates.
         oracle_instances: Threshold-guess instances across all oracles
             (0 for swap/greedy oracles).
         oracle_covered_entries: Covered-set entries across all instances.
+        shared: True when the framework runs the shared versioned index.
     """
 
     checkpoints: int
@@ -41,6 +56,7 @@ class FrameworkFootprint:
     index_entries: int
     oracle_instances: int
     oracle_covered_entries: int
+    shared: bool = False
 
     @property
     def total_entries(self) -> int:
@@ -63,11 +79,13 @@ def measure_footprint(
     index_entries = 0
     instances = 0
     covered = 0
+    shared = getattr(framework, "shared_index", None)
     for checkpoint in framework.checkpoints:
         checkpoints += 1
-        influence = checkpoint.index._influence  # noqa: SLF001 - accounting
-        index_users += len(influence)
-        index_entries += sum(len(members) for members in influence.values())
+        if shared is None:
+            influence = checkpoint.index._influence  # noqa: SLF001 - accounting
+            index_users += len(influence)
+            index_entries += sum(len(members) for members in influence.values())
         oracle = checkpoint.oracle
         oracle_instances = getattr(oracle, "_instances", None)
         if oracle_instances:
@@ -77,10 +95,15 @@ def measure_footprint(
         cover_counts = getattr(oracle, "_cover_counts", None)
         if cover_counts is not None:
             covered += len(cover_counts)
+    if shared is not None:
+        # One versioned map serves every checkpoint: count it once.
+        index_users = shared.user_count
+        index_entries = shared.pair_count
     return FrameworkFootprint(
         checkpoints=checkpoints,
         index_users=index_users,
         index_entries=index_entries,
         oracle_instances=instances,
         oracle_covered_entries=covered,
+        shared=shared is not None,
     )

@@ -41,6 +41,12 @@ class InfluenceFunction(ABC):
     #: incremental oracle path (value = Σ weight(v) over the coverage union).
     modular: bool = False
 
+    #: When every user carries the same additive weight, that weight —
+    #: oracles then compute admission gains as ``weight · |fresh members|``
+    #: with one C-level set difference instead of a per-member Python loop.
+    #: ``None`` for non-modular or genuinely weighted functions.
+    uniform_weight: Optional[float] = None
+
     @abstractmethod
     def evaluate(self, seeds: Iterable[int], index) -> float:
         """Compute ``f(I(seeds))`` against an influence index."""
@@ -62,6 +68,7 @@ class CardinalityInfluence(InfluenceFunction):
     """The main text's ``f(I_t(S)) = |I_t(S)|``."""
 
     modular = True
+    uniform_weight = 1.0
 
     def evaluate(self, seeds: Iterable[int], index) -> float:
         return float(len(index.coverage(seeds)))
@@ -93,6 +100,10 @@ class WeightedCardinalityInfluence(InfluenceFunction):
             raise ValueError(f"weights must be >= 0; negative for users {negative[:5]}")
         self._weights = dict(weights)
         self._default = default
+        if not self._weights:
+            # Degenerate case: every user falls back to the default weight,
+            # so the uniform fast path applies.
+            self.uniform_weight = default
 
     def evaluate(self, seeds: Iterable[int], index) -> float:
         return self.value_of_covered(index.coverage(seeds))

@@ -172,3 +172,153 @@ class TestAppendOnlyIndex:
         assert index.coverage([1, 3]) == {1, 2, 3}
         assert index.coverage([]) == set()
         assert 1 in index and 9 not in index
+
+
+class TestWindowIndexCaching:
+    def test_influence_set_cached_between_mutations(self):
+        from repro.core.actions import Action
+
+        forest = DiffusionForest()
+        index = WindowInfluenceIndex()
+        index.add(forest.add(Action.root(1, 1)))
+        first = index.influence_set(1)
+        assert index.influence_set(1) is first  # no copy per call
+        index.add(forest.add(Action.response(2, 2, 1)))
+        second = index.influence_set(1)
+        assert second is not first
+        assert second == {1, 2}
+
+    def test_cache_invalidated_on_remove(self):
+        from repro.core.actions import Action
+
+        forest = DiffusionForest()
+        index = WindowInfluenceIndex()
+        r1 = forest.add(Action.root(1, 1))
+        r2 = forest.add(Action.response(2, 2, 1))
+        index.add(r1)
+        index.add(r2)
+        assert index.influence_set(1) == {1, 2}
+        index.remove(r2)
+        assert index.influence_set(1) == {1}
+        index.remove(r1)
+        assert index.influence_set(1) == frozenset()
+
+    def test_multiplicity_change_keeps_cache_valid(self):
+        from repro.core.actions import Action
+
+        forest = DiffusionForest()
+        index = WindowInfluenceIndex()
+        r1 = forest.add(Action.root(1, 1))
+        r2 = forest.add(Action.response(2, 2, 1))
+        r3 = forest.add(Action.response(3, 2, 1))
+        index.add(r1)
+        index.add(r2)
+        cached = index.influence_set(1)
+        index.add(r3)  # (1 -> 2) multiplicity 2: membership unchanged
+        assert index.influence_set(1) is cached
+        index.remove(r2)  # multiplicity back to 1: still a member
+        assert index.influence_set(1) == {1, 2}
+
+
+class TestVersionedIndex:
+    def build(self, actions):
+        from repro.core.influence_index import VersionedInfluenceIndex
+
+        forest = DiffusionForest()
+        index = VersionedInfluenceIndex()
+        for action in actions:
+            index.add(forest.add(action))
+        return index
+
+    def test_add_reports_previous_latest(self):
+        from repro.core.actions import Action
+        from repro.core.influence_index import VersionedInfluenceIndex
+
+        forest = DiffusionForest()
+        index = VersionedInfluenceIndex()
+        r1 = forest.add(Action.root(1, 1))
+        assert index.add(r1) == [(1, 0)]
+        r2 = forest.add(Action.response(2, 2, 1))
+        assert index.add(r2) == [(1, 0), (2, 0)]
+        # Same pair again: previous latest is reported, not zero.
+        r3 = forest.add(Action.response(3, 2, 1))
+        assert index.add(r3) == [(1, 2), (2, 2)]
+        assert index.latest(1, 2) == 3
+        assert index.pair_count == 3  # (1,1), (1,2), (2,2)
+
+    def test_views_filter_by_start(self):
+        from repro.core.actions import Action
+
+        index = self.build(
+            [
+                Action.root(1, 1),
+                Action.response(2, 2, 1),
+                Action.root(3, 3),
+                Action.response(4, 2, 1),  # re-credits (1 -> 2) at t=4
+            ]
+        )
+        v1, v3, v4 = index.view(1), index.view(3), index.view(4)
+        assert v1.influence_set(1) == {1, 2}
+        assert v3.influence_set(1) == {2}  # only the t=4 re-credit survives
+        assert v4.influence_set(1) == {2}
+        assert v3.influence_set(3) == {3}
+        assert v4.influence_set(3) == set()
+        assert v1.coverage([1, 3]) == {1, 2, 3}
+        assert v4.coverage([1, 3]) == {2}
+        assert 1 in v1 and 1 in v4
+        assert 3 in v3 and 3 not in v4
+        # At start 4 only the t=4 action is visible; it credits u1 and the
+        # performer u2 (self-pair), so two users have non-empty sets.
+        assert len(v1) == 3 and len(v4) == 2
+        assert v4.influence_set(2) == {2}
+
+    def test_view_matches_append_only_suffix(self, small_random_stream):
+        from repro.core.influence_index import VersionedInfluenceIndex
+
+        forest = DiffusionForest()
+        shared = VersionedInfluenceIndex()
+        suffix_start = 20
+        reference = AppendOnlyInfluenceIndex()
+        for action in small_random_stream:
+            record = forest.add(action)
+            shared.add(record)
+            if record.time >= suffix_start:
+                reference.add(record)
+        view = shared.view(suffix_start)
+        for user in range(10):
+            assert view.influence_set(user) == set(
+                reference.influence_set(user)
+            ), user
+            assert (user in view) == (user in reference)
+
+    def test_compact_reclaims_invisible_pairs(self):
+        from repro.core.actions import Action
+        from repro.core.influence_index import VersionedInfluenceIndex
+
+        forest = DiffusionForest()
+        index = VersionedInfluenceIndex()
+        for t in range(1, 11):
+            index.add(forest.add(Action.root(t, t)))  # 10 self-pairs
+        assert index.pair_count == 10
+        dropped = index.compact(6, force=True)
+        assert dropped == 5
+        assert index.pair_count == 5
+        assert index.floor == 6
+        # Visible sets are unaffected.
+        assert index.view(6).influence_set(7) == {7}
+        assert index.view(6).influence_set(3) == set()
+        # The full-map fast path kicks in for starts at or below the floor.
+        assert index.view(6).influence_set(8) == {8}
+
+    def test_compact_is_amortised(self):
+        from repro.core.actions import Action
+        from repro.core.influence_index import VersionedInfluenceIndex
+
+        forest = DiffusionForest()
+        index = VersionedInfluenceIndex()
+        for t in range(1, 40):
+            index.add(forest.add(Action.root(t, t)))
+        # Below the sweep threshold nothing happens without force.
+        assert index.compact(30) == 0
+        assert index.floor == 0
+        assert index.compact(30, force=True) == 29

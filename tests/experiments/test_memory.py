@@ -22,6 +22,7 @@ class TestMeasureFootprint:
         sic = SparseInfluentialCheckpoints(window_size=30, k=2, beta=0.3)
         drive(sic, random_stream(30, 6, seed=1))
         footprint = measure_footprint(sic)
+        assert footprint.shared
         assert footprint.checkpoints == sic.checkpoint_count
         assert footprint.index_users > 0
         assert footprint.index_entries >= footprint.index_users
@@ -36,25 +37,66 @@ class TestMeasureFootprint:
         assert footprint.oracle_instances == 0
         assert footprint.oracle_covered_entries > 0
 
-    def test_sic_is_smaller_than_ic(self):
-        """The space side of Figure 6: SIC's footprint ≪ IC's."""
+    def test_sic_is_smaller_than_ic_per_checkpoint(self):
+        """The space side of Figure 6, on the per-checkpoint reference
+        indexes the paper's analysis describes: SIC's footprint ≪ IC's."""
         actions = random_stream(300, 10, seed=3)
-        ic = drive(InfluentialCheckpoints(window_size=100, k=3, beta=0.3), actions)
+        ic = drive(
+            InfluentialCheckpoints(
+                window_size=100, k=3, beta=0.3, shared_index=False
+            ),
+            actions,
+        )
         sic = drive(
-            SparseInfluentialCheckpoints(window_size=100, k=3, beta=0.3), actions
+            SparseInfluentialCheckpoints(
+                window_size=100, k=3, beta=0.3, shared_index=False
+            ),
+            actions,
         )
         ic_footprint = measure_footprint(ic)
         sic_footprint = measure_footprint(sic)
+        assert not ic_footprint.shared
         assert sic_footprint.checkpoints < ic_footprint.checkpoints
         assert sic_footprint.ratio_to(ic_footprint) < 0.5
+
+    def test_shared_index_does_not_scale_with_checkpoints(self):
+        """The tentpole's memory claim: physical index entries are the
+        distinct pairs, not the sum of all suffix sizes."""
+        actions = random_stream(300, 10, seed=3)
+        shared = drive(
+            InfluentialCheckpoints(window_size=100, k=3, beta=0.3), actions
+        )
+        reference = drive(
+            InfluentialCheckpoints(
+                window_size=100, k=3, beta=0.3, shared_index=False
+            ),
+            actions,
+        )
+        shared_fp = measure_footprint(shared)
+        reference_fp = measure_footprint(reference)
+        assert shared_fp.shared
+        assert shared_fp.checkpoints == reference_fp.checkpoints == 100
+        # ~100 live checkpoints each duplicating a suffix: the shared map
+        # must be an order of magnitude below the per-checkpoint sum.
+        assert shared_fp.index_entries * 10 < reference_fp.index_entries
+        # And it can never exceed twice the visible pairs (compaction's
+        # amortised doubling bound) — here bounded loosely by the window's
+        # worst case of one pair per (influencer, action) credit.
+        assert shared_fp.index_entries <= 2 * reference_fp.index_entries / 100 + 64
 
     def test_larger_beta_smaller_footprint(self):
         actions = random_stream(300, 10, seed=4)
         tight = drive(
-            SparseInfluentialCheckpoints(window_size=100, k=3, beta=0.1), actions
+            SparseInfluentialCheckpoints(
+                window_size=100, k=3, beta=0.1, shared_index=False
+            ),
+            actions,
         )
         loose = drive(
-            SparseInfluentialCheckpoints(window_size=100, k=3, beta=0.5), actions
+            SparseInfluentialCheckpoints(
+                window_size=100, k=3, beta=0.5, shared_index=False
+            ),
+            actions,
         )
         assert (
             measure_footprint(loose).total_entries
