@@ -15,6 +15,9 @@ Reported figures:
   stream with window 1000 and slide 1, for the shared
   ``VersionedInfluenceIndex`` data plane and the per-checkpoint reference
   (``shared_index=False``), plus the speedup ratio;
+* ``ic_n1000_l5`` — the same workload at slide 5, comparing the batched
+  dispatch plane (one merged ``process_batch`` per checkpoint per slide)
+  against unbatched per-delta delivery (``batch_feeds=False``);
 * ``fig7_tiny`` — IC and SIC throughput at the TINY preset (β=0.3);
 * ``core_ops`` — per-action costs of the window index cycle and a single
   checkpoint's SSM update;
@@ -55,18 +58,27 @@ def time_framework(framework, batches):
     return time.perf_counter() - started, framework
 
 
-def bench_ic_n1000_l1(stream, n_actions):
-    """The acceptance workload: IC, window 1000, slide 1, shared vs reference."""
+def bench_ic_n1000_l1(stream, n_actions, repeats=2):
+    """The acceptance workload: IC, window 1000, slide 1, shared vs reference.
+
+    Each mode reports its best of ``repeats`` runs (scheduler noise on a
+    ~10 s single-shot run can swing throughput by >10%).
+    """
     actions = stream[:n_actions]
     batches = [[a] for a in actions]
     results = {}
     for label, shared in (("shared", True), ("reference", False)):
-        elapsed, ic = time_framework(
-            InfluentialCheckpoints(
-                window_size=1000, k=5, beta=0.3, shared_index=shared
-            ),
-            batches,
-        )
+        best = None
+        for _ in range(repeats):
+            elapsed, ic = time_framework(
+                InfluentialCheckpoints(
+                    window_size=1000, k=5, beta=0.3, shared_index=shared
+                ),
+                batches,
+            )
+            if best is None or elapsed < best:
+                best = elapsed
+        elapsed = best
         footprint = measure_footprint(ic)
         results[label] = {
             "seconds": round(elapsed, 3),
@@ -81,6 +93,44 @@ def bench_ic_n1000_l1(stream, n_actions):
     results["speedup_vs_reference_mode"] = round(
         results["shared"]["actions_per_sec"]
         / results["reference"]["actions_per_sec"],
+        2,
+    )
+    return results
+
+
+def bench_ic_n1000_l5(stream, n_actions, repeats=3):
+    """The batching workload: IC at slide 5, batched vs per-delta feeds.
+
+    The two modes differ by a few percent, which single-shot timings can
+    invert under scheduler noise; each mode reports its best of
+    ``repeats`` runs.
+    """
+    actions = stream[:n_actions]
+    batches = [actions[i : i + 5] for i in range(0, len(actions), 5)]
+    results = {}
+    for label, batch_feeds in (("batched", True), ("unbatched", False)):
+        best = None
+        for _ in range(repeats):
+            elapsed, ic = time_framework(
+                InfluentialCheckpoints(
+                    window_size=1000, k=5, beta=0.3, batch_feeds=batch_feeds
+                ),
+                batches,
+            )
+            if best is None or elapsed < best:
+                best = elapsed
+        results[label] = {
+            "seconds": round(best, 3),
+            "actions_per_sec": round(len(actions) / best, 1),
+            "query_value": ic.query().value,
+        }
+    # NB: both modes share the merged-delta dispatch plane; the PR 1
+    # per-event dispatch measured ~2500 actions/s on this workload (see
+    # CHANGES.md), so the trajectory win lives in this section's absolute
+    # numbers rather than the batched/unbatched ratio.
+    results["speedup_vs_unbatched"] = round(
+        results["batched"]["actions_per_sec"]
+        / results["unbatched"]["actions_per_sec"],
         2,
     )
     return results
@@ -180,6 +230,7 @@ def main(argv=None):
         "scale": "tiny",
         "dataset": config.dataset,
         "ic_n1000_l1": bench_ic_n1000_l1(stream, min(n_actions, len(stream))),
+        "ic_n1000_l5": bench_ic_n1000_l5(stream, min(n_actions, len(stream))),
         "fig7_tiny": bench_fig7_tiny(config, batches),
         "core_ops": bench_core_ops(stream, config),
     }
@@ -192,6 +243,9 @@ def main(argv=None):
           f"({headline['reference']['index_entries']:,} index entries)")
     print(f"speedup vs in-tree reference mode: "
           f"{headline['speedup_vs_reference_mode']}x")
+    l5 = report["ic_n1000_l5"]
+    print(f"IC N=1000 L=5 batched:   {l5['batched']['actions_per_sec']:>10,.1f} actions/s")
+    print(f"IC N=1000 L=5 unbatched: {l5['unbatched']['actions_per_sec']:>10,.1f} actions/s")
     print(f"report written to {args.output}")
     return report
 

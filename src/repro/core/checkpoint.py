@@ -14,12 +14,23 @@ Two index arrangements exist:
 
 * **standalone** (the reference implementation) — the checkpoint owns a
   private :class:`~repro.core.influence_index.AppendOnlyInfluenceIndex` and
-  :meth:`Checkpoint.process` drives both index and oracle per record;
+  :meth:`Checkpoint.process` / :meth:`Checkpoint.process_slide` drive both
+  index and oracle;
 * **shared** — the checkpoint is built over a
   :class:`~repro.core.influence_index.SuffixView` of the framework's single
   :class:`~repro.core.influence_index.VersionedInfluenceIndex`.  The
-  framework indexes each action once and calls :meth:`Checkpoint.feed` for
-  exactly the checkpoints whose suffix set grew (see :func:`feed_shared`).
+  framework indexes each action once and dispatches oracle feeds to exactly
+  the checkpoints whose suffix set grew (see :func:`feed_shared`).
+
+**Slide semantics.**  A slide of ``L`` actions is one SSM event: all ``L``
+records are applied to the index *first*, then each checkpoint's oracle
+receives one merged delta ``(user, new_members)`` per updated user, in
+first-update order.  With ``L = 1`` this degenerates to the per-action
+model of Algorithm 1.  Batched mode hands a checkpoint's whole slide to the
+oracle in a single :meth:`~repro.core.oracles.base.CheckpointOracle.process_batch`
+call so per-slide bookkeeping is amortised; unbatched mode delivers the
+same deltas one ``process_delta`` call at a time — the two are
+result-identical (proven by ``tests/core/test_shared_index_equivalence``).
 
 Checkpoints never see expiries: deletion of whole checkpoints is the IC/SIC
 frameworks' job.
@@ -29,7 +40,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import FrozenSet, Sequence
+from typing import Callable, Dict, FrozenSet, List, Sequence
 
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import (
@@ -39,7 +50,7 @@ from repro.core.influence_index import (
 from repro.core.oracles.base import CheckpointOracle, make_oracle
 from repro.influence.functions import InfluenceFunction
 
-__all__ = ["Checkpoint", "OracleSpec", "feed_shared"]
+__all__ = ["Checkpoint", "CheckpointRoster", "OracleSpec", "feed_shared"]
 
 
 @dataclass(frozen=True)
@@ -69,9 +80,16 @@ class OracleSpec:
 class Checkpoint:
     """``Λ_t[i]``: oracle + suffix influence index for one suffix."""
 
-    __slots__ = ("start", "_index", "_oracle", "_actions_processed")
+    __slots__ = (
+        "start",
+        "_index",
+        "_oracle",
+        "_actions_processed",
+        "_ledger",
+        "_absorbed_base",
+    )
 
-    def __init__(self, start: int, spec: OracleSpec, index=None):
+    def __init__(self, start: int, spec: OracleSpec, index=None, ledger=None):
         """
         Args:
             start: Timestamp of the first action this checkpoint covers.
@@ -80,7 +98,12 @@ class Checkpoint:
                 framework's shared index.  ``None`` (standalone/reference
                 mode) gives the checkpoint a private
                 :class:`~repro.core.influence_index.AppendOnlyInfluenceIndex`
-                driven through :meth:`process`.
+                driven through :meth:`process` / :meth:`process_slide`.
+            ledger: A :class:`CheckpointRoster` whose ``absorbed`` counter
+                tracks the slide stream (shared-index mode).  Every live
+                checkpoint absorbs every slide, so
+                :attr:`actions_processed` is read off the shared counter
+                instead of being incremented per checkpoint per slide.
         """
         if start <= 0:
             raise ValueError(f"checkpoint start must be positive, got {start}")
@@ -88,6 +111,8 @@ class Checkpoint:
         self._index = AppendOnlyInfluenceIndex() if index is None else index
         self._oracle = spec.build(self._index)
         self._actions_processed = 0
+        self._ledger = ledger
+        self._absorbed_base = ledger.absorbed if ledger is not None else 0
 
     def process(self, record: ActionRecord) -> None:
         """SSM steps (1)–(3) for one arriving action (standalone mode)."""
@@ -100,6 +125,34 @@ class Checkpoint:
         for user in self._index.add(record):
             self.feed(user, record.user)
 
+    def process_slide(self, records: Sequence[ActionRecord]) -> None:
+        """One whole slide in standalone mode: index all, then feed merged.
+
+        All of the slide's records enter the private index before any
+        oracle work runs; the oracle then receives one
+        ``(user, new_members)`` delta per updated user, in first-update
+        order — the reference implementation of the slide semantics the
+        shared dispatch plane reproduces.
+        """
+        index_add = self._index.add
+        deltas: dict = {}
+        for record in records:
+            if record.time < self.start:
+                raise ValueError(
+                    f"checkpoint starting at {self.start} received "
+                    f"older action {record.time}"
+                )
+            performer = record.user
+            for user in index_add(record):
+                members = deltas.get(user)
+                if members is None:
+                    deltas[user] = [performer]
+                else:
+                    members.append(performer)
+        self._actions_processed += len(records)
+        for user, members in deltas.items():
+            self.feed_delta(user, members)
+
     def feed(self, user: int, new_member: int) -> None:
         """SSM steps (2)–(3): the oracle learns ``user`` gained ``new_member``.
 
@@ -109,9 +162,13 @@ class Checkpoint:
         """
         self._oracle.process(user, new_member)
 
-    def note_processed(self, count: int) -> None:
-        """Account ``count`` absorbed actions (shared-index mode bookkeeping)."""
-        self._actions_processed += count
+    def feed_delta(self, user: int, new_members: Sequence[int]) -> None:
+        """Merged SSM event: ``user`` gained all of ``new_members``."""
+        self._oracle.process_delta(user, new_members)
+
+    def feed_batch(self, deltas) -> None:
+        """A whole slide's merged deltas in one oracle call."""
+        self._oracle.process_batch(deltas)
 
     @property
     def value(self) -> float:
@@ -136,6 +193,12 @@ class Checkpoint:
     @property
     def actions_processed(self) -> int:
         """How many actions this checkpoint has absorbed."""
+        if self._ledger is not None:
+            return (
+                self._ledger.absorbed
+                - self._absorbed_base
+                + self._actions_processed
+            )
         return self._actions_processed
 
     def position(self, now: int, window_size: int) -> int:
@@ -157,36 +220,132 @@ class Checkpoint:
         )
 
 
+class CheckpointRoster:
+    """Live checkpoints plus the parallel lists the dispatch plane reads.
+
+    :func:`feed_shared` needs the sorted start times (for the bisect) and
+    the bound ``feed`` methods (for the L=1 fast path) of every live
+    checkpoint.  Rebuilding those lists from scratch each slide costs
+    O(⌈N/L⌉) pointer work per slide, which showed up at ~2-3% for IC at
+    L=1; the roster instead maintains them incrementally — appends touch
+    the tail, expiry shifts are single C-level list pops, and only SIC's
+    pruning (which already walks the population) rebuilds.  The
+    ``absorbed`` slide counter likewise replaces a per-checkpoint
+    accounting loop: every live checkpoint absorbs every slide, so one
+    shared counter plus a per-checkpoint baseline recorded at append time
+    yields each checkpoint's ``actions_processed``.
+    """
+
+    __slots__ = ("checkpoints", "starts", "feeds", "absorbed")
+
+    def __init__(self) -> None:
+        self.checkpoints: List[Checkpoint] = []
+        self.starts: List[int] = []
+        self.feeds: List[Callable[[int, int], None]] = []
+        #: Total actions dispatched to this roster (the checkpoint ledger).
+        self.absorbed: int = 0
+
+    def append(self, checkpoint: Checkpoint) -> None:
+        """Register the slide's newcomer (starts stay sorted by contract)."""
+        self.checkpoints.append(checkpoint)
+        self.starts.append(checkpoint.start)
+        self.feeds.append(checkpoint.feed)
+
+    def pop_oldest(self) -> Checkpoint:
+        """Expire the head checkpoint."""
+        self.starts.pop(0)
+        self.feeds.pop(0)
+        return self.checkpoints.pop(0)
+
+    def replace(self, keep: List[Checkpoint]) -> None:
+        """Swap in a pruned population (SIC's Algorithm 2 lines 9-20)."""
+        self.checkpoints = keep
+        self.starts = [checkpoint.start for checkpoint in keep]
+        self.feeds = [checkpoint.feed for checkpoint in keep]
+
+    def __len__(self) -> int:
+        return len(self.checkpoints)
+
+    def __getitem__(self, i: int) -> Checkpoint:
+        return self.checkpoints[i]
+
+    def __iter__(self):
+        return iter(self.checkpoints)
+
+
 def feed_shared(
     shared: VersionedInfluenceIndex,
-    checkpoints: Sequence[Checkpoint],
+    roster: CheckpointRoster,
     arrived: Sequence[ActionRecord],
+    batch: bool = True,
 ) -> None:
-    """Index ``arrived`` once and fan oracle feeds out to ``checkpoints``.
+    """Index ``arrived`` once and dispatch oracle feeds to the roster.
 
-    This is the shared-index hot path replacing the per-checkpoint loop: one
-    :meth:`VersionedInfluenceIndex.add` per record (O(d) dict writes), then
-    for each updated pair a ``bisect`` over the sorted checkpoint starts
-    locates the first checkpoint whose suffix actually gained a member —
-    only those are fed.  Per-action *index and oracle* work is O(d + feeds)
-    instead of O(d · checkpoints) set probes; the call also performs
-    O(checkpoints) per-slide pointer bookkeeping (start/feed lists and
-    absorbed-action counters), whose constants are trivial next to a
-    single oracle feed.
+    This is the shared-index hot path replacing the per-checkpoint loop:
+    one :meth:`VersionedInfluenceIndex.add` per record (O(d) dict writes),
+    then for each updated pair a ``bisect`` over the sorted checkpoint
+    starts locates the first checkpoint whose suffix actually gained a
+    member — only those are fed.
 
-    ``checkpoints`` must be sorted by ascending start and every start must
-    be at most the earliest arrived record's time (both invariants hold for
-    IC's and SIC's checkpoint lists after appending the slide's newcomer).
+    For a single-record slide the feeds go straight to the oracles (the
+    merged deltas would all be singletons).  For ``L > 1`` the slide's
+    updates are first grouped into one ``{user: [new_members]}`` delta map
+    per checkpoint — merging multiple new members per user — and each
+    checkpoint receives its whole slide in one
+    :meth:`Checkpoint.feed_batch` call (``batch=True``, amortising
+    per-slide oracle bookkeeping) or as per-user
+    :meth:`Checkpoint.feed_delta` calls (``batch=False``, the equivalence
+    reference for the batched path).
+
+    Per-action index and oracle work is O(d + feeds) instead of
+    O(d · checkpoints) set probes.  Remaining per-slide overheads: one add
+    to the roster's absorbed ledger (replacing the old O(checkpoints)
+    per-checkpoint accounting loop), and — on the L>1 path only — one
+    delta map per checkpoint, whose population is bounded by the feeds the
+    oracles receive anyway.
+
+    ``roster`` must hold checkpoints sorted by ascending start, every start
+    at most the earliest arrived record's time (both invariants hold for
+    IC's and SIC's rosters after appending the slide's newcomer).
     """
-    starts = [checkpoint.start for checkpoint in checkpoints]
-    feeds = [checkpoint.feed for checkpoint in checkpoints]
-    count = len(checkpoints)
-    add = shared.add
-    for record in arrived:
+    starts = roster.starts
+    count = len(starts)
+    if not count:
+        return
+    first_start = starts[0]
+    if len(arrived) == 1:
+        record = arrived[0]
         performer = record.user
-        for user, previous in add(record):
-            for i in range(bisect_right(starts, previous), count):
+        feeds = roster.feeds
+        for user, previous in shared.add(record):
+            lo = 0 if previous < first_start else bisect_right(starts, previous)
+            for i in range(lo, count):
                 feeds[i](user, performer)
-    absorbed = len(arrived)
-    for checkpoint in checkpoints:
-        checkpoint.note_processed(absorbed)
+    else:
+        # Sparse: only checkpoints that actually receive a feed get a delta
+        # map, so per-slide overhead is O(checkpoints fed), not O(count).
+        deltas: Dict[int, dict] = {}
+        for performer, user, previous in shared.add_batch(arrived):
+            lo = 0 if previous < first_start else bisect_right(starts, previous)
+            for i in range(lo, count):
+                delta = deltas.get(i)
+                if delta is None:
+                    deltas[i] = delta = {}
+                members = delta.get(user)
+                if members is None:
+                    delta[user] = [performer]
+                else:
+                    members.append(performer)
+        checkpoints = roster.checkpoints
+        # Deliver oldest-first, matching the reference plane's checkpoint
+        # order (oracles are independent, but deterministic order keeps the
+        # planes' event logs comparable).
+        if batch:
+            for i in sorted(deltas):
+                checkpoints[i].feed_batch(deltas[i].items())
+        else:
+            for i in sorted(deltas):
+                feed_delta = checkpoints[i].feed_delta
+                for user, members in deltas[i].items():
+                    feed_delta(user, members)
+    roster.absorbed += len(arrived)

@@ -10,6 +10,11 @@ exactly the current window, so IC inherits the oracle's ε ratio (Theorem 2).
 
 With slide batches of ``L`` actions, IC maintains ``⌈N/L⌉`` checkpoints
 (Section 5.3); with ``L = 1`` that is the full ``N`` of Algorithm 1.
+``checkpoint_interval=c`` additionally opens a checkpoint only every
+``c``-th slide, trading the answering suffix's tightness (it may cover up
+to ``N + c·L − 1`` actions, like a misaligned slide) for ``c×`` fewer
+checkpoints — the same lever Section 5.3 pulls with larger ``L``, without
+delaying arrivals.
 
 **Shared-index data plane.**  The paper's per-action cost is dominated by
 updating ``d`` influence sets in *every* live checkpoint — O(d · N/L) set
@@ -20,21 +25,27 @@ IC instead keeps one
 checkpoints: each action is indexed once (O(d) latest-credit dict writes)
 and the previous credit time of each pair locates — via ``bisect`` over the
 sorted checkpoint starts — exactly the checkpoints whose suffix gained a
-new member, which receive oracle feeds they would have received anyway.
-Per-action index/oracle work is O(d + feeds) — plus trivial O(⌈N/L⌉)
-per-slide dispatch bookkeeping — and index memory is the count of
-distinct pairs rather than the sum of all suffix sizes.  Pass ``shared_index=False``
-for the literal per-checkpoint reference implementation (used by the
-equivalence tests, which prove both modes produce identical feeds, values,
-and seeds).
+new member.  A slide's updates are grouped into per-checkpoint
+``(user, new_members)`` deltas and handed to each oracle in one batch
+(:func:`~repro.core.checkpoint.feed_shared`), so per-slide oracle
+bookkeeping is amortised; ``batch_feeds=False`` delivers the same deltas
+one ``process_delta`` call at a time (the equivalence reference for the
+batch path).  Pass ``shared_index=False`` for the literal per-checkpoint
+reference implementation (used by the equivalence tests, which prove all
+modes produce identical feeds, values, and seeds).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.base import SIMAlgorithm, SIMResult
-from repro.core.checkpoint import Checkpoint, OracleSpec, feed_shared
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointRoster,
+    OracleSpec,
+    feed_shared,
+)
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import VersionedInfluenceIndex
 from repro.influence.functions import CardinalityInfluence, InfluenceFunction
@@ -54,11 +65,13 @@ class InfluentialCheckpoints(SIMAlgorithm):
         func: Optional[InfluenceFunction] = None,
         retention: Optional[int] = None,
         shared_index: bool = True,
+        batch_feeds: bool = True,
+        checkpoint_interval: int = 1,
     ):
         """
         Args:
-            window_size: The paper's ``N``.
-            k: Seed-set cardinality constraint.
+            window_size: The paper's ``N`` (must be >= 1).
+            k: Seed-set cardinality constraint (must be >= 1).
             beta: Guess-granularity parameter of the threshold oracles.
             oracle: Registered oracle name (default the paper's case study,
                 SieveStreaming).
@@ -67,25 +80,49 @@ class InfluentialCheckpoints(SIMAlgorithm):
             shared_index: Share one versioned influence index across all
                 checkpoints (the fast data plane).  ``False`` restores the
                 per-checkpoint reference indexes.
+            batch_feeds: Deliver each checkpoint's slide as one merged
+                oracle batch (shared-index mode only).  ``False`` feeds the
+                same per-user deltas one call at a time — result-identical,
+                kept as the batched path's equivalence reference.
+            checkpoint_interval: Open a new checkpoint only every this many
+                slides (must be >= 1).  Values above 1 keep ``c×`` fewer
+                checkpoints at the cost of the answer covering up to
+                ``c·L − 1`` extra actions.
         """
+        # window_size and k are validated (with the offending value in the
+        # message) by SIMAlgorithm/SlidingWindow in super().__init__;
+        # tests/core/test_ic.py pins that contract.
+        if checkpoint_interval < 1:
+            raise ValueError(
+                "checkpoint_interval must be a positive number of slides, "
+                f"got {checkpoint_interval}"
+            )
         super().__init__(window_size=window_size, k=k, retention=retention)
         func = func if func is not None else CardinalityInfluence()
         params = {"beta": beta} if oracle in ("sieve", "threshold") else {}
         self._spec = OracleSpec(name=oracle, k=k, func=func, params=params)
-        self._checkpoints: List[Checkpoint] = []
+        self._roster = CheckpointRoster()
+        self._batch_feeds = batch_feeds
+        self._interval = checkpoint_interval
+        self._slide_index = 0
         self._shared: Optional[VersionedInfluenceIndex] = (
             VersionedInfluenceIndex() if shared_index else None
         )
 
     @property
     def checkpoint_count(self) -> int:
-        """Number of live checkpoints (``⌈N/L⌉`` in steady state)."""
-        return len(self._checkpoints)
+        """Number of live checkpoints (``⌈N/(L·c)⌉`` in steady state)."""
+        return len(self._roster)
 
     @property
     def checkpoints(self) -> Sequence[Checkpoint]:
         """Live checkpoints, oldest first (read-only view)."""
-        return tuple(self._checkpoints)
+        return tuple(self._roster.checkpoints)
+
+    @property
+    def checkpoint_interval(self) -> int:
+        """Slides between consecutive checkpoint openings."""
+        return self._interval
 
     @property
     def shared_index(self) -> Optional[VersionedInfluenceIndex]:
@@ -99,35 +136,50 @@ class InfluentialCheckpoints(SIMAlgorithm):
     ) -> None:
         # Algorithm 1 lines 2-5: retire the checkpoint that no longer covers
         # a window suffix, then open one for the arriving slide.
-        cps = self._checkpoints
-        start = arrived[0].time
+        roster = self._roster
+        open_checkpoint = self._slide_index % self._interval == 0
+        self._slide_index += 1
         shared = self._shared
         if shared is not None:
-            cps.append(Checkpoint(start, self._spec, index=shared.view(start)))
-            feed_shared(shared, cps, arrived)
+            if open_checkpoint:
+                start = arrived[0].time
+                roster.append(
+                    Checkpoint(
+                        start,
+                        self._spec,
+                        index=shared.view(start),
+                        ledger=roster,
+                    )
+                )
+            feed_shared(shared, roster, arrived, batch=self._batch_feeds)
         else:
-            cps.append(Checkpoint(start, self._spec))
-            for record in arrived:
-                for checkpoint in cps:
+            if open_checkpoint:
+                roster.append(Checkpoint(arrived[0].time, self._spec))
+            if len(arrived) == 1:
+                record = arrived[0]
+                for checkpoint in roster.checkpoints:
                     checkpoint.process(record)
+            else:
+                for checkpoint in roster.checkpoints:
+                    checkpoint.process_slide(arrived)
         now = self.now
         size = self.window_size
-        while cps and not cps[0].covers_window(now, size):
+        while roster and not roster[0].covers_window(now, size):
             # The oldest checkpoint covers more than N actions.  Drop it
             # unless it is the only one still covering the whole window
             # (start-up/misaligned-slide corner: the next checkpoint would
             # cover strictly less than the window).
-            second = cps[1] if len(cps) > 1 else None
+            second = roster[1] if len(roster) > 1 else None
             if second is not None and second.start <= max(1, now - size + 1):
-                cps.pop(0)
+                roster.pop_oldest()
             else:
                 break
-        if shared is not None and cps:
-            shared.compact(cps[0].start)
+        if shared is not None and roster:
+            shared.compact(roster[0].start)
 
     def query(self) -> SIMResult:
         """Return the solution of ``Λ_t[1]`` (Algorithm 1 lines 9-10)."""
-        if not self._checkpoints:
+        if not self._roster:
             return SIMResult(time=self.now, seeds=frozenset(), value=0.0)
-        answer = self._checkpoints[0]
+        answer = self._roster[0]
         return SIMResult(time=self.now, seeds=answer.seeds, value=answer.value)

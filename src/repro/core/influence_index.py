@@ -39,7 +39,7 @@ the users credited.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.diffusion import ActionRecord
 
@@ -248,6 +248,37 @@ class VersionedInfluenceIndex:
             if old == 0:
                 self._pair_total += 1
             updates.append((u, old))
+        return updates
+
+    def add_batch(
+        self, records: Sequence[ActionRecord]
+    ) -> List[Tuple[int, int, int]]:
+        """Record a whole slide; return flat ``(performer, influencer, previous)``.
+
+        Equivalent to calling :meth:`add` per record, but returns one flat
+        update list for the slide — the shape the batched dispatch plane
+        consumes — with the per-record temporaries and attribute lookups
+        hoisted out of the loop.  Updates keep record order, then
+        influencer order within a record.
+        """
+        latest = self._latest
+        updates: List[Tuple[int, int, int]] = []
+        append = updates.append
+        for record in records:
+            v = record.user
+            time = record.time
+            for u in record.influencers:
+                pairs = latest.get(u)
+                if pairs is None:
+                    latest[u] = {v: time}
+                    self._pair_total += 1
+                    append((v, u, 0))
+                    continue
+                old = pairs.get(v, 0)
+                pairs[v] = time
+                if old == 0:
+                    self._pair_total += 1
+                append((v, u, old))
         return updates
 
     def view(self, start: int) -> "SuffixView":

@@ -27,6 +27,7 @@ from repro.core.oracles.blog_watch import BlogWatchOracle
 from repro.core.oracles.greedy_oracle import GreedyOracle
 from repro.core.oracles.mkc import MkCOracle
 from repro.core.oracles.sieve import SieveStreamingOracle
+from repro.core.oracles.streaming_base import StreamingThresholdOracle
 from repro.core.oracles.threshold import ThresholdStreamOracle
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "make_oracle",
     "oracle_names",
     "register_oracle",
+    "StreamingThresholdOracle",
     "SieveStreamingOracle",
     "ThresholdStreamOracle",
     "BlogWatchOracle",

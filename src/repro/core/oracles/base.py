@@ -30,7 +30,7 @@ recorded ``f`` value never overstates the snapshot seeds' current value.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Sequence, Tuple
 
 from repro.influence.functions import InfluenceFunction
 
@@ -75,6 +75,30 @@ class CheckpointOracle(ABC):
         The checkpoint index already reflects the update; implementations
         read the full current set via ``self._index.influence_set(user)``.
         """
+
+    def process_delta(self, user: int, new_members: Sequence[int]) -> None:
+        """Notify that ``user`` gained all of ``new_members`` this slide.
+
+        The index already reflects the *whole* slide.  The default loops
+        :meth:`process`, which is exact for oracles whose update reads the
+        index rather than the event (swap oracles, greedy); oracles that
+        accumulate per-event state override this with a genuinely merged
+        update (see
+        :class:`~repro.core.oracles.streaming_base.StreamingThresholdOracle`).
+        """
+        for member in new_members:
+            self.process(user, member)
+
+    def process_batch(
+        self, deltas: Iterable[Tuple[int, Sequence[int]]]
+    ) -> None:
+        """One (checkpoint, slide) batch of merged ``(user, members)`` deltas.
+
+        Subclasses override to amortise per-slide bookkeeping across the
+        whole batch; the default simply loops :meth:`process_delta`.
+        """
+        for user, members in deltas:
+            self.process_delta(user, members)
 
     @property
     def value(self) -> float:

@@ -15,238 +15,40 @@ instances whose guesses drop below the valid range are discarded and new
 ones are created lazily — freshly created instances do *not* replay past
 elements, exactly as in the streaming original.
 
-The reported Λ value is the best-so-far snapshot maintained by the base
-class, covering both all instance solutions and the best singleton.
+The guessing scaffold, the singleton admission prefilter, the batched slide
+entry point, and the covered-set arithmetic all live in
+:class:`~repro.core.oracles.streaming_base.StreamingThresholdOracle`; this
+class only supplies the sieve admission bar above.  Because that bar
+depends on the instance's current value and fill level, admissions and
+value growth can lower it, so :attr:`bar_tracks_value` is True and the base
+keeps the admission floor sound with min-updates at those points.
 
-**Hot-path structure.**  A feed only matters to an instance when the fed
-user is one of its seeds (coverage bookkeeping) or when it could clear the
-admission threshold.  For *modular* functions the admission gain is
-computed purely from the fed user's fresh members, so it is bounded by the
-user's singleton value ``f(I(u))`` — which the oracle already tracks.  The
-update therefore keeps a per-user count of instances holding the user as a
-seed and the minimum admission threshold over unfilled instances
-(``_admit_floor``): feeds from non-seed users below the floor are
-dismissed with two O(1) checks and no set work at all.  (Non-modular
-functions skip the prefilter: their gains are measured against lazily
-refreshed instance values and may exceed the singleton bound.)  Solutions
-are offered to the best-so-far snapshot at *mutation* time (admission,
-coverage growth), which is equivalent to the previous per-feed
-best-instance scan because an instance's value can only become the new
-maximum by changing.
+The reported Λ value is the best-so-far snapshot maintained by
+:class:`~repro.core.oracles.base.CheckpointOracle`, covering both all
+instance solutions and the best singleton.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Set
-
-from repro.core.oracles.base import CheckpointOracle, register_oracle
-from repro.influence.functions import InfluenceFunction
+from repro.core.oracles.base import register_oracle
+from repro.core.oracles.streaming_base import (
+    StreamingThresholdOracle,
+    ThresholdInstance,
+)
 
 __all__ = ["SieveStreamingOracle"]
 
-#: Tolerance guarding float rounding in ``log`` index computations.
-_EPS = 1e-9
-
-
-class _Instance:
-    """One sieve instance: a guess of OPT plus its candidate solution."""
-
-    __slots__ = ("guess", "seeds", "covered", "value")
-
-    def __init__(self, guess: float):
-        self.guess = guess
-        self.seeds: Set[int] = set()
-        self.covered: Set[int] = set()
-        self.value: float = 0.0
-
 
 @register_oracle("sieve")
-class SieveStreamingOracle(CheckpointOracle):
+class SieveStreamingOracle(StreamingThresholdOracle):
     """SieveStreaming adapted to SIM through SSM (case study, Section 4.3)."""
 
     ratio_description = "1/2 - beta"
 
-    def __init__(
-        self,
-        k: int,
-        func: InfluenceFunction,
-        index,
-        beta: float = 0.1,
-    ):
-        super().__init__(k=k, func=func, index=index)
-        if not 0.0 < beta < 1.0:
-            raise ValueError(f"beta must be in (0, 1), got {beta}")
-        self._beta = beta
-        self._log_base = math.log1p(beta)
-        self._m: float = 0.0
-        self._instances: Dict[int, _Instance] = {}
-        self._singleton_cache: Dict[int, float] = {}
-        # Guess-exponent range [low, high] of the live instances; refreshes
-        # that leave it unchanged skip the rebuild entirely.
-        self._bounds = (0, -1)
-        self._modular = func.modular
-        self._uniform = func.uniform_weight
-        # user -> number of instances holding the user as a seed.
-        self._member_counts: Dict[int, int] = {}
-        # Minimum admission threshold over instances with free seats; a
-        # non-seed user whose singleton value is below it cannot join any
-        # instance (gain <= f(I(u)) by submodularity), so the whole
-        # instance loop is skipped.
-        self._admit_floor: float = math.inf
+    bar_tracks_value = True
 
-    @property
-    def instance_count(self) -> int:
-        """Number of live sieve instances (``O(log k / β)``)."""
-        return len(self._instances)
-
-    @property
-    def max_singleton(self) -> float:
-        """The running ``m`` (Figure 3's "Max Cardinality" generalised)."""
-        return self._m
-
-    def process(self, user: int, new_member: int) -> None:
-        if self._modular:
-            weight = (
-                self._uniform
-                if self._uniform is not None
-                else self._func.weight(new_member)
-            )
-            singleton = self._singleton_cache.get(user, 0.0) + weight
-        else:
-            weight = 0.0
-            singleton = self._func.evaluate((user,), self._index)
-        self._singleton_cache[user] = singleton
-        if singleton > self._m:
-            self._m = singleton
-            self._refresh_instances()
-        if singleton > self._best_value:
-            self._offer_solution(singleton, (user,))
-        k = self._k
-        # The singleton prefilters below are only sound for modular
-        # functions, where the admission gain is computed purely from the
-        # fed user's fresh members (gain <= f(I(u)) = singleton).  In the
-        # non-modular path the gain is measured against a lazily-refreshed
-        # instance value that can be stale-low, so the realized gain may
-        # exceed the singleton bound — every under-k instance must be
-        # offered the user.
-        modular = self._modular
-        if self._member_counts.get(user):
-            for instance in self._instances.values():
-                seats = k - len(instance.seeds)
-                if user in instance.seeds:
-                    self._refresh_member(instance, user, new_member, weight)
-                elif seats > 0 and (
-                    not modular
-                    or singleton
-                    >= (instance.guess / 2.0 - instance.value) / seats
-                ):
-                    self._try_admit(instance, user)
-        elif not modular or singleton >= self._admit_floor:
-            for instance in self._instances.values():
-                seats = k - len(instance.seeds)
-                if seats > 0 and (
-                    not modular
-                    or singleton
-                    >= (instance.guess / 2.0 - instance.value) / seats
-                ):
-                    self._try_admit(instance, user)
-
-    # -- internals -------------------------------------------------------
-
-    def _recompute_admit_floor(self) -> None:
-        """Refresh the minimum admission threshold over unfilled instances."""
-        k = self._k
-        floor = math.inf
-        for instance in self._instances.values():
-            seats = k - len(instance.seeds)
-            if seats > 0:
-                threshold = (instance.guess / 2.0 - instance.value) / seats
-                if threshold < floor:
-                    floor = threshold
-        self._admit_floor = floor
-
-    def _refresh_instances(self) -> None:
-        """Align the instance set with ``{j : m ≤ (1+β)^j ≤ 2·k·m}``."""
-        if self._m <= 0.0:
-            return
-        low = math.ceil(math.log(self._m) / self._log_base - _EPS)
-        high = math.floor(math.log(2 * self._k * self._m) / self._log_base + _EPS)
-        if (low, high) == self._bounds:
-            return
-        self._bounds = (low, high)
-        instances = self._instances
-        for j in [j for j in instances if j < low or j > high]:
-            for seed in instances.pop(j).seeds:
-                count = self._member_counts[seed] - 1
-                if count:
-                    self._member_counts[seed] = count
-                else:
-                    del self._member_counts[seed]
-        base = 1.0 + self._beta
-        guess = base ** low
-        for j in range(low, high + 1):
-            if j not in instances:
-                instances[j] = _Instance(guess=guess)
-            guess *= base
-        self._recompute_admit_floor()
-
-    def _refresh_member(
-        self, instance: _Instance, user: int, new_member: int, weight: float
-    ) -> None:
-        """A selected seed's influence set grew; update the instance value."""
-        if self._modular:
-            if new_member not in instance.covered:
-                instance.covered.add(new_member)
-                instance.value += weight
-            else:
-                return
-        else:
-            instance.value = self._func.evaluate(instance.seeds, self._index)
-        if instance.value > self._best_value:
-            self._offer_solution(instance.value, instance.seeds)
-        seats = self._k - len(instance.seeds)
-        if seats > 0:
-            # A value increase only ever lowers this instance's admission
-            # threshold, so a one-sided min-update keeps the floor valid
-            # (too low merely skips fewer feeds; never too high).
-            threshold = (instance.guess / 2.0 - instance.value) / seats
-            if threshold < self._admit_floor:
-                self._admit_floor = threshold
-
-    def _try_admit(self, instance: _Instance, user: int) -> None:
-        """Apply the sieve threshold test for a non-member user."""
-        remaining = self._k - len(instance.seeds)
-        threshold = (instance.guess / 2.0 - instance.value) / remaining
-        if self._modular:
-            # One C-level set difference yields the uncovered members; with
-            # a uniform weight the gain is just its size.
-            fresh = self._index.fresh_members(user, instance.covered)
-            if not fresh:
-                return
-            if self._uniform is not None:
-                gain = self._uniform * len(fresh)
-            else:
-                weight = self._func.weight
-                gain = sum(weight(v) for v in fresh)
-            if gain >= threshold and gain > 0.0:
-                instance.seeds.add(user)
-                instance.covered |= fresh
-                instance.value += gain
-                self._note_admission(instance, user)
-        else:
-            with_user = self._func.evaluate(
-                list(instance.seeds) + [user], self._index
-            )
-            gain = with_user - instance.value
-            if gain >= threshold and gain > 0.0:
-                instance.seeds.add(user)
-                instance.value = with_user
-                self._note_admission(instance, user)
-
-    def _note_admission(self, instance: _Instance, user: int) -> None:
-        """Bookkeeping after a successful admission."""
-        self._member_counts[user] = self._member_counts.get(user, 0) + 1
-        if instance.value > self._best_value:
-            self._offer_solution(instance.value, instance.seeds)
-        self._recompute_admit_floor()
+    def _instance_bar(self, instance: ThresholdInstance) -> float:
+        """``(v_j/2 − f(I(CX_j))) / (k − |CX_j|)`` — tightens as CX fills."""
+        return (instance.guess / 2.0 - instance.value) / (
+            self._k - len(instance.seeds)
+        )

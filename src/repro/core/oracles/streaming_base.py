@@ -1,0 +1,336 @@
+"""Shared machinery of the threshold-guessing streaming oracles.
+
+SieveStreaming (:mod:`repro.core.oracles.sieve`) and ThresholdStream
+(:mod:`repro.core.oracles.threshold`) are the two general-function oracles
+of Table 2.  Both maintain one *instance* per geometric guess
+``v_j = (1+β)^j`` of the optimum over the suffix, for ``j`` such that
+``m ≤ (1+β)^j ≤ 2·k·m`` where ``m = max_u f(I_t[i](u))``, and both admit a
+user to an instance when its marginal gain clears an *admission bar*.  The
+only algorithmic difference is that bar:
+
+* sieve:     ``(v_j/2 − f(I(CX_j))) / (k − |CX_j|)`` — tightens as the
+  instance fills and loosens as its value grows;
+* threshold: ``v_j / (2k)`` — static per instance.
+
+Everything else — the singleton cache, the instance-range refresh, the
+per-user seed-membership counts, the admission floor, the covered-set
+arithmetic, and the batched slide entry point — is identical and lives in
+:class:`StreamingThresholdOracle`.  Subclasses supply
+:meth:`StreamingThresholdOracle._instance_bar` plus the
+:attr:`StreamingThresholdOracle.bar_tracks_value` flag that tells the base
+how admissions and value growth move the floor.
+
+**Merged-delta events.**  The dispatch plane delivers one *delta*
+``(user, new_members)`` per updated user per slide — all of a slide's
+records are indexed before any oracle work runs, so a user's suffix set
+already contains every new member when the oracle sees the delta.  The
+singleton cache, the ``m``/instance-range refresh, and the best-so-far
+offer therefore run once per (user, slide) instead of once per member.
+Merging is not merely an optimisation but what keeps the modular singleton
+prefilter sound: an admission gain is measured against the *index* (which
+holds the whole slide), so a per-member singleton would lag the index and
+could wrongly dismiss a user whose merged gain clears the bar.
+
+**Admission floor.**  ``_admit_floor`` is a lower bound on every unfilled
+instance's admission bar: a non-seed user whose singleton value falls below
+it cannot join any instance (for modular functions the gain is bounded by
+the singleton value), so the whole instance loop is skipped with two O(1)
+checks.  A *too-low* floor merely skips fewer feeds — every admission is
+still gated by the exact per-instance bar — so the batch path keeps the
+floor sound with cheap one-sided min-updates and defers the O(instances)
+re-tightening sweep to once per (checkpoint, slide) instead of once per
+admission.  (Non-modular functions bypass the prefilter entirely: their
+gains are measured against lazily refreshed instance values and may exceed
+the singleton bound.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Set, Tuple
+
+from repro.core.oracles.base import CheckpointOracle
+from repro.influence.functions import InfluenceFunction
+
+__all__ = ["StreamingThresholdOracle", "ThresholdInstance"]
+
+#: Tolerance guarding float rounding in ``log`` index computations.
+_EPS = 1e-9
+
+
+class ThresholdInstance:
+    """One guess of OPT plus its candidate solution."""
+
+    __slots__ = ("guess", "seeds", "covered", "value")
+
+    def __init__(self, guess: float):
+        self.guess = guess
+        self.seeds: Set[int] = set()
+        self.covered: Set[int] = set()
+        self.value: float = 0.0
+
+
+class StreamingThresholdOracle(CheckpointOracle):
+    """Geometric-guessing SSO base: everything but the admission bar."""
+
+    #: Whether the admission bar depends on the instance's current value
+    #: (sieve).  When True, value growth and admissions can *lower* the
+    #: admitting instance's bar, so the floor needs a min-update at those
+    #: points; when False (threshold) only an instance filling up moves it.
+    bar_tracks_value: bool = True
+
+    def __init__(
+        self,
+        k: int,
+        func: InfluenceFunction,
+        index,
+        beta: float = 0.1,
+    ):
+        super().__init__(k=k, func=func, index=index)
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self._beta = beta
+        self._log_base = math.log1p(beta)
+        self._m: float = 0.0
+        self._instances: Dict[int, ThresholdInstance] = {}
+        self._singleton_cache: Dict[int, float] = {}
+        # Guess-exponent range [low, high] of the live instances; refreshes
+        # that leave it unchanged skip the rebuild entirely.
+        self._bounds = (0, -1)
+        self._modular = func.modular
+        self._uniform = func.uniform_weight
+        # user -> number of instances holding the user as a seed.
+        self._member_counts: Dict[int, int] = {}
+        # Lower bound on the admission bar over instances with free seats.
+        self._admit_floor: float = math.inf
+        # Batch mode: defer floor re-tightening to the end of the slide.
+        self._floor_lazy = False
+        self._floor_dirty = False
+
+    # -- subclass interface ------------------------------------------------
+
+    def _instance_bar(self, instance: ThresholdInstance) -> float:
+        """The current admission bar of an *unfilled* instance."""
+        raise NotImplementedError
+
+    # -- SSM entry points --------------------------------------------------
+
+    def process(self, user: int, new_member: int) -> None:
+        """Single-member event (the L=1 hot path; no merge bookkeeping)."""
+        if self._modular:
+            weight = (
+                self._uniform
+                if self._uniform is not None
+                else self._func.weight(new_member)
+            )
+            singleton = self._singleton_cache.get(user, 0.0) + weight
+        else:
+            singleton = self._func.evaluate((user,), self._index)
+        self._singleton_cache[user] = singleton
+        self._dispatch(user, singleton, (new_member,))
+
+    def process_delta(self, user: int, new_members: Sequence[int]) -> None:
+        """Merged event: ``user`` gained all of ``new_members`` this slide."""
+        if self._modular:
+            uniform = self._uniform
+            if uniform is not None:
+                gained = uniform * len(new_members)
+            else:
+                weight_of = self._func.weight
+                gained = sum(weight_of(v) for v in new_members)
+            singleton = self._singleton_cache.get(user, 0.0) + gained
+        else:
+            singleton = self._func.evaluate((user,), self._index)
+        self._singleton_cache[user] = singleton
+        self._dispatch(user, singleton, new_members)
+
+    def process_batch(
+        self, deltas: Iterable[Tuple[int, Sequence[int]]]
+    ) -> None:
+        """One (checkpoint, slide) batch of merged deltas.
+
+        Inside the batch the admission floor is maintained by one-sided
+        min-updates only (sound: a loose floor skips fewer feeds, never
+        admissions); the O(instances) re-tightening sweep runs once at the
+        end instead of after every admission.
+        """
+        self._floor_lazy = True
+        try:
+            process_delta = self.process_delta
+            for user, members in deltas:
+                process_delta(user, members)
+        finally:
+            self._floor_lazy = False
+            if self._floor_dirty:
+                self._recompute_admit_floor()
+
+    # -- shared hot path ---------------------------------------------------
+
+    def _dispatch(
+        self, user: int, singleton: float, new_members: Sequence[int]
+    ) -> None:
+        """Refresh ``m``, offer the singleton, and walk the instances."""
+        if singleton > self._m:
+            self._m = singleton
+            self._refresh_instances()
+        if singleton > self._best_value:
+            self._offer_solution(singleton, (user,))
+        k = self._k
+        # The singleton prefilters below are only sound for modular
+        # functions, where the admission gain is bounded by the fed user's
+        # singleton value.  In the non-modular path the gain is measured
+        # against a lazily-refreshed instance value that can be stale-low,
+        # so the realized gain may exceed the singleton bound — every
+        # under-k instance must be offered the user.
+        modular = self._modular
+        if self._member_counts.get(user):
+            for instance in self._instances.values():
+                if user in instance.seeds:
+                    self._refresh_member(instance, new_members)
+                elif len(instance.seeds) < k and (
+                    not modular or singleton >= self._instance_bar(instance)
+                ):
+                    self._try_admit(instance, user)
+        elif not modular or singleton >= self._admit_floor:
+            for instance in self._instances.values():
+                if len(instance.seeds) < k and (
+                    not modular or singleton >= self._instance_bar(instance)
+                ):
+                    self._try_admit(instance, user)
+
+    def _refresh_member(
+        self, instance: ThresholdInstance, new_members: Sequence[int]
+    ) -> None:
+        """A selected seed's influence set grew; update the instance value."""
+        if self._modular:
+            covered = instance.covered
+            uniform = self._uniform
+            grown = 0.0
+            if uniform is not None:
+                for v in new_members:
+                    if v not in covered:
+                        covered.add(v)
+                        grown += uniform
+            else:
+                weight_of = self._func.weight
+                for v in new_members:
+                    if v not in covered:
+                        covered.add(v)
+                        grown += weight_of(v)
+            if grown == 0.0:
+                return
+            instance.value += grown
+        else:
+            instance.value = self._func.evaluate(instance.seeds, self._index)
+        if instance.value > self._best_value:
+            self._offer_solution(instance.value, instance.seeds)
+        if self.bar_tracks_value and len(instance.seeds) < self._k:
+            # A value increase only ever lowers this instance's admission
+            # bar, so a one-sided min-update keeps the floor valid (too low
+            # merely skips fewer feeds; never too high).
+            bar = self._instance_bar(instance)
+            if bar < self._admit_floor:
+                self._admit_floor = bar
+
+    def _try_admit(self, instance: ThresholdInstance, user: int) -> None:
+        """Apply the admission-bar test for a non-member user."""
+        bar = self._instance_bar(instance)
+        if self._modular:
+            # One C-level set difference yields the uncovered members; with
+            # a uniform weight the gain is just its size.
+            fresh = self._index.fresh_members(user, instance.covered)
+            if not fresh:
+                return
+            if self._uniform is not None:
+                gain = self._uniform * len(fresh)
+            else:
+                weight_of = self._func.weight
+                gain = sum(weight_of(v) for v in fresh)
+            if gain >= bar and gain > 0.0:
+                instance.seeds.add(user)
+                instance.covered |= fresh
+                instance.value += gain
+                self._note_admission(instance, user)
+        else:
+            with_user = self._func.evaluate(
+                list(instance.seeds) + [user], self._index
+            )
+            gain = with_user - instance.value
+            if gain >= bar and gain > 0.0:
+                instance.seeds.add(user)
+                instance.value = with_user
+                self._note_admission(instance, user)
+
+    def _note_admission(self, instance: ThresholdInstance, user: int) -> None:
+        """Bookkeeping after a successful admission."""
+        self._member_counts[user] = self._member_counts.get(user, 0) + 1
+        if instance.value > self._best_value:
+            self._offer_solution(instance.value, instance.seeds)
+        if self.bar_tracks_value:
+            if len(instance.seeds) < self._k:
+                # Keep the floor a sound lower bound even in lazy mode: the
+                # admitting instance's bar may have dropped below it.
+                bar = self._instance_bar(instance)
+                if bar < self._admit_floor:
+                    self._admit_floor = bar
+            if self._floor_lazy:
+                self._floor_dirty = True
+            else:
+                self._recompute_admit_floor()
+        elif len(instance.seeds) == self._k:
+            # The instance just filled up: it no longer bids for the floor.
+            if self._floor_lazy:
+                self._floor_dirty = True
+            else:
+                self._recompute_admit_floor()
+
+    # -- instance management ----------------------------------------------
+
+    def _recompute_admit_floor(self) -> None:
+        """Re-tighten the floor to the minimum bar over unfilled instances."""
+        k = self._k
+        floor = math.inf
+        for instance in self._instances.values():
+            if len(instance.seeds) < k:
+                bar = self._instance_bar(instance)
+                if bar < floor:
+                    floor = bar
+        self._admit_floor = floor
+        self._floor_dirty = False
+
+    def _refresh_instances(self) -> None:
+        """Align the instance set with ``{j : m ≤ (1+β)^j ≤ 2·k·m}``."""
+        if self._m <= 0.0:
+            return
+        low = math.ceil(math.log(self._m) / self._log_base - _EPS)
+        high = math.floor(math.log(2 * self._k * self._m) / self._log_base + _EPS)
+        if (low, high) == self._bounds:
+            return
+        self._bounds = (low, high)
+        instances = self._instances
+        for j in [j for j in instances if j < low or j > high]:
+            for seed in instances.pop(j).seeds:
+                count = self._member_counts[seed] - 1
+                if count:
+                    self._member_counts[seed] = count
+                else:
+                    del self._member_counts[seed]
+        base = 1.0 + self._beta
+        guess = base ** low
+        for j in range(low, high + 1):
+            if j not in instances:
+                instances[j] = ThresholdInstance(guess=guess)
+            guess *= base
+        self._recompute_admit_floor()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def instance_count(self) -> int:
+        """Number of live instances (``O(log k / β)``)."""
+        return len(self._instances)
+
+    @property
+    def max_singleton(self) -> float:
+        """The running ``m`` (Figure 3's "Max Cardinality" generalised)."""
+        return self._m

@@ -1,12 +1,12 @@
 """Shared bookkeeping for the swap-based oracles (Blog-Watch, MkC).
 
 Both maintain at most ``k`` seeds with reference-counted coverage.  One
-subtlety of the SSM event model: when an action updates several influence
-sets at once, the checkpoint index applies *all* updates before the
-per-user ``process`` calls fire.  A seed's live influence set can therefore
-momentarily contain members whose coverage event is still pending; reading
-live sets during a swap would corrupt the reference counts (double counts
-on admission, missing counts on eviction).
+subtlety of the SSM event model: when a slide updates several influence
+sets at once, the checkpoint index applies *all* of the slide's updates
+before the per-user ``process``/``process_delta`` calls fire.  A seed's
+live influence set can therefore momentarily contain members whose coverage
+event is still pending; reading live sets during a swap would corrupt the
+reference counts (double counts on admission, missing counts on eviction).
 
 The base class therefore tracks, per seed, the exact member set it has
 *counted* (``_counted``).  All coverage arithmetic — gains, exclusive

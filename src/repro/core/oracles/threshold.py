@@ -13,201 +13,33 @@ with the geometric guessing this gives the same ``(1/2 − β)`` ratio with
 sieve rule (which tightens as the instance fills up), making this oracle a
 useful ablation partner.
 
-The hot path mirrors :mod:`repro.core.oracles.sieve`: for modular
-functions the admission gain is bounded by the fed user's singleton value,
-so a per-user seed membership count plus the minimum admission bar over
-unfilled instances (``_admit_floor``) dismisses most feeds with two O(1)
-checks; non-modular functions bypass the prefilter (their gains are taken
-against lazily refreshed instance values).  Solutions are offered to the
-best-so-far snapshot at mutation time.
+Everything but the bar — geometric guessing, the singleton admission
+prefilter, the batched slide entry point, covered-set arithmetic — is
+inherited from
+:class:`~repro.core.oracles.streaming_base.StreamingThresholdOracle`.  The
+bar is static per instance, so :attr:`bar_tracks_value` is False and the
+admission floor only moves when an instance fills up.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Set
-
-from repro.core.oracles.base import CheckpointOracle, register_oracle
-from repro.influence.functions import InfluenceFunction
+from repro.core.oracles.base import register_oracle
+from repro.core.oracles.streaming_base import (
+    StreamingThresholdOracle,
+    ThresholdInstance,
+)
 
 __all__ = ["ThresholdStreamOracle"]
 
-_EPS = 1e-9
-
-
-class _Instance:
-    """One guess of OPT with its threshold-greedy candidate solution."""
-
-    __slots__ = ("guess", "seeds", "covered", "value")
-
-    def __init__(self, guess: float):
-        self.guess = guess
-        self.seeds: Set[int] = set()
-        self.covered: Set[int] = set()
-        self.value: float = 0.0
-
 
 @register_oracle("threshold")
-class ThresholdStreamOracle(CheckpointOracle):
+class ThresholdStreamOracle(StreamingThresholdOracle):
     """Threshold-greedy SSO adapted to SIM through SSM."""
 
     ratio_description = "1/2 - beta"
 
-    def __init__(
-        self,
-        k: int,
-        func: InfluenceFunction,
-        index,
-        beta: float = 0.1,
-    ):
-        super().__init__(k=k, func=func, index=index)
-        if not 0.0 < beta < 1.0:
-            raise ValueError(f"beta must be in (0, 1), got {beta}")
-        self._beta = beta
-        self._log_base = math.log1p(beta)
-        self._m: float = 0.0
-        self._instances: Dict[int, _Instance] = {}
-        self._singleton_cache: Dict[int, float] = {}
-        # Guess-exponent range [low, high] of the live instances; refreshes
-        # that leave it unchanged skip the rebuild entirely.
-        self._bounds = (0, -1)
-        self._modular = func.modular
-        self._uniform = func.uniform_weight
-        # user -> number of instances holding the user as a seed.
-        self._member_counts: Dict[int, int] = {}
-        # Minimum admission bar over instances with free seats; non-seed
-        # users whose singleton value falls below it cannot join anywhere.
-        self._admit_floor: float = math.inf
+    bar_tracks_value = False
 
-    @property
-    def instance_count(self) -> int:
-        """Number of live instances."""
-        return len(self._instances)
-
-    def process(self, user: int, new_member: int) -> None:
-        if self._modular:
-            weight = (
-                self._uniform
-                if self._uniform is not None
-                else self._func.weight(new_member)
-            )
-            singleton = self._singleton_cache.get(user, 0.0) + weight
-        else:
-            weight = 0.0
-            singleton = self._func.evaluate((user,), self._index)
-        self._singleton_cache[user] = singleton
-        if singleton > self._m:
-            self._m = singleton
-            self._refresh_instances()
-        if singleton > self._best_value:
-            self._offer_solution(singleton, (user,))
-        k = self._k
-        two_k = 2.0 * k
-        # Like the sieve oracle, the singleton prefilters are only sound
-        # for modular functions: the non-modular admission gain is taken
-        # against a lazily-refreshed (possibly stale-low) instance value
-        # and can exceed the singleton bound.
-        modular = self._modular
-        if self._member_counts.get(user):
-            for instance in self._instances.values():
-                if user in instance.seeds:
-                    self._refresh_member(instance, new_member, weight)
-                elif len(instance.seeds) < k and (
-                    not modular or singleton >= instance.guess / two_k
-                ):
-                    self._try_admit(instance, user)
-        elif not modular or singleton >= self._admit_floor:
-            for instance in self._instances.values():
-                if len(instance.seeds) < k and (
-                    not modular or singleton >= instance.guess / two_k
-                ):
-                    self._try_admit(instance, user)
-
-    def _recompute_admit_floor(self) -> None:
-        """Refresh the minimum admission bar over unfilled instances."""
-        two_k = 2.0 * self._k
-        floor = math.inf
-        for instance in self._instances.values():
-            if len(instance.seeds) < self._k:
-                bar = instance.guess / two_k
-                if bar < floor:
-                    floor = bar
-        self._admit_floor = floor
-
-    def _refresh_member(
-        self, instance: _Instance, new_member: int, weight: float
-    ) -> None:
-        """A selected seed's influence set grew; update the instance value."""
-        if self._modular:
-            if new_member not in instance.covered:
-                instance.covered.add(new_member)
-                instance.value += weight
-            else:
-                return
-        else:
-            instance.value = self._func.evaluate(instance.seeds, self._index)
-        if instance.value > self._best_value:
-            self._offer_solution(instance.value, instance.seeds)
-
-    def _refresh_instances(self) -> None:
-        """Keep instances for ``{j : m ≤ (1+β)^j ≤ 2·k·m}``."""
-        if self._m <= 0.0:
-            return
-        low = math.ceil(math.log(self._m) / self._log_base - _EPS)
-        high = math.floor(math.log(2 * self._k * self._m) / self._log_base + _EPS)
-        if (low, high) == self._bounds:
-            return
-        self._bounds = (low, high)
-        instances = self._instances
-        for j in [j for j in instances if j < low or j > high]:
-            for seed in instances.pop(j).seeds:
-                count = self._member_counts[seed] - 1
-                if count:
-                    self._member_counts[seed] = count
-                else:
-                    del self._member_counts[seed]
-        base = 1.0 + self._beta
-        guess = base ** low
-        for j in range(low, high + 1):
-            if j not in instances:
-                instances[j] = _Instance(guess=guess)
-            guess *= base
-        self._recompute_admit_floor()
-
-    def _try_admit(self, instance: _Instance, user: int) -> None:
-        """Admit ``user`` when its gain reaches ``guess / (2k)``."""
-        bar = instance.guess / (2.0 * self._k)
-        if self._modular:
-            # One C-level set difference yields the uncovered members; with
-            # a uniform weight the gain is just its size.
-            fresh = self._index.fresh_members(user, instance.covered)
-            if not fresh:
-                return
-            if self._uniform is not None:
-                gain = self._uniform * len(fresh)
-            else:
-                weight = self._func.weight
-                gain = sum(weight(v) for v in fresh)
-            if gain >= bar and gain > 0.0:
-                instance.seeds.add(user)
-                instance.covered |= fresh
-                instance.value += gain
-                self._note_admission(instance, user)
-        else:
-            with_user = self._func.evaluate(
-                list(instance.seeds) + [user], self._index
-            )
-            gain = with_user - instance.value
-            if gain >= bar and gain > 0.0:
-                instance.seeds.add(user)
-                instance.value = with_user
-                self._note_admission(instance, user)
-
-    def _note_admission(self, instance: _Instance, user: int) -> None:
-        """Bookkeeping after a successful admission."""
-        self._member_counts[user] = self._member_counts.get(user, 0) + 1
-        if instance.value > self._best_value:
-            self._offer_solution(instance.value, instance.seeds)
-        if len(instance.seeds) == self._k:
-            # The instance just filled up: it no longer bids for the floor.
-            self._recompute_admit_floor()
+    def _instance_bar(self, instance: ThresholdInstance) -> float:
+        """``v_j / (2k)`` — independent of the instance's fill and value."""
+        return instance.guess / (2.0 * self._k)

@@ -19,12 +19,16 @@ answer is the oldest non-expired checkpoint ``Λ_t[x_1]`` (line 25).
 checkpoints instead of one append-only copy each: an arriving action is
 indexed once in O(d), and a ``bisect`` over the retained checkpoints'
 starts dispatches oracle feeds to exactly those whose suffix set gained a
-new member (the pair's previous credit time tells which).  Combined with
-the logarithmic checkpoint population this makes SIC's per-action cost
-O(d + feeds) with index memory equal to the distinct visible pairs —
-pruned checkpoints cost nothing because views hold no per-checkpoint
-state.  ``shared_index=False`` restores the reference per-checkpoint
-indexes proven equivalent by the property tests.
+new member (the pair's previous credit time tells which).  A slide's
+updates are merged into per-checkpoint ``(user, new_members)`` deltas and
+delivered as one oracle batch per checkpoint
+(:func:`~repro.core.checkpoint.feed_shared`; ``batch_feeds=False`` keeps
+the per-delta reference delivery).  Combined with the logarithmic
+checkpoint population this makes SIC's per-action cost O(d + feeds) with
+index memory equal to the distinct visible pairs — pruned checkpoints cost
+nothing because views hold no per-checkpoint state.
+``shared_index=False`` restores the reference per-checkpoint indexes
+proven equivalent by the property tests.
 """
 
 from __future__ import annotations
@@ -32,7 +36,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.base import SIMAlgorithm, SIMResult
-from repro.core.checkpoint import Checkpoint, OracleSpec, feed_shared
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointRoster,
+    OracleSpec,
+    feed_shared,
+)
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import VersionedInfluenceIndex
 from repro.influence.functions import CardinalityInfluence, InfluenceFunction
@@ -53,11 +62,12 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         retention: Optional[int] = None,
         oracle_beta: Optional[float] = None,
         shared_index: bool = True,
+        batch_feeds: bool = True,
     ):
         """
         Args:
-            window_size: The paper's ``N``.
-            k: Seed-set cardinality constraint.
+            window_size: The paper's ``N`` (must be >= 1).
+            k: Seed-set cardinality constraint (must be >= 1).
             beta: SIC's pruning parameter β ∈ (0, 1) — the quality/efficiency
                 trade-off of Section 6.2.  Also reused as the oracle's guess
                 granularity unless ``oracle_beta`` overrides it (the paper
@@ -69,16 +79,24 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             shared_index: Share one versioned influence index across all
                 checkpoints (the fast data plane).  ``False`` restores the
                 per-checkpoint reference indexes.
+            batch_feeds: Deliver each checkpoint's slide as one merged
+                oracle batch (shared-index mode only).  ``False`` feeds the
+                same per-user deltas one call at a time — result-identical,
+                kept as the batched path's equivalence reference.
         """
-        super().__init__(window_size=window_size, k=k, retention=retention)
+        # window_size and k are validated (with the offending value in the
+        # message) by SIMAlgorithm/SlidingWindow in super().__init__;
+        # tests/core/test_sic.py pins that contract.
         if not 0.0 < beta < 1.0:
             raise ValueError(f"beta must be in (0, 1), got {beta}")
+        super().__init__(window_size=window_size, k=k, retention=retention)
         self._beta = beta
         func = func if func is not None else CardinalityInfluence()
         guess_beta = oracle_beta if oracle_beta is not None else beta
         params = {"beta": guess_beta} if oracle in ("sieve", "threshold") else {}
         self._spec = OracleSpec(name=oracle, k=k, func=func, params=params)
-        self._checkpoints: List[Checkpoint] = []
+        self._roster = CheckpointRoster()
+        self._batch_feeds = batch_feeds
         self._pruned_total = 0
         self._shared: Optional[VersionedInfluenceIndex] = (
             VersionedInfluenceIndex() if shared_index else None
@@ -92,12 +110,12 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
     @property
     def checkpoint_count(self) -> int:
         """Number of live checkpoints (``O(log N / β)``, Theorem 5)."""
-        return len(self._checkpoints)
+        return len(self._roster)
 
     @property
     def checkpoints(self) -> Sequence[Checkpoint]:
         """Live checkpoints, oldest first (read-only view)."""
-        return tuple(self._checkpoints)
+        return tuple(self._roster.checkpoints)
 
     @property
     def pruned_total(self) -> int:
@@ -115,29 +133,35 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         expired: Sequence[ActionRecord],
     ) -> None:
         # Lines 2-8: new checkpoint for the arriving slide, then feed all.
-        cps = self._checkpoints
+        roster = self._roster
         start = arrived[0].time
         shared = self._shared
         if shared is not None:
-            cps.append(Checkpoint(start, self._spec, index=shared.view(start)))
-            feed_shared(shared, cps, arrived)
+            roster.append(
+                Checkpoint(
+                    start, self._spec, index=shared.view(start), ledger=roster
+                )
+            )
+            feed_shared(shared, roster, arrived, batch=self._batch_feeds)
         else:
-            cps.append(Checkpoint(start, self._spec))
-            for record in arrived:
-                for checkpoint in cps:
+            roster.append(Checkpoint(start, self._spec))
+            if len(arrived) == 1:
+                record = arrived[0]
+                for checkpoint in roster.checkpoints:
                     checkpoint.process(record)
+            else:
+                for checkpoint in roster.checkpoints:
+                    checkpoint.process_slide(arrived)
         self._prune()
         self._retire_expired_head()
-        # _prune rebuilt the checkpoint list — re-read it for the cutoff.
-        cps = self._checkpoints
-        if shared is not None and cps:
-            shared.compact(cps[0].start)
+        if shared is not None and roster:
+            shared.compact(roster[0].start)
 
     # -- Algorithm 2 lines 9-20 -------------------------------------------
 
     def _prune(self) -> None:
         """Delete checkpoints approximated by their successors."""
-        cps = self._checkpoints
+        cps = self._roster.checkpoints
         if len(cps) <= 2:
             return
         keep: List[Checkpoint] = []
@@ -153,7 +177,8 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
                 j += 1
             self._pruned_total += j - (i + 1)
             i = j
-        self._checkpoints = keep
+        if len(keep) < len(cps):
+            self._roster.replace(keep)
 
     # -- Algorithm 2 lines 21-23 --------------------------------------------
 
@@ -161,21 +186,21 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         """Keep exactly one expired checkpoint (the paper's ``Λ_t[x_0]``)."""
         now = self.now
         size = self.window_size
-        cps = self._checkpoints
-        while len(cps) > 1 and not cps[1].covers_window(now, size):
-            cps.pop(0)
+        roster = self._roster
+        while len(roster) > 1 and not roster[1].covers_window(now, size):
+            roster.pop_oldest()
 
     def query(self) -> SIMResult:
         """Return the solution of ``Λ_t[x_1]`` (Algorithm 2 line 25)."""
-        if not self._checkpoints:
+        if not self._roster:
             return SIMResult(time=self.now, seeds=frozenset(), value=0.0)
         now, size = self.now, self.window_size
-        for checkpoint in self._checkpoints:
+        for checkpoint in self._roster.checkpoints:
             if checkpoint.covers_window(now, size):
                 return SIMResult(
                     time=now, seeds=checkpoint.seeds, value=checkpoint.value
                 )
         # All checkpoints expired (cannot happen after a slide, as the newest
         # always covers the window); fall back to the newest.
-        newest = self._checkpoints[-1]
+        newest = self._roster.checkpoints[-1]
         return SIMResult(time=now, seeds=newest.seeds, value=newest.value)

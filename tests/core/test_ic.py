@@ -80,6 +80,65 @@ class TestOracleSelection:
             ic.process([Action.root(1, 0)])
 
 
+class TestConstructorValidation:
+    """Degenerate parameters fail fast with the offending value (uniform
+    with SIC, instead of silently misbehaving)."""
+
+    @pytest.mark.parametrize("window_size", [0, -1, -100])
+    def test_rejects_non_positive_window(self, window_size):
+        with pytest.raises(ValueError, match=str(window_size)):
+            InfluentialCheckpoints(window_size=window_size, k=2)
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_rejects_non_positive_k(self, k):
+        with pytest.raises(ValueError, match=str(k)):
+            InfluentialCheckpoints(window_size=4, k=k)
+
+    @pytest.mark.parametrize("interval", [0, -2])
+    def test_rejects_non_positive_checkpoint_interval(self, interval):
+        with pytest.raises(ValueError, match=str(interval)):
+            InfluentialCheckpoints(
+                window_size=4, k=2, checkpoint_interval=interval
+            )
+
+
+class TestCheckpointInterval:
+    def test_interval_thins_the_population(self):
+        dense = drive(
+            InfluentialCheckpoints(window_size=20, k=2),
+            random_stream(100, 6, seed=2),
+        )
+        sparse = drive(
+            InfluentialCheckpoints(window_size=20, k=2, checkpoint_interval=4),
+            random_stream(100, 6, seed=2),
+        )
+        assert sparse.checkpoint_interval == 4
+        assert sparse.checkpoint_count * 3 <= dense.checkpoint_count
+
+    def test_interval_answer_covers_a_window_superset(self):
+        ic = drive(
+            InfluentialCheckpoints(window_size=12, k=2, checkpoint_interval=3),
+            random_stream(60, 6, seed=3),
+        )
+        oldest = ic.checkpoints[0]
+        # Like a misaligned slide: the answering suffix may start earlier
+        # than the window, never later.
+        assert oldest.start <= ic.now - ic.window_size + 1
+        assert ic.query().value > 0
+
+    def test_interval_one_matches_default_exactly(self):
+        actions = random_stream(80, 6, seed=4)
+        default = drive(InfluentialCheckpoints(window_size=16, k=2), actions)
+        explicit = drive(
+            InfluentialCheckpoints(window_size=16, k=2, checkpoint_interval=1),
+            actions,
+        )
+        assert default.query() == explicit.query()
+        assert [c.start for c in default.checkpoints] == [
+            c.start for c in explicit.checkpoints
+        ]
+
+
 class TestMisalignedSlides:
     def test_slide_not_dividing_window_keeps_superset_checkpoint(self):
         # N=8, L=3: starts at 1,4,7,10,...; the answering checkpoint covers

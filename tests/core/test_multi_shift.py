@@ -13,21 +13,64 @@ from tests.conftest import random_stream
 
 @settings(max_examples=20, deadline=None)
 @given(seed=st.integers(0, 10_000), slide=st.integers(1, 4))
-def test_ic_batched_equals_unbatched_at_aligned_times(seed, slide):
-    """When L divides N, IC(L) answers exactly like IC(1) at times where
-    the window boundary coincides with a checkpoint start: the answering
-    checkpoint covers the same suffix and processes the same actions in the
-    same order, so the oracle state is identical."""
+def test_ic_batched_keeps_theorem2_bound(seed, slide):
+    """IC's ratio survives batch shifts (Theorem 2 + Section 5.3).
+
+    An L-action slide is one SSM event: the whole slide is indexed before
+    the oracles see one merged delta per updated user, so IC(L)'s oracle
+    state can legitimately differ from IC(1)'s (a user admitted with a
+    fuller set covers members another user would have claimed).  What must
+    hold — and what the paper claims — is the approximation guarantee: at
+    aligned times the answering checkpoint covers exactly the window, so
+    the sieve's (1/2 − β) ratio applies to the exact window optimum."""
+    import itertools
+
+    from repro.core.diffusion import DiffusionForest
+    from repro.core.influence_index import WindowInfluenceIndex
+
     window = 12  # slide ∈ {1,2,3,4} all divide 12
+    beta = 0.2
     actions = random_stream(48, 6, seed=seed)
-    single = InfluentialCheckpoints(window_size=window, k=2, beta=0.2)
-    batched_ic = InfluentialCheckpoints(window_size=window, k=2, beta=0.2)
-    for action in actions:
-        single.process([action])
+    ic = InfluentialCheckpoints(window_size=window, k=2, beta=beta)
     for batch in batched(actions, slide):
-        batched_ic.process(batch)
-    assert batched_ic.query().value == single.query().value
-    assert batched_ic.query().seeds == single.query().seeds
+        ic.process(batch)
+    # Ground truth for the final window.
+    forest = DiffusionForest()
+    index = WindowInfluenceIndex()
+    records = []
+    for action in actions:
+        record = forest.add(action)
+        records.append(record)
+        index.add(record)
+        if len(records) > window:
+            index.remove(records.pop(0))
+    users = list(index.influencers())
+    opt = 0
+    for combo in itertools.combinations(users, min(2, len(users))):
+        opt = max(opt, len(index.coverage(combo)))
+    achieved = len(index.coverage(ic.query().seeds))
+    assert achieved >= (0.5 - beta) * opt - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), slide=st.integers(1, 4))
+def test_ic_batch_feeds_flag_is_result_identical(seed, slide):
+    """Batched delivery (one process_batch per checkpoint per slide) and
+    unbatched delivery (one process_delta per user) of the same merged
+    deltas must be indistinguishable — the batch path only amortises
+    bookkeeping, it never changes decisions."""
+    window = 12
+    actions = random_stream(48, 6, seed=seed)
+    results = []
+    for batch_feeds in (True, False):
+        ic = InfluentialCheckpoints(
+            window_size=window, k=2, beta=0.2, batch_feeds=batch_feeds
+        )
+        for batch in batched(actions, slide):
+            ic.process(batch)
+        answer = ic.query()
+        results.append((answer.value, answer.seeds))
+    assert results[0] == results[1]
 
 
 @settings(max_examples=15, deadline=None)

@@ -1,19 +1,26 @@
-"""Equivalence proof: shared VersionedInfluenceIndex == per-checkpoint reference.
+"""Equivalence proof: batched shared == unbatched shared == reference.
 
-The tentpole refactor replaces every checkpoint's private
+The shared data plane replaces every checkpoint's private
 ``AppendOnlyInfluenceIndex`` with views over one shared
-``VersionedInfluenceIndex``.  These property tests drive both data planes
-over identical random streams and assert they are indistinguishable:
+``VersionedInfluenceIndex``, and the batched dispatch plane delivers each
+checkpoint's slide as one merged ``(user, new_members)``-delta batch.
+These property tests drive all three planes over identical random streams
+and assert they are indistinguishable:
 
-* per-slide query answers (seeds *and* values) are identical;
-* the retained checkpoint populations (starts, values, seeds, absorbed
-  action counts) are identical — so SIC's pruning decisions coincide too;
-* the *oracle feed sequences* are element-for-element identical per
-  checkpoint: the shared bisect dispatch delivers exactly the
-  ``(user, new_member)`` events the reference indexes would have produced,
-  in the same order;
-* checkpoint views materialise the same suffix influence sets as the
-  reference per-checkpoint indexes.
+* **batched shared** (the default): per-checkpoint slide batches through
+  ``Checkpoint.feed_batch`` / ``process_batch``;
+* **unbatched shared** (``batch_feeds=False``): the same merged deltas,
+  one ``feed_delta`` / ``process_delta`` call at a time;
+* **per-checkpoint reference** (``shared_index=False``): private
+  append-only indexes driven through ``Checkpoint.process_slide``.
+
+Checked per slide: query answers (seeds *and* values), the retained
+checkpoint populations (starts, values, seeds, absorbed action counts) —
+so SIC's pruning decisions coincide too — and the flattened *oracle feed
+sequences* per checkpoint: the shared bisect dispatch delivers exactly the
+``(user, new_member)`` events the reference indexes would have produced,
+in the same merged order.  Checkpoint views must also materialise the same
+suffix influence sets as the reference per-checkpoint indexes.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from collections import defaultdict
 
 import pytest
 
+from repro.core.actions import Action
 from repro.core.checkpoint import Checkpoint
 from repro.core.ic import InfluentialCheckpoints
 from repro.core.sic import SparseInfluentialCheckpoints
@@ -30,22 +38,54 @@ from tests.conftest import random_stream
 
 ORACLES = ["sieve", "threshold", "blog_watch", "mkc", "greedy"]
 
+#: The three data/dispatch planes: (shared_index, batch_feeds).
+PLANES = {
+    "batched": (True, True),
+    "unbatched": (True, False),
+    "reference": (False, False),
+}
+
 
 def drive_logged(make_algorithm, actions, slide):
     """Run an algorithm while logging every oracle feed per checkpoint.
 
-    Returns ``(algorithm, snapshots, feeds)`` where ``snapshots`` is the
-    per-slide list of ``(query answer, checkpoint states)`` and ``feeds``
-    maps checkpoint start -> ordered ``(user, new_member)`` events.
+    All three delivery entry points (``feed``, ``feed_delta``,
+    ``feed_batch``) are intercepted and flattened to ``(user, new_member)``
+    events, so the logs are comparable across planes.  Returns
+    ``(algorithm, snapshots, feeds, delta_sizes)`` where ``snapshots`` is
+    the per-slide list of ``(query answer, checkpoint states)``, ``feeds``
+    maps checkpoint start -> ordered ``(user, new_member)`` events, and
+    ``delta_sizes`` lists the member count of every delivered delta (a
+    plain ``feed`` counts as 1) — the witness that a slide really merged
+    several members into one delta.
     """
     feeds = defaultdict(list)
+    delta_sizes = []
     original_feed = Checkpoint.feed
+    original_feed_delta = Checkpoint.feed_delta
+    original_feed_batch = Checkpoint.feed_batch
 
     def logging_feed(self, user, new_member):
         feeds[self.start].append((user, new_member))
+        delta_sizes.append(1)
         original_feed(self, user, new_member)
 
+    def logging_feed_delta(self, user, new_members):
+        feeds[self.start].extend((user, member) for member in new_members)
+        delta_sizes.append(len(new_members))
+        original_feed_delta(self, user, new_members)
+
+    def logging_feed_batch(self, deltas):
+        deltas = list(deltas)
+        log = feeds[self.start]
+        for user, members in deltas:
+            log.extend((user, member) for member in members)
+            delta_sizes.append(len(members))
+        original_feed_batch(self, deltas)
+
     Checkpoint.feed = logging_feed
+    Checkpoint.feed_delta = logging_feed_delta
+    Checkpoint.feed_batch = logging_feed_batch
     try:
         algorithm = make_algorithm()
         snapshots = []
@@ -63,40 +103,50 @@ def drive_logged(make_algorithm, actions, slide):
             )
     finally:
         Checkpoint.feed = original_feed
-    return algorithm, snapshots, dict(feeds)
+        Checkpoint.feed_delta = original_feed_delta
+        Checkpoint.feed_batch = original_feed_batch
+    return algorithm, snapshots, dict(feeds), delta_sizes
 
 
-def make_factory(framework, oracle, shared):
+def make_factory(framework, oracle, plane):
+    shared, batch = PLANES[plane]
     if framework == "ic":
         return lambda: InfluentialCheckpoints(
-            window_size=40, k=3, beta=0.25, oracle=oracle, shared_index=shared
+            window_size=40, k=3, beta=0.25, oracle=oracle,
+            shared_index=shared, batch_feeds=batch,
         )
     return lambda: SparseInfluentialCheckpoints(
-        window_size=40, k=3, beta=0.25, oracle=oracle, shared_index=shared
+        window_size=40, k=3, beta=0.25, oracle=oracle,
+        shared_index=shared, batch_feeds=batch,
     )
 
 
 @pytest.mark.parametrize("framework", ["ic", "sic"])
 @pytest.mark.parametrize("oracle", ORACLES)
 @pytest.mark.parametrize("slide", [1, 5])
-def test_shared_equals_reference(framework, oracle, slide):
+def test_three_way_equivalence(framework, oracle, slide):
     for seed in (0, 1, 2):
         actions = random_stream(120, 8, seed=seed)
-        shared_alg, shared_snaps, shared_feeds = drive_logged(
-            make_factory(framework, oracle, shared=True), actions, slide
-        )
-        ref_alg, ref_snaps, ref_feeds = drive_logged(
-            make_factory(framework, oracle, shared=False), actions, slide
-        )
-        assert shared_snaps == ref_snaps, (framework, oracle, slide, seed)
-        # Feed sequences: element-for-element identical per checkpoint,
-        # including checkpoints that were pruned mid-run.
-        assert shared_feeds == ref_feeds, (framework, oracle, slide, seed)
+        runs = {
+            plane: drive_logged(
+                make_factory(framework, oracle, plane), actions, slide
+            )
+            for plane in PLANES
+        }
+        _, batched_snaps, batched_feeds, _ = runs["batched"]
+        for plane in ("unbatched", "reference"):
+            _, snaps, plane_feeds, _ = runs[plane]
+            key = (framework, oracle, slide, seed, plane)
+            assert batched_snaps == snaps, key
+            # Feed sequences: element-for-element identical per checkpoint,
+            # including checkpoints that were pruned mid-run.
+            assert batched_feeds == plane_feeds, key
         # Views materialise the same suffix sets as the reference indexes.
-        ref_by_start = {c.start: c for c in ref_alg.checkpoints}
+        shared_alg = runs["batched"][0]
+        ref_by_start = {c.start: c for c in runs["reference"][0].checkpoints}
         for checkpoint in shared_alg.checkpoints:
             reference = ref_by_start[checkpoint.start]
-            users = {u for u, _ in shared_feeds.get(checkpoint.start, ())}
+            users = {u for u, _ in batched_feeds.get(checkpoint.start, ())}
             for user in users:
                 assert checkpoint.index.influence_set(user) == set(
                     reference.index.influence_set(user)
@@ -106,14 +156,84 @@ def test_shared_equals_reference(framework, oracle, slide):
             )
 
 
+@pytest.mark.parametrize("slide", [1, 4])
+@pytest.mark.parametrize("interval", [2, 3])
+def test_three_way_equivalence_with_checkpoint_interval(slide, interval):
+    """A sparse roster (checkpoint_interval > 1) must not perturb the
+    dispatch: the bisect over non-contiguous starts and the absorbed
+    ledger have to agree with the per-checkpoint reference exactly."""
+    for seed in (0, 1):
+        actions = random_stream(120, 8, seed=seed)
+        runs = {}
+        for plane in PLANES:
+            shared, batch = PLANES[plane]
+            runs[plane] = drive_logged(
+                lambda: InfluentialCheckpoints(
+                    window_size=40, k=3, beta=0.25,
+                    shared_index=shared, batch_feeds=batch,
+                    checkpoint_interval=interval,
+                ),
+                actions,
+                slide,
+            )
+        _, batched_snaps, batched_feeds, _ = runs["batched"]
+        for plane in ("unbatched", "reference"):
+            _, snaps, plane_feeds, _ = runs[plane]
+            assert batched_snaps == snaps, (slide, interval, seed, plane)
+            assert batched_feeds == plane_feeds, (slide, interval, seed, plane)
+
+
+def multi_member_stream():
+    """A stream whose third slide (L=5) hands one user several new members.
+
+    User 1 roots the cascade; users 2..9 respond to it directly or
+    transitively, so user 1 is an ancestor influencer of every response.
+    Within one 5-action slide several distinct responders perform, and
+    user 1 gains them all as new influence-set members in that single
+    slide.
+    """
+    actions = [Action.root(1, 1)]
+    for t in range(2, 16):
+        actions.append(Action.response(t, (t % 9) + 1, t - 1))
+    return actions
+
+
+@pytest.mark.parametrize("framework", ["ic", "sic"])
+@pytest.mark.parametrize("oracle", ORACLES)
+def test_multi_member_slide_equivalence(framework, oracle):
+    """A slide where one user gains multiple new members must be merged
+    into a single delta — and stay identical across all three planes."""
+    actions = multi_member_stream()
+    runs = {
+        plane: drive_logged(
+            make_factory(framework, oracle, plane), actions, 5
+        )
+        for plane in PLANES
+    }
+    _, batched_snaps, batched_feeds, batched_sizes = runs["batched"]
+    # The scenario exercises what it claims: some checkpoint received a
+    # *single* delta carrying >= 2 merged members within one slide.  (A
+    # whole-run duplicate-user check would also pass for a user fed in two
+    # different slides, which proves nothing about merging.)
+    assert any(size >= 2 for size in batched_sizes), (
+        "stream failed to produce a multi-member delta"
+    )
+    for plane in ("unbatched", "reference"):
+        _, snaps, plane_feeds, plane_sizes = runs[plane]
+        assert batched_snaps == snaps, (framework, oracle, plane)
+        assert batched_feeds == plane_feeds, (framework, oracle, plane)
+        # All planes partition the slide's events into the same deltas.
+        assert batched_sizes == plane_sizes, (framework, oracle, plane)
+
+
 @pytest.mark.parametrize("slide", [1, 5])
 def test_shared_feeds_are_strictly_fewer_index_probes(slide):
     """The shared plane's dispatch only ever feeds checkpoints whose suffix
     set actually grew — i.e. the events the reference implementation's
     per-checkpoint ``add`` calls would have reported."""
     actions = random_stream(200, 6, seed=7)
-    _, _, feeds = drive_logged(
-        make_factory("ic", "sieve", shared=True), actions, slide
+    _, _, feeds, _ = drive_logged(
+        make_factory("ic", "sieve", "batched"), actions, slide
     )
     for start, events in feeds.items():
         # Within one checkpoint a (user, member) pair is fed at most once:
@@ -125,8 +245,8 @@ class TestNonModularAdmissionPath:
     """The singleton admission prefilter must not apply to non-modular
     functions: their admission gains are measured against lazily refreshed
     instance values and can exceed the singleton bound, so skipping
-    instances would silently change results (a bug the shared-vs-reference
-    tests cannot catch because both modes share the oracle code)."""
+    instances would silently change results (a bug the plane-equivalence
+    tests cannot catch because all planes share the oracle code)."""
 
     def _conformity(self):
         from repro.influence.functions import ConformityAwareInfluence
@@ -149,23 +269,16 @@ class TestNonModularAdmissionPath:
     @pytest.mark.parametrize("oracle_name", ["sieve", "threshold"])
     def test_prefilter_bypassed_for_non_modular(self, oracle_name):
         """Every under-k instance is offered every non-seed feed."""
-        from repro.core.oracles import sieve as sieve_mod
-        from repro.core.oracles import threshold as threshold_mod
+        from repro.core.oracles.streaming_base import StreamingThresholdOracle
 
-        module = sieve_mod if oracle_name == "sieve" else threshold_mod
-        cls = (
-            module.SieveStreamingOracle
-            if oracle_name == "sieve"
-            else module.ThresholdStreamOracle
-        )
         attempts = []
-        original = cls._try_admit
+        original = StreamingThresholdOracle._try_admit
 
         def counting(self, instance, user):
             attempts.append(user)
             original(self, instance, user)
 
-        cls._try_admit = counting
+        StreamingThresholdOracle._try_admit = counting
         try:
             ic = InfluentialCheckpoints(
                 window_size=30,
@@ -177,7 +290,7 @@ class TestNonModularAdmissionPath:
             for batch in batched(random_stream(80, 8, seed=3), 1):
                 ic.process(batch)
         finally:
-            cls._try_admit = original
+            StreamingThresholdOracle._try_admit = original
         # With the prefilter wrongly applied, low-singleton users would
         # never reach _try_admit; the non-modular path must offer them.
         assert len(attempts) > 0

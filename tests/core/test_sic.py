@@ -120,6 +120,16 @@ class TestQuery:
 
 
 class TestParameters:
+    @pytest.mark.parametrize("window_size", [0, -5])
+    def test_rejects_non_positive_window(self, window_size):
+        with pytest.raises(ValueError, match=str(window_size)):
+            SparseInfluentialCheckpoints(window_size=window_size, k=2)
+
+    @pytest.mark.parametrize("k", [0, -1])
+    def test_rejects_non_positive_k(self, k):
+        with pytest.raises(ValueError, match=str(k)):
+            SparseInfluentialCheckpoints(window_size=4, k=k)
+
     def test_invalid_beta_rejected(self):
         for beta in (0.0, 1.0, -1.0):
             with pytest.raises(ValueError, match="beta"):
