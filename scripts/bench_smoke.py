@@ -22,7 +22,10 @@ Reported figures:
 * ``core_ops`` — per-action costs of the window index cycle and a single
   checkpoint's SSM update;
 * ``memory`` — peak index entries: shared distinct pairs vs the reference
-  sum of per-checkpoint suffix sizes on the same stream.
+  sum of per-checkpoint suffix sizes on the same stream;
+* ``snapshot_restore`` — persistence-plane costs at N=1000: snapshot
+  write, snapshot-only restore, and WAL-tail replay, so the durability
+  overhead stays visible in the perf trajectory.
 """
 
 from __future__ import annotations
@@ -205,6 +208,86 @@ def bench_core_ops(stream, config):
     return results
 
 
+def bench_snapshot_restore(stream, n_actions):
+    """Persistence-plane costs on the N=1000 workload (IC sieve k=5 β=0.3).
+
+    Reports, for an engine snapshotted every 500 slides:
+
+    * ``snapshot_write`` — seconds and bytes of one full-state snapshot;
+    * ``restore_snapshot_only`` — reopening right after a snapshot
+      (zero-replay warm restart);
+    * ``restore_with_wal_tail`` — reopening after a simulated crash with a
+      WAL tail behind the last snapshot, plus the per-slide replay rate.
+
+    fsync is disabled so the figures measure the software path, not the
+    test machine's disk sync latency.
+    """
+    import shutil
+    import tempfile
+
+    from repro.persistence.engine import RecoverableEngine
+
+    actions = stream[:n_actions]
+    batches = [[a] for a in actions]
+
+    def factory():
+        return InfluentialCheckpoints(window_size=1000, k=5, beta=0.3)
+
+    results = {}
+    root = pathlib.Path(tempfile.mkdtemp(prefix="bench-snapshot-"))
+    try:
+        state_dir = root / "state"
+        engine = RecoverableEngine.open(
+            state_dir, factory, snapshot_every=500, fsync=False
+        )
+        for batch in batches:
+            engine.process(batch)
+        started = time.perf_counter()
+        engine.snapshot()
+        write_elapsed = time.perf_counter() - started
+        snapshot_path = engine.store.snapshots.path_for(len(batches))
+        results["snapshot_write"] = {
+            "seconds": round(write_elapsed, 4),
+            "bytes": snapshot_path.stat().st_size,
+        }
+        engine.close(snapshot=False)
+
+        started = time.perf_counter()
+        warm = RecoverableEngine.open(state_dir, factory, fsync=False)
+        restore_elapsed = time.perf_counter() - started
+        results["restore_snapshot_only"] = {
+            "seconds": round(restore_elapsed, 4),
+            "replayed_slides": warm.replayed_slides,
+        }
+        warm.close(snapshot=False)
+
+        # Crash with a WAL tail: snapshot exactly at len - 500, then a
+        # snapshot-free tail of 500 slides (the cadence equals the split
+        # point, so no later slide hits it again within the stream).
+        tail_dir = root / "tail"
+        split = max(len(batches) - 500, 1)
+        doomed = RecoverableEngine.open(
+            tail_dir, factory, snapshot_every=split, fsync=False
+        )
+        for batch in batches:
+            doomed.process(batch)
+        doomed.close(snapshot=False)
+        started = time.perf_counter()
+        recovered = RecoverableEngine.open(tail_dir, factory, fsync=False)
+        tail_elapsed = time.perf_counter() - started
+        results["restore_with_wal_tail"] = {
+            "seconds": round(tail_elapsed, 4),
+            "replayed_slides": recovered.replayed_slides,
+            "replay_slides_per_sec": round(
+                recovered.replayed_slides / tail_elapsed, 1
+            ),
+        }
+        recovered.close(snapshot=False)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return results
+
+
 def main(argv=None):
     """Run the smoke benchmarks and write BENCH_core_ops.json."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -233,6 +316,9 @@ def main(argv=None):
         "ic_n1000_l5": bench_ic_n1000_l5(stream, min(n_actions, len(stream))),
         "fig7_tiny": bench_fig7_tiny(config, batches),
         "core_ops": bench_core_ops(stream, config),
+        "snapshot_restore": bench_snapshot_restore(
+            stream, min(n_actions, len(stream))
+        ),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -246,6 +332,12 @@ def main(argv=None):
     l5 = report["ic_n1000_l5"]
     print(f"IC N=1000 L=5 batched:   {l5['batched']['actions_per_sec']:>10,.1f} actions/s")
     print(f"IC N=1000 L=5 unbatched: {l5['unbatched']['actions_per_sec']:>10,.1f} actions/s")
+    persistence = report["snapshot_restore"]
+    print(f"snapshot write:          {persistence['snapshot_write']['seconds']:>10.4f} s "
+          f"({persistence['snapshot_write']['bytes']:,} bytes)")
+    print(f"restore (snapshot only): {persistence['restore_snapshot_only']['seconds']:>10.4f} s")
+    print(f"restore (+500 WAL tail): {persistence['restore_with_wal_tail']['seconds']:>10.4f} s "
+          f"({persistence['restore_with_wal_tail']['replayed_slides']} slides replayed)")
     print(f"report written to {args.output}")
     return report
 

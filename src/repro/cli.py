@@ -7,7 +7,12 @@ Subcommands:
 * ``stats`` — print Table 3-style statistics for a stream file;
 * ``convert`` — transcode between JSONL and CSV;
 * ``track`` — replay a stream file through SIC (or IC/greedy) and print
-  the evolving top-k influencers.
+  the evolving top-k influencers.  With ``--state-dir`` the run is
+  crash-recoverable: slides are WAL-logged, state is snapshotted every
+  ``--snapshot-every`` slides, and re-running the same command after a
+  kill resumes mid-stream with identical answers;
+* ``snapshot`` — inspect (``info``), roll forward (``save``), or verify
+  (``restore``) a ``--state-dir`` created by ``track``.
 
 Examples::
 
@@ -15,11 +20,14 @@ Examples::
     repro-stream stats reddit.jsonl
     repro-stream convert reddit.jsonl reddit.csv
     repro-stream track reddit.jsonl --window 5000 --slide 500 --k 10
+    repro-stream track reddit.jsonl --state-dir state/ --format json
+    repro-stream snapshot info state/
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional
@@ -31,6 +39,8 @@ __all__ = ["main", "build_parser"]
 
 _GENERATORS = ("reddit", "twitter", "syn-o", "syn-n")
 _ALGORITHMS = ("sic", "ic", "greedy")
+_ORACLES = ("sieve", "threshold", "blog_watch", "mkc", "greedy")
+_FORMATS = ("text", "json")
 
 
 def _reader_for(path: pathlib.Path):
@@ -77,6 +87,63 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--slide", type=int, default=500)
     track.add_argument("-k", type=int, default=10)
     track.add_argument("--beta", type=float, default=0.2)
+    track.add_argument(
+        "--oracle",
+        choices=_ORACLES,
+        default="sieve",
+        help="checkpoint oracle for ic/sic (default: sieve)",
+    )
+    track.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="ic only: open a checkpoint every this many slides",
+    )
+    track.add_argument(
+        "--shared-index",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share one versioned influence index across checkpoints "
+        "(--no-shared-index restores per-checkpoint reference indexes)",
+    )
+    track.add_argument(
+        "--format",
+        choices=_FORMATS,
+        default="text",
+        help="per-slide output: aligned text or one JSON object per line",
+    )
+    track.add_argument(
+        "--state-dir",
+        default=None,
+        help="durable state directory; re-running resumes after the last "
+        "recoverable slide instead of replaying from t=0",
+    )
+    track.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=16,
+        help="slides between automatic snapshots (0 disables; "
+        "requires --state-dir)",
+    )
+
+    snapshot = commands.add_parser(
+        "snapshot", help="inspect or manage a track --state-dir"
+    )
+    snapshot_commands = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    info = snapshot_commands.add_parser(
+        "info", help="list snapshots and WAL segments"
+    )
+    info.add_argument("state_dir")
+    save = snapshot_commands.add_parser(
+        "save", help="roll the WAL tail into a fresh snapshot"
+    )
+    save.add_argument("state_dir")
+    restore = snapshot_commands.add_parser(
+        "restore", help="recover the engine and print its current answer"
+    )
+    restore.add_argument("state_dir")
     return parser
 
 
@@ -123,28 +190,177 @@ def _cmd_convert(args) -> int:
     return 0
 
 
-def _cmd_track(args) -> int:
+def _make_track_factory(args):
+    """Zero-argument framework constructor from track CLI arguments."""
     from repro.core.greedy import WindowedGreedy
     from repro.core.ic import InfluentialCheckpoints
     from repro.core.sic import SparseInfluentialCheckpoints
 
-    path = pathlib.Path(args.file)
     if args.algorithm == "sic":
-        algorithm = SparseInfluentialCheckpoints(
-            window_size=args.window, k=args.k, beta=args.beta
+        return lambda: SparseInfluentialCheckpoints(
+            window_size=args.window,
+            k=args.k,
+            beta=args.beta,
+            oracle=args.oracle,
+            shared_index=args.shared_index,
         )
-    elif args.algorithm == "ic":
-        algorithm = InfluentialCheckpoints(
-            window_size=args.window, k=args.k, beta=args.beta
+    if args.algorithm == "ic":
+        return lambda: InfluentialCheckpoints(
+            window_size=args.window,
+            k=args.k,
+            beta=args.beta,
+            oracle=args.oracle,
+            shared_index=args.shared_index,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    return lambda: WindowedGreedy(window_size=args.window, k=args.k)
+
+
+def _emit_answer(answer, output_format: str) -> None:
+    """Print one per-slide answer in the requested format."""
+    if output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "time": answer.time,
+                    "value": answer.value,
+                    "seeds": sorted(answer.seeds),
+                },
+                separators=(",", ":"),
+            )
         )
     else:
-        algorithm = WindowedGreedy(window_size=args.window, k=args.k)
-    print(f"{'time':>10}  {'influence':>10}  seeds")
-    for batch in batched(_reader_for(path), args.slide):
-        algorithm.process(batch)
-        answer = algorithm.query()
         seeds = ",".join(str(u) for u in sorted(answer.seeds))
         print(f"{answer.time:>10}  {answer.value:>10.0f}  [{seeds}]")
+
+
+def _check_resumed_config(engine, factory) -> None:
+    """Reject a resume whose CLI flags disagree with the stored state.
+
+    A restored engine keeps the configuration it was created with; letting
+    different ``-k``/``--window``/``--oracle``/... flags pass silently
+    would emit answers for settings the user did not ask for.
+    """
+    from repro.persistence.serialize import PersistenceError, algorithm_to_state
+
+    stored = algorithm_to_state(engine.algorithm)
+    requested = algorithm_to_state(factory())
+    stored_key = (stored["algorithm"], stored["config"])
+    requested_key = (requested["algorithm"], requested["config"])
+    if stored_key != requested_key:
+        raise PersistenceError(
+            "state dir was created with different engine settings "
+            f"(stored {stored['algorithm']} {stored['config']}, flags give "
+            f"{requested['algorithm']} {requested['config']}); rerun with "
+            "matching flags or a fresh --state-dir"
+        )
+
+
+def _cmd_track(args) -> int:
+    from repro.persistence.engine import RecoverableEngine
+
+    path = pathlib.Path(args.file)
+    factory = _make_track_factory(args)
+    engine = RecoverableEngine.open(
+        args.state_dir,
+        factory,
+        snapshot_every=args.snapshot_every,
+    )
+    try:
+        if engine.slides_processed:
+            _check_resumed_config(engine, factory)
+        resume_time = engine.algorithm.now
+        if resume_time:
+            print(
+                f"resumed at time {resume_time} "
+                f"(slide {engine.slides_processed}; replayed "
+                f"{engine.replayed_slides} slides from the WAL tail)",
+                file=sys.stderr,
+            )
+        if args.format == "text":
+            print(f"{'time':>10}  {'influence':>10}  seeds")
+        for batch in batched(_reader_for(path), args.slide):
+            if batch[-1].time <= resume_time:
+                continue  # fully covered by the recovered state
+            if batch[0].time <= resume_time:
+                # Partially covered (slide size changed between runs):
+                # feed only the unseen suffix.
+                batch = [a for a in batch if a.time > resume_time]
+            engine.process(batch)
+            _emit_answer(engine.query(), args.format)
+    except BaseException:
+        engine.close(snapshot=False)
+        raise
+    engine.close()
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.persistence.engine import RecoverableEngine, StateStore
+    from repro.persistence.serialize import PersistenceError
+
+    if not pathlib.Path(args.state_dir).is_dir():
+        # Inspection must not mkdir a state tree at a typoed path.
+        raise PersistenceError(f"no state directory at {args.state_dir}")
+    if args.snapshot_command == "info":
+        store = StateStore(args.state_dir)
+        try:
+            sequences = store.snapshots.sequences()
+            print(f"state dir      {store.root}")
+            for seq in sequences:
+                snapshot_path = store.snapshots.path_for(seq)
+                print(
+                    f"snapshot       slide {seq:>8}  "
+                    f"{snapshot_path.stat().st_size:>10,} bytes"
+                )
+            for segment in store.wal.segments():
+                print(
+                    f"wal segment    {segment.name}  "
+                    f"{segment.stat().st_size:>10,} bytes"
+                )
+            print(f"wal last seq   {store.wal.last_seq}")
+            latest = store.snapshots.load_latest()
+            if latest is not None:
+                seq, document = latest
+                algorithm = document["algorithm"].get("algorithm")
+                print(f"algorithm      {algorithm}")
+                tail = max(store.wal.last_seq - seq, 0)
+                print(f"recoverable    slide {max(store.wal.last_seq, seq)} "
+                      f"(snapshot {seq} + {tail} WAL slides)")
+            elif store.wal.last_seq:
+                print(f"recoverable    slide {store.wal.last_seq} "
+                      "(full WAL replay, no snapshot)")
+            else:
+                print("recoverable    nothing stored yet")
+        finally:
+            store.close()
+        return 0
+
+    # save / restore both recover the engine first.
+    engine = RecoverableEngine.open(args.state_dir, factory=None)
+    try:
+        if args.snapshot_command == "save":
+            engine.snapshot()
+            print(
+                f"snapshot written at slide {engine.slides_processed} "
+                f"(replayed {engine.replayed_slides} WAL slides)"
+            )
+        else:  # restore
+            answer = engine.query()
+            print(
+                json.dumps(
+                    {
+                        "slide": engine.slides_processed,
+                        "replayed": engine.replayed_slides,
+                        "time": answer.time,
+                        "value": answer.value,
+                        "seeds": sorted(answer.seeds),
+                    },
+                    separators=(",", ":"),
+                )
+            )
+    finally:
+        engine.close(snapshot=False)
     return 0
 
 
@@ -156,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "convert": _cmd_convert,
         "track": _cmd_track,
+        "snapshot": _cmd_snapshot,
     }
     try:
         return handlers[args.command](args)

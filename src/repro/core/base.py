@@ -20,7 +20,38 @@ from repro.core.actions import Action
 from repro.core.diffusion import ActionRecord, DiffusionForest
 from repro.core.window import SlidingWindow
 
-__all__ = ["SIMResult", "SIMAlgorithm"]
+__all__ = [
+    "SIMResult",
+    "SIMAlgorithm",
+    "STATE_FORMAT_VERSION",
+    "check_state_header",
+]
+
+#: Version tag carried by every serialized algorithm state.  Bump when a
+#: state schema changes shape; readers refuse mismatched documents instead
+#: of guessing.
+STATE_FORMAT_VERSION = 1
+
+
+def check_state_header(state, algorithm: str) -> None:
+    """Validate the format version and algorithm tag of a state document.
+
+    Raises:
+        ValueError: when the document's ``format`` is not
+            :data:`STATE_FORMAT_VERSION` or its ``algorithm`` tag is not
+            ``algorithm``.
+    """
+    version = state.get("format")
+    if version != STATE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported state format version {version!r}; "
+            f"this build reads version {STATE_FORMAT_VERSION}"
+        )
+    kind = state.get("algorithm")
+    if kind != algorithm:
+        raise ValueError(
+            f"state document is for algorithm {kind!r}, expected {algorithm!r}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,6 +151,42 @@ class SIMAlgorithm(ABC):
     @abstractmethod
     def query(self) -> SIMResult:
         """Answer the SIM query for the current window."""
+
+    # -- persistence ---------------------------------------------------------
+
+    def _base_state(self) -> dict:
+        """JSON-safe state of the bookkeeping every SIM algorithm shares.
+
+        Concrete algorithms embed this under ``"base"`` in their
+        ``to_state`` document and restore it with :meth:`_restore_base`.
+        ``window_records`` are serialized in full (not as references into
+        the forest) because a retention horizon may already have pruned
+        them from the forest.
+        """
+        return {
+            "window": self._window.to_state(),
+            "forest": self._forest.to_state(),
+            "window_records": [
+                [r.time, r.user, list(r.influencers), r.depth]
+                for r in self._window_records
+            ],
+            "actions_processed": self._actions_processed,
+        }
+
+    def _restore_base(self, state: dict) -> None:
+        """Restore the shared bookkeeping from :meth:`_base_state` output."""
+        self._window = SlidingWindow.from_state(state["window"])
+        self._forest = DiffusionForest.from_state(state["forest"])
+        self._window_records = deque(
+            ActionRecord(
+                time=time,
+                user=user,
+                influencers=tuple(influencers),
+                depth=depth,
+            )
+            for time, user, influencers, depth in state["window_records"]
+        )
+        self._actions_processed = state["actions_processed"]
 
     # -- to implement --------------------------------------------------------
 

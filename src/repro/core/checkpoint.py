@@ -201,6 +201,52 @@ class Checkpoint:
             )
         return self._actions_processed
 
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state: start, oracle state, and (if owned) index.
+
+        Shared-mode checkpoints serialize ``index: None`` — their suffix
+        sets live in the framework's
+        :class:`~repro.core.influence_index.VersionedInfluenceIndex`,
+        which the framework serializes once for all checkpoints.
+        """
+        owned = isinstance(self._index, AppendOnlyInfluenceIndex)
+        return {
+            "start": self.start,
+            "actions_processed": self.actions_processed,
+            "oracle": self._oracle.state_dict(),
+            "index": self._index.to_state() if owned else None,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, spec: OracleSpec, index=None, ledger=None
+    ) -> "Checkpoint":
+        """Rebuild a checkpoint from :meth:`to_state` output.
+
+        Args:
+            state: A :meth:`to_state` document.
+            spec: The framework's shared oracle recipe.
+            index: The checkpoint's restored
+                :class:`~repro.core.influence_index.SuffixView` in shared
+                mode; ``None`` restores the serialized private
+                append-only index.
+            ledger: The roster whose ``absorbed`` counter must already be
+                restored — the checkpoint's action accounting is rebased
+                on its current value.
+        """
+        if index is None and state["index"] is not None:
+            index = AppendOnlyInfluenceIndex.from_state(state["index"])
+        checkpoint = cls(state["start"], spec, index=index, ledger=ledger)
+        checkpoint._oracle.load_state(state["oracle"])
+        # actions_processed is a derived property in shared mode: rebase it
+        # on the restored ledger so it resolves to the serialized total.
+        checkpoint._actions_processed = state["actions_processed"]
+        if ledger is not None:
+            checkpoint._absorbed_base = ledger.absorbed
+        return checkpoint
+
     def position(self, now: int, window_size: int) -> int:
         """The paper's relative index ``x_i`` within ``W_now``.
 
@@ -271,6 +317,47 @@ class CheckpointRoster:
 
     def __iter__(self):
         return iter(self.checkpoints)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state: the ledger and every live checkpoint."""
+        return {
+            "absorbed": self.absorbed,
+            "checkpoints": [c.to_state() for c in self.checkpoints],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, spec: OracleSpec, shared=None
+    ) -> "CheckpointRoster":
+        """Rebuild a roster from :meth:`to_state` output.
+
+        Args:
+            state: A :meth:`to_state` document.
+            spec: The framework's shared oracle recipe.
+            shared: The framework's restored
+                :class:`~repro.core.influence_index.VersionedInfluenceIndex`
+                (checkpoints get fresh views of it), or ``None`` for the
+                per-checkpoint reference mode.
+        """
+        roster = cls()
+        roster.absorbed = state["absorbed"]
+        for checkpoint_state in state["checkpoints"]:
+            view = (
+                shared.view(checkpoint_state["start"])
+                if shared is not None
+                else None
+            )
+            roster.append(
+                Checkpoint.from_state(
+                    checkpoint_state,
+                    spec,
+                    index=view,
+                    ledger=roster if shared is not None else None,
+                )
+            )
+        return roster
 
 
 def feed_shared(

@@ -185,3 +185,38 @@ class DiffusionForest:
             record = self._records.get(t)
             if record is not None:
                 yield record
+
+    # -- persistence -----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state: retained records plus the statistics."""
+        return {
+            "retention": self._retention,
+            "oldest": self._oldest,
+            "count": self._count,
+            "depth_sum": self._depth_sum,
+            "max_depth": self._max_depth,
+            "truncated": self._truncated,
+            "records": [
+                [r.time, r.user, list(r.influencers), r.depth]
+                for r in self._records.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DiffusionForest":
+        """Rebuild a forest from :meth:`to_state` output."""
+        forest = cls(retention=state["retention"])
+        forest._oldest = state["oldest"]
+        forest._count = state["count"]
+        forest._depth_sum = state["depth_sum"]
+        forest._max_depth = state["max_depth"]
+        forest._truncated = state["truncated"]
+        for time, user, influencers, depth in state["records"]:
+            forest._records[time] = ActionRecord(
+                time=time,
+                user=user,
+                influencers=tuple(influencers),
+                depth=depth,
+            )
+        return forest

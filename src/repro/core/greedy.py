@@ -20,10 +20,19 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.base import (
+    STATE_FORMAT_VERSION,
+    SIMAlgorithm,
+    SIMResult,
+    check_state_header,
+)
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import WindowInfluenceIndex
-from repro.influence.functions import CardinalityInfluence, InfluenceFunction
+from repro.influence.functions import (
+    CardinalityInfluence,
+    InfluenceFunction,
+    function_from_state,
+)
 
 __all__ = ["WindowedGreedy", "greedy_seed_selection"]
 
@@ -172,3 +181,43 @@ class WindowedGreedy(SIMAlgorithm):
             lazy=self._lazy,
         )
         return SIMResult(time=self.now, seeds=frozenset(seeds), value=value)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state: config, base bookkeeping, and index.
+
+        The window index is serialized order-preserving (its iteration
+        order seeds the greedy candidate list, which breaks ties in the
+        naive ``lazy=False`` mode), so a restored run selects exactly the
+        seeds an uninterrupted run would.
+        """
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "algorithm": "greedy",
+            "config": {
+                "window_size": self.window_size,
+                "k": self._k,
+                "func": self._func.to_state(),
+                "retention": self._forest._retention,
+                "lazy": self._lazy,
+            },
+            "base": self._base_state(),
+            "index": self._index.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowedGreedy":
+        """Rebuild a windowed greedy from :meth:`to_state` output."""
+        check_state_header(state, "greedy")
+        config = state["config"]
+        algorithm = cls(
+            window_size=config["window_size"],
+            k=config["k"],
+            func=function_from_state(config["func"]),
+            retention=config["retention"],
+            lazy=config["lazy"],
+        )
+        algorithm._restore_base(state["base"])
+        algorithm._index = WindowInfluenceIndex.from_state(state["index"])
+        return algorithm

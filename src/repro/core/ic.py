@@ -39,7 +39,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.base import (
+    STATE_FORMAT_VERSION,
+    SIMAlgorithm,
+    SIMResult,
+    check_state_header,
+)
 from repro.core.checkpoint import (
     Checkpoint,
     CheckpointRoster,
@@ -48,7 +53,11 @@ from repro.core.checkpoint import (
 )
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import VersionedInfluenceIndex
-from repro.influence.functions import CardinalityInfluence, InfluenceFunction
+from repro.influence.functions import (
+    CardinalityInfluence,
+    InfluenceFunction,
+    function_from_state,
+)
 
 __all__ = ["InfluentialCheckpoints"]
 
@@ -183,3 +192,68 @@ class InfluentialCheckpoints(SIMAlgorithm):
             return SIMResult(time=self.now, seeds=frozenset(), value=0.0)
         answer = self._roster[0]
         return SIMResult(time=self.now, seeds=answer.seeds, value=answer.value)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state of the whole framework (no pickle).
+
+        The document carries a format-version header, the construction
+        config (including the influence function's own state schema), the
+        shared :class:`~repro.core.base.SIMAlgorithm` bookkeeping, the
+        versioned index (shared mode), and every live checkpoint's oracle
+        state.  :meth:`from_state` rebuilds an engine that continues the
+        stream with answers identical to an uninterrupted run.
+        """
+        spec = self._spec
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "algorithm": "ic",
+            "config": {
+                "window_size": self.window_size,
+                "k": self._k,
+                "oracle": spec.name,
+                "oracle_params": dict(spec.params),
+                "func": spec.func.to_state(),
+                "retention": self._forest._retention,
+                "shared_index": self._shared is not None,
+                "batch_feeds": self._batch_feeds,
+                "checkpoint_interval": self._interval,
+            },
+            "base": self._base_state(),
+            "slide_index": self._slide_index,
+            "shared": self._shared.to_state() if self._shared is not None else None,
+            "roster": self._roster.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "InfluentialCheckpoints":
+        """Rebuild a framework from :meth:`to_state` output."""
+        check_state_header(state, "ic")
+        config = state["config"]
+        func = function_from_state(config["func"])
+        params = config["oracle_params"]
+        algorithm = cls(
+            window_size=config["window_size"],
+            k=config["k"],
+            beta=params.get("beta", 0.1),
+            oracle=config["oracle"],
+            func=func,
+            retention=config["retention"],
+            shared_index=config["shared_index"],
+            batch_feeds=config["batch_feeds"],
+            checkpoint_interval=config["checkpoint_interval"],
+        )
+        # The spec's params are authoritative (the ctor only wires beta for
+        # the threshold-guessing oracles); restore them verbatim.
+        algorithm._spec = OracleSpec(
+            name=config["oracle"], k=config["k"], func=func, params=dict(params)
+        )
+        algorithm._restore_base(state["base"])
+        algorithm._slide_index = state["slide_index"]
+        if algorithm._shared is not None:
+            algorithm._shared = VersionedInfluenceIndex.from_state(state["shared"])
+        algorithm._roster = CheckpointRoster.from_state(
+            state["roster"], algorithm._spec, shared=algorithm._shared
+        )
+        return algorithm

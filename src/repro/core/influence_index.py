@@ -142,6 +142,29 @@ class WindowInfluenceIndex:
             for v, count in counts.items():
                 yield u, v, count
 
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state (pair multiplicities, order-preserving).
+
+        Dict iteration order is part of the state: ``influencers()`` feeds
+        greedy candidate lists whose order breaks ties, so the rebuilt
+        index must iterate exactly like the live one.
+        """
+        return {
+            "pairs": [
+                [u, [[v, count] for v, count in counts.items()]]
+                for u, counts in self._pair_counts.items()
+            ]
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowInfluenceIndex":
+        """Rebuild an index from :meth:`to_state` output."""
+        index = cls()
+        for u, counts in state["pairs"]:
+            index._pair_counts[u] = {v: count for v, count in counts}
+            index._influence[u] = {v for v, _count in counts}
+        return index
+
 
 class AppendOnlyInfluenceIndex:
     """Grow-only influence sets for one checkpoint's action suffix."""
@@ -187,6 +210,22 @@ class AppendOnlyInfluenceIndex:
 
     def __len__(self) -> int:
         return len(self._influence)
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state: the grow-only suffix sets."""
+        return {
+            "influence": [
+                [u, sorted(members)] for u, members in self._influence.items()
+            ]
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AppendOnlyInfluenceIndex":
+        """Rebuild an index from :meth:`to_state` output."""
+        index = cls()
+        for u, members in state["influence"]:
+            index._influence[u] = set(members)
+        return index
 
 
 class VersionedInfluenceIndex:
@@ -318,6 +357,36 @@ class VersionedInfluenceIndex:
         self._floor = cutoff
         self._live_at_sweep = self._pair_total
         return dropped
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state (latest-credit pairs, order-preserving).
+
+        Per-user pair order is part of the state: ``SuffixView`` methods
+        build fresh sets by iterating these dicts, and downstream float
+        accumulation (weighted/non-modular functions) follows that order,
+        so the rebuilt index must iterate exactly like the live one.
+        """
+        return {
+            "floor": self._floor,
+            "live_at_sweep": self._live_at_sweep,
+            "pairs": [
+                [u, [[v, t] for v, t in pairs.items()]]
+                for u, pairs in self._latest.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VersionedInfluenceIndex":
+        """Rebuild an index from :meth:`to_state` output."""
+        index = cls()
+        index._floor = state["floor"]
+        index._live_at_sweep = state["live_at_sweep"]
+        total = 0
+        for u, pairs in state["pairs"]:
+            index._latest[u] = {v: t for v, t in pairs}
+            total += len(pairs)
+        index._pair_total = total
+        return index
 
     @property
     def floor(self) -> int:

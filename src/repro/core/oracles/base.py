@@ -116,6 +116,32 @@ class CheckpointOracle(ABC):
             self._best_value = value
             self._best_seeds = tuple(seeds)
 
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Explicit JSON-safe dynamic state (constructor args excluded).
+
+        The construction recipe (oracle name, ``k``, function, params)
+        lives in the owning framework's
+        :class:`~repro.core.checkpoint.OracleSpec`; this dict carries only
+        what processing accumulated.  Subclasses extend the base document
+        (the monotone best-so-far snapshot) with their own fields and
+        restore them in :meth:`load_state`.
+        """
+        return {
+            "best_value": self._best_value,
+            "best_seeds": list(self._best_seeds),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore dynamic state captured by :meth:`state_dict`.
+
+        The oracle must be freshly constructed (same spec, same index
+        arrangement) before loading.
+        """
+        self._best_value = state["best_value"]
+        self._best_seeds = tuple(state["best_seeds"])
+
     # -- shared helpers ----------------------------------------------------
 
     def _singleton_value(self, user: int) -> float:

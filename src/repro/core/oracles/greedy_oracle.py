@@ -78,3 +78,22 @@ class GreedyOracle(CheckpointOracle):
         )
         self._mass_at_refresh = self._mass
         self._offer_solution(value, seeds)
+
+    def state_dict(self) -> dict:
+        """Dynamic state: candidate pool and the refresh accumulator."""
+        state = super().state_dict()
+        state.update(
+            {
+                "candidates": sorted(self._candidates),
+                "mass": self._mass,
+                "mass_at_refresh": self._mass_at_refresh,
+            }
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore dynamic state captured by :meth:`state_dict`."""
+        super().load_state(state)
+        self._candidates = set(state["candidates"])
+        self._mass = state["mass"]
+        self._mass_at_refresh = state["mass_at_refresh"]

@@ -323,6 +323,68 @@ class StreamingThresholdOracle(CheckpointOracle):
             guess *= base
         self._recompute_admit_floor()
 
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Dynamic state: guesses, instances, caches, and the floor.
+
+        Instances are serialized as an ordered ``[j, fields]`` list in the
+        live dict's iteration order — order is part of the state because
+        ``_dispatch`` walks instances in that order and best-so-far ties
+        go to the first instance reaching a value.  Snapshots are only
+        taken between slides, so the lazy-floor flags are always clear and
+        are not serialized.  ``admit_floor`` uses ``None`` for +inf (JSON
+        has no infinity).
+        """
+        state = super().state_dict()
+        state.update(
+            {
+                "m": self._m,
+                "bounds": list(self._bounds),
+                "admit_floor": (
+                    None if self._admit_floor == math.inf else self._admit_floor
+                ),
+                "singleton_cache": [
+                    [u, value] for u, value in self._singleton_cache.items()
+                ],
+                "member_counts": [
+                    [u, count] for u, count in self._member_counts.items()
+                ],
+                "instances": [
+                    [
+                        j,
+                        {
+                            "guess": instance.guess,
+                            "value": instance.value,
+                            "seeds": sorted(instance.seeds),
+                            "covered": sorted(instance.covered),
+                        },
+                    ]
+                    for j, instance in self._instances.items()
+                ],
+            }
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore dynamic state captured by :meth:`state_dict`."""
+        super().load_state(state)
+        self._m = state["m"]
+        self._bounds = tuple(state["bounds"])
+        floor = state["admit_floor"]
+        self._admit_floor = math.inf if floor is None else floor
+        self._singleton_cache = {u: value for u, value in state["singleton_cache"]}
+        self._member_counts = {u: count for u, count in state["member_counts"]}
+        self._instances = {}
+        for j, fields in state["instances"]:
+            instance = ThresholdInstance(guess=fields["guess"])
+            instance.value = fields["value"]
+            instance.seeds = set(fields["seeds"])
+            instance.covered = set(fields["covered"])
+            self._instances[j] = instance
+        self._floor_lazy = False
+        self._floor_dirty = False
+
     # -- introspection -----------------------------------------------------
 
     @property

@@ -130,6 +130,33 @@ class SwapOracleBase(CheckpointOracle):
                 gained += weight(v)
         return self._value - lost + gained
 
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Dynamic state: live seeds, counted views, and reference counts."""
+        state = super().state_dict()
+        state.update(
+            {
+                "seeds": sorted(self._seeds),
+                "value": self._value,
+                "counted": [
+                    [u, sorted(members)] for u, members in self._counted.items()
+                ],
+                "cover_counts": [
+                    [v, count] for v, count in self._cover_counts.items()
+                ],
+            }
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore dynamic state captured by :meth:`state_dict`."""
+        super().load_state(state)
+        self._seeds = set(state["seeds"])
+        self._value = state["value"]
+        self._counted = {u: set(members) for u, members in state["counted"]}
+        self._cover_counts = {v: count for v, count in state["cover_counts"]}
+
     # -- to implement --------------------------------------------------------
 
     def _consider_swap(self, user: int) -> None:

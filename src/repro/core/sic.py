@@ -35,7 +35,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.base import (
+    STATE_FORMAT_VERSION,
+    SIMAlgorithm,
+    SIMResult,
+    check_state_header,
+)
 from repro.core.checkpoint import (
     Checkpoint,
     CheckpointRoster,
@@ -44,7 +49,11 @@ from repro.core.checkpoint import (
 )
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import VersionedInfluenceIndex
-from repro.influence.functions import CardinalityInfluence, InfluenceFunction
+from repro.influence.functions import (
+    CardinalityInfluence,
+    InfluenceFunction,
+    function_from_state,
+)
 
 __all__ = ["SparseInfluentialCheckpoints"]
 
@@ -204,3 +213,63 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         # always covers the window); fall back to the newest.
         newest = self._roster.checkpoints[-1]
         return SIMResult(time=now, seeds=newest.seeds, value=newest.value)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state of the whole framework (no pickle).
+
+        Same layout as
+        :meth:`~repro.core.ic.InfluentialCheckpoints.to_state`, with SIC's
+        pruning parameter and counter instead of IC's checkpoint interval.
+        """
+        spec = self._spec
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "algorithm": "sic",
+            "config": {
+                "window_size": self.window_size,
+                "k": self._k,
+                "beta": self._beta,
+                "oracle": spec.name,
+                "oracle_params": dict(spec.params),
+                "func": spec.func.to_state(),
+                "retention": self._forest._retention,
+                "shared_index": self._shared is not None,
+                "batch_feeds": self._batch_feeds,
+            },
+            "base": self._base_state(),
+            "pruned_total": self._pruned_total,
+            "shared": self._shared.to_state() if self._shared is not None else None,
+            "roster": self._roster.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SparseInfluentialCheckpoints":
+        """Rebuild a framework from :meth:`to_state` output."""
+        check_state_header(state, "sic")
+        config = state["config"]
+        func = function_from_state(config["func"])
+        params = config["oracle_params"]
+        algorithm = cls(
+            window_size=config["window_size"],
+            k=config["k"],
+            beta=config["beta"],
+            oracle=config["oracle"],
+            func=func,
+            retention=config["retention"],
+            oracle_beta=params.get("beta"),
+            shared_index=config["shared_index"],
+            batch_feeds=config["batch_feeds"],
+        )
+        algorithm._spec = OracleSpec(
+            name=config["oracle"], k=config["k"], func=func, params=dict(params)
+        )
+        algorithm._restore_base(state["base"])
+        algorithm._pruned_total = state["pruned_total"]
+        if algorithm._shared is not None:
+            algorithm._shared = VersionedInfluenceIndex.from_state(state["shared"])
+        algorithm._roster = CheckpointRoster.from_state(
+            state["roster"], algorithm._spec, shared=algorithm._shared
+        )
+        return algorithm

@@ -89,6 +89,27 @@ class SlidingWindow:
         """The paper's ``A_t``: users performing at least one window action."""
         return set(self._user_counts)
 
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state: capacity, clock, and retained actions."""
+        return {
+            "size": self._size,
+            "last_time": self._last_time,
+            "actions": [[a.time, a.user, a.parent] for a in self._window],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SlidingWindow":
+        """Rebuild a window from :meth:`to_state` output."""
+        window = cls(state["size"])
+        window._last_time = state["last_time"]
+        for time, user, parent in state["actions"]:
+            action = Action(time=time, user=user, parent=parent)
+            window._window.append(action)
+            window._user_counts[action.user] = (
+                window._user_counts.get(action.user, 0) + 1
+            )
+        return window
+
     def activity(self, user: int) -> int:
         """Number of window actions performed by ``user``."""
         return self._user_counts.get(user, 0)

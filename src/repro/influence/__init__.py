@@ -11,6 +11,8 @@ from repro.influence.functions import (
     ConformityAwareInfluence,
     InfluenceFunction,
     WeightedCardinalityInfluence,
+    function_from_state,
+    register_function_state,
 )
 from repro.influence.queries import FilteredSIM, LocationAwareSIM, TopicAwareSIM
 
@@ -24,6 +26,8 @@ __all__ = [
     "TopicAwareSIM",
     "WeightedCardinalityInfluence",
     "filter_stream",
+    "function_from_state",
     "region_filter",
+    "register_function_state",
     "topic_filter",
 ]

@@ -19,18 +19,27 @@ but the frameworks accept any nonnegative monotone submodular function
 Functions are evaluated against an *index* — any object with
 ``influence_set(user)`` and ``coverage(seeds)`` (both window and append-only
 indexes qualify).
+
+The built-in functions are also *serializable*: :meth:`InfluenceFunction.to_state`
+returns an explicit JSON-safe schema and :func:`function_from_state` rebuilds
+the function from it, which is what lets the persistence plane snapshot a
+whole framework without pickling live objects.  Custom functions opt in by
+overriding ``to_state`` and registering a constructor with
+:func:`register_function_state`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import AbstractSet, Iterable, Mapping, Optional
+from typing import AbstractSet, Callable, Dict, Iterable, Mapping, Optional
 
 __all__ = [
     "InfluenceFunction",
     "CardinalityInfluence",
     "WeightedCardinalityInfluence",
     "ConformityAwareInfluence",
+    "function_from_state",
+    "register_function_state",
 ]
 
 
@@ -63,6 +72,19 @@ class InfluenceFunction(ABC):
             f"{type(self).__name__} cannot be evaluated on a bare coverage set"
         )
 
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state for persistence (built-ins override).
+
+        The returned dict carries a ``"kind"`` discriminator consumed by
+        :func:`function_from_state`.  Functions that do not override this
+        cannot be snapshotted.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state serialization; "
+            "override to_state() and register a constructor with "
+            "register_function_state() to persist it"
+        )
+
 
 class CardinalityInfluence(InfluenceFunction):
     """The main text's ``f(I_t(S)) = |I_t(S)|``."""
@@ -78,6 +100,10 @@ class CardinalityInfluence(InfluenceFunction):
 
     def value_of_covered(self, covered: AbstractSet[int]) -> float:
         return float(len(covered))
+
+    def to_state(self) -> dict:
+        """State schema: ``{"kind": "cardinality"}`` (the function is pure)."""
+        return {"kind": "cardinality"}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "CardinalityInfluence()"
@@ -115,6 +141,14 @@ class WeightedCardinalityInfluence(InfluenceFunction):
         get = self._weights.get
         default = self._default
         return float(sum(get(v, default) for v in covered))
+
+    def to_state(self) -> dict:
+        """State schema: user weights as sorted ``[user, weight]`` pairs."""
+        return {
+            "kind": "weighted_cardinality",
+            "default": self._default,
+            "weights": [[u, w] for u, w in sorted(self._weights.items())],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -184,7 +218,64 @@ class ConformityAwareInfluence(InfluenceFunction):
                 survival[v] = survival.get(v, 1.0) * factor
         return float(sum(1.0 - s for s in survival.values()))
 
+    def to_state(self) -> dict:
+        """State schema: Φ/Ω score tables as sorted ``[user, score]`` pairs."""
+        return {
+            "kind": "conformity_aware",
+            "influence_scores": [[u, s] for u, s in sorted(self._phi.items())],
+            "conformity_scores": [[u, s] for u, s in sorted(self._omega.items())],
+            "default_influence": self._default_phi,
+            "default_conformity": self._default_omega,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ConformityAwareInfluence({len(self._phi)} Φ, {len(self._omega)} Ω)"
         )
+
+
+_FUNCTION_STATES: Dict[str, Callable[[dict], InfluenceFunction]] = {}
+
+
+def register_function_state(
+    kind: str, builder: Callable[[dict], InfluenceFunction]
+) -> None:
+    """Register a constructor for :func:`function_from_state` under ``kind``."""
+    if kind in _FUNCTION_STATES:
+        raise ValueError(f"function state kind {kind!r} already registered")
+    _FUNCTION_STATES[kind] = builder
+
+
+def function_from_state(state: Mapping) -> InfluenceFunction:
+    """Rebuild an influence function from its :meth:`~InfluenceFunction.to_state`.
+
+    Raises:
+        ValueError: when the state's ``"kind"`` is unknown.
+    """
+    kind = state.get("kind")
+    builder = _FUNCTION_STATES.get(kind)
+    if builder is None:
+        raise ValueError(
+            f"unknown influence-function state kind {kind!r}; "
+            f"known: {sorted(_FUNCTION_STATES)}"
+        )
+    return builder(dict(state))
+
+
+register_function_state("cardinality", lambda state: CardinalityInfluence())
+register_function_state(
+    "weighted_cardinality",
+    lambda state: WeightedCardinalityInfluence(
+        weights={u: w for u, w in state["weights"]},
+        default=state["default"],
+    ),
+)
+register_function_state(
+    "conformity_aware",
+    lambda state: ConformityAwareInfluence(
+        influence_scores={u: s for u, s in state["influence_scores"]},
+        conformity_scores={u: s for u, s in state["conformity_scores"]},
+        default_influence=state["default_influence"],
+        default_conformity=state["default_conformity"],
+    ),
+)

@@ -1,0 +1,298 @@
+"""Crash-recoverable streaming: StateStore layout + RecoverableEngine.
+
+``RecoverableEngine`` wraps any serializable SIM framework (IC, SIC,
+``WindowedGreedy``) with the classic snapshot + write-ahead-log recipe:
+
+1. every arriving slide is appended to the action WAL *before* it is
+   processed (write-ahead: a slide the engine acknowledged is on disk);
+2. every ``snapshot_every`` slides the full framework state — explicit
+   ``to_state()`` schemas, no pickle — is written atomically to the
+   snapshot store, and WAL segments older than the oldest retained
+   snapshot are pruned;
+3. :meth:`RecoverableEngine.open` restores the newest valid snapshot and
+   replays only the WAL records behind it, so a warm restart costs
+   O(tail) work instead of re-streaming from t = 0 — with answers
+   *identical* to an uninterrupted run (the restore-equivalence property
+   tests pin this per oracle and framework).
+
+The state directory layout is owned by :class:`StateStore`::
+
+    <state_dir>/
+      snapshots/snapshot-<slideseq>.json   atomic write-rename, last M kept
+      wal/wal-<firstseq>.jsonl             fsync-on-slide, segment rotation
+
+Passing ``state_dir=None`` (or constructing with ``store=None``) makes the
+engine a zero-overhead passthrough — the hot path is untouched when
+persistence is off.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Optional
+
+from repro.core.base import SIMAlgorithm, SIMResult
+from repro.persistence.serialize import (
+    SNAPSHOT_FORMAT_VERSION,
+    PersistenceError,
+    algorithm_from_state,
+    algorithm_to_state,
+)
+from repro.persistence.snapshots import SnapshotStore
+from repro.persistence.wal import ActionWAL
+
+__all__ = ["StateStore", "RecoverableEngine"]
+
+
+class StateStore:
+    """One durable state directory: snapshots plus the action WAL."""
+
+    def __init__(
+        self,
+        root,
+        keep_snapshots: int = 3,
+        segment_records: int = 256,
+        fsync: bool = True,
+    ):
+        """
+        Args:
+            root: State directory (created if missing).
+            keep_snapshots: Snapshot retention (>= 1).
+            segment_records: WAL records per segment before rotation.
+            fsync: Force WAL appends and snapshots to stable storage.
+        """
+        self.root = pathlib.Path(root)
+        self.snapshots = SnapshotStore(
+            self.root / "snapshots", keep=keep_snapshots
+        )
+        self.wal = ActionWAL(
+            self.root / "wal", segment_records=segment_records, fsync=fsync
+        )
+
+    def close(self) -> None:
+        """Release file handles (the WAL's active segment)."""
+        self.wal.close()
+
+
+class RecoverableEngine:
+    """Snapshot + WAL wrapper making a SIM framework crash-recoverable."""
+
+    def __init__(
+        self,
+        algorithm: SIMAlgorithm,
+        store: Optional[StateStore] = None,
+        snapshot_every: int = 16,
+        _slide_seq: int = 0,
+        _replayed: int = 0,
+    ):
+        """Wrap ``algorithm``; prefer :meth:`open` for directory handling.
+
+        Args:
+            algorithm: The framework to drive (fresh or restored).
+            store: The durable state plane, or ``None`` for a passthrough
+                engine with zero persistence overhead.
+            snapshot_every: Auto-snapshot cadence in slides; ``0`` disables
+                automatic snapshots (manual :meth:`snapshot` / final
+                :meth:`close` snapshot only).
+        """
+        if snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self._algorithm = algorithm
+        self._store = store
+        self._snapshot_every = snapshot_every
+        self._slide_seq = _slide_seq
+        self._replayed = _replayed
+        self._snapshots_written = 0
+        self._last_snapshot_seq = _slide_seq if _replayed == 0 else None
+
+    @classmethod
+    def open(
+        cls,
+        state_dir,
+        factory: Optional[Callable[[], SIMAlgorithm]] = None,
+        snapshot_every: int = 16,
+        keep_snapshots: int = 3,
+        segment_records: int = 256,
+        fsync: bool = True,
+    ) -> "RecoverableEngine":
+        """Open a state directory: restore + replay, or start fresh.
+
+        When the directory holds a snapshot, the newest valid one is
+        restored and the WAL records behind it are replayed
+        (:attr:`replayed_slides` counts them — the O(tail) recovery
+        witness).  Otherwise ``factory()`` builds a fresh framework.
+
+        Args:
+            state_dir: Durable state directory, or ``None`` for a
+                passthrough engine (requires ``factory``).
+            factory: Zero-argument framework constructor for the fresh
+                start; optional when resuming existing state.
+            snapshot_every: Auto-snapshot cadence in slides (0 disables).
+            keep_snapshots: Snapshot retention (>= 1).
+            segment_records: WAL records per segment before rotation.
+            fsync: Force WAL appends and snapshots to stable storage.
+
+        Raises:
+            PersistenceError: when there is no usable state and no
+                ``factory``, or the stored state is corrupt/gapped.
+        """
+        if state_dir is None:
+            if factory is None:
+                raise PersistenceError(
+                    "state_dir is None and no factory was provided"
+                )
+            return cls(factory(), None, snapshot_every)
+        store = StateStore(
+            state_dir,
+            keep_snapshots=keep_snapshots,
+            segment_records=segment_records,
+            fsync=fsync,
+        )
+        latest = store.snapshots.load_latest()
+        if latest is not None:
+            seq, document = latest
+            algorithm = algorithm_from_state(document["algorithm"])
+        else:
+            seq = 0
+            algorithm = None
+        replayed = 0
+        for wal_seq, actions in store.wal.replay(after=seq):
+            if algorithm is None:
+                # No snapshot: the WAL must cover the stream from slide 1.
+                if wal_seq != 1 and replayed == 0:
+                    raise PersistenceError(
+                        f"no snapshot and WAL starts at slide {wal_seq}; "
+                        "cannot recover the stream prefix"
+                    )
+                if factory is None:
+                    raise PersistenceError(
+                        f"no snapshot in {store.root} and no factory "
+                        "was provided"
+                    )
+                algorithm = factory()
+            elif wal_seq != seq + 1:
+                raise PersistenceError(
+                    f"WAL gap after snapshot: expected slide {seq + 1}, "
+                    f"found {wal_seq}"
+                )
+            algorithm.process(actions)
+            replayed += 1
+            seq = wal_seq
+        if algorithm is None:
+            if factory is None:
+                raise PersistenceError(
+                    f"no recoverable state in {store.root} and no factory "
+                    "was provided"
+                )
+            algorithm = factory()
+        return cls(
+            algorithm,
+            store,
+            snapshot_every,
+            _slide_seq=seq,
+            _replayed=replayed,
+        )
+
+    # -- streaming ---------------------------------------------------------
+
+    def process(self, batch) -> None:
+        """Log one slide ahead, then process it (write-ahead ordering).
+
+        The slide is validated against the stream contract *before* it is
+        logged, so a rejected batch never reaches the WAL and recovery
+        never replays a poisoned record.
+        """
+        batch = list(batch)
+        if not batch:
+            return
+        last = self._algorithm.now
+        for action in batch:
+            if action.time <= last:
+                raise ValueError(
+                    f"engine received out-of-order action {action.time} "
+                    f"after {last}"
+                )
+            last = action.time
+        seq = self._slide_seq + 1
+        if self._store is not None:
+            self._store.wal.append(seq, batch)
+        self._algorithm.process(batch)
+        self._slide_seq = seq
+        if (
+            self._store is not None
+            and self._snapshot_every
+            and seq % self._snapshot_every == 0
+        ):
+            self.snapshot()
+
+    def query(self) -> SIMResult:
+        """Answer the SIM query for the current window."""
+        return self._algorithm.query()
+
+    # -- durability --------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write a full-state snapshot now and prune the covered WAL tail."""
+        if self._store is None:
+            raise PersistenceError("engine has no state store to snapshot to")
+        document = {
+            "format": SNAPSHOT_FORMAT_VERSION,
+            "slide_seq": self._slide_seq,
+            "algorithm": algorithm_to_state(self._algorithm),
+        }
+        self._store.snapshots.save(self._slide_seq, document)
+        self._snapshots_written += 1
+        self._last_snapshot_seq = self._slide_seq
+        retained = self._store.snapshots.sequences()
+        if retained:
+            self._store.wal.prune_through(min(retained))
+
+    def close(self, snapshot: bool = True) -> None:
+        """Release the store; by default seal state with a final snapshot.
+
+        A clean shutdown snapshot makes the next :meth:`open` replay zero
+        slides.  Pass ``snapshot=False`` when the in-memory state must
+        not be trusted (e.g. closing after an exception) — recovery then
+        falls back to the last good snapshot plus the WAL tail.
+        """
+        if self._store is not None:
+            if snapshot and self._slide_seq != self._last_snapshot_seq:
+                self.snapshot()
+            self._store.close()
+
+    def __enter__(self) -> "RecoverableEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close on exit; skip the final snapshot after an exception."""
+        self.close(snapshot=exc_type is None)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def algorithm(self) -> SIMAlgorithm:
+        """The wrapped framework."""
+        return self._algorithm
+
+    @property
+    def store(self) -> Optional[StateStore]:
+        """The durable state plane (``None`` for passthrough engines)."""
+        return self._store
+
+    @property
+    def slides_processed(self) -> int:
+        """Total slides in the engine's lifetime, including pre-crash ones."""
+        return self._slide_seq
+
+    @property
+    def replayed_slides(self) -> int:
+        """WAL-tail slides re-processed by :meth:`open` — the O(tail) witness."""
+        return self._replayed
+
+    @property
+    def snapshots_written(self) -> int:
+        """Snapshots written by this engine instance."""
+        return self._snapshots_written

@@ -1,0 +1,102 @@
+"""Explicit-schema codecs shared by the persistence plane.
+
+Everything the state store writes — snapshots and WAL records — is plain
+JSON built from the ``to_state()`` documents the core classes expose.  No
+live object is ever pickled: each schema is explicit, carries a format
+version, and is rebuilt through ``from_state()`` constructors, so stored
+state survives process restarts, interpreter upgrades, and code review.
+
+This module holds the small shared pieces:
+
+* :class:`PersistenceError` — the error type for corrupt/incompatible
+  stored state (a :class:`ValueError`, so existing CLI error handling
+  reports it cleanly);
+* :func:`encode_action` / :func:`decode_action` — the ``[time, user,
+  parent]`` triple used by WAL records and window snapshots;
+* :func:`algorithm_to_state` / :func:`algorithm_from_state` — dispatch
+  between a framework instance and its serialized document, keyed by the
+  document's ``"algorithm"`` tag (``ic``, ``sic``, ``greedy``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.core.actions import Action
+from repro.core.base import SIMAlgorithm
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "PersistenceError",
+    "encode_action",
+    "decode_action",
+    "algorithm_to_state",
+    "algorithm_from_state",
+]
+
+#: Version tag of the snapshot *document* (the envelope around an
+#: algorithm state).  Independent of the per-algorithm state version so
+#: the envelope and the payload can evolve separately.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Stored state is corrupt, incomplete, or from an incompatible format."""
+
+
+def encode_action(action: Action) -> list:
+    """``[time, user, parent]`` with the ``ROOT`` sentinel kept verbatim."""
+    return [action.time, action.user, action.parent]
+
+
+def decode_action(fields: Sequence[int]) -> Action:
+    """Rebuild an :class:`~repro.core.actions.Action` from its triple."""
+    time, user, parent = fields
+    return Action(time=time, user=user, parent=parent)
+
+
+#: ``"algorithm"`` tag -> ``from_state`` constructor.
+_ALGORITHM_LOADERS: Dict[str, Callable[[dict], SIMAlgorithm]] = {
+    "ic": InfluentialCheckpoints.from_state,
+    "sic": SparseInfluentialCheckpoints.from_state,
+    "greedy": WindowedGreedy.from_state,
+}
+
+
+def algorithm_to_state(algorithm: SIMAlgorithm) -> dict:
+    """Serialize a framework via its ``to_state`` hook.
+
+    Raises:
+        PersistenceError: when the algorithm does not implement
+            ``to_state`` (e.g. the graph baselines, which recompute from
+            scratch and have nothing durable to save).
+    """
+    to_state = getattr(algorithm, "to_state", None)
+    if to_state is None:
+        raise PersistenceError(
+            f"{type(algorithm).__name__} does not support state "
+            "serialization (no to_state hook)"
+        )
+    return to_state()
+
+
+def algorithm_from_state(state: dict) -> SIMAlgorithm:
+    """Rebuild a framework from a ``to_state`` document.
+
+    Dispatches on the document's ``"algorithm"`` tag; the per-algorithm
+    ``from_state`` validates the state format version.
+
+    Raises:
+        PersistenceError: when the tag is missing or unknown.
+    """
+    kind = state.get("algorithm")
+    loader = _ALGORITHM_LOADERS.get(kind)
+    if loader is None:
+        raise PersistenceError(
+            f"unknown algorithm kind {kind!r} in state document; "
+            f"known: {sorted(_ALGORITHM_LOADERS)}"
+        )
+    return loader(state)

@@ -1,0 +1,140 @@
+"""Atomic snapshot files with bounded retention.
+
+A snapshot is one JSON document — the envelope written by
+:class:`~repro.persistence.engine.RecoverableEngine` around a framework's
+``to_state()`` — stored as ``snapshot-<slideseq>.json``.  Two guarantees:
+
+* **Atomicity.**  Documents are written to a temporary file, fsynced, and
+  ``os.replace``d into place, so a crash mid-snapshot leaves either the
+  previous snapshot set or the new one — never a half-written file that
+  recovery could mistake for state.
+* **Retention.**  Only the newest ``keep`` snapshots are kept.  Loading
+  prefers the newest parseable document and falls back to older ones when
+  the newest is damaged (e.g. storage corruption after the atomic write),
+  which is why more than one is retained at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import List, Optional, Tuple
+
+from repro.persistence.serialize import (
+    SNAPSHOT_FORMAT_VERSION,
+    PersistenceError,
+)
+
+__all__ = ["SnapshotStore"]
+
+
+class SnapshotStore:
+    """Directory of atomic, retained snapshot documents."""
+
+    _PREFIX = "snapshot-"
+    _SUFFIX = ".json"
+
+    def __init__(self, directory, keep: int = 3):
+        """
+        Args:
+            directory: Snapshot directory (created if missing).
+            keep: Newest snapshots retained after each save (>= 1).
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self._dir = pathlib.Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._keep = keep
+
+    def path_for(self, seq: int) -> pathlib.Path:
+        """The file a snapshot of slide ``seq`` lives in."""
+        return self._dir / f"{self._PREFIX}{seq:010d}{self._SUFFIX}"
+
+    def sequences(self) -> List[int]:
+        """Slide sequence numbers of stored snapshots, oldest first."""
+        out = []
+        for path in sorted(self._dir.glob(f"{self._PREFIX}*{self._SUFFIX}")):
+            stem = path.name[len(self._PREFIX) : -len(self._SUFFIX)]
+            try:
+                out.append(int(stem))
+            except ValueError:
+                continue
+        return out
+
+    def save(self, seq: int, document: dict) -> pathlib.Path:
+        """Atomically write a snapshot document; prune beyond retention."""
+        target = self.path_for(seq)
+        tmp = target.with_name(target.name + ".tmp")
+        payload = json.dumps(document, separators=(",", ":"))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        self._fsync_dir()
+        for stale in self.sequences()[: -self._keep]:
+            self.path_for(stale).unlink(missing_ok=True)
+        return target
+
+    def load(self, seq: int) -> dict:
+        """Load and validate one snapshot document.
+
+        Raises:
+            PersistenceError: on unparseable content or an envelope format
+                this build does not read.
+        """
+        path = self.path_for(seq)
+        document = self._parse(path)
+        if document is None:
+            raise PersistenceError(f"unreadable snapshot {path.name}")
+        self._check_version(path, document)
+        return document
+
+    def load_latest(self) -> Optional[Tuple[int, dict]]:
+        """The newest loadable snapshot as ``(seq, document)``, else ``None``.
+
+        Unparseable documents are skipped in favour of older retained
+        snapshots (recovery then re-derives the difference from the WAL);
+        a format-version mismatch is systemic and raises instead.
+        """
+        for seq in reversed(self.sequences()):
+            path = self.path_for(seq)
+            document = self._parse(path)
+            if document is None:
+                continue
+            self._check_version(path, document)
+            return seq, document
+        return None
+
+    @staticmethod
+    def _parse(path: pathlib.Path) -> Optional[dict]:
+        """The file's JSON document, or ``None`` when damaged/missing."""
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    @staticmethod
+    def _check_version(path: pathlib.Path, document: dict) -> None:
+        """Reject envelope formats this build does not read."""
+        version = document.get("format")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise PersistenceError(
+                f"snapshot {path.name} has format version {version!r}; "
+                f"this build reads version {SNAPSHOT_FORMAT_VERSION}"
+            )
+
+    def _fsync_dir(self) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)

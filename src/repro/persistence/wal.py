@@ -1,0 +1,242 @@
+"""Append-only action WAL: JSONL segments with fsync and rotation.
+
+The write-ahead log is the cheap half of the durability plane: every
+window slide is appended — *before* the engine processes it — as one JSON
+line ``{"seq": n, "actions": [[t, u, p], ...]}``.  Recovery then replays
+the records newer than the latest snapshot, so a crash costs O(WAL tail)
+work instead of O(stream).
+
+Design points, all standard WAL practice:
+
+* **Sequenced records.**  Slide sequence numbers are contiguous and
+  strictly increasing; :meth:`ActionWAL.replay` verifies contiguity and
+  raises :class:`~repro.persistence.serialize.PersistenceError` on gaps
+  or mid-log corruption — silent data loss is never an option.
+* **fsync per append** (default on): a record that :meth:`ActionWAL.append`
+  returned from survives power loss.  ``fsync=False`` trades that for
+  throughput when the OS page cache is trusted.
+* **Segment rotation.**  Records go to ``wal-<firstseq>.jsonl`` files of
+  at most ``segment_records`` records, so retention is cheap: a segment
+  whose records are all covered by the oldest retained snapshot is
+  deleted whole (:meth:`ActionWAL.prune_through`).
+* **Torn-tail tolerance.**  A crash mid-write can leave a partial final
+  line.  On open, the tail segment is scanned and truncated back to its
+  last complete, parseable record; replay likewise stops cleanly at a
+  torn tail.  Only the *final* line of the *final* segment may be torn —
+  anywhere else it is corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.actions import Action
+from repro.persistence.serialize import (
+    PersistenceError,
+    decode_action,
+    encode_action,
+)
+
+__all__ = ["ActionWAL"]
+
+
+class ActionWAL:
+    """Segmented append-only log of window slides."""
+
+    _PREFIX = "wal-"
+    _SUFFIX = ".jsonl"
+
+    def __init__(
+        self,
+        directory,
+        segment_records: int = 256,
+        fsync: bool = True,
+    ):
+        """
+        Args:
+            directory: Segment directory (created if missing).
+            segment_records: Records per segment before rotation (>= 1).
+            fsync: Force every append to stable storage before returning.
+        """
+        if segment_records < 1:
+            raise ValueError(
+                f"segment_records must be >= 1, got {segment_records}"
+            )
+        self._dir = pathlib.Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._segment_records = segment_records
+        self._fsync = fsync
+        self._handle = None
+        self._active_path: pathlib.Path = None
+        self._active_records = 0
+        self._last_seq = 0
+        self._recover_append_position()
+
+    # -- introspection -----------------------------------------------------
+
+    def segments(self) -> List[pathlib.Path]:
+        """Segment files, oldest first."""
+        return sorted(self._dir.glob(f"{self._PREFIX}*{self._SUFFIX}"))
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable record (0 when empty)."""
+        return self._last_seq
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, seq: int, actions: Sequence[Action]) -> None:
+        """Durably log one slide; returns only after it is on disk.
+
+        ``seq`` must continue the log (``last_seq + 1``); an empty log
+        accepts any positive start (the tail below a snapshot may have
+        been pruned).
+        """
+        if seq <= 0:
+            raise PersistenceError(f"slide seq must be positive, got {seq}")
+        if self._last_seq and seq != self._last_seq + 1:
+            raise PersistenceError(
+                f"WAL append out of order: got seq {seq} after {self._last_seq}"
+            )
+        if self._handle is None or self._active_records >= self._segment_records:
+            self._open_segment(seq)
+        record = {"seq": seq, "actions": [encode_action(a) for a in actions]}
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self._active_records += 1
+        self._last_seq = seq
+
+    def close(self) -> None:
+        """Release the active segment's file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -----------------------------------------------------------
+
+    def replay(self, after: int = 0) -> Iterator[Tuple[int, List[Action]]]:
+        """Yield ``(seq, actions)`` for every record with ``seq > after``.
+
+        Verifies record contiguity across segment boundaries.  A torn
+        final line (crash mid-append) ends the replay cleanly; corruption
+        anywhere else raises
+        :class:`~repro.persistence.serialize.PersistenceError`.
+        """
+        segments = self.segments()
+        expected = None
+        for index, path in enumerate(segments):
+            is_tail_segment = index == len(segments) - 1
+            lines = path.read_bytes().split(b"\n")
+            for line_number, raw in enumerate(lines, start=1):
+                if not raw.strip():
+                    continue
+                torn_ok = is_tail_segment and line_number == len(lines)
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    seq = record["seq"]
+                    actions = [decode_action(f) for f in record["actions"]]
+                except (ValueError, KeyError, TypeError) as exc:
+                    if torn_ok:
+                        return
+                    raise PersistenceError(
+                        f"corrupt WAL record {path.name}:{line_number} ({exc})"
+                    ) from exc
+                if expected is not None and seq != expected:
+                    raise PersistenceError(
+                        f"WAL gap at {path.name}:{line_number}: "
+                        f"expected seq {expected}, found {seq}"
+                    )
+                expected = seq + 1
+                if seq > after:
+                    yield seq, actions
+
+    # -- retention ---------------------------------------------------------
+
+    def prune_through(self, seq: int) -> int:
+        """Delete segments fully covered by slide ``seq``; return the count.
+
+        A segment is deletable when every record in it has sequence at
+        most ``seq`` — i.e. the *next* segment starts at or below
+        ``seq + 1``.  The newest segment is always kept (it is the append
+        target).
+        """
+        segments = self.segments()
+        firsts = [self._first_seq_of(path) for path in segments]
+        removed = 0
+        for i, path in enumerate(segments[:-1]):
+            if firsts[i + 1] <= seq + 1:
+                path.unlink()
+                removed += 1
+            else:
+                break
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    def _first_seq_of(self, path: pathlib.Path) -> int:
+        """The first record seq a segment holds, from its file name."""
+        stem = path.name[len(self._PREFIX) : -len(self._SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError as exc:
+            raise PersistenceError(
+                f"malformed WAL segment name {path.name!r}"
+            ) from exc
+
+    def _open_segment(self, first_seq: int) -> None:
+        """Rotate to (or reopen) the segment starting at ``first_seq``."""
+        self.close()
+        if self._active_path is not None and self._active_records < self._segment_records:
+            path = self._active_path
+        else:
+            path = self._dir / f"{self._PREFIX}{first_seq:010d}{self._SUFFIX}"
+            self._active_records = 0
+        self._handle = open(path, "a", encoding="utf-8")
+        self._active_path = path
+
+    def _recover_append_position(self) -> None:
+        """Scan existing segments; truncate a torn tail; set the append seq."""
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            is_tail_segment = index == len(segments) - 1
+            good_bytes = 0
+            records = 0
+            torn = False
+            with open(path, "rb") as handle:
+                for raw in handle:
+                    complete = raw.endswith(b"\n")
+                    try:
+                        record = json.loads(raw.decode("utf-8"))
+                        seq = record["seq"]
+                        record["actions"]
+                    except (ValueError, KeyError, TypeError) as exc:
+                        if is_tail_segment:
+                            torn = True
+                            break
+                        raise PersistenceError(
+                            f"corrupt WAL record in {path.name} ({exc})"
+                        ) from exc
+                    if not complete:
+                        # Parsed but unterminated: treat as torn — a
+                        # completed append always ends with a newline.
+                        if is_tail_segment:
+                            torn = True
+                            break
+                        raise PersistenceError(
+                            f"unterminated WAL record in non-tail "
+                            f"segment {path.name}"
+                        )
+                    records += 1
+                    good_bytes += len(raw)
+                    self._last_seq = seq
+            if is_tail_segment:
+                if torn or good_bytes < path.stat().st_size:
+                    with open(path, "rb+") as handle:
+                        handle.truncate(good_bytes)
+                self._active_path = path
+                self._active_records = records

@@ -1,0 +1,59 @@
+"""The crash/recovery experiment scenario."""
+
+import pytest
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.experiments.recovery import crash_recovery_run
+from tests.conftest import random_stream
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: InfluentialCheckpoints(window_size=40, k=3, beta=0.25),
+        lambda: SparseInfluentialCheckpoints(window_size=40, k=3, beta=0.25),
+    ],
+)
+def test_scenario_passes_for_checkpoint_frameworks(factory, tmp_path):
+    report = crash_recovery_run(
+        factory,
+        random_stream(120, 8, seed=2),
+        slide=4,
+        kill_at_slide=17,
+        state_dir=tmp_path,
+        snapshot_every=5,
+        fsync=False,
+    )
+    assert report.identical
+    assert report.first_divergence is None
+    assert report.slides_total == 30
+    assert report.kill_at_slide == 17
+    assert report.replayed_slides == 2  # snapshot at 15, WAL 16-17
+    assert report.snapshot_count >= 1
+    assert report.restore_seconds >= 0.0
+
+
+def test_kill_slide_validated(tmp_path):
+    with pytest.raises(ValueError):
+        crash_recovery_run(
+            lambda: InfluentialCheckpoints(window_size=10, k=2),
+            random_stream(20, 5, seed=0),
+            slide=5,
+            kill_at_slide=4,  # == slides_total
+            state_dir=tmp_path,
+        )
+
+
+def test_report_labels_default_to_class_name(tmp_path):
+    report = crash_recovery_run(
+        lambda: InfluentialCheckpoints(window_size=20, k=2),
+        random_stream(40, 6, seed=1),
+        slide=2,
+        kill_at_slide=10,
+        state_dir=tmp_path,
+        snapshot_every=4,
+        fsync=False,
+    )
+    assert report.name == "InfluentialCheckpoints"
+    assert report.identical

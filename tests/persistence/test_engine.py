@@ -1,0 +1,151 @@
+"""RecoverableEngine mechanics: cadence, clean shutdown, failure hygiene."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.stream import batched
+from repro.persistence.engine import RecoverableEngine, StateStore
+from repro.persistence.serialize import PersistenceError
+from tests.conftest import random_stream
+
+
+def make_ic():
+    return InfluentialCheckpoints(window_size=30, k=3, beta=0.25)
+
+
+def slides(n_actions=60, slide=4, seed=1):
+    return list(batched(random_stream(n_actions, 8, seed=seed), slide))
+
+
+class TestPassthrough:
+    def test_no_state_dir_is_a_passthrough(self):
+        engine = RecoverableEngine.open(None, make_ic)
+        for batch in slides():
+            engine.process(batch)
+        assert engine.store is None
+        assert engine.replayed_slides == 0
+        reference = make_ic()
+        for batch in slides():
+            reference.process(batch)
+        assert engine.query() == reference.query()
+
+    def test_passthrough_requires_factory(self):
+        with pytest.raises(PersistenceError):
+            RecoverableEngine.open(None, None)
+
+    def test_passthrough_cannot_snapshot(self):
+        engine = RecoverableEngine.open(None, make_ic)
+        with pytest.raises(PersistenceError):
+            engine.snapshot()
+
+
+class TestDurability:
+    def test_snapshot_cadence(self, tmp_path):
+        engine = RecoverableEngine.open(
+            tmp_path, make_ic, snapshot_every=5, fsync=False
+        )
+        for batch in slides(48, 4):
+            engine.process(batch)
+        assert engine.slides_processed == 12
+        assert engine.snapshots_written == 2  # slides 5 and 10
+        assert engine.store.snapshots.sequences() == [5, 10]
+        engine.close(snapshot=False)
+
+    def test_snapshot_every_zero_disables_auto_snapshots(self, tmp_path):
+        engine = RecoverableEngine.open(
+            tmp_path, make_ic, snapshot_every=0, fsync=False
+        )
+        for batch in slides():
+            engine.process(batch)
+        assert engine.snapshots_written == 0
+        engine.close()  # the final close still seals state
+        assert engine.store.snapshots.sequences() == [engine.slides_processed]
+
+    def test_clean_close_makes_reopen_replay_free(self, tmp_path):
+        engine = RecoverableEngine.open(
+            tmp_path, make_ic, snapshot_every=4, fsync=False
+        )
+        for batch in slides():
+            engine.process(batch)
+        answer = engine.query()
+        engine.close()
+        reopened = RecoverableEngine.open(tmp_path, make_ic, fsync=False)
+        assert reopened.replayed_slides == 0
+        assert reopened.query() == answer
+        reopened.close(snapshot=False)
+
+    def test_context_manager_seals_on_success_only(self, tmp_path):
+        with RecoverableEngine.open(
+            tmp_path / "ok", make_ic, snapshot_every=0, fsync=False
+        ) as engine:
+            for batch in slides():
+                engine.process(batch)
+        assert engine.store.snapshots.sequences() == [engine.slides_processed]
+
+        with pytest.raises(RuntimeError):
+            with RecoverableEngine.open(
+                tmp_path / "boom", make_ic, snapshot_every=0, fsync=False
+            ) as engine:
+                for batch in slides():
+                    engine.process(batch)
+                raise RuntimeError("simulated failure")
+        # No snapshot of possibly-suspect state; WAL alone recovers it.
+        assert engine.store.snapshots.sequences() == []
+        recovered = RecoverableEngine.open(tmp_path / "boom", make_ic, fsync=False)
+        assert recovered.replayed_slides == recovered.slides_processed > 0
+        recovered.close(snapshot=False)
+
+    def test_open_empty_dir_without_factory_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            RecoverableEngine.open(tmp_path, None)
+
+    def test_wal_gap_after_snapshot_raises(self, tmp_path):
+        engine = RecoverableEngine.open(
+            tmp_path, make_ic, snapshot_every=6, segment_records=2, fsync=False
+        )
+        for batch in slides(48, 4):
+            engine.process(batch)
+        engine.close(snapshot=False)
+        # Drop the WAL segment right after the last snapshot (slides 7-8).
+        store = StateStore(tmp_path, fsync=False)
+        assert store.snapshots.sequences()[-1] == 12
+        # remove the snapshot at 12 so recovery needs the tail after 6
+        store.snapshots.path_for(12).unlink()
+        [segment] = [
+            p for p in store.wal.segments() if p.name == "wal-0000000007.jsonl"
+        ]
+        store.close()
+        segment.unlink()
+        with pytest.raises(PersistenceError):
+            RecoverableEngine.open(tmp_path, make_ic, fsync=False)
+
+
+class TestFailureHygiene:
+    def test_rejected_batch_never_reaches_the_wal(self, tmp_path):
+        engine = RecoverableEngine.open(tmp_path, make_ic, fsync=False)
+        engine.process([Action.root(1, 0), Action.root(2, 1)])
+        logged = engine.store.wal.last_seq
+        with pytest.raises(ValueError):
+            engine.process([Action.root(2, 5)])  # duplicate timestamp
+        with pytest.raises(ValueError):
+            engine.process([Action.root(5, 0), Action.root(4, 1)])  # unordered
+        assert engine.store.wal.last_seq == logged
+        # The engine (and a recovery) continue cleanly past the rejection.
+        engine.process([Action.root(3, 2)])
+        engine.close()
+        recovered = RecoverableEngine.open(tmp_path, make_ic, fsync=False)
+        assert recovered.slides_processed == 2
+        assert recovered.query() == engine.query()
+        recovered.close(snapshot=False)
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        engine = RecoverableEngine.open(tmp_path, make_ic, fsync=False)
+        engine.process([])
+        assert engine.slides_processed == 0
+        assert engine.store.wal.last_seq == 0
+        engine.close(snapshot=False)
+
+    def test_negative_snapshot_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RecoverableEngine.open(tmp_path, make_ic, snapshot_every=-1)

@@ -1,0 +1,170 @@
+"""ActionWAL: append/replay roundtrips, rotation, torn tails, retention."""
+
+import json
+
+import pytest
+
+from repro.core.actions import Action
+from repro.persistence.serialize import PersistenceError
+from repro.persistence.wal import ActionWAL
+
+
+def slides(n, per_slide=2):
+    """``n`` consecutive slides of ``per_slide`` root actions each."""
+    out = []
+    time = 1
+    for _ in range(n):
+        batch = []
+        for _ in range(per_slide):
+            batch.append(Action.root(time, time % 5))
+            time += 1
+        out.append(batch)
+    return out
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        batches = slides(5)
+        for seq, batch in enumerate(batches, start=1):
+            wal.append(seq, batch)
+        wal.close()
+        replayed = list(ActionWAL(tmp_path, fsync=False).replay())
+        assert [seq for seq, _ in replayed] == [1, 2, 3, 4, 5]
+        assert [actions for _, actions in replayed] == batches
+
+    def test_replay_after_skips_prefix(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        for seq, batch in enumerate(slides(6), start=1):
+            wal.append(seq, batch)
+        assert [seq for seq, _ in wal.replay(after=4)] == [5, 6]
+
+    def test_empty_wal(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        assert wal.last_seq == 0
+        assert list(wal.replay()) == []
+
+    def test_append_continues_after_reopen(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        batches = slides(6)
+        for seq in (1, 2, 3):
+            wal.append(seq, batches[seq - 1])
+        wal.close()
+        reopened = ActionWAL(tmp_path, fsync=False)
+        assert reopened.last_seq == 3
+        for seq in (4, 5, 6):
+            reopened.append(seq, batches[seq - 1])
+        assert [seq for seq, _ in reopened.replay()] == [1, 2, 3, 4, 5, 6]
+
+    def test_out_of_order_append_rejected(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        wal.append(1, slides(1)[0])
+        with pytest.raises(PersistenceError):
+            wal.append(3, slides(1)[0])
+        with pytest.raises(PersistenceError):
+            wal.append(1, slides(1)[0])
+
+    def test_fresh_wal_accepts_any_start(self, tmp_path):
+        """After pruning, the log legitimately starts past slide 1."""
+        wal = ActionWAL(tmp_path, fsync=False)
+        wal.append(17, slides(1)[0])
+        assert [seq for seq, _ in wal.replay()] == [17]
+
+
+class TestRotation:
+    def test_segments_rotate_at_capacity(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_records=3, fsync=False)
+        for seq, batch in enumerate(slides(8), start=1):
+            wal.append(seq, batch)
+        names = [p.name for p in wal.segments()]
+        assert names == [
+            "wal-0000000001.jsonl",
+            "wal-0000000004.jsonl",
+            "wal-0000000007.jsonl",
+        ]
+        assert [seq for seq, _ in wal.replay()] == list(range(1, 9))
+
+    def test_reopen_respects_partial_tail_segment(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_records=3, fsync=False)
+        for seq, batch in enumerate(slides(4), start=1):
+            wal.append(seq, batch)
+        wal.close()
+        reopened = ActionWAL(tmp_path, segment_records=3, fsync=False)
+        reopened.append(5, slides(5)[4])
+        # Slides 4 and 5 share the second segment; no spurious third one.
+        assert len(reopened.segments()) == 2
+        assert [seq for seq, _ in reopened.replay()] == [1, 2, 3, 4, 5]
+
+    def test_prune_through_drops_covered_segments(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_records=2, fsync=False)
+        for seq, batch in enumerate(slides(7), start=1):
+            wal.append(seq, batch)
+        removed = wal.prune_through(4)
+        assert removed == 2  # segments [1,2] and [3,4]
+        assert [seq for seq, _ in wal.replay(after=4)] == [5, 6, 7]
+
+    def test_prune_never_removes_active_segment(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_records=2, fsync=False)
+        for seq, batch in enumerate(slides(2), start=1):
+            wal.append(seq, batch)
+        assert wal.prune_through(2) == 0
+        assert len(wal.segments()) == 1
+
+
+class TestCorruption:
+    def test_torn_tail_ends_replay_cleanly(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        for seq, batch in enumerate(slides(4), start=1):
+            wal.append(seq, batch)
+        wal.close()
+        segment = wal.segments()[-1]
+        segment.write_bytes(segment.read_bytes()[:-9])
+        assert [seq for seq, _ in ActionWAL(tmp_path, fsync=False).replay()] == [
+            1,
+            2,
+            3,
+        ]
+
+    def test_reopen_truncates_torn_tail_then_appends(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        batches = slides(5)
+        for seq in (1, 2, 3):
+            wal.append(seq, batches[seq - 1])
+        wal.close()
+        segment = wal.segments()[-1]
+        segment.write_bytes(segment.read_bytes()[:-5])
+        reopened = ActionWAL(tmp_path, fsync=False)
+        assert reopened.last_seq == 2  # the torn third record is discarded
+        reopened.append(3, batches[2])
+        replayed = list(reopened.replay())
+        assert [seq for seq, _ in replayed] == [1, 2, 3]
+        assert replayed[-1][1] == batches[2]
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_records=2, fsync=False)
+        for seq, batch in enumerate(slides(6), start=1):
+            wal.append(seq, batch)
+        wal.close()
+        first = wal.segments()[0]
+        first.write_text("not json\n" + first.read_text().split("\n", 1)[1])
+        with pytest.raises(PersistenceError):
+            list(ActionWAL(tmp_path, fsync=False).replay())
+
+    def test_sequence_gap_raises(self, tmp_path):
+        wal = ActionWAL(tmp_path, segment_records=2, fsync=False)
+        for seq, batch in enumerate(slides(6), start=1):
+            wal.append(seq, batch)
+        wal.close()
+        wal.segments()[1].unlink()  # drop slides 3-4
+        with pytest.raises(PersistenceError):
+            list(ActionWAL(tmp_path, fsync=False).replay())
+
+    def test_record_preserves_action_fields(self, tmp_path):
+        wal = ActionWAL(tmp_path, fsync=False)
+        batch = [Action.root(1, 7), Action.response(2, 3, 1)]
+        wal.append(1, batch)
+        wal.close()
+        raw = json.loads(wal.segments()[0].read_text().strip())
+        assert raw == {"seq": 1, "actions": [[1, 7, -1], [2, 3, 1]]}
+        [(_, actions)] = list(ActionWAL(tmp_path, fsync=False).replay())
+        assert actions == batch

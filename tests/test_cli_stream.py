@@ -1,5 +1,12 @@
 """Tests for the repro-stream CLI."""
 
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +26,31 @@ class TestParser:
         args = build_parser().parse_args(["track", "x.jsonl"])
         assert args.algorithm == "sic"
         assert args.window == 5_000
+        assert args.oracle == "sieve"
+        assert args.checkpoint_interval == 1
+        assert args.shared_index is True
+        assert args.format == "text"
+        assert args.state_dir is None
+        assert args.snapshot_every == 16
+
+    def test_track_engine_knobs(self):
+        args = build_parser().parse_args([
+            "track", "x.jsonl", "--oracle", "mkc",
+            "--checkpoint-interval", "4", "--no-shared-index",
+            "--format", "json", "--state-dir", "st", "--snapshot-every", "8",
+        ])
+        assert args.oracle == "mkc"
+        assert args.checkpoint_interval == 4
+        assert args.shared_index is False
+        assert args.format == "json"
+        assert args.state_dir == "st"
+        assert args.snapshot_every == 8
+
+    def test_snapshot_subcommands(self):
+        for sub in ("info", "save", "restore"):
+            args = build_parser().parse_args(["snapshot", sub, "st"])
+            assert args.snapshot_command == sub
+            assert args.state_dir == "st"
 
 
 class TestGenerate:
@@ -82,6 +114,202 @@ class TestStatsConvertTrack:
         ])
         assert code == 0
 
+    @pytest.mark.parametrize("oracle", ["threshold", "blog_watch", "mkc"])
+    def test_track_oracle_flag(self, stream_file, oracle, capsys):
+        code = main([
+            "track", str(stream_file), "--algorithm", "ic",
+            "--oracle", oracle, "--window", "200", "--slide", "200", "-k", "2",
+        ])
+        assert code == 0
+
+    def test_track_reference_plane_and_interval(self, stream_file, capsys):
+        code = main([
+            "track", str(stream_file), "--algorithm", "ic",
+            "--no-shared-index", "--window", "200", "--slide", "100", "-k", "2",
+        ])
+        assert code == 0
+        code = main([
+            "track", str(stream_file), "--algorithm", "ic",
+            "--checkpoint-interval", "2", "--window", "200", "--slide", "100",
+            "-k", "2",
+        ])
+        assert code == 0
+
+    def test_track_json_format(self, stream_file, capsys):
+        capsys.readouterr()  # drain the fixture's generate output
+        code = main([
+            "track", str(stream_file), "--format", "json",
+            "--window", "200", "--slide", "100", "-k", "3",
+        ])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 6  # one object per slide, no header
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"time", "value", "seeds"}
+            assert record["seeds"] == sorted(record["seeds"])
+        assert json.loads(lines[-1])["time"] == 600
+
     def test_missing_file(self, capsys):
         assert main(["stats", "/nonexistent/x.jsonl"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestTrackStateDir:
+    """Crash-recoverable tracking: resume, snapshot tooling, SIGKILL."""
+
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        target = tmp_path / "s.jsonl"
+        main(["generate", "--dataset", "syn-n", "-n", "800", "-u", "80",
+              "--seed", "5", "-o", str(target)])
+        return target
+
+    def _track(self, stream_file, tmp_path, capsys, *extra):
+        capsys.readouterr()  # drain fixture/previous-step output
+        code = main([
+            "track", str(stream_file), "--window", "200", "--slide", "100",
+            "-k", "3", "--format", "json", *extra,
+        ])
+        assert code == 0
+        out = capsys.readouterr()
+        return [l for l in out.out.splitlines() if l], out.err
+
+    def test_resume_continues_where_the_first_run_stopped(
+        self, stream_file, tmp_path, capsys
+    ):
+        expected, _ = self._track(stream_file, tmp_path, capsys)
+        # First run: only the stream prefix is available.
+        prefix = tmp_path / "prefix.jsonl"
+        prefix.write_text(
+            "".join(stream_file.read_text().splitlines(keepends=True)[:500])
+        )
+        state = tmp_path / "state"
+        first, _ = self._track(
+            prefix, tmp_path, capsys, "--state-dir", str(state),
+            "--snapshot-every", "2",
+        )
+        # Second run: the full file arrives; processed slides are skipped.
+        second, err = self._track(
+            stream_file, tmp_path, capsys, "--state-dir", str(state),
+            "--snapshot-every", "2",
+        )
+        assert "resumed at time 500" in err
+        assert first + second == expected
+
+    def test_restart_after_completion_emits_nothing_new(
+        self, stream_file, tmp_path, capsys
+    ):
+        state = tmp_path / "state"
+        full, _ = self._track(
+            stream_file, tmp_path, capsys, "--state-dir", str(state)
+        )
+        again, err = self._track(
+            stream_file, tmp_path, capsys, "--state-dir", str(state)
+        )
+        assert again == []
+        assert "resumed at time 800" in err
+
+    def test_snapshot_info_save_restore(self, stream_file, tmp_path, capsys):
+        state = tmp_path / "state"
+        expected, _ = self._track(
+            stream_file, tmp_path, capsys, "--state-dir", str(state),
+            "--snapshot-every", "3",
+        )
+        assert main(["snapshot", "info", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot" in out and "wal" in out and "sic" in out
+
+        assert main(["snapshot", "save", str(state)]) == 0
+        assert "snapshot written at slide 8" in capsys.readouterr().out
+
+        assert main(["snapshot", "restore", str(state)]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        final = json.loads(expected[-1])
+        assert record["slide"] == 8
+        assert record["time"] == final["time"]
+        assert record["value"] == final["value"]
+        assert record["seeds"] == final["seeds"]
+
+    def test_snapshot_on_empty_state_dir_fails_cleanly(self, tmp_path, capsys):
+        void = tmp_path / "void"
+        assert main(["snapshot", "restore", str(void)]) == 1
+        assert "error" in capsys.readouterr().err
+        # Inspection must not create a state tree at the typoed path.
+        assert main(["snapshot", "info", str(void)]) == 1
+        assert "no state directory" in capsys.readouterr().err
+        assert not void.exists()
+
+    def test_resume_with_mismatched_flags_is_rejected(
+        self, stream_file, tmp_path, capsys
+    ):
+        state = tmp_path / "state"
+        self._track(stream_file, tmp_path, capsys, "--state-dir", str(state))
+        code = main([
+            "track", str(stream_file), "--window", "200", "--slide", "100",
+            "-k", "7", "--format", "json", "--state-dir", str(state),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "different engine settings" in err
+        # Matching flags still resume fine afterwards.
+        again, _ = self._track(
+            stream_file, tmp_path, capsys, "--state-dir", str(state)
+        )
+        assert again == []
+
+    def test_sigkill_resume_matches_uninterrupted_run(self, tmp_path, capsys):
+        """The headline scenario: kill -9 mid-stream, rerun, same answers.
+
+        Uses a longer stream (120 slides) so killing right after the first
+        reported slides is guaranteed to land mid-run.
+        """
+        stream = tmp_path / "long.jsonl"
+        main(["generate", "--dataset", "syn-n", "-n", "6000", "-u", "300",
+              "--seed", "11", "-o", str(stream)])
+        track_args = [
+            "track", str(stream), "--window", "1000", "--slide", "50",
+            "-k", "3", "--format", "json",
+        ]
+        capsys.readouterr()
+        assert main(track_args) == 0
+        expected = [l for l in capsys.readouterr().out.splitlines() if l]
+
+        state = tmp_path / "state"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        env["PYTHONUNBUFFERED"] = "1"
+        command = [
+            sys.executable, "-m", "repro.cli", *track_args,
+            "--state-dir", str(state), "--snapshot-every", "8",
+        ]
+        process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, text=True,
+        )
+        killed_lines = []
+        try:
+            # Kill as soon as at least two of the 120 slides were reported.
+            deadline = time.time() + 120
+            while len(killed_lines) < 2 and time.time() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    break
+                killed_lines.append(line.strip())
+            process.kill()  # SIGKILL on POSIX
+        finally:
+            process.wait()
+        assert process.returncode == -signal.SIGKILL
+        assert killed_lines, "first run produced no output before the kill"
+
+        capsys.readouterr()
+        assert main([*track_args, "--state-dir", str(state),
+                     "--snapshot-every", "8"]) == 0
+        out = capsys.readouterr()
+        resumed = [l for l in out.out.splitlines() if l]
+        assert "resumed" in out.err and "replayed" in out.err
+        assert resumed, "resumed run skipped everything"
+        assert len(resumed) < len(expected)  # it really resumed mid-stream
+        # The resumed output is exactly the tail of the uninterrupted run.
+        assert resumed == expected[len(expected) - len(resumed):]
+        assert resumed[-1] == expected[-1]
