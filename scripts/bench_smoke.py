@@ -25,7 +25,11 @@ Reported figures:
   sum of per-checkpoint suffix sizes on the same stream;
 * ``snapshot_restore`` — persistence-plane costs at N=1000: snapshot
   write, snapshot-only restore, and WAL-tail replay, so the durability
-  overhead stays visible in the perf trajectory.
+  overhead stays visible in the perf trajectory;
+* ``service_ingest`` — sustained socket ingest through the serving plane
+  (asyncio server + line protocol + coalescing ingest loop) on the IC
+  N=1000 workload, measured client-side through a ``sync`` barrier so the
+  rate covers processing, not just transport.
 """
 
 from __future__ import annotations
@@ -288,6 +292,44 @@ def bench_snapshot_restore(stream, n_actions):
     return results
 
 
+def bench_service_ingest(stream, n_actions):
+    """Sustained socket ingest on the N=1000 IC workload (sieve k=5 β=0.3).
+
+    Runs a full in-process server (thread-hosted event loop), streams the
+    actions over a real TCP connection with a final ``sync`` barrier, and
+    reports end-to-end actions/second plus the slide count and published
+    answer — the serving-plane counterpart of ``ic_n1000_l1``.  The ingest
+    loop coalesces slides of 50, so the engine runs in its batched regime.
+    """
+    from repro.persistence.engine import RecoverableEngine
+    from repro.service.client import ServiceClient
+    from repro.service.config import ServiceConfig
+    from repro.service.runner import ServiceRunner
+
+    actions = stream[:n_actions]
+    engine = RecoverableEngine.open(
+        None, lambda: InfluentialCheckpoints(window_size=1000, k=5, beta=0.3)
+    )
+    config = ServiceConfig(
+        port=0, slide=50, flush_interval=60.0, queue_capacity=8192
+    )
+    with ServiceRunner(engine, config) as runner:
+        client = ServiceClient("127.0.0.1", runner.port, timeout=300.0)
+        client.wait_healthy()
+        started = time.perf_counter()
+        summary = client.ingest(actions, sync=True)
+        elapsed = time.perf_counter() - started
+        answer = client.topk("main")
+    return {
+        "actions": len(actions),
+        "slide": 50,
+        "seconds": round(elapsed, 3),
+        "actions_per_sec": round(len(actions) / elapsed, 1),
+        "slides": summary["slide"],
+        "query_value": answer["value"],
+    }
+
+
 def main(argv=None):
     """Run the smoke benchmarks and write BENCH_core_ops.json."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -319,6 +361,9 @@ def main(argv=None):
         "snapshot_restore": bench_snapshot_restore(
             stream, min(n_actions, len(stream))
         ),
+        "service_ingest": bench_service_ingest(
+            stream, min(n_actions, len(stream))
+        ),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -338,6 +383,9 @@ def main(argv=None):
     print(f"restore (snapshot only): {persistence['restore_snapshot_only']['seconds']:>10.4f} s")
     print(f"restore (+500 WAL tail): {persistence['restore_with_wal_tail']['seconds']:>10.4f} s "
           f"({persistence['restore_with_wal_tail']['replayed_slides']} slides replayed)")
+    service = report["service_ingest"]
+    print(f"service socket ingest:   {service['actions_per_sec']:>10,.1f} actions/s "
+          f"({service['actions']} actions, {service['slides']} slides)")
     print(f"report written to {args.output}")
     return report
 

@@ -11,8 +11,14 @@ Subcommands:
   crash-recoverable: slides are WAL-logged, state is snapshotted every
   ``--snapshot-every`` slides, and re-running the same command after a
   kill resumes mid-stream with identical answers;
-* ``snapshot`` — inspect (``info``), roll forward (``save``), or verify
-  (``restore``) a ``--state-dir`` created by ``track``.
+* ``snapshot`` — inspect (``info``), roll forward (``save``), verify
+  (``restore``), or tighten retention (``prune``) on a ``--state-dir``
+  created by ``track`` or ``serve``;
+* ``serve`` — run the online serving plane: an asyncio TCP server that
+  coalesces socket-ingested actions into slides, feeds a board of named
+  queries, and answers ``/queries/<name>/topk``, ``/metrics`` and
+  ``/healthz`` from an immutable answer cache.  With ``--state-dir`` the
+  server is crash-recoverable and SIGTERM seals a final snapshot.
 
 Examples::
 
@@ -22,6 +28,9 @@ Examples::
     repro-stream track reddit.jsonl --window 5000 --slide 500 --k 10
     repro-stream track reddit.jsonl --state-dir state/ --format json
     repro-stream snapshot info state/
+    repro-stream snapshot prune state/ --keep 1
+    repro-stream serve --window 5000 -k 10 --state-dir state/ \\
+        --query "precise=sic,beta=0.1" --query "fast=ic,oracle=mkc"
 """
 
 from __future__ import annotations
@@ -127,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     snapshot = commands.add_parser(
-        "snapshot", help="inspect or manage a track --state-dir"
+        "snapshot", help="inspect or manage a track/serve --state-dir"
     )
     snapshot_commands = snapshot.add_subparsers(
         dest="snapshot_command", required=True
@@ -144,6 +153,92 @@ def build_parser() -> argparse.ArgumentParser:
         "restore", help="recover the engine and print its current answer"
     )
     restore.add_argument("state_dir")
+    prune = snapshot_commands.add_parser(
+        "prune",
+        help="drop snapshots/WAL segments older than the newest --keep",
+    )
+    prune.add_argument("state_dir")
+    prune.add_argument(
+        "--keep",
+        type=int,
+        default=1,
+        help="newest snapshots to retain (default: 1)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the online ingest/query server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7077,
+        help="listen port (0 lets the OS pick; the bound port is printed)",
+    )
+    serve.add_argument("--algorithm", choices=_ALGORITHMS, default="sic")
+    serve.add_argument("--window", type=int, default=5_000)
+    serve.add_argument(
+        "--slide",
+        type=int,
+        default=32,
+        help="max actions coalesced into one slide before flushing",
+    )
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--beta", type=float, default=0.2)
+    serve.add_argument("--oracle", choices=_ORACLES, default="sieve")
+    serve.add_argument("--checkpoint-interval", type=int, default=1)
+    serve.add_argument(
+        "--shared-index",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+    )
+    serve.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="NAME=ALGO[,key=value...]",
+        help="add a named query to the board (repeatable); keys: window, "
+        "k, beta, oracle, checkpoint-interval — unset keys fall back to "
+        "the top-level flags.  Without --query the board is one query "
+        "named 'main' built from the top-level flags",
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.5,
+        help="seconds before a partial slide is flushed to the engine",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=4096,
+        help="ingest queue bound (backpressure threshold)",
+    )
+    serve.add_argument(
+        "--ack-every",
+        type=int,
+        default=1000,
+        help="ingest lines per batched ack",
+    )
+    serve.add_argument(
+        "--history",
+        type=int,
+        default=128,
+        help="published answer boards kept for /history reads",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="durable state directory; restart resumes and SIGTERM seals "
+        "a final snapshot",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=16,
+        help="slides between automatic snapshots (0 disables; "
+        "requires --state-dir)",
+    )
     return parser
 
 
@@ -302,6 +397,23 @@ def _cmd_snapshot(args) -> int:
     if not pathlib.Path(args.state_dir).is_dir():
         # Inspection must not mkdir a state tree at a typoed path.
         raise PersistenceError(f"no state directory at {args.state_dir}")
+    if args.snapshot_command == "prune":
+        store = StateStore(args.state_dir)
+        try:
+            dropped = store.snapshots.prune(args.keep)
+            retained = store.snapshots.sequences()
+            segments = 0
+            if retained:
+                # WAL records covered by the oldest retained snapshot can
+                # never be replayed again; drop their whole segments.
+                segments = store.wal.prune_through(min(retained))
+            print(
+                f"dropped {len(dropped)} snapshots and {segments} WAL "
+                f"segments; kept {len(retained)} snapshots"
+            )
+        finally:
+            store.close()
+        return 0
     if args.snapshot_command == "info":
         store = StateStore(args.state_dir)
         try:
@@ -346,21 +458,203 @@ def _cmd_snapshot(args) -> int:
                 f"(replayed {engine.replayed_slides} WAL slides)"
             )
         else:  # restore
-            answer = engine.query()
-            print(
-                json.dumps(
-                    {
-                        "slide": engine.slides_processed,
-                        "replayed": engine.replayed_slides,
+            from repro.core.multi import MultiQueryEngine
+
+            algorithm = engine.algorithm
+            position = {
+                "slide": engine.slides_processed,
+                "replayed": engine.replayed_slides,
+            }
+            if isinstance(algorithm, MultiQueryEngine):
+                # A serve state dir holds a whole board; print every query.
+                position["queries"] = {
+                    name: {
                         "time": answer.time,
                         "value": answer.value,
                         "seeds": sorted(answer.seeds),
-                    },
-                    separators=(",", ":"),
+                    }
+                    for name, answer in algorithm.query_all().items()
+                }
+            else:
+                answer = engine.query()
+                position.update(
+                    {
+                        "time": answer.time,
+                        "value": answer.value,
+                        "seeds": sorted(answer.seeds),
+                    }
                 )
-            )
+            print(json.dumps(position, separators=(",", ":")))
     finally:
         engine.close(snapshot=False)
+    return 0
+
+
+def _parse_query_spec(spec: str, defaults) -> tuple:
+    """``NAME=ALGO[,key=value...]`` → ``(name, constructor_kwargs)``.
+
+    Unset keys fall back to the top-level serve flags in ``defaults``.
+    """
+    name, separator, rest = spec.partition("=")
+    name = name.strip()
+    if not separator or not name:
+        raise ValueError(
+            f"bad --query spec {spec!r}; expected NAME=ALGO[,key=value...]"
+        )
+    fields = [f.strip() for f in rest.split(",") if f.strip()]
+    if not fields:
+        raise ValueError(f"--query spec {spec!r} names no algorithm")
+    algorithm = fields[0]
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"--query spec {spec!r}: unknown algorithm {algorithm!r} "
+            f"(choose from {', '.join(_ALGORITHMS)})"
+        )
+    options = {
+        "algorithm": algorithm,
+        "window": defaults.window,
+        "k": defaults.k,
+        "beta": defaults.beta,
+        "oracle": defaults.oracle,
+        "checkpoint_interval": defaults.checkpoint_interval,
+    }
+    parsers = {
+        "window": int,
+        "k": int,
+        "beta": float,
+        "oracle": str,
+        "checkpoint_interval": int,
+    }
+    # Keys each algorithm's constructor actually consumes; accepting an
+    # inapplicable key would silently serve default settings instead.
+    applicable = {
+        "sic": {"window", "k", "beta", "oracle"},
+        "ic": {"window", "k", "beta", "oracle", "checkpoint_interval"},
+        "greedy": {"window", "k"},
+    }
+    for field in fields[1:]:
+        key, separator, value = field.partition("=")
+        key = key.strip().replace("-", "_")
+        if not separator or key not in parsers:
+            raise ValueError(
+                f"--query spec {spec!r}: bad option {field!r} "
+                f"(known: {', '.join(parsers)})"
+            )
+        if key not in applicable[algorithm]:
+            raise ValueError(
+                f"--query spec {spec!r}: option {key!r} does not apply to "
+                f"{algorithm!r} (accepted: "
+                f"{', '.join(sorted(applicable[algorithm]))})"
+            )
+        if key == "oracle" and value not in _ORACLES:
+            raise ValueError(
+                f"--query spec {spec!r}: unknown oracle {value!r} "
+                f"(choose from {', '.join(_ORACLES)})"
+            )
+        options[key] = parsers[key](value)
+    return name, options
+
+
+def _make_serve_factory(args):
+    """Zero-argument MultiQueryEngine constructor from serve CLI arguments."""
+    from repro.core.greedy import WindowedGreedy
+    from repro.core.ic import InfluentialCheckpoints
+    from repro.core.multi import MultiQueryEngine
+    from repro.core.sic import SparseInfluentialCheckpoints
+
+    specs = [
+        _parse_query_spec(spec, args)
+        for spec in (args.query or [f"main={args.algorithm}"])
+    ]
+    names = [name for name, _ in specs]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate --query names: {duplicates}")
+
+    def build(options):
+        if options["algorithm"] == "sic":
+            return SparseInfluentialCheckpoints(
+                window_size=options["window"],
+                k=options["k"],
+                beta=options["beta"],
+                oracle=options["oracle"],
+                shared_index=args.shared_index,
+            )
+        if options["algorithm"] == "ic":
+            return InfluentialCheckpoints(
+                window_size=options["window"],
+                k=options["k"],
+                beta=options["beta"],
+                oracle=options["oracle"],
+                shared_index=args.shared_index,
+                checkpoint_interval=options["checkpoint_interval"],
+            )
+        return WindowedGreedy(window_size=options["window"], k=options["k"])
+
+    def factory():
+        engine = MultiQueryEngine()
+        for name, options in specs:
+            engine.add(name, build(options))
+        return engine
+
+    return factory
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.persistence.engine import RecoverableEngine
+    from repro.service.config import ServiceConfig
+    from repro.service.server import ReproService
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        slide=args.slide,
+        flush_interval=args.flush_interval,
+        queue_capacity=args.queue_capacity,
+        ack_every=args.ack_every,
+        history=args.history,
+    )
+    factory = _make_serve_factory(args)
+    engine = RecoverableEngine.open(
+        args.state_dir,
+        factory,
+        snapshot_every=args.snapshot_every,
+    )
+    try:
+        if engine.slides_processed:
+            _check_resumed_config(engine, factory)
+            print(
+                f"resumed at time {engine.now} "
+                f"(slide {engine.slides_processed}; replayed "
+                f"{engine.replayed_slides} slides from the WAL tail)",
+                file=sys.stderr,
+            )
+    except BaseException:
+        engine.close(snapshot=False)
+        raise
+
+    def announce(service: ReproService) -> None:
+        queries = ",".join(service.query_names())
+        print(
+            f"listening on {service.host}:{service.port} "
+            f"(queries: {queries})",
+            flush=True,
+        )
+
+    service = ReproService(engine, config)
+    try:
+        asyncio.run(service.run(on_ready=announce))
+    except BaseException:
+        # A failed bind/serve must not seal state the loop never owned.
+        engine.close(snapshot=False)
+        raise
+    print(
+        f"stopped after {engine.slides_processed} slides "
+        f"({service.ingest.stats.accepted} actions ingested)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -373,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "convert": _cmd_convert,
         "track": _cmd_track,
         "snapshot": _cmd_snapshot,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

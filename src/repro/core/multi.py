@@ -7,6 +7,14 @@ queries — plain :class:`~repro.core.base.SIMAlgorithm` instances and
 filtered sub-stream queries from :mod:`repro.influence.queries` — all
 advance together, and one call answers the whole board.
 
+The engine is also the serving plane's write-side contract
+(:mod:`repro.service`): it exposes ``now`` so a durability wrapper can
+validate stream order, *publish hooks* fired with the fresh board after
+every slide (the service swaps its immutable answer cache inside the
+hook, at the slide boundary), per-query stats for ``/metrics``, and an
+explicit ``to_state``/``from_state`` schema so a whole board of queries
+can ride one snapshot + WAL.
+
 (Each framework already shares ancestor resolution across its own
 checkpoints through its diffusion forest; the engine adds the operational
 layer: uniform feeding, naming, and collective answers.)
@@ -14,13 +22,22 @@ layer: uniform feeding, naming, and collective answers.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.core.actions import Action
-from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.base import (
+    STATE_FORMAT_VERSION,
+    SIMAlgorithm,
+    SIMResult,
+    check_state_header,
+)
 from repro.influence.queries import FilteredSIM
 
 __all__ = ["MultiQueryEngine"]
+
+#: Signature of an answer publication hook: called after every processed
+#: slide with the whole fresh board (query name -> answer).
+PublishHook = Callable[[Dict[str, SIMResult]], None]
 
 
 class MultiQueryEngine:
@@ -30,11 +47,21 @@ class MultiQueryEngine:
         self._algorithms: Dict[str, SIMAlgorithm] = {}
         self._filtered: Dict[str, FilteredSIM] = {}
         self._actions_processed = 0
+        self._now = 0
+        self._publish_hooks: List[PublishHook] = []
+
+    # -- board management --------------------------------------------------
 
     def add(self, name: str, query) -> "MultiQueryEngine":
         """Register a SIM algorithm or a FilteredSIM under ``name``.
 
         Returns self for chaining.
+
+        Raises:
+            ValueError: when ``name`` is already registered (the message
+                carries the offending name).
+            TypeError: when ``query`` is neither a SIMAlgorithm nor a
+                FilteredSIM.
         """
         if name in self._algorithms or name in self._filtered:
             raise ValueError(f"query name {name!r} already registered")
@@ -48,15 +75,84 @@ class MultiQueryEngine:
             )
         return self
 
-    @property
+    def remove(self, name: str):
+        """Unregister and return the query behind ``name``.
+
+        The query keeps its state, so a board manager can detach a query,
+        keep answering it elsewhere, or re-``add`` it later.
+
+        Raises:
+            KeyError: when ``name`` is not registered (the message carries
+                the offending name and the registered board).
+        """
+        if name in self._algorithms:
+            return self._algorithms.pop(name)
+        if name in self._filtered:
+            return self._filtered.pop(name)
+        raise KeyError(f"unknown query {name!r}; registered: {self.names()}")
+
     def names(self) -> List[str]:
-        """Registered query names (insertion order not guaranteed)."""
+        """Registered query names, sorted."""
         return sorted(list(self._algorithms) + list(self._filtered))
+
+    def __contains__(self, name: str) -> bool:
+        """True when ``name`` is a registered query."""
+        return name in self._algorithms or name in self._filtered
+
+    def __len__(self) -> int:
+        """Number of registered queries."""
+        return len(self._algorithms) + len(self._filtered)
+
+    # -- introspection -----------------------------------------------------
 
     @property
     def actions_processed(self) -> int:
         """Actions fanned out so far."""
         return self._actions_processed
+
+    @property
+    def now(self) -> int:
+        """Timestamp of the latest processed action (0 before any)."""
+        return self._now
+
+    def query_stats(self) -> Dict[str, dict]:
+        """Per-query operational stats (the serving plane's ``/metrics``).
+
+        Plain algorithms report the actions they consumed and their stream
+        clock; filtered queries additionally report how many observed
+        actions matched their predicate (the sub-stream selectivity).
+        """
+        stats: Dict[str, dict] = {}
+        for name, algorithm in self._algorithms.items():
+            stats[name] = {
+                "kind": "algorithm",
+                "actions_processed": algorithm.actions_processed,
+                "time": algorithm.now,
+            }
+        for name, query in self._filtered.items():
+            stats[name] = {
+                "kind": "filtered",
+                "observed": query.observed,
+                "matched": query.matched,
+                "actions_processed": query.algorithm.actions_processed,
+                "time": query.algorithm.now,
+            }
+        return dict(sorted(stats.items()))
+
+    # -- publication -------------------------------------------------------
+
+    def add_publish_hook(self, hook: PublishHook) -> None:
+        """Call ``hook(answers)`` with the fresh board after every slide.
+
+        Hooks run synchronously at the end of :meth:`process`, so a
+        subscriber sees every slide boundary exactly once and in order —
+        this is how the serving plane swaps its immutable answer cache
+        without ever exposing mid-slide state.  Registering at least one
+        hook makes every ``process`` call also answer the whole board.
+        """
+        self._publish_hooks.append(hook)
+
+    # -- streaming ---------------------------------------------------------
 
     def process(self, batch: Sequence[Action]) -> None:
         """Feed one slide batch to every registered query."""
@@ -68,6 +164,11 @@ class MultiQueryEngine:
             for action in batch:
                 query.observe(action)
         self._actions_processed += len(batch)
+        self._now = batch[-1].time
+        if self._publish_hooks:
+            answers = self.query_all()
+            for hook in self._publish_hooks:
+                hook(answers)
 
     def query(self, name: str) -> SIMResult:
         """Answer one registered query."""
@@ -75,8 +176,69 @@ class MultiQueryEngine:
             return self._algorithms[name].query()
         if name in self._filtered:
             return self._filtered[name].query()
-        raise KeyError(f"unknown query {name!r}; registered: {self.names}")
+        raise KeyError(f"unknown query {name!r}; registered: {self.names()}")
 
     def query_all(self) -> Dict[str, SIMResult]:
         """Answer every registered query."""
-        return {name: self.query(name) for name in self.names}
+        return {name: self.query(name) for name in self.names()}
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Explicit JSON-safe state of the whole board (no pickle).
+
+        Serializes every registered algorithm through its own ``to_state``
+        schema.  Filtered queries are rejected: their predicates are
+        arbitrary callables with no durable representation, so a board
+        holding them must run without a state dir (or keep the filtered
+        queries outside the durable engine).
+        """
+        if self._filtered:
+            raise ValueError(
+                "filtered queries are not serializable (their predicates "
+                "are arbitrary callables): "
+                f"{sorted(self._filtered)}; remove them or run without "
+                "durable state"
+            )
+        queries = {}
+        config = {}
+        for name, algorithm in self._algorithms.items():
+            to_state = getattr(algorithm, "to_state", None)
+            if to_state is None:
+                raise ValueError(
+                    f"query {name!r} ({type(algorithm).__name__}) does not "
+                    "support state serialization (no to_state hook)"
+                )
+            state = to_state()
+            queries[name] = state
+            config[name] = {
+                "algorithm": state.get("algorithm"),
+                "config": state.get("config"),
+            }
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "algorithm": "multi",
+            "config": {"queries": config},
+            "queries": queries,
+            "now": self._now,
+            "actions_processed": self._actions_processed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, loader) -> "MultiQueryEngine":
+        """Rebuild a board from :meth:`to_state` output.
+
+        Args:
+            state: The serialized document.
+            loader: Member-state loader (normally
+                :func:`repro.persistence.serialize.algorithm_from_state`);
+                injected so :mod:`repro.core` never imports the
+                persistence plane.
+        """
+        check_state_header(state, "multi")
+        engine = cls()
+        for name, query_state in state["queries"].items():
+            engine.add(name, loader(query_state))
+        engine._now = state["now"]
+        engine._actions_processed = state["actions_processed"]
+        return engine

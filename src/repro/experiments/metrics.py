@@ -27,7 +27,7 @@ from repro.core.influence_index import WindowInfluenceIndex
 from repro.diffusion.monte_carlo import estimate_spread
 from repro.graphs.influence_graph import build_influence_graph
 
-__all__ = ["ThroughputMeter", "StreamEvaluator"]
+__all__ = ["ThroughputMeter", "RateEstimator", "StreamEvaluator"]
 
 
 class ThroughputMeter:
@@ -70,6 +70,58 @@ class ThroughputMeter:
         if self._elapsed <= 0.0:
             return 0.0
         return self._actions / self._elapsed
+
+
+class RateEstimator:
+    """Exponentially-decayed event rate (events/second).
+
+    Unlike :class:`ThroughputMeter`, which reports a lifetime average over
+    explicitly timed work, this estimator answers "how fast *right now*":
+    each recorded count and the elapsed time behind it decay with a
+    half-life, so the reported rate tracks the recent past.  The serving
+    plane uses it for the ``/metrics`` ingest rate.
+    """
+
+    def __init__(self, halflife: float = 10.0, clock=time.monotonic):
+        """
+        Args:
+            halflife: Seconds after which a recorded count weighs half.
+            clock: Monotonic time source (injectable for tests).
+        """
+        if halflife <= 0:
+            raise ValueError(f"halflife must be positive, got {halflife}")
+        self._halflife = halflife
+        self._clock = clock
+        self._count = 0.0
+        self._elapsed = 0.0
+        self._last: Optional[float] = None
+
+    def record(self, count: int = 1) -> None:
+        """Credit ``count`` events at the current clock reading."""
+        now = self._clock()
+        if self._last is not None:
+            interval = max(now - self._last, 0.0)
+            weight = 0.5 ** (interval / self._halflife)
+            self._count = self._count * weight + count
+            self._elapsed = self._elapsed * weight + interval
+        else:
+            self._count = float(count)
+        self._last = now
+
+    @property
+    def rate(self) -> float:
+        """Decayed events/second (0.0 until two recordings exist)."""
+        last = self._last
+        if last is None or self._elapsed <= 0.0:
+            return 0.0
+        # Decay up to the present so an idle stream's rate falls off.
+        interval = max(self._clock() - last, 0.0)
+        weight = 0.5 ** (interval / self._halflife)
+        count = self._count * weight
+        elapsed = self._elapsed * weight + interval
+        if elapsed <= 0.0:
+            return 0.0
+        return count / elapsed
 
 
 class StreamEvaluator:

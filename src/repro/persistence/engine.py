@@ -278,6 +278,16 @@ class RecoverableEngine:
         return self._algorithm
 
     @property
+    def now(self) -> int:
+        """Stream clock of the wrapped framework (0 before any action).
+
+        The serving plane's ingest loop uses this to drop already-covered
+        actions on at-least-once redelivery (a client replaying its stream
+        after a crash) instead of rejecting the whole connection.
+        """
+        return self._algorithm.now
+
+    @property
     def store(self) -> Optional[StateStore]:
         """The durable state plane (``None`` for passthrough engines)."""
         return self._store

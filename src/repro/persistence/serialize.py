@@ -15,7 +15,7 @@ This module holds the small shared pieces:
   parent]`` triple used by WAL records and window snapshots;
 * :func:`algorithm_to_state` / :func:`algorithm_from_state` — dispatch
   between a framework instance and its serialized document, keyed by the
-  document's ``"algorithm"`` tag (``ic``, ``sic``, ``greedy``).
+  document's ``"algorithm"`` tag (``ic``, ``sic``, ``greedy``, ``multi``).
 """
 
 from __future__ import annotations
@@ -26,6 +26,7 @@ from repro.core.actions import Action
 from repro.core.base import SIMAlgorithm
 from repro.core.greedy import WindowedGreedy
 from repro.core.ic import InfluentialCheckpoints
+from repro.core.multi import MultiQueryEngine
 from repro.core.sic import SparseInfluentialCheckpoints
 
 __all__ = [
@@ -58,11 +59,17 @@ def decode_action(fields: Sequence[int]) -> Action:
     return Action(time=time, user=user, parent=parent)
 
 
+def _multi_from_state(state: dict) -> MultiQueryEngine:
+    """Rebuild a query board, resolving members through this dispatch."""
+    return MultiQueryEngine.from_state(state, loader=algorithm_from_state)
+
+
 #: ``"algorithm"`` tag -> ``from_state`` constructor.
 _ALGORITHM_LOADERS: Dict[str, Callable[[dict], SIMAlgorithm]] = {
     "ic": InfluentialCheckpoints.from_state,
     "sic": SparseInfluentialCheckpoints.from_state,
     "greedy": WindowedGreedy.from_state,
+    "multi": _multi_from_state,
 }
 
 

@@ -77,6 +77,25 @@ class SnapshotStore:
             self.path_for(stale).unlink(missing_ok=True)
         return target
 
+    def prune(self, keep: int) -> List[int]:
+        """Drop all but the newest ``keep`` snapshots; return dropped seqs.
+
+        Explicit retention tightening for ``snapshot prune`` — unlike the
+        automatic retention applied on :meth:`save`, this runs without
+        writing a new snapshot, so an operator can reclaim space from a
+        sealed state dir.
+
+        Raises:
+            ValueError: when ``keep`` is below 1 (at least one snapshot
+                must survive or the WAL prefix becomes unrecoverable).
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        dropped = self.sequences()[:-keep]
+        for seq in dropped:
+            self.path_for(seq).unlink(missing_ok=True)
+        return dropped
+
     def load(self, seq: int) -> dict:
         """Load and validate one snapshot document.
 

@@ -1,0 +1,43 @@
+"""The online serving plane: asyncio ingest/query server over the engine.
+
+``repro.service`` turns the library into a running system (the ROADMAP's
+"serves heavy traffic" north star).  The architecture is the HTAP split
+the related work argues for — one writer, many snapshot-isolated readers:
+
+* a **single-writer ingest loop** (:mod:`repro.service.ingest`) drains a
+  bounded queue, coalesces arriving actions into slides (count- or
+  time-based flush), and is the only code that ever touches the engine;
+* a **lock-free read path** (:mod:`repro.service.server`) answers
+  ``/healthz``, ``/metrics``, ``/queries/<name>/topk``, and historical
+  ``/queries/<name>/history`` requests from an immutable published-answer
+  cache (:mod:`repro.service.cache`) swapped atomically at slide
+  boundaries — readers never observe mid-slide state and never block the
+  writer;
+* a **line-protocol ingest endpoint** on the same port (one JSON action
+  per line, batched acks, ``sync`` barrier) with natural TCP backpressure
+  when the queue is full;
+* optional durability: wrap the engine in
+  :class:`~repro.persistence.engine.RecoverableEngine` and the server is
+  crash-recoverable — ``kill -9`` it, restart with the same state dir,
+  replay the stream, and the answers converge (stale actions are dropped
+  idempotently).
+
+Start one from the shell with ``repro-stream serve`` or embed one with
+:class:`~repro.service.runner.ServiceRunner`; drive it with
+:class:`~repro.service.client.ServiceClient` or ``scripts/load_gen.py``.
+"""
+
+from repro.service.cache import AnswerBoard, AnswerCache, PublishedAnswer
+from repro.service.config import ServiceConfig
+from repro.service.ingest import IngestLoop, IngestStats
+from repro.service.server import ReproService
+
+__all__ = [
+    "AnswerBoard",
+    "AnswerCache",
+    "PublishedAnswer",
+    "ServiceConfig",
+    "IngestLoop",
+    "IngestStats",
+    "ReproService",
+]

@@ -1,0 +1,180 @@
+"""The published-answer cache: the serving plane's lock-free read side.
+
+Readers (HTTP handlers, metrics) never touch the engine.  They read from
+this cache, which holds only *immutable* values — frozen dataclasses and
+tuples — rebound atomically by the single writer at each slide boundary.
+Under CPython's memory model an attribute rebind is atomic, so a reader
+always sees either the complete previous board or the complete new one,
+never a torn mix; no locks, no reader/writer coordination, and the writer
+never waits for readers (the HTAP split in miniature).
+
+The cache also retains a bounded history of published boards, which is
+what answers historical checkpoint queries
+(``GET /queries/<name>/history``): each retained board is the answer set
+as of one past slide boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.base import SIMResult
+
+__all__ = ["PublishedAnswer", "AnswerBoard", "AnswerCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class PublishedAnswer:
+    """One query's answer as published at a slide boundary.
+
+    Attributes:
+        name: The query's registered name.
+        time: Stream time the answer refers to (the window end).
+        seeds: Selected seed users, sorted.
+        value: The algorithm's influence value for the seeds.
+        slide: Serving-plane slide sequence the answer was published at.
+        published_at: Wall-clock publication time (``time.time()``).
+    """
+
+    name: str
+    time: int
+    seeds: Tuple[int, ...]
+    value: float
+    slide: int
+    published_at: float
+
+    @classmethod
+    def from_result(
+        cls, name: str, result: SIMResult, slide: int, published_at: float
+    ) -> "PublishedAnswer":
+        """Freeze one :class:`~repro.core.base.SIMResult` for publication."""
+        return cls(
+            name=name,
+            time=result.time,
+            seeds=tuple(sorted(result.seeds)),
+            value=result.value,
+            slide=slide,
+            published_at=published_at,
+        )
+
+    def to_json(self) -> dict:
+        """JSON-safe representation served by the HTTP read path."""
+        return {
+            "query": self.name,
+            "time": self.time,
+            "seeds": list(self.seeds),
+            "value": self.value,
+            "slide": self.slide,
+            "published_at": self.published_at,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerBoard:
+    """Every query's published answer for one slide boundary.
+
+    ``answers`` is a plain dict built once by the writer and never mutated
+    afterwards (the board is published by rebinding, not by editing).
+    """
+
+    slide: int
+    time: int
+    published_at: float
+    answers: Mapping[str, PublishedAnswer]
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Mapping[str, SIMResult],
+        slide: int,
+        time: int,
+        published_at: float,
+    ) -> "AnswerBoard":
+        """Freeze a ``query_all`` result set into one immutable board."""
+        return cls(
+            slide=slide,
+            time=time,
+            published_at=published_at,
+            answers={
+                name: PublishedAnswer.from_result(
+                    name, result, slide, published_at
+                )
+                for name, result in results.items()
+            },
+        )
+
+
+class AnswerCache:
+    """Atomically-swapped current board plus bounded board history.
+
+    Single writer, any number of readers.  All reader-visible state lives
+    in two attributes — the current board and an immutable history tuple —
+    each replaced wholesale per publish.
+    """
+
+    def __init__(self, history: int = 128):
+        """
+        Args:
+            history: Newest boards retained for historical reads (>= 1).
+        """
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self._capacity = history
+        self._board: Optional[AnswerBoard] = None
+        self._history: Tuple[AnswerBoard, ...] = ()
+        self._published = 0
+
+    # -- writer side -------------------------------------------------------
+
+    def publish(self, board: AnswerBoard) -> None:
+        """Swap in a new board (single-writer; readers never block)."""
+        self._history = (self._history + (board,))[-self._capacity :]
+        self._board = board
+        self._published += 1
+
+    # -- reader side -------------------------------------------------------
+
+    @property
+    def board(self) -> Optional[AnswerBoard]:
+        """The latest published board (``None`` before the first slide)."""
+        return self._board
+
+    @property
+    def published(self) -> int:
+        """Boards published so far."""
+        return self._published
+
+    def answer(self, name: str) -> PublishedAnswer:
+        """The latest published answer of one query.
+
+        Raises:
+            LookupError: when nothing is published yet or ``name`` is not
+                on the latest board.
+        """
+        board = self._board
+        if board is None:
+            raise LookupError("no answers published yet")
+        try:
+            return board.answers[name]
+        except KeyError:
+            raise LookupError(
+                f"unknown query {name!r}; published: {sorted(board.answers)}"
+            ) from None
+
+    def history_for(
+        self, name: str, limit: Optional[int] = None
+    ) -> List[PublishedAnswer]:
+        """Published answers of one query, oldest first.
+
+        Args:
+            name: The query name.
+            limit: Newest entries to return (default: all retained).
+        """
+        boards = self._history  # one atomic read; iteration stays consistent
+        answers = [
+            board.answers[name] for board in boards if name in board.answers
+        ]
+        if limit is not None and limit >= 0:
+            answers = answers[len(answers) - min(limit, len(answers)) :]
+        return answers

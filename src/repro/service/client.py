@@ -1,0 +1,175 @@
+"""Blocking socket client for the serving plane (tests, load-gen, ops).
+
+Stdlib-only.  :class:`ServiceClient` speaks both of the server's
+protocols: :meth:`ServiceClient.http_get` for the read path and
+:meth:`ServiceClient.ingest` for the line protocol.  Ingest uses a
+background reader thread so server acks can never fill the socket buffer
+and deadlock a large one-way send.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.actions import Action
+from repro.persistence.serialize import encode_action
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous client for one ReproService endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        """
+        Args:
+            host: Server address.
+            port: Server port.
+            timeout: Socket timeout for connects and reads.
+        """
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- read path ---------------------------------------------------------
+
+    def http_get(self, path: str) -> Tuple[int, dict]:
+        """``GET path`` → ``(status, parsed JSON body)``."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            request = (
+                f"GET {path} HTTP/1.0\r\n"
+                f"Host: {self.host}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            sock.sendall(request.encode("latin-1"))
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(None, 2)[1])
+        return status, json.loads(body) if body else {}
+
+    def wait_healthy(self, attempts: int = 50, delay: float = 0.1) -> dict:
+        """Poll ``/healthz`` until it answers; returns the payload."""
+        import time
+
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                status, payload = self.http_get("/healthz")
+                if status == 200:
+                    return payload
+            except OSError as error:
+                last_error = error
+            time.sleep(delay)
+        raise RuntimeError(
+            f"service at {self.host}:{self.port} never became healthy"
+        ) from last_error
+
+    def topk(self, name: str) -> dict:
+        """The latest published answer of one query (raises on non-200)."""
+        status, payload = self.http_get(f"/queries/{name}/topk")
+        if status != 200:
+            raise RuntimeError(f"topk({name!r}) -> {status}: {payload}")
+        return payload
+
+    def history(self, name: str, limit: Optional[int] = None) -> List[dict]:
+        """Published answer history of one query, oldest first."""
+        path = f"/queries/{name}/history"
+        if limit is not None:
+            path += f"?limit={limit}"
+        status, payload = self.http_get(path)
+        if status != 200:
+            raise RuntimeError(f"history({name!r}) -> {status}: {payload}")
+        return payload["answers"]
+
+    # -- ingest path -------------------------------------------------------
+
+    def ingest(
+        self,
+        actions: Iterable[Action],
+        sync: bool = True,
+        chunk: int = 256,
+    ) -> Dict:
+        """Stream actions over one connection; returns the final summary.
+
+        Args:
+            actions: Actions to send, in stream order.
+            sync: End with a ``sync`` barrier and return its response —
+                when True the returned dict carries the server's engine
+                position (``slide``, ``time``) and ingest counters.
+            chunk: Lines per ``sendall`` (purely a batching knob).
+
+        Returns:
+            The sync response, or ``{"sent": n}`` when ``sync=False``.
+
+        Raises:
+            RuntimeError: when the server reports an ingest error or the
+                connection dies before the sync response arrives.
+        """
+        responses: List[dict] = []
+        sync_response: List[Optional[dict]] = [None]
+        done = threading.Event()
+
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            reader_file = sock.makefile("rb")
+
+            def drain() -> None:
+                try:
+                    for raw in reader_file:
+                        document = json.loads(raw)
+                        responses.append(document)
+                        if document.get("synced"):
+                            sync_response[0] = document
+                            done.set()
+                except (OSError, ValueError):
+                    pass
+                finally:
+                    done.set()
+
+            reader = threading.Thread(target=drain, daemon=True)
+            reader.start()
+
+            sent = 0
+            buffer: List[bytes] = []
+            for action in actions:
+                buffer.append(
+                    json.dumps(
+                        encode_action(action), separators=(",", ":")
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                if len(buffer) >= chunk:
+                    sock.sendall(b"".join(buffer))
+                    sent += len(buffer)
+                    buffer = []
+            if buffer:
+                sock.sendall(b"".join(buffer))
+                sent += len(buffer)
+            if sync:
+                sock.sendall(b'{"cmd":"sync"}\n')
+                if not done.wait(self.timeout):
+                    raise RuntimeError("timed out waiting for sync response")
+            sock.shutdown(socket.SHUT_WR)
+            reader.join(self.timeout)
+
+        errors = [r for r in responses if "error" in r]
+        if errors:
+            raise RuntimeError(f"server rejected ingest lines: {errors[:3]}")
+        if sync:
+            if sync_response[0] is None:
+                raise RuntimeError(
+                    "connection closed before the sync response"
+                )
+            return sync_response[0]
+        return {"sent": sent}

@@ -1,0 +1,56 @@
+"""Serving-plane configuration: one validated, immutable knob set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Knobs of one :class:`~repro.service.server.ReproService`.
+
+    Attributes:
+        host: Listen address.
+        port: Listen port; ``0`` lets the OS pick (the bound port is then
+            available as ``ReproService.port`` after start).
+        slide: Maximum actions coalesced into one slide — the serving
+            plane's ``L``.  A full pending slide is flushed to the engine
+            immediately.
+        flush_interval: Seconds a *partial* slide may sit pending before a
+            time-based flush, so answers stay fresh on a trickling stream.
+        queue_capacity: Bound of the ingest queue.  When full, connection
+            readers block on ``put`` and TCP backpressure propagates to
+            clients — the server never buffers unboundedly.
+        ack_every: Ingest connections receive one batched ack line per
+            this many received lines (plus an exact one per ``sync``).
+        history: Published answer boards retained for historical
+            ``/queries/<name>/history`` reads.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7077
+    slide: int = 32
+    flush_interval: float = 0.5
+    queue_capacity: int = 4096
+    ack_every: int = 1000
+    history: int = 128
+
+    def __post_init__(self) -> None:
+        if self.slide < 1:
+            raise ValueError(f"slide must be >= 1, got {self.slide}")
+        if self.flush_interval <= 0:
+            raise ValueError(
+                f"flush_interval must be positive, got {self.flush_interval}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1, got {self.ack_every}")
+        if self.history < 1:
+            raise ValueError(f"history must be >= 1, got {self.history}")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")

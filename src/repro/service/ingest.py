@@ -1,0 +1,324 @@
+"""The single-writer ingest loop: coalesce actions into slides, feed the engine.
+
+Exactly one asyncio task (the *writer*) consumes the bounded ingest queue
+and is the only code that ever calls ``engine.process``.  Connection
+handlers just ``await queue.put(...)`` — when the queue is full they block,
+stop reading their sockets, and TCP backpressure reaches the client; the
+server never buffers unboundedly and never drops an accepted action.
+
+Arriving actions are coalesced into slides of at most ``slide`` actions
+(the serving plane's ``L``).  A full slide flushes immediately; a partial
+slide flushes after ``flush_interval`` seconds so answers stay fresh on a
+trickling stream.  Each flush is one engine slide: WAL-logged ahead by the
+:class:`~repro.persistence.engine.RecoverableEngine`, processed, and
+published to the immutable :class:`~repro.service.cache.AnswerCache` at the
+slide boundary (via the :class:`~repro.core.multi.MultiQueryEngine` publish
+hook when a board is being served).  The CPU-heavy ``process`` call runs in
+a worker thread so the event loop keeps answering reads mid-slide.
+
+Actions whose time is at or below the engine's stream clock are dropped
+(and counted) instead of rejected: at-least-once redelivery — a client
+replaying its stream after a server crash — is thereby idempotent, which
+is what makes ``kill -9`` + restart + replay converge to the uninterrupted
+answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+from repro.core.actions import Action
+from repro.core.base import SIMResult
+from repro.core.multi import MultiQueryEngine
+from repro.experiments.metrics import RateEstimator
+from repro.persistence.engine import RecoverableEngine
+from repro.service.cache import AnswerBoard, AnswerCache
+
+__all__ = ["IngestStats", "IngestLoop"]
+
+
+class IngestStats:
+    """Mutable counters owned by the writer; metrics snapshots read them."""
+
+    def __init__(self) -> None:
+        self.accepted = 0  # actions admitted into a slide
+        self.dropped_stale = 0  # actions at/below the stream clock
+        self.rejected_lines = 0  # unparseable ingest lines (server-side)
+        self.slides = 0  # flushes that reached the engine
+        self.count_flushes = 0  # flushes triggered by a full slide
+        self.interval_flushes = 0  # flushes triggered by the timer
+        self.forced_flushes = 0  # flushes triggered by sync/stop
+        self.last_slide_seconds = 0.0
+        self.engine_seconds = 0.0
+        self.started_at = time.time()
+        self.rate = RateEstimator(halflife=10.0)
+
+    def snapshot(self) -> dict:
+        """JSON-safe counter snapshot for ``/metrics``."""
+        slides = self.slides
+        return {
+            "accepted": self.accepted,
+            "dropped_stale": self.dropped_stale,
+            "rejected_lines": self.rejected_lines,
+            "slides": slides,
+            "count_flushes": self.count_flushes,
+            "interval_flushes": self.interval_flushes,
+            "forced_flushes": self.forced_flushes,
+            "last_slide_seconds": round(self.last_slide_seconds, 6),
+            "mean_slide_seconds": round(
+                self.engine_seconds / slides if slides else 0.0, 6
+            ),
+            "ingest_rate_actions_per_sec": round(self.rate.rate, 1),
+        }
+
+
+class _Sync:
+    """Queue sentinel: flush pending work, then set the event (barrier)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = asyncio.Event()
+
+
+class _Flush:
+    """Queue sentinel: flush pending work, no barrier."""
+
+    __slots__ = ()
+
+
+_STOP = object()
+
+
+class IngestLoop:
+    """Bounded-queue, slide-coalescing, single-writer engine feeder."""
+
+    def __init__(
+        self,
+        engine: RecoverableEngine,
+        cache: AnswerCache,
+        *,
+        slide: int = 32,
+        flush_interval: float = 0.5,
+        queue_capacity: int = 4096,
+    ):
+        """
+        Args:
+            engine: The (possibly durable) engine; this loop becomes its
+                only writer.
+            cache: Answer cache to publish each slide boundary into.
+            slide: Maximum actions per coalesced slide (>= 1).
+            flush_interval: Seconds before a partial slide is flushed.
+            queue_capacity: Ingest queue bound (backpressure threshold).
+        """
+        if slide < 1:
+            raise ValueError(f"slide must be >= 1, got {slide}")
+        if flush_interval <= 0:
+            raise ValueError(
+                f"flush_interval must be positive, got {flush_interval}"
+            )
+        self._engine = engine
+        self._cache = cache
+        self._slide = slide
+        self._flush_interval = flush_interval
+        self._queue: asyncio.Queue = asyncio.Queue(queue_capacity)
+        self._pending: List[Action] = []
+        self._floor = engine.now
+        self._slide_seq = engine.slides_processed
+        self._task: Optional[asyncio.Task] = None
+        self._error: Optional[BaseException] = None
+        self.stats = IngestStats()
+        algorithm = engine.algorithm
+        self._multi = algorithm if isinstance(algorithm, MultiQueryEngine) else None
+        if self._multi is not None:
+            # Publication rides the engine's own slide boundary: the hook
+            # fires inside process(), after every query advanced.
+            self._multi.add_publish_hook(self._publish)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the writer task on the running event loop."""
+        if self._task is not None:
+            raise RuntimeError("ingest loop already started")
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Flush pending work and stop the writer task."""
+        if self._task is None:
+            return
+        if not self._task.done():
+            await self._queue.put(_STOP)
+        await self._task
+        self._task = None
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The writer's fatal error, if it died (``None`` while healthy)."""
+        return self._error
+
+    @property
+    def queue_depth(self) -> int:
+        """Actions (and control items) currently queued."""
+        return self._queue.qsize()
+
+    @property
+    def queue_capacity(self) -> int:
+        """The ingest queue bound."""
+        return self._queue.maxsize
+
+    @property
+    def slides_processed(self) -> int:
+        """Engine slides dispatched by this loop (plus any recovered ones)."""
+        return self._slide_seq
+
+    def publish_recovered(self) -> None:
+        """Publish the recovered engine's current board (warm-start reads).
+
+        Called once at service start, before any connection is accepted,
+        so a restarted server answers top-k from its restored state
+        immediately instead of 503-ing until the first new slide arrives.
+        """
+        if self._engine.slides_processed == 0:
+            return
+        algorithm = self._engine.algorithm
+        if self._multi is not None:
+            results = self._multi.query_all()
+        else:
+            results = {"main": algorithm.query()}
+        self._publish(results)
+
+    # -- producer side (connection handlers) -------------------------------
+
+    async def submit(self, action: Action) -> None:
+        """Enqueue one action; blocks when the queue is full (backpressure)."""
+        if self._error is not None:
+            raise RuntimeError(f"ingest loop failed: {self._error}")
+        await self._queue.put(action)
+
+    async def sync(self) -> None:
+        """Barrier: flush pending actions and wait until they are processed.
+
+        Everything submitted before this call is on disk (when durable) and
+        reflected in the published answers when it returns.
+        """
+        if self._error is not None:
+            raise RuntimeError(f"ingest loop failed: {self._error}")
+        item = _Sync()
+        await self._queue.put(item)
+        if self._error is not None:
+            # The writer may have died while this put was blocked on a
+            # full queue — after its one-shot drain, nobody would ever
+            # consume the item, so wake ourselves instead of hanging.
+            item.event.set()
+        await item.event.wait()
+        if self._error is not None:
+            raise RuntimeError(f"ingest loop failed: {self._error}")
+
+    async def request_flush(self) -> None:
+        """Ask the writer to flush its partial slide (no barrier)."""
+        if self._error is not None:
+            raise RuntimeError(f"ingest loop failed: {self._error}")
+        await self._queue.put(_Flush())
+
+    # -- the writer --------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        deadline: Optional[float] = None
+        try:
+            while True:
+                timeout = None
+                if self._pending:
+                    timeout = max(deadline - loop.time(), 0.0)
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:  # builtin alias on 3.11+
+                    await self._flush("interval")
+                    deadline = None
+                    continue
+                if item is _STOP:
+                    await self._flush("forced")
+                    return
+                if isinstance(item, _Flush):
+                    await self._flush("forced")
+                    deadline = None
+                    continue
+                if isinstance(item, _Sync):
+                    try:
+                        await self._flush("forced")
+                    finally:
+                        # A failing flush must still wake the barrier (the
+                        # error is recorded before the waiter resumes, so
+                        # sync() re-raises it instead of hanging).
+                        item.event.set()
+                    deadline = None
+                    continue
+                if item.time <= self._floor:
+                    self.stats.dropped_stale += 1
+                    continue
+                self._floor = item.time
+                if not self._pending:
+                    deadline = loop.time() + self._flush_interval
+                self._pending.append(item)
+                self.stats.accepted += 1
+                if len(self._pending) >= self._slide:
+                    await self._flush("count")
+                    deadline = None
+        except BaseException as error:  # writer death must not hang clients
+            # Record and swallow: the failure is surfaced to producers via
+            # submit()/sync() and to readers via /healthz, and a swallowed
+            # (rather than re-raised) exception keeps the task retrievable
+            # so stop() still joins cleanly after a failure.
+            self._error = error
+            self._release_waiters()
+
+    def _release_waiters(self) -> None:
+        """Wake queued sync barriers after a writer failure."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if isinstance(item, _Sync):
+                item.event.set()
+
+    async def _flush(self, reason: str) -> None:
+        """Dispatch the pending slide to the engine (in a worker thread)."""
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = []
+        self._slide_seq += 1
+        elapsed = await asyncio.get_running_loop().run_in_executor(
+            None, self._run_slide, batch
+        )
+        self.stats.slides += 1
+        setattr(
+            self.stats, f"{reason}_flushes",
+            getattr(self.stats, f"{reason}_flushes") + 1,
+        )
+        self.stats.last_slide_seconds = elapsed
+        self.stats.engine_seconds += elapsed
+        self.stats.rate.record(len(batch))
+
+    def _run_slide(self, batch: List[Action]) -> float:
+        """Worker-thread body: process one slide and publish its answers."""
+        started = time.perf_counter()
+        self._engine.process(batch)
+        if self._multi is None:
+            self._publish({"main": self._engine.query()})
+        return time.perf_counter() - started
+
+    def _publish(self, results: Dict[str, SIMResult]) -> None:
+        """Freeze and swap the answer board for the slide just processed."""
+        self._cache.publish(
+            AnswerBoard.from_results(
+                results,
+                slide=self._slide_seq,
+                time=self._engine.now,
+                published_at=time.time(),
+            )
+        )

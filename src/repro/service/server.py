@@ -1,0 +1,467 @@
+"""The asyncio ingest/query server: one port, two protocols.
+
+:class:`ReproService` listens on a single TCP port and sniffs each
+connection's first line:
+
+* a line starting with ``{`` or ``[`` speaks the **ingest line protocol**
+  — one JSON action per line (``{"time": t, "user": u, "parent": p}`` or
+  the compact ``[t, u, p]`` triple), acknowledged in batches, plus two
+  control commands: ``{"cmd": "flush"}`` forces the partial slide out and
+  ``{"cmd": "sync"}`` is a barrier that answers with the engine position
+  once everything submitted before it is processed and published;
+* anything else is parsed as an **HTTP request** — the lock-free read
+  path.  ``GET /healthz``, ``GET /metrics``, ``GET /queries``,
+  ``GET /queries/<name>/topk`` and ``GET /queries/<name>/history?limit=n``
+  are answered as JSON from the immutable published-answer cache (and,
+  for metrics, from monotonically-updated scalar counters — reads the GIL
+  makes atomic); readers never touch the engine and never block the
+  writer.
+
+Shutdown is graceful: on SIGTERM/SIGINT (or
+:meth:`ReproService.request_shutdown`) the server stops accepting, stops
+the ingest loop (flushing the partial slide), and closes the engine —
+which seals a durable engine with a final snapshot, so the next start
+replays zero WAL slides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.core.actions import ROOT, Action
+from repro.core.multi import MultiQueryEngine
+from repro.persistence.engine import RecoverableEngine
+from repro.service.cache import AnswerCache
+from repro.service.config import ServiceConfig
+from repro.service.ingest import IngestLoop
+
+__all__ = ["ReproService"]
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+    500: "Internal Server Error",
+}
+
+
+def _encode_json_line(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class ReproService:
+    """Serve one engine: single-writer ingest, lock-free snapshot reads."""
+
+    def __init__(self, engine: RecoverableEngine, config: ServiceConfig):
+        """
+        Args:
+            engine: The engine to serve — typically a
+                :class:`~repro.persistence.engine.RecoverableEngine`
+                wrapping a :class:`~repro.core.multi.MultiQueryEngine`
+                board (durable when opened with a state dir).
+            config: Serving-plane knobs.
+        """
+        self._engine = engine
+        self._config = config
+        self._cache = AnswerCache(history=config.history)
+        self._ingest = IngestLoop(
+            engine,
+            self._cache,
+            slide=config.slide,
+            flush_interval=config.flush_interval,
+            queue_capacity=config.queue_capacity,
+        )
+        algorithm = engine.algorithm
+        self._multi = algorithm if isinstance(algorithm, MultiQueryEngine) else None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown = asyncio.Event()
+        self._connections: set = set()
+        self._started_at = time.time()
+        self._port: Optional[int] = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The configured listen address."""
+        return self._config.host
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (resolves a configured port of 0 after start)."""
+        return self._port
+
+    @property
+    def cache(self) -> AnswerCache:
+        """The published-answer cache (the read path's only data source)."""
+        return self._cache
+
+    @property
+    def ingest(self) -> IngestLoop:
+        """The single-writer ingest loop."""
+        return self._ingest
+
+    @property
+    def engine(self) -> RecoverableEngine:
+        """The served engine."""
+        return self._engine
+
+    def query_names(self) -> list:
+        """Names the read path serves answers under."""
+        if self._multi is not None:
+            return self._multi.names()
+        return ["main"]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and spawn the ingest writer."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        # Warm the read path from recovered state so a restarted server
+        # answers immediately, even before any new slide arrives.
+        await self._loop.run_in_executor(None, self._ingest.publish_recovered)
+        self._ingest.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._config.host,
+            self._config.port,
+            limit=1 << 20,  # one action per line: 1 MiB is already generous
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, flush, and seal.
+
+        Stops accepting, cancels live connections (producers), flushes the
+        ingest loop's partial slide, and closes the engine — a durable
+        engine writes its final snapshot here (the shutdown seal).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self._ingest.stop()
+        # A dead writer may have left the engine mid-slide; sealing that
+        # state would poison recovery.  Skip the final snapshot and let
+        # the next open restore the last good snapshot + WAL tail.
+        seal = self._ingest.error is None
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self._engine.close(snapshot=seal)
+        )
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`run` to exit (signal-handler / same-loop safe)."""
+        self._shutdown.set()
+
+    def request_shutdown_threadsafe(self) -> None:
+        """Ask :meth:`run` to exit from another thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    async def run(
+        self,
+        *,
+        install_signal_handlers: bool = True,
+        on_ready: Optional[Callable[["ReproService"], None]] = None,
+    ) -> None:
+        """Start, serve until shutdown is requested, then stop gracefully.
+
+        Args:
+            install_signal_handlers: Route SIGTERM/SIGINT to a graceful
+                shutdown (the CLI path; embedded runners pass False).
+            on_ready: Called once the socket is bound (the port is known).
+        """
+        await self.start()
+        try:
+            if install_signal_handlers:
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    loop.add_signal_handler(signum, self.request_shutdown)
+            if on_ready is not None:
+                on_ready(self)
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            first = await reader.readline()
+            if first:
+                if first.lstrip()[:1] in (b"{", b"["):
+                    await self._serve_ingest(first, reader, writer)
+                else:
+                    await self._serve_http(first, reader, writer)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ValueError,  # readline() raises it for over-limit lines
+        ):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    # -- ingest protocol ---------------------------------------------------
+
+    async def _serve_ingest(self, first: bytes, reader, writer) -> None:
+        received = 0
+        line = first
+        while line:
+            stripped = line.strip()
+            if stripped:
+                received += 1
+                response = await self._ingest_line(stripped, received)
+                if response is not None:
+                    writer.write(_encode_json_line(response))
+                    await writer.drain()
+                elif received % self._config.ack_every == 0:
+                    writer.write(_encode_json_line(self._ack(received)))
+                    await writer.drain()
+            line = await reader.readline()
+
+    async def _ingest_line(self, raw: bytes, received: int) -> Optional[dict]:
+        """Process one ingest line; a dict reply is written immediately."""
+        try:
+            document = json.loads(raw)
+        except ValueError as error:
+            self._ingest.stats.rejected_lines += 1
+            return {"error": f"unparseable line: {error}", "line": received}
+        if isinstance(document, dict) and "cmd" in document:
+            return await self._ingest_command(document, received)
+        try:
+            action = self._decode_action(document)
+        except (ValueError, TypeError, KeyError) as error:
+            self._ingest.stats.rejected_lines += 1
+            return {"error": f"invalid action: {error}", "line": received}
+        try:
+            await self._ingest.submit(action)
+        except RuntimeError as error:
+            return {"error": str(error), "line": received}
+        return None
+
+    async def _ingest_command(self, document: dict, received: int) -> Optional[dict]:
+        command = document["cmd"]
+        if command == "flush":
+            try:
+                await self._ingest.request_flush()
+            except RuntimeError as error:
+                return {"error": str(error), "line": received}
+            return None
+        if command == "sync":
+            try:
+                await self._ingest.sync()
+            except RuntimeError as error:
+                return {"error": str(error), "line": received}
+            stats = self._ingest.stats
+            board = self._cache.board
+            return {
+                "synced": True,
+                "slide": self._ingest.slides_processed,
+                "time": self._engine.now,
+                "accepted": stats.accepted,
+                "dropped_stale": stats.dropped_stale,
+                "rejected": stats.rejected_lines,
+                "published_slide": board.slide if board is not None else 0,
+            }
+        self._ingest.stats.rejected_lines += 1
+        return {"error": f"unknown cmd {command!r}", "line": received}
+
+    @staticmethod
+    def _decode_action(document) -> Action:
+        """An Action from ``[t, u, p]`` or ``{"time", "user", "parent"}``."""
+        if isinstance(document, (list, tuple)):
+            if len(document) != 3:
+                raise ValueError(
+                    f"action triple needs 3 fields, got {len(document)}"
+                )
+            time_, user, parent = document
+        elif isinstance(document, dict):
+            time_ = document["time"]
+            user = document["user"]
+            parent = document.get("parent", ROOT)
+        else:
+            raise TypeError(
+                f"expected an action object or triple, got "
+                f"{type(document).__name__}"
+            )
+        if parent is None:
+            parent = ROOT
+        return Action(time=time_, user=user, parent=parent)
+
+    def _ack(self, received: int) -> dict:
+        stats = self._ingest.stats
+        return {
+            "acked": received,
+            "accepted": stats.accepted,
+            "dropped_stale": stats.dropped_stale,
+            "rejected": stats.rejected_lines,
+        }
+
+    # -- HTTP read path ----------------------------------------------------
+
+    async def _serve_http(self, first: bytes, reader, writer) -> None:
+        try:
+            parts = first.decode("latin-1").split()
+            method, target = parts[0], parts[1]
+        except (IndexError, UnicodeDecodeError):
+            await self._respond(writer, 400, {"error": "malformed request"})
+            return
+        # Drain headers (the read path never needs a body), bounded so a
+        # client streaming endless header lines cannot pin the task.
+        for _ in range(256):
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        else:
+            await self._respond(writer, 400, {"error": "too many headers"})
+            return
+        if method != "GET":
+            await self._respond(
+                writer, 405, {"error": f"method {method} not allowed"}
+            )
+            return
+        status, payload = self._route(target)
+        await self._respond(writer, status, payload)
+
+    async def _respond(self, writer, status: int, payload: dict) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        reason = _HTTP_REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    def _route(self, target: str) -> Tuple[int, dict]:
+        """Dispatch one GET target to its JSON payload."""
+        path, _, query_string = target.partition("?")
+        params = {}
+        for pair in query_string.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                params[key] = value
+        if path == "/healthz":
+            return self._route_healthz()
+        if path == "/metrics":
+            return 200, self._metrics_payload()
+        if path == "/queries":
+            return 200, {"queries": self.query_names()}
+        segments = [s for s in path.split("/") if s]
+        if len(segments) == 3 and segments[0] == "queries":
+            name, endpoint = segments[1], segments[2]
+            if endpoint == "topk":
+                return self._route_topk(name)
+            if endpoint == "history":
+                return self._route_history(name, params)
+        return 404, {"error": f"no route for {path}"}
+
+    def _route_healthz(self) -> Tuple[int, dict]:
+        error = self._ingest.error
+        payload = {
+            "status": "ok" if error is None else "failed",
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "slides": self._ingest.slides_processed,
+            "published": self._cache.published,
+            "queries": self.query_names(),
+            "durable": self._engine.store is not None,
+        }
+        if error is not None:
+            payload["error"] = str(error)
+            return 500, payload
+        return 200, payload
+
+    def _route_topk(self, name: str) -> Tuple[int, dict]:
+        if name not in self.query_names():
+            return 404, {
+                "error": f"unknown query {name!r}",
+                "queries": self.query_names(),
+            }
+        try:
+            answer = self._cache.answer(name)
+        except LookupError as error:
+            return 503, {"error": str(error)}
+        return 200, answer.to_json()
+
+    def _route_history(self, name: str, params: dict) -> Tuple[int, dict]:
+        if name not in self.query_names():
+            return 404, {
+                "error": f"unknown query {name!r}",
+                "queries": self.query_names(),
+            }
+        limit = None
+        if "limit" in params:
+            try:
+                limit = int(params["limit"])
+            except ValueError:
+                return 400, {"error": f"bad limit {params['limit']!r}"}
+        answers = self._cache.history_for(name, limit)
+        return 200, {
+            "query": name,
+            "answers": [answer.to_json() for answer in answers],
+        }
+
+    def _metrics_payload(self) -> dict:
+        ingest = self._ingest.stats.snapshot()
+        ingest["queue_depth"] = self._ingest.queue_depth
+        ingest["queue_capacity"] = self._ingest.queue_capacity
+        board = self._cache.board
+        now = time.time()
+        queries = {}
+        per_query_stats = (
+            self._multi.query_stats() if self._multi is not None else {}
+        )
+        for name in self.query_names():
+            entry = dict(per_query_stats.get(name, {}))
+            if board is not None and name in board.answers:
+                answer = board.answers[name]
+                entry.update(
+                    {
+                        "answer_time": answer.time,
+                        "answer_slide": answer.slide,
+                        "answer_value": answer.value,
+                        "answer_age_seconds": round(
+                            now - answer.published_at, 3
+                        ),
+                        "answer_lag_slides": (
+                            self._ingest.slides_processed - answer.slide
+                        ),
+                    }
+                )
+            queries[name] = entry
+        return {
+            "uptime_seconds": round(now - self._started_at, 3),
+            "ingest": ingest,
+            "engine": {
+                "slides": self._engine.slides_processed,
+                "time": self._engine.now,
+                "durable": self._engine.store is not None,
+                "snapshots_written": self._engine.snapshots_written,
+                "replayed_slides": self._engine.replayed_slides,
+            },
+            "queries": queries,
+        }

@@ -15,12 +15,38 @@ class TestRegistration:
         engine = MultiQueryEngine()
         engine.add("a", WindowedGreedy(window_size=8, k=2))
         engine.add("b", FilteredSIM(lambda a: True, window_size=8, k=2))
-        assert engine.names == ["a", "b"]
+        assert engine.names() == ["a", "b"]
+        assert "a" in engine and "b" in engine and "c" not in engine
+        assert len(engine) == 2
 
     def test_duplicate_name_rejected(self):
         engine = MultiQueryEngine().add("a", WindowedGreedy(window_size=8, k=2))
-        with pytest.raises(ValueError, match="already registered"):
+        with pytest.raises(ValueError, match="'a' already registered"):
             engine.add("a", WindowedGreedy(window_size=8, k=2))
+        # A filtered query under an algorithm's name collides too (and
+        # vice versa): the two namespaces are one board.
+        with pytest.raises(ValueError, match="'a' already registered"):
+            engine.add("a", FilteredSIM(lambda a: True, window_size=8, k=2))
+
+    def test_remove_returns_live_query(self):
+        greedy = WindowedGreedy(window_size=8, k=2)
+        engine = MultiQueryEngine().add("a", greedy)
+        assert engine.remove("a") is greedy
+        assert engine.names() == []
+        # The name is free again after removal.
+        engine.add("a", WindowedGreedy(window_size=8, k=1))
+        assert engine.names() == ["a"]
+
+    def test_remove_filtered(self):
+        query = FilteredSIM(lambda a: True, window_size=8, k=2)
+        engine = MultiQueryEngine().add("f", query)
+        assert engine.remove("f") is query
+        assert "f" not in engine
+
+    def test_remove_unknown_names_offender(self):
+        engine = MultiQueryEngine().add("a", WindowedGreedy(window_size=8, k=2))
+        with pytest.raises(KeyError, match="'missing'"):
+            engine.remove("missing")
 
     def test_wrong_type_rejected(self):
         with pytest.raises(TypeError, match="expected"):
@@ -32,7 +58,7 @@ class TestRegistration:
             .add("a", WindowedGreedy(window_size=8, k=2))
             .add("b", WindowedGreedy(window_size=8, k=1))
         )
-        assert len(engine.names) == 2
+        assert len(engine.names()) == 2
 
 
 class TestProcessing:
@@ -84,3 +110,95 @@ class TestProcessing:
             engine.process(batch)
         answer = engine.query("evens")
         assert all(u % 2 == 0 for u in answer.seeds)
+
+    def test_now_tracks_stream_clock(self):
+        engine = MultiQueryEngine().add("a", WindowedGreedy(window_size=8, k=2))
+        assert engine.now == 0
+        for batch in batched(make_paper_stream(), 3):
+            engine.process(batch)
+        assert engine.now == 10
+
+
+class TestStatsAndPublication:
+    def test_query_stats_shapes(self):
+        engine = (
+            MultiQueryEngine()
+            .add("plain", WindowedGreedy(window_size=8, k=2))
+            .add(
+                "evens",
+                FilteredSIM(lambda a: a.user % 2 == 0, window_size=8, k=2),
+            )
+        )
+        engine.process(make_paper_stream())
+        stats = engine.query_stats()
+        assert set(stats) == {"plain", "evens"}
+        assert stats["plain"]["kind"] == "algorithm"
+        assert stats["plain"]["actions_processed"] == 10
+        assert stats["plain"]["time"] == 10
+        assert stats["evens"]["kind"] == "filtered"
+        assert stats["evens"]["observed"] == 10
+        assert 0 < stats["evens"]["matched"] < 10
+
+    def test_publish_hook_fires_per_slide_with_full_board(self):
+        engine = (
+            MultiQueryEngine()
+            .add("a", WindowedGreedy(window_size=8, k=2))
+            .add("b", WindowedGreedy(window_size=8, k=1))
+        )
+        published = []
+        engine.add_publish_hook(lambda answers: published.append(answers))
+        batches = list(batched(make_paper_stream(), 2))
+        for batch in batches:
+            engine.process(batch)
+        assert len(published) == len(batches)
+        assert all(set(board) == {"a", "b"} for board in published)
+        # The last published board is the live answer.
+        assert published[-1] == engine.query_all()
+
+    def test_publish_hook_skipped_on_empty_batch(self):
+        engine = MultiQueryEngine().add("a", WindowedGreedy(window_size=8, k=2))
+        published = []
+        engine.add_publish_hook(lambda answers: published.append(answers))
+        engine.process([])
+        assert published == []
+
+
+class TestState:
+    def test_state_roundtrip_continues_identically(self):
+        from repro.persistence.serialize import (
+            algorithm_from_state,
+            algorithm_to_state,
+        )
+
+        actions = random_stream(120, 10, seed=5)
+
+        def build():
+            return (
+                MultiQueryEngine()
+                .add("greedy", WindowedGreedy(window_size=30, k=2))
+                .add(
+                    "sic",
+                    SparseInfluentialCheckpoints(window_size=30, k=2, beta=0.3),
+                )
+            )
+
+        reference = build()
+        subject = build()
+        for batch in batched(actions[:60], 5):
+            reference.process(batch)
+            subject.process(batch)
+        restored = algorithm_from_state(algorithm_to_state(subject))
+        assert restored.names() == subject.names()
+        assert restored.now == subject.now
+        assert restored.actions_processed == subject.actions_processed
+        for batch in batched(actions[60:], 5):
+            reference.process(batch)
+            restored.process(batch)
+        assert restored.query_all() == reference.query_all()
+
+    def test_filtered_queries_refuse_serialization(self):
+        engine = MultiQueryEngine().add(
+            "f", FilteredSIM(lambda a: True, window_size=8, k=2)
+        )
+        with pytest.raises(ValueError, match="not serializable.*'f'"):
+            engine.to_state()

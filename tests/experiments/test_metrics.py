@@ -5,8 +5,63 @@ import time
 import pytest
 
 from repro.core.actions import Action
-from repro.experiments.metrics import StreamEvaluator, ThroughputMeter
+from repro.experiments.metrics import (
+    RateEstimator,
+    StreamEvaluator,
+    ThroughputMeter,
+)
 from tests.conftest import make_paper_stream
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRateEstimator:
+    def test_initial_rate_zero(self):
+        assert RateEstimator().rate == 0.0
+
+    def test_steady_rate(self):
+        clock = FakeClock()
+        estimator = RateEstimator(halflife=10.0, clock=clock)
+        for _ in range(20):
+            clock.now += 1.0
+            estimator.record(50)
+        # 50 events per second, read at the slide boundary (a read taken
+        # later decays toward zero by design — see the idle test).
+        assert estimator.rate == pytest.approx(50.0, rel=0.05)
+
+    def test_rate_tracks_recent_past(self):
+        clock = FakeClock()
+        estimator = RateEstimator(halflife=2.0, clock=clock)
+        for _ in range(10):
+            clock.now += 1.0
+            estimator.record(100)
+        fast = estimator.rate
+        for _ in range(20):
+            clock.now += 1.0
+            estimator.record(10)
+        slow = estimator.rate
+        assert fast == pytest.approx(100.0, rel=0.1)
+        assert slow == pytest.approx(10.0, rel=0.1)
+
+    def test_idle_stream_decays_to_zero(self):
+        clock = FakeClock()
+        estimator = RateEstimator(halflife=1.0, clock=clock)
+        estimator.record(100)
+        clock.now += 1.0
+        estimator.record(100)
+        busy = estimator.rate
+        clock.now += 60.0  # one idle minute
+        assert estimator.rate < busy / 100
+
+    def test_halflife_validated(self):
+        with pytest.raises(ValueError, match="halflife"):
+            RateEstimator(halflife=0.0)
 
 
 class TestThroughputMeter:

@@ -52,6 +52,26 @@ class TestRetention:
         with pytest.raises(ValueError):
             SnapshotStore(tmp_path, keep=0)
 
+    def test_prune_drops_all_but_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=10)
+        for seq in (1, 2, 3, 4):
+            store.save(seq, document(seq))
+        assert store.prune(keep=2) == [1, 2]
+        assert store.sequences() == [3, 4]
+
+    def test_prune_with_fewer_than_keep_is_noop(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=10)
+        store.save(1, document(1))
+        assert store.prune(keep=3) == []
+        assert store.sequences() == [1]
+
+    def test_prune_keep_validated(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(1, document(1))
+        with pytest.raises(ValueError, match="keep"):
+            store.prune(keep=0)
+        assert store.sequences() == [1]
+
 
 class TestCorruption:
     def test_corrupt_latest_falls_back_to_previous(self, tmp_path):

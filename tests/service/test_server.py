@@ -1,0 +1,418 @@
+"""Integration tests for the serving plane.
+
+Covers the PR's acceptance criteria:
+
+* **Round-trip equivalence** — actions ingested over the socket yield the
+  same per-checkpoint (per-slide) answers as offline processing of the
+  identical stream, for IC and SIC at L ∈ {1, 5};
+* **Filtered queries under coalescing** — TopicAwareSIM/LocationAwareSIM
+  running inside a MultiQueryEngine behind the ingest loop answer exactly
+  like a per-action offline feed (sub-stream re-timing survives slide
+  coalescing);
+* **Crash-recoverable serving** — ``kill -9`` of a ``--state-dir`` server
+  then restart + client replay converges to the uninterrupted answers;
+* **Graceful SIGTERM** — the CI smoke: ingest over the socket, answer
+  top-k, exit 0 on SIGTERM with a sealed final snapshot.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.multi import MultiQueryEngine
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.influence.filters import Region
+from repro.influence.queries import LocationAwareSIM, TopicAwareSIM
+from repro.persistence.engine import RecoverableEngine
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.runner import ServiceRunner
+from tests.conftest import random_stream
+
+
+def serve(engine_factory, **config_kwargs) -> ServiceRunner:
+    """An in-process server on an OS-picked port."""
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("flush_interval", 60.0)  # deterministic slides
+    engine = RecoverableEngine.open(None, engine_factory)
+    return ServiceRunner(engine, ServiceConfig(**config_kwargs))
+
+
+class TestRoundTripEquivalence:
+    @pytest.mark.parametrize("slide", [1, 5])
+    def test_socket_ingest_matches_offline_per_slide(self, slide):
+        """Socket answers ≡ offline answers at every slide (IC + SIC)."""
+        actions = random_stream(150, 15, seed=11)
+        makers = {
+            "ic": lambda: InfluentialCheckpoints(window_size=40, k=3, beta=0.3),
+            "sic": lambda: SparseInfluentialCheckpoints(
+                window_size=40, k=3, beta=0.3
+            ),
+        }
+
+        offline = {}
+        for name, make in makers.items():
+            framework = make()
+            answers = []
+            for batch in batched(actions, slide):
+                framework.process(batch)
+                answers.append(framework.query())
+            offline[name] = answers
+
+        def factory():
+            engine = MultiQueryEngine()
+            for name, make in makers.items():
+                engine.add(name, make())
+            return engine
+
+        with serve(factory, slide=slide, history=400) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            summary = client.ingest(actions)
+            assert summary["accepted"] == len(actions)
+            assert summary["slide"] == len(offline["ic"])
+            for name, answers in offline.items():
+                history = client.history(name)
+                assert len(history) == len(answers)
+                for served, expected in zip(history, answers):
+                    assert served["time"] == expected.time
+                    assert served["value"] == expected.value
+                    assert served["seeds"] == sorted(expected.seeds)
+
+    def test_interleaved_connections_continue_one_stream(self):
+        """Many short-lived ingest connections feed the same board."""
+        actions = random_stream(60, 10, seed=12)
+        reference = WindowedGreedy(window_size=20, k=2)
+        for batch in batched(actions, 6):
+            reference.process(batch)
+
+        with serve(
+            lambda: WindowedGreedy(window_size=20, k=2), slide=6
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            for start in range(0, 60, 20):
+                client.ingest(actions[start : start + 20])
+            answer = client.topk("main")
+        expected = reference.query()
+        assert answer["time"] == expected.time
+        assert answer["value"] == expected.value
+        assert answer["seeds"] == sorted(expected.seeds)
+
+
+class TestFilteredQueriesUnderIngestLoop:
+    @pytest.mark.parametrize("slide", [3, 7])
+    def test_topic_and_location_survive_slide_coalescing(self, slide):
+        """Sub-stream re-timing is preserved through coalesced slides."""
+        actions = random_stream(140, 12, seed=13)
+        topics_of = {
+            a.time: {"deals" if a.user % 3 else "support"} for a in actions
+        }
+        position_of = {a.time: (a.user % 7, a.user % 5) for a in actions}
+        region = Region(0, 0, 3, 3)
+
+        def make_queries():
+            return {
+                "deals": TopicAwareSIM(
+                    {"deals"}, topics_of, window_size=30, k=2
+                ),
+                "nearby": LocationAwareSIM(
+                    region, position_of, window_size=30, k=2
+                ),
+                "global": SparseInfluentialCheckpoints(
+                    window_size=30, k=2, beta=0.3
+                ),
+            }
+
+        offline = make_queries()
+        for action in actions:  # per-action feed: the re-timing reference
+            offline["deals"].observe(action)
+            offline["nearby"].observe(action)
+            offline["global"].process([action])
+
+        def factory():
+            engine = MultiQueryEngine()
+            for name, query in make_queries().items():
+                engine.add(name, query)
+            return engine
+
+        with serve(factory, slide=slide) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            client.ingest(actions)
+            for name in ("deals", "nearby"):
+                served = client.topk(name)
+                expected = offline[name].query()
+                assert served["time"] == expected.time
+                assert served["value"] == expected.value
+                assert served["seeds"] == sorted(expected.seeds)
+            # Metrics carry the sub-stream selectivity.
+            _, metrics = client.http_get("/metrics")
+            deals = metrics["queries"]["deals"]
+            assert deals["kind"] == "filtered"
+            assert deals["observed"] == len(actions)
+            assert deals["matched"] == offline["deals"].matched
+
+
+class TestFailureShutdown:
+    def test_failed_writer_does_not_seal_contaminated_state(self, tmp_path):
+        """stop() after a writer death skips the final snapshot."""
+        import asyncio
+
+        from repro.service.server import ReproService
+
+        state = tmp_path / "state"
+        actions = random_stream(12, 5, seed=18)
+        engine = RecoverableEngine.open(
+            state,
+            lambda: WindowedGreedy(window_size=10, k=2),
+            snapshot_every=0,  # only a close-time seal could write one
+        )
+
+        async def body():
+            service = ReproService(
+                engine, ServiceConfig(port=0, slide=3, flush_interval=60.0)
+            )
+            await service.start()
+            for action in actions[:6]:
+                await service.ingest.submit(action)
+            await service.ingest.sync()  # two clean WAL-logged slides
+
+            def boom(batch):
+                raise RuntimeError("mid-slide failure")
+
+            engine.algorithm.process = boom
+            for action in actions[6:9]:
+                await service.ingest.submit(action)
+            with pytest.raises(RuntimeError, match="mid-slide failure"):
+                await service.ingest.sync()
+            await service.stop()  # must not seal the poisoned state
+
+        asyncio.run(body())
+        assert list((state / "snapshots").glob("*.json")) == []
+        # Recovery replays the WAL cleanly (slide 3 was logged ahead).
+        reopened = RecoverableEngine.open(
+            state, lambda: WindowedGreedy(window_size=10, k=2)
+        )
+        try:
+            assert reopened.replayed_slides == 3
+            assert reopened.now == 9
+        finally:
+            reopened.close(snapshot=False)
+
+
+class TestWarmStart:
+    def test_restarted_server_answers_before_any_new_slide(self, tmp_path):
+        """Recovered state warms the answer cache: no 503 after restart."""
+        actions = random_stream(60, 10, seed=17)
+        state = tmp_path / "state"
+
+        def factory():
+            return MultiQueryEngine().add(
+                "board", SparseInfluentialCheckpoints(window_size=20, k=2, beta=0.3)
+            )
+
+        first = RecoverableEngine.open(state, factory)
+        for batch in batched(actions, 6):
+            first.process(batch)
+        expected = first.algorithm.query("board")
+        first.close()
+
+        engine = RecoverableEngine.open(state, factory)
+        with ServiceRunner(
+            engine, ServiceConfig(port=0, flush_interval=60.0, slide=6)
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            answer = client.topk("board")  # no ingest has happened yet
+            assert answer["time"] == expected.time
+            assert answer["value"] == expected.value
+            assert answer["seeds"] == sorted(expected.seeds)
+            assert answer["slide"] == 10
+            # Full-stream replay is dropped entirely and stays answerable.
+            summary = client.ingest(actions)
+            assert summary["dropped_stale"] == 60
+            assert client.topk("board")["time"] == expected.time
+
+
+class TestHttpReadPath:
+    def test_endpoints(self):
+        actions = random_stream(40, 8, seed=14)
+        with serve(
+            lambda: (
+                MultiQueryEngine()
+                .add("a", WindowedGreedy(window_size=20, k=2))
+                .add("b", WindowedGreedy(window_size=20, k=1))
+            ),
+            slide=4,
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+
+            health = client.wait_healthy()
+            assert health["queries"] == ["a", "b"]
+            assert health["durable"] is False
+
+            status, payload = client.http_get("/queries")
+            assert (status, payload) == (200, {"queries": ["a", "b"]})
+
+            # Nothing published yet.
+            status, payload = client.http_get("/queries/a/topk")
+            assert status == 503
+
+            client.ingest(actions)
+            status, payload = client.http_get("/queries/a/topk")
+            assert status == 200
+            assert payload["time"] == 40
+
+            status, payload = client.http_get("/queries/a/history?limit=3")
+            assert status == 200
+            assert len(payload["answers"]) == 3
+
+            assert client.http_get("/queries/zzz/topk")[0] == 404
+            assert client.http_get("/queries/zzz/history")[0] == 404
+            assert client.http_get("/nope")[0] == 404
+            assert client.http_get("/queries/a/history?limit=x")[0] == 400
+
+            status, metrics = client.http_get("/metrics")
+            assert status == 200
+            assert metrics["ingest"]["accepted"] == 40
+            assert metrics["ingest"]["slides"] == 10
+            assert metrics["engine"]["slides"] == 10
+            assert metrics["queries"]["a"]["answer_lag_slides"] == 0
+            assert metrics["queries"]["a"]["answer_age_seconds"] >= 0
+
+    def test_rejected_lines_are_reported_not_fatal(self):
+        import socket as socket_module
+
+        with serve(
+            lambda: WindowedGreedy(window_size=10, k=1), slide=2
+        ) as runner:
+            with socket_module.create_connection(
+                ("127.0.0.1", runner.port), timeout=10
+            ) as sock:
+                sock.sendall(b'{"nonsense": true}\n')
+                sock.sendall(b"[1]\n")
+                sock.sendall(b'{"time":1,"user":0}\n{"time":2,"user":1,"parent":1}\n')
+                sock.sendall(b'{"cmd":"sync"}\n')
+                reader = sock.makefile("rb")
+                lines = [json.loads(reader.readline()) for _ in range(3)]
+            errors = [l for l in lines if "error" in l]
+            synced = [l for l in lines if l.get("synced")]
+            assert len(errors) == 2
+            assert len(synced) == 1
+            assert synced[0]["accepted"] == 2
+            assert synced[0]["rejected"] == 2
+            client = ServiceClient("127.0.0.1", runner.port)
+            assert client.topk("main")["time"] == 2
+
+
+def _spawn_server(args, cwd):
+    """Start ``repro.cli serve`` and return (process, host, port)."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(cwd) / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        cwd=cwd,
+        env=env,
+    )
+    line = process.stdout.readline().decode()
+    assert line.startswith("listening on "), line
+    address = line.split()[2]
+    host, _, port = address.partition(":")
+    return process, host, int(port)
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+class TestServeSubprocess:
+    def test_smoke_ingest_topk_sigterm_seal(self, tmp_path):
+        """The CI smoke: 2k actions over the socket, top-k, SIGTERM seal."""
+        state_dir = tmp_path / "state"
+        process, host, port = _spawn_server(
+            [
+                "--algorithm", "sic", "--window", "500", "--slide", "25",
+                "-k", "5", "--beta", "0.3", "--state-dir", str(state_dir),
+                "--snapshot-every", "0", "--flush-interval", "60",
+            ],
+            cwd=REPO_ROOT,
+        )
+        try:
+            client = ServiceClient(host, port)
+            actions = random_stream(2000, 200, seed=15)
+            summary = client.ingest(actions)
+            assert summary["accepted"] == 2000
+            assert summary["slide"] == 80
+            answer = client.topk("main")
+            assert answer["time"] == 2000
+            assert len(answer["seeds"]) == 5
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        # The SIGTERM seal: a snapshot at the final slide, zero WAL tail.
+        engine = RecoverableEngine.open(state_dir, factory=None)
+        try:
+            assert engine.slides_processed == 80
+            assert engine.replayed_slides == 0
+            assert engine.now == 2000
+        finally:
+            engine.close(snapshot=False)
+
+    def test_sigkill_restart_replay_converges(self, tmp_path):
+        """kill -9 + restart + client replay ≡ the uninterrupted run."""
+        state_dir = tmp_path / "state"
+        actions = random_stream(900, 40, seed=16)
+        server_args = [
+            "--algorithm", "ic", "--window", "120", "--slide", "5",
+            "-k", "3", "--beta", "0.3", "--state-dir", str(state_dir),
+            "--snapshot-every", "7", "--flush-interval", "60",
+        ]
+
+        # Uninterrupted reference (same slide semantics: L=5 batches).
+        reference = InfluentialCheckpoints(window_size=120, k=3, beta=0.3)
+        for batch in batched(actions, 5):
+            reference.process(batch)
+        expected = reference.query()
+
+        process, host, port = _spawn_server(server_args, cwd=REPO_ROOT)
+        try:
+            client = ServiceClient(host, port)
+            summary = client.ingest(actions[:600])
+            assert summary["slide"] == 120
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        process, host, port = _spawn_server(server_args, cwd=REPO_ROOT)
+        try:
+            client = ServiceClient(host, port)
+            # At-least-once redelivery: replay the whole stream.
+            summary = client.ingest(actions)
+            assert summary["slide"] == 180
+            assert summary["dropped_stale"] == 600
+            assert summary["time"] == 900
+            answer = client.topk("main")
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        assert answer["time"] == expected.time
+        assert answer["value"] == expected.value
+        assert answer["seeds"] == sorted(expected.seeds)

@@ -313,3 +313,160 @@ class TestTrackStateDir:
         # The resumed output is exactly the tail of the uninterrupted run.
         assert resumed == expected[len(expected) - len(resumed):]
         assert resumed[-1] == expected[-1]
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7077
+        assert args.algorithm == "sic"
+        assert args.window == 5_000
+        assert args.slide == 32
+        assert args.flush_interval == 0.5
+        assert args.queue_capacity == 4096
+        assert args.ack_every == 1000
+        assert args.history == 128
+        assert args.query is None
+        assert args.state_dir is None
+        assert args.snapshot_every == 16
+
+    def test_serve_query_specs_accumulate(self):
+        args = build_parser().parse_args([
+            "serve", "--query", "a=sic", "--query", "b=ic,k=5",
+        ])
+        assert args.query == ["a=sic", "b=ic,k=5"]
+
+    def test_snapshot_prune_parser(self):
+        args = build_parser().parse_args(["snapshot", "prune", "st"])
+        assert args.snapshot_command == "prune"
+        assert args.keep == 1
+        args = build_parser().parse_args(
+            ["snapshot", "prune", "st", "--keep", "3"]
+        )
+        assert args.keep == 3
+
+
+class TestQuerySpecs:
+    def _defaults(self, **overrides):
+        return build_parser().parse_args(["serve", *overrides.get("argv", [])])
+
+    def test_spec_inherits_top_level_flags(self):
+        from repro.cli import _parse_query_spec
+
+        defaults = self._defaults(argv=["--window", "900", "-k", "7"])
+        name, options = _parse_query_spec("board=sic", defaults)
+        assert name == "board"
+        assert options["algorithm"] == "sic"
+        assert options["window"] == 900
+        assert options["k"] == 7
+        assert options["beta"] == 0.2
+
+    def test_spec_overrides(self):
+        from repro.cli import _parse_query_spec
+
+        name, options = _parse_query_spec(
+            "fast=ic,k=3,beta=0.4,oracle=mkc,checkpoint-interval=2,window=50",
+            self._defaults(),
+        )
+        assert name == "fast"
+        assert options == {
+            "algorithm": "ic", "window": 50, "k": 3, "beta": 0.4,
+            "oracle": "mkc", "checkpoint_interval": 2,
+        }
+
+    @pytest.mark.parametrize("spec,message", [
+        ("noequals", "expected NAME=ALGO"),
+        ("a=", "names no algorithm"),
+        ("a=nope", "unknown algorithm"),
+        ("a=sic,bogus=1", "bad option"),
+        ("a=sic,oracle=nope", "unknown oracle"),
+        ("a=greedy,beta=0.5", "does not apply"),
+        ("a=greedy,oracle=mkc", "does not apply"),
+        ("a=sic,checkpoint-interval=2", "does not apply"),
+    ])
+    def test_bad_specs_are_named(self, spec, message):
+        from repro.cli import _parse_query_spec
+
+        with pytest.raises(ValueError, match=message):
+            _parse_query_spec(spec, self._defaults())
+
+    def test_factory_builds_named_board(self):
+        from repro.cli import _make_serve_factory
+
+        args = build_parser().parse_args([
+            "serve", "--window", "100",
+            "--query", "precise=sic,beta=0.1",
+            "--query", "cheap=greedy,k=2",
+        ])
+        engine = _make_serve_factory(args)()
+        assert engine.names() == ["cheap", "precise"]
+
+    def test_factory_rejects_duplicate_names(self):
+        from repro.cli import _make_serve_factory
+
+        args = build_parser().parse_args([
+            "serve", "--query", "a=sic", "--query", "a=ic",
+        ])
+        with pytest.raises(ValueError, match="duplicate"):
+            _make_serve_factory(args)
+
+
+class TestSnapshotPrune:
+    @pytest.fixture
+    def populated_state(self, tmp_path, capsys):
+        stream = tmp_path / "s.jsonl"
+        main(["generate", "--dataset", "syn-n", "-n", "800", "-u", "80",
+              "--seed", "5", "-o", str(stream)])
+        state = tmp_path / "state"
+        code = main([
+            "track", str(stream), "--window", "200", "--slide", "50",
+            "-k", "3", "--format", "json", "--state-dir", str(state),
+            "--snapshot-every", "2",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return state
+
+    def test_prune_keeps_newest_and_drops_covered_wal(
+        self, populated_state, capsys
+    ):
+        from repro.persistence.engine import StateStore
+
+        store = StateStore(populated_state)
+        before = store.snapshots.sequences()
+        store.close()
+        assert len(before) > 1
+
+        assert main(["snapshot", "prune", str(populated_state)]) == 0
+        out = capsys.readouterr().out
+        assert f"dropped {len(before) - 1} snapshots" in out
+        assert "kept 1 snapshots" in out
+
+        store = StateStore(populated_state)
+        after = store.snapshots.sequences()
+        store.close()
+        assert after == [before[-1]]
+        # The pruned dir still restores to the same position.
+        capsys.readouterr()
+        assert main(["snapshot", "restore", str(populated_state)]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["slide"] == 16
+
+    def test_prune_is_idempotent(self, populated_state, capsys):
+        assert main(["snapshot", "prune", str(populated_state)]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", "prune", str(populated_state)]) == 0
+        assert "dropped 0 snapshots" in capsys.readouterr().out
+
+    def test_prune_refuses_typoed_path(self, tmp_path, capsys):
+        void = tmp_path / "void"
+        assert main(["snapshot", "prune", str(void)]) == 1
+        assert "no state directory" in capsys.readouterr().err
+        assert not void.exists()
+
+    def test_prune_rejects_bad_keep(self, populated_state, capsys):
+        assert main(
+            ["snapshot", "prune", str(populated_state), "--keep", "0"]
+        ) == 1
+        assert "keep" in capsys.readouterr().err

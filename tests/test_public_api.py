@@ -25,6 +25,7 @@ class TestPackage:
         "repro.datasets",
         "repro.experiments",
         "repro.experiments.cli",
+        "repro.service",
     ])
     def test_submodules_import(self, module):
         mod = importlib.import_module(module)
