@@ -6,7 +6,6 @@ Checks that each generated dataset reproduces the original's cascade shape
 
 import pytest
 
-from repro.datasets.stats import stream_statistics
 from repro.datasets.surrogates import reddit_like, twitter_like
 from repro.datasets.synthetic import syn_n, syn_o
 from repro.experiments import figures

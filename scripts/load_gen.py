@@ -13,6 +13,12 @@ protocol, then reports sustained throughput and the server's final board::
 The generator ends with a ``sync`` barrier, so the reported rate covers
 everything through the last slide's processing — it measures the system
 (socket + coalescing + engine), not just the client's send loop.
+
+The report uses the same JSON shape as ``bench_smoke.py``'s
+``service_ingest`` section (``actions``/``seconds``/``actions_per_sec``/
+``slides``/``query_value``), so ``scripts/bench_check.py`` can hold a live
+run against the committed baseline; ``--seed`` makes runs reproducible and
+``--output`` writes the report to a file for the CI gate.
 """
 
 from __future__ import annotations
@@ -59,6 +65,12 @@ def main(argv=None):
     parser.add_argument(
         "--chunk", type=int, default=256, help="lines per socket write"
     )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="also write the JSON report to this file (for bench_check.py)",
+    )
     args = parser.parse_args(argv)
 
     actions = list(
@@ -92,17 +104,24 @@ def main(argv=None):
             "value": answer["value"],
             "seeds": answer["seeds"],
         }
+    first = board[min(board)] if board else {"value": 0.0}
+    # Mirrors bench_smoke.py's service_ingest shape so the CI regression
+    # gate (scripts/bench_check.py) can consume either report.
     report = {
         "actions": len(actions),
+        "seed": args.seed,
         "seconds": round(elapsed, 3),
         "actions_per_sec": round(len(actions) / elapsed, 1),
+        "slides": summary["slide"],
+        "query_value": first["value"],
         "accepted": summary["accepted"],
         "dropped_stale": summary["dropped_stale"],
         "rejected": summary["rejected"],
-        "server_slide": summary["slide"],
         "board": board,
     }
     print(json.dumps(report, indent=2))
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 

@@ -18,7 +18,10 @@ Subcommands:
   coalesces socket-ingested actions into slides, feeds a board of named
   queries, and answers ``/queries/<name>/topk``, ``/metrics`` and
   ``/healthz`` from an immutable answer cache.  With ``--state-dir`` the
-  server is crash-recoverable and SIGTERM seals a final snapshot.
+  server is crash-recoverable and SIGTERM seals a final snapshot.  With
+  ``--shards N`` the write plane is partitioned by influencer over N
+  shard engines (``--shard-backend process`` for one worker process per
+  shard) and answers merge on read; ``track`` accepts the same flags.
 
 Examples::
 
@@ -50,6 +53,7 @@ _GENERATORS = ("reddit", "twitter", "syn-o", "syn-n")
 _ALGORITHMS = ("sic", "ic", "greedy")
 _ORACLES = ("sieve", "threshold", "blog_watch", "mkc", "greedy")
 _FORMATS = ("text", "json")
+_SHARD_BACKENDS = ("serial", "thread", "process")
 
 
 def _reader_for(path: pathlib.Path):
@@ -133,6 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="slides between automatic snapshots (0 disables; "
         "requires --state-dir)",
+    )
+    track.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition influencers over this many shard engines and "
+        "merge answers on read (ic/sic only)",
+    )
+    track.add_argument(
+        "--shard-backend",
+        choices=_SHARD_BACKENDS,
+        default="thread",
+        help="worker backend for --shards > 1 (process = one forked "
+        "worker per shard, real multi-core)",
     )
 
     snapshot = commands.add_parser(
@@ -239,6 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="slides between automatic snapshots (0 disables; "
         "requires --state-dir)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition influencers over this many shard engines behind "
+        "the ingest loop; answers merge on read (ic/sic queries only)",
+    )
+    serve.add_argument(
+        "--shard-backend",
+        choices=_SHARD_BACKENDS,
+        default="thread",
+        help="worker backend for --shards > 1 (process = one forked "
+        "worker per shard, real multi-core)",
+    )
     return parser
 
 
@@ -286,29 +318,65 @@ def _cmd_convert(args) -> int:
 
 
 def _make_track_factory(args):
-    """Zero-argument framework constructor from track CLI arguments."""
+    """Framework constructor from track CLI arguments.
+
+    The returned factory takes an optional shard assignment (``None``
+    builds the unsharded engine) so the same recipe serves both
+    ``RecoverableEngine.open`` (which calls it with no arguments) and the
+    sharded plane (which builds one engine per shard).
+    """
     from repro.core.greedy import WindowedGreedy
     from repro.core.ic import InfluentialCheckpoints
     from repro.core.sic import SparseInfluentialCheckpoints
 
+    if args.shards > 1 and args.algorithm == "greedy":
+        raise ValueError(
+            "--shards requires a checkpoint algorithm (ic or sic); "
+            "greedy has no shardable oracle plane"
+        )
     if args.algorithm == "sic":
-        return lambda: SparseInfluentialCheckpoints(
+        return lambda assignment=None: SparseInfluentialCheckpoints(
             window_size=args.window,
             k=args.k,
             beta=args.beta,
             oracle=args.oracle,
             shared_index=args.shared_index,
+            shard=assignment,
         )
     if args.algorithm == "ic":
-        return lambda: InfluentialCheckpoints(
+        return lambda assignment=None: InfluentialCheckpoints(
             window_size=args.window,
             k=args.k,
             beta=args.beta,
             oracle=args.oracle,
             shared_index=args.shared_index,
             checkpoint_interval=args.checkpoint_interval,
+            shard=assignment,
         )
-    return lambda: WindowedGreedy(window_size=args.window, k=args.k)
+    return lambda assignment=None: WindowedGreedy(
+        window_size=args.window, k=args.k
+    )
+
+
+def _open_engine(args, factory):
+    """Open the engine the track/serve flags describe (sharded or not)."""
+    from repro.persistence.engine import RecoverableEngine
+
+    if args.shards > 1:
+        from repro.sharding.engine import ShardedEngine
+
+        return ShardedEngine.open(
+            factory,
+            args.shards,
+            state_dir=args.state_dir,
+            backend=args.shard_backend,
+            snapshot_every=args.snapshot_every,
+        )
+    return RecoverableEngine.open(
+        args.state_dir,
+        factory,
+        snapshot_every=args.snapshot_every,
+    )
 
 
 def _emit_answer(answer, output_format: str) -> None:
@@ -332,39 +400,24 @@ def _emit_answer(answer, output_format: str) -> None:
 def _check_resumed_config(engine, factory) -> None:
     """Reject a resume whose CLI flags disagree with the stored state.
 
-    A restored engine keeps the configuration it was created with; letting
-    different ``-k``/``--window``/``--oracle``/... flags pass silently
-    would emit answers for settings the user did not ask for.
+    Delegates to the persistence plane's single definition of "same
+    config" (:func:`repro.persistence.serialize.ensure_same_engine_config`),
+    shared with the sharded plane's per-shard check.
     """
-    from repro.persistence.serialize import PersistenceError, algorithm_to_state
+    from repro.persistence.serialize import ensure_same_engine_config
 
-    stored = algorithm_to_state(engine.algorithm)
-    requested = algorithm_to_state(factory())
-    stored_key = (stored["algorithm"], stored["config"])
-    requested_key = (requested["algorithm"], requested["config"])
-    if stored_key != requested_key:
-        raise PersistenceError(
-            "state dir was created with different engine settings "
-            f"(stored {stored['algorithm']} {stored['config']}, flags give "
-            f"{requested['algorithm']} {requested['config']}); rerun with "
-            "matching flags or a fresh --state-dir"
-        )
+    ensure_same_engine_config(engine.algorithm, factory(), where="state dir")
 
 
 def _cmd_track(args) -> int:
-    from repro.persistence.engine import RecoverableEngine
-
     path = pathlib.Path(args.file)
     factory = _make_track_factory(args)
-    engine = RecoverableEngine.open(
-        args.state_dir,
-        factory,
-        snapshot_every=args.snapshot_every,
-    )
+    engine = _open_engine(args, factory)
     try:
-        if engine.slides_processed:
+        if engine.slides_processed and args.shards == 1:
+            # Sharded engines validate per-shard configs at open time.
             _check_resumed_config(engine, factory)
-        resume_time = engine.algorithm.now
+        resume_time = engine.now
         if resume_time:
             print(
                 f"resumed at time {resume_time} "
@@ -390,29 +443,69 @@ def _cmd_track(args) -> int:
     return 0
 
 
+def _prune_store(state_dir, keep: int) -> None:
+    """Prune one snapshot+WAL store and report what was dropped."""
+    from repro.persistence.engine import StateStore
+
+    store = StateStore(state_dir)
+    try:
+        dropped = store.snapshots.prune(keep)
+        retained = store.snapshots.sequences()
+        segments = 0
+        if retained:
+            # WAL records covered by the oldest retained snapshot can
+            # never be replayed again; drop their whole segments.
+            segments = store.wal.prune_through(min(retained))
+        print(
+            f"dropped {len(dropped)} snapshots and {segments} WAL "
+            f"segments; kept {len(retained)} snapshots"
+        )
+    finally:
+        store.close()
+
+
 def _cmd_snapshot(args) -> int:
-    from repro.persistence.engine import RecoverableEngine, StateStore
+    from repro.persistence.engine import (
+        RecoverableEngine,
+        StateStore,
+        list_shard_state_dirs,
+    )
     from repro.persistence.serialize import PersistenceError
 
-    if not pathlib.Path(args.state_dir).is_dir():
+    root = pathlib.Path(args.state_dir)
+    if not root.is_dir():
         # Inspection must not mkdir a state tree at a typoed path.
         raise PersistenceError(f"no state directory at {args.state_dir}")
+    shard_dirs = list_shard_state_dirs(root)
+    if shard_dirs:
+        # A sharded root: recurse over the per-shard stores.
+        manifest_path = root / "sharding.json"
+        if args.snapshot_command == "info":
+            if manifest_path.exists():
+                manifest = json.loads(manifest_path.read_text())
+                print(
+                    f"sharded root   {root}  ({manifest['shards']} shards, "
+                    f"partitioner {manifest['partitioner']})"
+                )
+            for shard_dir in shard_dirs:
+                print(f"--- {shard_dir.name} ---")
+                _rewritten = argparse.Namespace(
+                    state_dir=str(shard_dir), snapshot_command="info"
+                )
+                _cmd_snapshot(_rewritten)
+            return 0
+        if args.snapshot_command == "prune":
+            for shard_dir in shard_dirs:
+                print(f"--- {shard_dir.name} ---")
+                _prune_store(shard_dir, args.keep)
+            return 0
+        raise PersistenceError(
+            f"snapshot {args.snapshot_command} works on one engine's state "
+            f"dir; {root} is a sharded root — run it against a single "
+            f"shard, e.g. {shard_dirs[0]}"
+        )
     if args.snapshot_command == "prune":
-        store = StateStore(args.state_dir)
-        try:
-            dropped = store.snapshots.prune(args.keep)
-            retained = store.snapshots.sequences()
-            segments = 0
-            if retained:
-                # WAL records covered by the oldest retained snapshot can
-                # never be replayed again; drop their whole segments.
-                segments = store.wal.prune_through(min(retained))
-            print(
-                f"dropped {len(dropped)} snapshots and {segments} WAL "
-                f"segments; kept {len(retained)} snapshots"
-            )
-        finally:
-            store.close()
+        _prune_store(args.state_dir, args.keep)
         return 0
     if args.snapshot_command == "info":
         store = StateStore(args.state_dir)
@@ -556,7 +649,13 @@ def _parse_query_spec(spec: str, defaults) -> tuple:
 
 
 def _make_serve_factory(args):
-    """Zero-argument MultiQueryEngine constructor from serve CLI arguments."""
+    """MultiQueryEngine board constructor from serve CLI arguments.
+
+    The returned factory takes an optional shard assignment (``None``
+    builds the unsharded board): every ic/sic query on the board receives
+    the assignment, so one shard's board covers exactly the influencers
+    that shard owns.
+    """
     from repro.core.greedy import WindowedGreedy
     from repro.core.ic import InfluentialCheckpoints
     from repro.core.multi import MultiQueryEngine
@@ -570,8 +669,17 @@ def _make_serve_factory(args):
     duplicates = sorted({n for n in names if names.count(n) > 1})
     if duplicates:
         raise ValueError(f"duplicate --query names: {duplicates}")
+    if args.shards > 1:
+        unshardable = sorted(
+            name for name, options in specs if options["algorithm"] == "greedy"
+        )
+        if unshardable:
+            raise ValueError(
+                f"--shards requires checkpoint algorithms (ic or sic); "
+                f"greedy queries cannot be sharded: {unshardable}"
+            )
 
-    def build(options):
+    def build(options, assignment):
         if options["algorithm"] == "sic":
             return SparseInfluentialCheckpoints(
                 window_size=options["window"],
@@ -579,6 +687,7 @@ def _make_serve_factory(args):
                 beta=options["beta"],
                 oracle=options["oracle"],
                 shared_index=args.shared_index,
+                shard=assignment,
             )
         if options["algorithm"] == "ic":
             return InfluentialCheckpoints(
@@ -588,13 +697,14 @@ def _make_serve_factory(args):
                 oracle=options["oracle"],
                 shared_index=args.shared_index,
                 checkpoint_interval=options["checkpoint_interval"],
+                shard=assignment,
             )
         return WindowedGreedy(window_size=options["window"], k=options["k"])
 
-    def factory():
+    def factory(assignment=None):
         engine = MultiQueryEngine()
         for name, options in specs:
-            engine.add(name, build(options))
+            engine.add(name, build(options, assignment))
         return engine
 
     return factory
@@ -603,7 +713,6 @@ def _make_serve_factory(args):
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.persistence.engine import RecoverableEngine
     from repro.service.config import ServiceConfig
     from repro.service.server import ReproService
 
@@ -615,16 +724,16 @@ def _cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         ack_every=args.ack_every,
         history=args.history,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
     )
     factory = _make_serve_factory(args)
-    engine = RecoverableEngine.open(
-        args.state_dir,
-        factory,
-        snapshot_every=args.snapshot_every,
-    )
+    engine = _open_engine(args, factory)
     try:
         if engine.slides_processed:
-            _check_resumed_config(engine, factory)
+            if args.shards == 1:
+                # Sharded engines validate per-shard configs at open time.
+                _check_resumed_config(engine, factory)
             print(
                 f"resumed at time {engine.now} "
                 f"(slide {engine.slides_processed}; replayed "
@@ -660,6 +769,8 @@ def _cmd_serve(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.sharding.engine import ShardingError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -671,7 +782,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except (ValueError, OSError) as error:
+    except (ValueError, OSError, ShardingError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

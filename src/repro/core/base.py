@@ -152,6 +152,19 @@ class SIMAlgorithm(ABC):
     def query(self) -> SIMResult:
         """Answer the SIM query for the current window."""
 
+    def query_candidates(self):
+        """Seed-merge hook for the sharded read plane (optional).
+
+        Algorithms that can ship exact per-seed coverage return a list of
+        ``(user, coverage_frozenset)`` pairs for their current answer —
+        the sharded engine's merge-on-read combines those lists across
+        shards with exact cross-shard overlap handling (see
+        :mod:`repro.sharding.merge`).  The default returns ``None``:
+        "no coverage available", which makes the merge fall back to the
+        best single shard's answer.
+        """
+        return None
+
     # -- persistence ---------------------------------------------------------
 
     def _base_state(self) -> dict:

@@ -50,7 +50,49 @@ from repro.core.influence_index import (
 from repro.core.oracles.base import CheckpointOracle, make_oracle
 from repro.influence.functions import InfluenceFunction
 
-__all__ = ["Checkpoint", "CheckpointRoster", "OracleSpec", "feed_shared"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointRoster",
+    "OracleSpec",
+    "feed_shared",
+    "project_records",
+]
+
+
+def project_records(records: Sequence[ActionRecord], owns) -> List[ActionRecord]:
+    """Project a slide's records onto one shard's owned influencers.
+
+    Sharded engines consume the full action stream (global ancestor chains
+    stay exact) but index only the influence pairs whose influencer they
+    own.  This helper narrows each record's ``influencers`` tuple to the
+    owned ones and drops records that credit no owned influencer at all —
+    those contribute no pairs, so neither index nor oracles need to see
+    them.  Records whose influencers are all owned are passed through
+    unchanged (no allocation on the common path of coarse partitions).
+
+    Args:
+        records: The slide's resolved records, in arrival order.
+        owns: Predicate ``owns(user) -> bool`` — typically
+            :meth:`repro.sharding.partition.ShardAssignment.owns`.
+    """
+    projected: List[ActionRecord] = []
+    for record in records:
+        influencers = record.influencers
+        owned = tuple(u for u in influencers if owns(u))
+        if not owned:
+            continue
+        if len(owned) == len(influencers):
+            projected.append(record)
+        else:
+            projected.append(
+                ActionRecord(
+                    time=record.time,
+                    user=record.user,
+                    influencers=owned,
+                    depth=record.depth,
+                )
+            )
+    return projected
 
 
 @dataclass(frozen=True)
@@ -365,6 +407,7 @@ def feed_shared(
     roster: CheckpointRoster,
     arrived: Sequence[ActionRecord],
     batch: bool = True,
+    absorbed: int = -1,
 ) -> None:
     """Index ``arrived`` once and dispatch oracle feeds to the roster.
 
@@ -394,12 +437,22 @@ def feed_shared(
     ``roster`` must hold checkpoints sorted by ascending start, every start
     at most the earliest arrived record's time (both invariants hold for
     IC's and SIC's rosters after appending the slide's newcomer).
+
+    ``absorbed`` overrides the amount added to the roster's slide ledger;
+    sharded engines pass the *unprojected* slide size there so checkpoint
+    action accounting stays stream-global even when
+    :func:`project_records` dropped pair-less records for this shard.
     """
+    if absorbed < 0:
+        absorbed = len(arrived)
     starts = roster.starts
     count = len(starts)
     if not count:
         return
     first_start = starts[0]
+    if not arrived:
+        roster.absorbed += absorbed
+        return
     if len(arrived) == 1:
         record = arrived[0]
         performer = record.user
@@ -435,4 +488,4 @@ def feed_shared(
                 feed_delta = checkpoints[i].feed_delta
                 for user, members in deltas[i].items():
                     feed_delta(user, members)
-    roster.absorbed += len(arrived)
+    roster.absorbed += absorbed

@@ -50,6 +50,7 @@ from repro.core.checkpoint import (
     CheckpointRoster,
     OracleSpec,
     feed_shared,
+    project_records,
 )
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import VersionedInfluenceIndex
@@ -76,6 +77,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
         shared_index: bool = True,
         batch_feeds: bool = True,
         checkpoint_interval: int = 1,
+        shard=None,
     ):
         """
         Args:
@@ -97,6 +99,13 @@ class InfluentialCheckpoints(SIMAlgorithm):
                 slides (must be >= 1).  Values above 1 keep ``c×`` fewer
                 checkpoints at the cost of the answer covering up to
                 ``c·L − 1`` extra actions.
+            shard: Optional
+                :class:`~repro.sharding.partition.ShardAssignment`.  The
+                engine still consumes the full stream (ancestor chains stay
+                exact) but indexes and offers to its oracles only the
+                influence pairs whose influencer the assignment owns — one
+                shard of the partitioned ingest plane
+                (:mod:`repro.sharding`).
         """
         # window_size and k are validated (with the offending value in the
         # message) by SIMAlgorithm/SlidingWindow in super().__init__;
@@ -114,6 +123,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
         self._batch_feeds = batch_feeds
         self._interval = checkpoint_interval
         self._slide_index = 0
+        self._shard = shard
         self._shared: Optional[VersionedInfluenceIndex] = (
             VersionedInfluenceIndex() if shared_index else None
         )
@@ -138,6 +148,16 @@ class InfluentialCheckpoints(SIMAlgorithm):
         """The shared versioned index (``None`` in reference mode)."""
         return self._shared
 
+    @property
+    def shard(self):
+        """This engine's shard assignment (``None`` when unsharded)."""
+        return self._shard
+
+    @property
+    def influence_function(self) -> InfluenceFunction:
+        """The influence function ``f`` the checkpoint oracles maximise."""
+        return self._spec.func
+
     def _on_slide(
         self,
         arrived: Sequence[ActionRecord],
@@ -148,6 +168,11 @@ class InfluentialCheckpoints(SIMAlgorithm):
         roster = self._roster
         open_checkpoint = self._slide_index % self._interval == 0
         self._slide_index += 1
+        records = (
+            arrived
+            if self._shard is None
+            else project_records(arrived, self._shard.owns)
+        )
         shared = self._shared
         if shared is not None:
             if open_checkpoint:
@@ -160,17 +185,23 @@ class InfluentialCheckpoints(SIMAlgorithm):
                         ledger=roster,
                     )
                 )
-            feed_shared(shared, roster, arrived, batch=self._batch_feeds)
+            feed_shared(
+                shared,
+                roster,
+                records,
+                batch=self._batch_feeds,
+                absorbed=len(arrived),
+            )
         else:
             if open_checkpoint:
                 roster.append(Checkpoint(arrived[0].time, self._spec))
-            if len(arrived) == 1:
-                record = arrived[0]
+            if len(records) == 1:
+                record = records[0]
                 for checkpoint in roster.checkpoints:
                     checkpoint.process(record)
-            else:
+            elif records:
                 for checkpoint in roster.checkpoints:
-                    checkpoint.process_slide(arrived)
+                    checkpoint.process_slide(records)
         now = self.now
         size = self.window_size
         while roster and not roster[0].covers_window(now, size):
@@ -192,6 +223,23 @@ class InfluentialCheckpoints(SIMAlgorithm):
             return SIMResult(time=self.now, seeds=frozenset(), value=0.0)
         answer = self._roster[0]
         return SIMResult(time=self.now, seeds=answer.seeds, value=answer.value)
+
+    def query_candidates(self):
+        """Per-seed coverage of the answering checkpoint (seed-merge hook).
+
+        Returns ``[(user, coverage_frozenset), ...]`` for the current
+        answer's seeds, coverage taken from the answering checkpoint's
+        suffix index — exactly what the sharded merge needs to deduct
+        cross-shard overlap (see :mod:`repro.sharding.merge`).
+        """
+        if not self._roster:
+            return []
+        checkpoint = self._roster[0]
+        index = checkpoint.index
+        return [
+            (user, frozenset(index.influence_set(user)))
+            for user in sorted(checkpoint.seeds)
+        ]
 
     # -- persistence -------------------------------------------------------
 
@@ -219,6 +267,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
                 "shared_index": self._shared is not None,
                 "batch_feeds": self._batch_feeds,
                 "checkpoint_interval": self._interval,
+                "shard": self._shard.to_state() if self._shard is not None else None,
             },
             "base": self._base_state(),
             "slide_index": self._slide_index,
@@ -233,6 +282,13 @@ class InfluentialCheckpoints(SIMAlgorithm):
         config = state["config"]
         func = function_from_state(config["func"])
         params = config["oracle_params"]
+        shard = None
+        if config.get("shard") is not None:
+            # Lazy import: core never depends on the sharding plane unless
+            # a sharded state document actually needs it.
+            from repro.sharding.partition import assignment_from_state
+
+            shard = assignment_from_state(config["shard"])
         algorithm = cls(
             window_size=config["window_size"],
             k=config["k"],
@@ -243,6 +299,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
             shared_index=config["shared_index"],
             batch_feeds=config["batch_feeds"],
             checkpoint_interval=config["checkpoint_interval"],
+            shard=shard,
         )
         # The spec's params are authoritative (the ctor only wires beta for
         # the threshold-guessing oracles); restore them verbatim.

@@ -95,6 +95,19 @@ class MultiQueryEngine:
         """Registered query names, sorted."""
         return sorted(list(self._algorithms) + list(self._filtered))
 
+    def get(self, name: str):
+        """The registered query object behind ``name`` (without detaching).
+
+        Raises:
+            KeyError: when ``name`` is not registered (the message carries
+                the offending name and the registered board).
+        """
+        if name in self._algorithms:
+            return self._algorithms[name]
+        if name in self._filtered:
+            return self._filtered[name]
+        raise KeyError(f"unknown query {name!r}; registered: {self.names()}")
+
     def __contains__(self, name: str) -> bool:
         """True when ``name`` is a registered query."""
         return name in self._algorithms or name in self._filtered
@@ -181,6 +194,26 @@ class MultiQueryEngine:
     def query_all(self) -> Dict[str, SIMResult]:
         """Answer every registered query."""
         return {name: self.query(name) for name in self.names()}
+
+    def query_candidates(self, name: str):
+        """Seed-merge hook for one registered query (sharded read plane).
+
+        Delegates to the algorithm's
+        :meth:`~repro.core.base.SIMAlgorithm.query_candidates`; filtered
+        queries (and algorithms without the hook) return ``None``, which
+        makes the sharded merge fall back to the best single shard's
+        answer for that query.
+
+        Raises:
+            KeyError: when ``name`` is not registered.
+        """
+        if name in self._filtered:
+            return None
+        if name not in self._algorithms:
+            raise KeyError(
+                f"unknown query {name!r}; registered: {self.names()}"
+            )
+        return self._algorithms[name].query_candidates()
 
     # -- persistence -------------------------------------------------------
 

@@ -46,6 +46,7 @@ from repro.core.checkpoint import (
     CheckpointRoster,
     OracleSpec,
     feed_shared,
+    project_records,
 )
 from repro.core.diffusion import ActionRecord
 from repro.core.influence_index import VersionedInfluenceIndex
@@ -72,6 +73,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         oracle_beta: Optional[float] = None,
         shared_index: bool = True,
         batch_feeds: bool = True,
+        shard=None,
     ):
         """
         Args:
@@ -92,6 +94,13 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
                 oracle batch (shared-index mode only).  ``False`` feeds the
                 same per-user deltas one call at a time — result-identical,
                 kept as the batched path's equivalence reference.
+            shard: Optional
+                :class:`~repro.sharding.partition.ShardAssignment`.  The
+                engine still consumes the full stream (ancestor chains stay
+                exact) but indexes and offers to its oracles only the
+                influence pairs whose influencer the assignment owns — one
+                shard of the partitioned ingest plane
+                (:mod:`repro.sharding`).
         """
         # window_size and k are validated (with the offending value in the
         # message) by SIMAlgorithm/SlidingWindow in super().__init__;
@@ -107,6 +116,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         self._roster = CheckpointRoster()
         self._batch_feeds = batch_feeds
         self._pruned_total = 0
+        self._shard = shard
         self._shared: Optional[VersionedInfluenceIndex] = (
             VersionedInfluenceIndex() if shared_index else None
         )
@@ -136,6 +146,16 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         """The shared versioned index (``None`` in reference mode)."""
         return self._shared
 
+    @property
+    def shard(self):
+        """This engine's shard assignment (``None`` when unsharded)."""
+        return self._shard
+
+    @property
+    def influence_function(self) -> InfluenceFunction:
+        """The influence function ``f`` the checkpoint oracles maximise."""
+        return self._spec.func
+
     def _on_slide(
         self,
         arrived: Sequence[ActionRecord],
@@ -144,6 +164,11 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         # Lines 2-8: new checkpoint for the arriving slide, then feed all.
         roster = self._roster
         start = arrived[0].time
+        records = (
+            arrived
+            if self._shard is None
+            else project_records(arrived, self._shard.owns)
+        )
         shared = self._shared
         if shared is not None:
             roster.append(
@@ -151,16 +176,22 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
                     start, self._spec, index=shared.view(start), ledger=roster
                 )
             )
-            feed_shared(shared, roster, arrived, batch=self._batch_feeds)
+            feed_shared(
+                shared,
+                roster,
+                records,
+                batch=self._batch_feeds,
+                absorbed=len(arrived),
+            )
         else:
             roster.append(Checkpoint(start, self._spec))
-            if len(arrived) == 1:
-                record = arrived[0]
+            if len(records) == 1:
+                record = records[0]
                 for checkpoint in roster.checkpoints:
                     checkpoint.process(record)
-            else:
+            elif records:
                 for checkpoint in roster.checkpoints:
-                    checkpoint.process_slide(arrived)
+                    checkpoint.process_slide(records)
         self._prune()
         self._retire_expired_head()
         if shared is not None and roster:
@@ -214,6 +245,31 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         newest = self._roster.checkpoints[-1]
         return SIMResult(time=now, seeds=newest.seeds, value=newest.value)
 
+    def query_candidates(self):
+        """Per-seed coverage of the answering checkpoint (seed-merge hook).
+
+        Returns ``[(user, coverage_frozenset), ...]`` for the answering
+        checkpoint ``Λ_t[x_1]``'s seeds (the same checkpoint
+        :meth:`query` reads), coverage taken from its suffix index.  The
+        suffix covers at most the window, so a sharded merge built from
+        these sets never overestimates the window value.
+        """
+        if not self._roster:
+            return []
+        now, size = self.now, self.window_size
+        answering = None
+        for checkpoint in self._roster.checkpoints:
+            if checkpoint.covers_window(now, size):
+                answering = checkpoint
+                break
+        if answering is None:
+            answering = self._roster.checkpoints[-1]
+        index = answering.index
+        return [
+            (user, frozenset(index.influence_set(user)))
+            for user in sorted(answering.seeds)
+        ]
+
     # -- persistence -------------------------------------------------------
 
     def to_state(self) -> dict:
@@ -237,6 +293,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
                 "retention": self._forest._retention,
                 "shared_index": self._shared is not None,
                 "batch_feeds": self._batch_feeds,
+                "shard": self._shard.to_state() if self._shard is not None else None,
             },
             "base": self._base_state(),
             "pruned_total": self._pruned_total,
@@ -251,6 +308,13 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         config = state["config"]
         func = function_from_state(config["func"])
         params = config["oracle_params"]
+        shard = None
+        if config.get("shard") is not None:
+            # Lazy import: core never depends on the sharding plane unless
+            # a sharded state document actually needs it.
+            from repro.sharding.partition import assignment_from_state
+
+            shard = assignment_from_state(config["shard"])
         algorithm = cls(
             window_size=config["window_size"],
             k=config["k"],
@@ -261,6 +325,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             oracle_beta=params.get("beta"),
             shared_index=config["shared_index"],
             batch_feeds=config["batch_feeds"],
+            shard=shard,
         )
         algorithm._spec = OracleSpec(
             name=config["oracle"], k=config["k"], func=func, params=dict(params)

@@ -27,9 +27,9 @@ and ``β`` grids are kept verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Tuple
 
 __all__ = ["Scale", "ExperimentConfig", "DATASETS", "make_config"]
 

@@ -25,7 +25,7 @@ rationale); pass ``datasets=(...)`` to restrict the sweep.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.experiments.config import (
     BETA_GRID,

@@ -14,7 +14,7 @@ influence spread of all windows" quality metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.core.actions import Action
 from repro.core.base import SIMAlgorithm

@@ -15,7 +15,7 @@ duplicate edges are dropped, matching common R-MAT usage.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -21,6 +21,12 @@ The state directory layout is owned by :class:`StateStore`::
       snapshots/snapshot-<slideseq>.json   atomic write-rename, last M kept
       wal/wal-<firstseq>.jsonl             fsync-on-slide, segment rotation
 
+A *sharded* engine (:mod:`repro.sharding`) nests one full ``StateStore``
+per shard under the same root — ``shard-0/``, ``shard-1/``, ... — plus a
+``sharding.json`` manifest; :func:`shard_state_dir` and
+:func:`list_shard_state_dirs` own that naming so the CLI, the sharded
+facade and the tests agree on it.
+
 Passing ``state_dir=None`` (or constructing with ``store=None``) makes the
 engine a zero-overhead passthrough — the hot path is untouched when
 persistence is off.
@@ -41,7 +47,39 @@ from repro.persistence.serialize import (
 from repro.persistence.snapshots import SnapshotStore
 from repro.persistence.wal import ActionWAL
 
-__all__ = ["StateStore", "RecoverableEngine"]
+__all__ = [
+    "StateStore",
+    "RecoverableEngine",
+    "shard_state_dir",
+    "list_shard_state_dirs",
+]
+
+#: Name template of one shard's state directory under a sharded root.
+_SHARD_DIR_FORMAT = "shard-{shard}"
+
+
+def shard_state_dir(root, shard: int) -> pathlib.Path:
+    """The state directory of shard ``shard`` under a sharded root."""
+    if shard < 0:
+        raise ValueError(f"shard must be >= 0, got {shard}")
+    return pathlib.Path(root) / _SHARD_DIR_FORMAT.format(shard=shard)
+
+
+def list_shard_state_dirs(root) -> list:
+    """Existing ``shard-<i>/`` directories under ``root``, ordered by shard.
+
+    Returns an empty list for unsharded (or nonexistent) state dirs, which
+    is how callers distinguish the two layouts.
+    """
+    root = pathlib.Path(root)
+    found = []
+    for path in root.glob("shard-*"):
+        if not path.is_dir():
+            continue
+        suffix = path.name.split("-", 1)[1]
+        if suffix.isdigit():
+            found.append((int(suffix), path))
+    return [path for _shard, path in sorted(found)]
 
 
 class StateStore:

@@ -36,6 +36,7 @@ __all__ = [
     "decode_action",
     "algorithm_to_state",
     "algorithm_from_state",
+    "ensure_same_engine_config",
 ]
 
 #: Version tag of the snapshot *document* (the envelope around an
@@ -107,3 +108,33 @@ def algorithm_from_state(state: dict) -> SIMAlgorithm:
             f"known: {sorted(_ALGORITHM_LOADERS)}"
         )
     return loader(state)
+
+
+def ensure_same_engine_config(stored, requested, where: str = "state dir") -> None:
+    """Reject a resume whose requested engine disagrees with the stored one.
+
+    A restored engine keeps the configuration it was created with; letting
+    different ``k``/``window``/``oracle``/shard settings pass silently
+    would emit answers for settings the caller did not ask for.  Both the
+    CLI resume path and each shard worker of the sharded plane route
+    through this single definition of "same config".
+
+    Args:
+        stored: The live algorithm recovered from durable state.
+        requested: A freshly built algorithm from the caller's settings.
+        where: What to name in the error (e.g. ``"shard 2"``).
+
+    Raises:
+        PersistenceError: when algorithm kind or config differ.
+    """
+    stored_state = algorithm_to_state(stored)
+    requested_state = algorithm_to_state(requested)
+    stored_key = (stored_state["algorithm"], stored_state["config"])
+    requested_key = (requested_state["algorithm"], requested_state["config"])
+    if stored_key != requested_key:
+        raise PersistenceError(
+            f"{where} was created with different engine settings "
+            f"(stored {stored_key[0]} {stored_key[1]}, requested "
+            f"{requested_key[0]} {requested_key[1]}); rerun with matching "
+            "settings or a fresh state dir"
+        )

@@ -17,7 +17,7 @@ as of one past slide boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.core.base import SIMResult
 

@@ -27,6 +27,16 @@ class ServiceConfig:
             this many received lines (plus an exact one per ``sync``).
         history: Published answer boards retained for historical
             ``/queries/<name>/history`` reads.
+        shards: Shard engines behind the ingest loop (the sharded
+            multi-core write plane, :mod:`repro.sharding`).  ``1`` serves
+            one engine exactly as before.  The server validates this
+            against the engine it is given (a mismatch raises), so a
+            config cannot silently claim a sharding level the engine
+            does not have.
+        shard_backend: Worker backend for ``shards > 1``: ``"thread"``
+            (default), ``"process"`` (one forked worker per shard — real
+            multi-core), or ``"serial"`` (debugging).  Validated against
+            the served engine like ``shards``.
     """
 
     host: str = "127.0.0.1"
@@ -36,6 +46,8 @@ class ServiceConfig:
     queue_capacity: int = 4096
     ack_every: int = 1000
     history: int = 128
+    shards: int = 1
+    shard_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.slide < 1:
@@ -54,3 +66,10 @@ class ServiceConfig:
             raise ValueError(f"history must be >= 1, got {self.history}")
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"shard_backend must be serial, thread or process, "
+                f"got {self.shard_backend!r}"
+            )

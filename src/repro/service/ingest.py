@@ -36,7 +36,26 @@ from repro.experiments.metrics import RateEstimator
 from repro.persistence.engine import RecoverableEngine
 from repro.service.cache import AnswerBoard, AnswerCache
 
-__all__ = ["IngestStats", "IngestLoop"]
+__all__ = ["IngestStats", "IngestLoop", "as_board"]
+
+
+def as_board(algorithm):
+    """The multi-query board face of an engine's algorithm, or ``None``.
+
+    Both :class:`~repro.core.multi.MultiQueryEngine` and the sharded
+    plane's :class:`~repro.sharding.engine.ShardedBoard` satisfy the board
+    protocol (``names``/``query``/``query_all``/``query_stats``/
+    ``add_publish_hook``); plain single-query algorithms do not and are
+    served under the implicit name ``"main"``.
+    """
+    if isinstance(algorithm, MultiQueryEngine):
+        return algorithm
+    if all(
+        hasattr(algorithm, attr)
+        for attr in ("names", "query_all", "query_stats", "add_publish_hook")
+    ):
+        return algorithm
+    return None
 
 
 class IngestStats:
@@ -130,8 +149,7 @@ class IngestLoop:
         self._task: Optional[asyncio.Task] = None
         self._error: Optional[BaseException] = None
         self.stats = IngestStats()
-        algorithm = engine.algorithm
-        self._multi = algorithm if isinstance(algorithm, MultiQueryEngine) else None
+        self._multi = as_board(engine.algorithm)
         if self._multi is not None:
             # Publication rides the engine's own slide boundary: the hook
             # fires inside process(), after every query advanced.

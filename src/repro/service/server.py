@@ -33,11 +33,10 @@ import time
 from typing import Callable, Optional, Tuple
 
 from repro.core.actions import ROOT, Action
-from repro.core.multi import MultiQueryEngine
 from repro.persistence.engine import RecoverableEngine
 from repro.service.cache import AnswerCache
 from repro.service.config import ServiceConfig
-from repro.service.ingest import IngestLoop
+from repro.service.ingest import IngestLoop, as_board
 
 __all__ = ["ReproService"]
 
@@ -67,6 +66,19 @@ class ReproService:
                 board (durable when opened with a state dir).
             config: Serving-plane knobs.
         """
+        engine_shards = getattr(engine, "shard_count", 1)
+        if config.shards != engine_shards:
+            raise ValueError(
+                f"config.shards={config.shards} but the engine has "
+                f"{engine_shards} shard(s); build the engine to match, "
+                "e.g. ShardedEngine.open(factory, config.shards, "
+                "backend=config.shard_backend)"
+            )
+        if engine_shards > 1 and engine.backend_name != config.shard_backend:
+            raise ValueError(
+                f"config.shard_backend={config.shard_backend!r} but the "
+                f"engine runs the {engine.backend_name!r} backend"
+            )
         self._engine = engine
         self._config = config
         self._cache = AnswerCache(history=config.history)
@@ -77,8 +89,7 @@ class ReproService:
             flush_interval=config.flush_interval,
             queue_capacity=config.queue_capacity,
         )
-        algorithm = engine.algorithm
-        self._multi = algorithm if isinstance(algorithm, MultiQueryEngine) else None
+        self._multi = as_board(engine.algorithm)
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown = asyncio.Event()
@@ -453,15 +464,20 @@ class ReproService:
                     }
                 )
             queries[name] = entry
+        engine = {
+            "slides": self._engine.slides_processed,
+            "time": self._engine.now,
+            "durable": self._engine.store is not None,
+            "snapshots_written": self._engine.snapshots_written,
+            "replayed_slides": self._engine.replayed_slides,
+        }
+        shard_count = getattr(self._engine, "shard_count", None)
+        if shard_count is not None:
+            engine["shards"] = shard_count
+            engine["shard_backend"] = self._engine.backend_name
         return {
             "uptime_seconds": round(now - self._started_at, 3),
             "ingest": ingest,
-            "engine": {
-                "slides": self._engine.slides_processed,
-                "time": self._engine.now,
-                "durable": self._engine.store is not None,
-                "snapshots_written": self._engine.snapshots_written,
-                "replayed_slides": self._engine.replayed_slides,
-            },
+            "engine": engine,
             "queries": queries,
         }

@@ -1,0 +1,868 @@
+"""ShardedEngine: S influencer-partitioned writer engines behind one facade.
+
+The facade keeps the engine API the rest of the system already speaks —
+``process``/``query``/``now``/``slides_processed``/``close`` — while the
+work happens in ``S`` shard hosts, each a full
+:class:`~repro.persistence.engine.RecoverableEngine` around an IC/SIC
+instance (or a :class:`~repro.core.multi.MultiQueryEngine` board of them)
+restricted to the influencers its
+:class:`~repro.sharding.partition.ShardAssignment` owns.
+
+**Write path.**  Every slide is broadcast to all shards: each shard
+resolves the full diffusion forest (ancestor chains stay globally exact)
+but pays index and oracle costs only for its owned pairs — the dominant
+cost on the measured workloads, which is what makes the plane scale with
+cores.  Three interchangeable backends run the shard hosts:
+
+* ``serial`` — direct in-process calls (deterministic; tests, debugging);
+* ``thread`` — one worker thread per shard (the default; shares one
+  interpreter, so CPU scaling is GIL-bound but the interface and
+  durability behaviour are identical);
+* ``process`` — one ``multiprocessing`` (fork) worker per shard: real
+  multi-core ingest, per-shard crash domains.
+
+**Read path.**  Reads are merge-on-read: the facade gathers every shard's
+answer plus candidate coverage and combines them with
+:func:`~repro.sharding.merge.merge_shard_answers` (exact lazy greedy for
+modular functions, bounded best-shard otherwise).  Publish hooks fire with
+the *merged* board after every slide, so the serving plane's immutable
+answer cache composes unchanged.
+
+**Durability.**  With a state directory the layout is::
+
+    <state_dir>/
+      sharding.json     shard count + partitioner (refuses mismatched reopens)
+      shard-0/ ... shard-(S-1)/    one full snapshot+WAL StateStore each
+
+Each shard recovers independently (newest snapshot + own WAL tail), so
+recovery parallelises with the backend and a crash that hit shards at
+different slide positions heals on redelivery: :meth:`ShardedEngine.process`
+forwards to each shard only the actions beyond *that shard's* clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import queue
+import threading
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.actions import Action
+from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.multi import MultiQueryEngine
+from repro.influence.queries import FilteredSIM
+from repro.persistence.engine import RecoverableEngine, shard_state_dir
+from repro.persistence.serialize import (
+    PersistenceError,
+    ensure_same_engine_config,
+)
+from repro.sharding.merge import (
+    SeedCandidate,
+    ShardAnswer,
+    answers_by_query,
+    merge_shard_answers,
+)
+from repro.sharding.partition import (
+    HashPartitioner,
+    Partitioner,
+    ShardAssignment,
+    partitioner_from_state,
+)
+
+__all__ = ["ShardedEngine", "ShardedBoard", "ShardingError"]
+
+#: File at the sharded state root recording shard count and partitioner.
+MANIFEST_NAME = "sharding.json"
+
+#: Sentinel payload: this shard has nothing to do for the current call.
+_SKIP = object()
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+class ShardingError(RuntimeError):
+    """A shard worker failed (construction, dispatch, or death)."""
+
+
+def _describe_error(error: BaseException) -> str:
+    """One-line error description plus traceback for cross-worker transport."""
+    return f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+
+
+class _ShardHost:
+    """One shard's engine plus its command handler (runs inside the worker)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        assignment: ShardAssignment,
+        factory: Callable,
+        state_dir,
+        snapshot_every: int,
+        keep_snapshots: int,
+        segment_records: int,
+        fsync: bool,
+    ):
+        self.shard_id = shard_id
+        self.assignment = assignment
+        self.engine = RecoverableEngine.open(
+            state_dir,
+            lambda: factory(assignment),
+            snapshot_every=snapshot_every,
+            keep_snapshots=keep_snapshots,
+            segment_records=segment_records,
+            fsync=fsync,
+        )
+        if self.engine.slides_processed:
+            ensure_same_engine_config(
+                self.engine.algorithm,
+                factory(self.assignment),
+                where=f"shard {self.shard_id} state",
+            )
+
+    def info(self) -> dict:
+        """Position and durability counters of this shard's engine."""
+        algorithm = self.engine.algorithm
+        return {
+            "shard": self.shard_id,
+            "slides": self.engine.slides_processed,
+            "now": self.engine.now,
+            "replayed": self.engine.replayed_slides,
+            "snapshots_written": self.engine.snapshots_written,
+            "actions": algorithm.actions_processed,
+            "durable": self.engine.store is not None,
+        }
+
+    def handle(self, cmd: str, payload):
+        """Dispatch one facade command; returns a pickle-friendly result."""
+        if cmd == "process":
+            self.engine.process(
+                [Action(time=t, user=u, parent=p) for t, u, p in payload]
+            )
+            return self.info()
+        if cmd == "answers":
+            return self._answers()
+        if cmd == "info":
+            return self.info()
+        if cmd == "snapshot":
+            self.engine.snapshot()
+            return self.info()
+        if cmd == "close":
+            self.engine.close(snapshot=payload)
+            return None
+        raise ValueError(f"unknown shard command {cmd!r}")
+
+    def _answers(self) -> dict:
+        """Every query's local answer + candidates, keyed by query name."""
+        algorithm = self.engine.algorithm
+        if isinstance(algorithm, MultiQueryEngine):
+            named = {
+                name: (algorithm.query(name), algorithm.query_candidates(name))
+                for name in algorithm.names()
+            }
+        else:
+            named = {"main": (algorithm.query(), algorithm.query_candidates())}
+        out = {}
+        for name, (answer, candidates) in named.items():
+            encoded = None
+            if candidates is not None:
+                encoded = [
+                    [user, sorted(coverage)] for user, coverage in candidates
+                ]
+            out[name] = {
+                "time": answer.time,
+                "value": answer.value,
+                "seeds": sorted(answer.seeds),
+                "candidates": encoded,
+            }
+        return out
+
+
+class _SerialBackend:
+    """All shard hosts in the calling thread — deterministic and simple."""
+
+    name = "serial"
+
+    def __init__(self, host_args: List[dict]):
+        self._hosts = [_ShardHost(**kwargs) for kwargs in host_args]
+
+    def call_all(self, cmd: str, payloads: Sequence) -> List:
+        """Run ``cmd`` on every non-skipped shard, in shard order."""
+        results: List = []
+        for host, payload in zip(self._hosts, payloads):
+            if payload is _SKIP:
+                results.append(None)
+                continue
+            try:
+                results.append(host.handle(cmd, payload))
+            except BaseException as error:
+                raise ShardingError(
+                    f"shard {host.shard_id} failed on {cmd!r}: "
+                    f"{_describe_error(error)}"
+                ) from error
+        return results
+
+    @property
+    def pids(self) -> Optional[List[int]]:
+        """Worker process ids (None: serial runs in the caller)."""
+        return None
+
+    def stop(self) -> None:
+        """Nothing to join for in-process hosts."""
+
+
+class _ThreadBackend:
+    """One worker thread per shard, fed through request/reply queues."""
+
+    name = "thread"
+
+    def __init__(self, host_args: List[dict]):
+        self._requests: List[queue.Queue] = []
+        self._replies: List[queue.Queue] = []
+        self._threads: List[threading.Thread] = []
+        for kwargs in host_args:
+            requests: queue.Queue = queue.Queue()
+            replies: queue.Queue = queue.Queue()
+            thread = threading.Thread(
+                target=self._worker,
+                args=(kwargs, requests, replies),
+                name=f"repro-shard-{kwargs['shard_id']}",
+                daemon=True,
+            )
+            thread.start()
+            self._requests.append(requests)
+            self._replies.append(replies)
+            self._threads.append(thread)
+        failures = []
+        for shard, replies in enumerate(self._replies):
+            status, result = replies.get()
+            if status != "ok":
+                failures.append(f"shard {shard}: {result}")
+        if failures:
+            self.stop()
+            raise ShardingError(
+                "shard worker construction failed: " + "; ".join(failures)
+            )
+
+    @staticmethod
+    def _worker(kwargs: dict, requests: queue.Queue, replies: queue.Queue):
+        try:
+            host = _ShardHost(**kwargs)
+        except BaseException as error:
+            replies.put(("fatal", _describe_error(error)))
+            return
+        replies.put(("ok", host.info()))
+        while True:
+            item = requests.get()
+            if item is None:
+                return
+            cmd, payload = item
+            try:
+                replies.put(("ok", host.handle(cmd, payload)))
+            except BaseException as error:
+                replies.put(("error", _describe_error(error)))
+
+    def call_all(self, cmd: str, payloads: Sequence) -> List:
+        """Dispatch to every non-skipped shard, then collect all replies."""
+        waiting = []
+        for shard, payload in enumerate(payloads):
+            if payload is _SKIP:
+                continue
+            self._requests[shard].put((cmd, payload))
+            waiting.append(shard)
+        results: List = [None] * len(payloads)
+        failures = []
+        for shard in waiting:
+            status, result = self._replies[shard].get()
+            if status == "ok":
+                results[shard] = result
+            else:
+                failures.append(f"shard {shard} failed on {cmd!r}: {result}")
+        if failures:
+            raise ShardingError("; ".join(failures))
+        return results
+
+    @property
+    def pids(self) -> Optional[List[int]]:
+        """Worker process ids (None: threads share this process)."""
+        return None
+
+    def stop(self) -> None:
+        """Ask every worker thread to exit and join it."""
+        for requests in self._requests:
+            requests.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30)
+
+
+def _process_worker(conn, kwargs: dict) -> None:
+    """Entry point of one forked shard worker (ProcessBackend)."""
+    try:
+        host = _ShardHost(**kwargs)
+    except BaseException as error:
+        conn.send(("fatal", _describe_error(error)))
+        conn.close()
+        return
+    conn.send(("ok", host.info()))
+    while True:
+        try:
+            item = conn.recv()
+        except EOFError:
+            break
+        if item is None:
+            break
+        cmd, payload = item
+        try:
+            conn.send(("ok", host.handle(cmd, payload)))
+        except BaseException as error:
+            conn.send(("error", _describe_error(error)))
+    conn.close()
+
+
+class _ProcessBackend:
+    """One forked ``multiprocessing`` worker per shard — real multi-core."""
+
+    name = "process"
+
+    def __init__(self, host_args: List[dict]):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - platform-specific
+            raise ShardingError(
+                "the process backend requires a fork-capable platform "
+                "(factories cross into workers by inheritance); use the "
+                "thread backend instead"
+            ) from error
+        self._connections = []
+        self._processes = []
+        for kwargs in host_args:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_process_worker,
+                args=(child_conn, kwargs),
+                name=f"repro-shard-{kwargs['shard_id']}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        failures = []
+        for shard, conn in enumerate(self._connections):
+            try:
+                status, result = conn.recv()
+            except EOFError:
+                status, result = "fatal", "worker exited before reporting"
+            if status != "ok":
+                failures.append(f"shard {shard}: {result}")
+        if failures:
+            self.stop()
+            raise ShardingError(
+                "shard worker construction failed: " + "; ".join(failures)
+            )
+
+    def call_all(self, cmd: str, payloads: Sequence) -> List:
+        """Dispatch to every non-skipped shard, then collect all replies."""
+        waiting = []
+        for shard, payload in enumerate(payloads):
+            if payload is _SKIP:
+                continue
+            try:
+                self._connections[shard].send((cmd, payload))
+                waiting.append(shard)
+            except (ConnectionError, EOFError, OSError):
+                raise ShardingError(
+                    f"shard {shard} worker is dead (pid "
+                    f"{self._processes[shard].pid}); reopen the sharded "
+                    "engine to recover from its WAL"
+                ) from None
+        results: List = [None] * len(payloads)
+        failures = []
+        for shard in waiting:
+            try:
+                status, result = self._connections[shard].recv()
+            except (ConnectionError, EOFError, OSError):
+                status = "error"
+                result = (
+                    f"worker died mid-command (pid "
+                    f"{self._processes[shard].pid}); reopen the sharded "
+                    "engine to recover from its WAL"
+                )
+            if status == "ok":
+                results[shard] = result
+            else:
+                failures.append(f"shard {shard} failed on {cmd!r}: {result}")
+        if failures:
+            raise ShardingError("; ".join(failures))
+        return results
+
+    @property
+    def pids(self) -> List[int]:
+        """Worker process ids (e.g. for crash-injection tests)."""
+        return [process.pid for process in self._processes]
+
+    def stop(self) -> None:
+        """Ask every worker to exit; join, then terminate stragglers."""
+        for conn in self._connections:
+            try:
+                conn.send(None)
+            except (ConnectionError, EOFError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._connections:
+            conn.close()
+
+
+class ShardedBoard:
+    """Board adapter: the merged, multi-query face of a sharded engine.
+
+    Satisfies the query-board protocol the serving plane consumes
+    (``names``/``query``/``query_all``/``query_stats``/
+    ``add_publish_hook``) so :class:`ShardedEngine` drops into
+    :mod:`repro.service` wherever a
+    :class:`~repro.core.multi.MultiQueryEngine` fits.
+    """
+
+    def __init__(self, engine: "ShardedEngine"):
+        """Wrap ``engine`` (built by the engine itself; not user-facing)."""
+        self._engine = engine
+
+    def names(self) -> List[str]:
+        """Query names served by the merged board, sorted."""
+        return sorted(self._engine._merge_params)
+
+    def query(self, name: str) -> SIMResult:
+        """The merged answer of one query.
+
+        Raises:
+            KeyError: when ``name`` is not on the board.
+        """
+        answers = self._engine.query_all()
+        if name not in answers:
+            raise KeyError(
+                f"unknown query {name!r}; registered: {sorted(answers)}"
+            )
+        return answers[name]
+
+    def query_all(self) -> Dict[str, SIMResult]:
+        """Merged answers of every query on the board."""
+        return self._engine.query_all()
+
+    def query_stats(self) -> Dict[str, dict]:
+        """Per-query operational stats (sharded flavour, for ``/metrics``)."""
+        engine = self._engine
+        return {
+            name: {
+                "kind": "sharded",
+                "shards": engine.shard_count,
+                "actions_processed": engine.actions_processed,
+                "time": engine.now,
+            }
+            for name in self.names()
+        }
+
+    def add_publish_hook(self, hook) -> None:
+        """Call ``hook(merged_answers)`` after every processed slide."""
+        self._engine._publish_hooks.append(hook)
+
+
+class ShardedEngine:
+    """Facade over S shard engines: broadcast writes, merge-on-read top-k."""
+
+    def __init__(
+        self,
+        backend,
+        partitioner: Partitioner,
+        merge_params: Dict[str, tuple],
+        multi: bool,
+        state_root: Optional[pathlib.Path],
+        infos: List[dict],
+    ):
+        """Internal constructor — use :meth:`open`."""
+        self._backend = backend
+        self._partitioner = partitioner
+        self._merge_params = merge_params
+        self._multi = multi
+        self._state_root = state_root
+        self._shard_nows = [info["now"] for info in infos]
+        self._shard_slides = [info["slides"] for info in infos]
+        self._snapshots = [info["snapshots_written"] for info in infos]
+        self._actions = max((info["actions"] for info in infos), default=0)
+        self._replayed = [info["replayed"] for info in infos]
+        self._publish_hooks: List = []
+        self._board = ShardedBoard(self)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        factory: Callable,
+        shards: int,
+        state_dir=None,
+        backend: str = "thread",
+        partitioner: Optional[Partitioner] = None,
+        snapshot_every: int = 16,
+        keep_snapshots: int = 3,
+        segment_records: int = 256,
+        fsync: bool = True,
+    ) -> "ShardedEngine":
+        """Build (or recover) a sharded engine.
+
+        Args:
+            factory: ``factory(assignment)`` builds one shard's algorithm —
+                an IC/SIC instance (or a MultiQueryEngine board of them)
+                constructed with ``shard=assignment``.  It is also called
+                with ``None`` once, in the facade, to probe the query
+                names, ``k`` and influence functions the merge needs.
+            shards: Number of shard engines (>= 1).
+            state_dir: Durable state root (``shard-<i>/`` per shard plus a
+                ``sharding.json`` manifest), or ``None`` for in-memory.
+            backend: ``"serial"``, ``"thread"`` (default) or ``"process"``.
+            partitioner: Influencer partitioner; defaults to
+                :class:`~repro.sharding.partition.HashPartitioner`.
+            snapshot_every: Per-shard auto-snapshot cadence in slides.
+            keep_snapshots: Per-shard snapshot retention.
+            segment_records: Per-shard WAL records per segment.
+            fsync: Force per-shard WAL appends/snapshots to stable storage.
+
+        Raises:
+            ShardingError: on bad knobs or worker construction failure.
+            PersistenceError: when an existing state root disagrees with
+                the requested shard count/partitioner or per-shard config.
+        """
+        if shards < 1:
+            raise ShardingError(f"shards must be >= 1, got {shards}")
+        if backend not in _BACKENDS:
+            raise ShardingError(
+                f"unknown backend {backend!r}; choose from {_BACKENDS}"
+            )
+        if partitioner is None:
+            partitioner = HashPartitioner(shards)
+        if partitioner.shards != shards:
+            raise ShardingError(
+                f"partitioner spreads over {partitioner.shards} shards, "
+                f"but {shards} were requested"
+            )
+        state_root = None
+        if state_dir is not None:
+            state_root = pathlib.Path(state_dir)
+            cls._check_manifest(state_root, shards, partitioner)
+        probe = factory(None)
+        merge_params = cls._probe_merge_params(probe)
+        multi = isinstance(probe, MultiQueryEngine)
+        host_args = [
+            {
+                "shard_id": shard,
+                "assignment": ShardAssignment(partitioner, shard),
+                "factory": factory,
+                "state_dir": (
+                    shard_state_dir(state_root, shard)
+                    if state_root is not None
+                    else None
+                ),
+                "snapshot_every": snapshot_every,
+                "keep_snapshots": keep_snapshots,
+                "segment_records": segment_records,
+                "fsync": fsync,
+            }
+            for shard in range(shards)
+        ]
+        builder = {
+            "serial": _SerialBackend,
+            "thread": _ThreadBackend,
+            "process": _ProcessBackend,
+        }[backend]
+        backend_obj = builder(host_args)
+        infos = backend_obj.call_all("info", [None] * shards)
+        return cls(backend_obj, partitioner, merge_params, multi, state_root, infos)
+
+    @staticmethod
+    def _check_manifest(
+        root: pathlib.Path, shards: int, partitioner: Partitioner
+    ) -> None:
+        """Create or validate the state root's ``sharding.json``."""
+        expected = {
+            "format": 1,
+            "shards": shards,
+            "partitioner": partitioner.to_state(),
+        }
+        manifest_path = root / MANIFEST_NAME
+        if manifest_path.exists():
+            stored = json.loads(manifest_path.read_text())
+            if stored != expected:
+                raise PersistenceError(
+                    f"sharded state dir {root} was created with "
+                    f"{stored.get('shards')} shards and partitioner "
+                    f"{stored.get('partitioner')}, but "
+                    f"{shards}/{partitioner.to_state()} were requested; "
+                    "reopen with matching settings or a fresh state dir"
+                )
+            # Re-check the partitioner round-trips (guards registry drift).
+            partitioner_from_state(stored["partitioner"])
+            return
+        root.mkdir(parents=True, exist_ok=True)
+        tmp = root / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(expected, sort_keys=True) + "\n")
+        os.replace(tmp, manifest_path)
+
+    @staticmethod
+    def _probe_merge_params(probe) -> Dict[str, tuple]:
+        """``{query name: (k, influence function or None)}`` from a probe build."""
+        if isinstance(probe, MultiQueryEngine):
+            params = {}
+            for name in probe.names():
+                registered = probe.get(name)
+                algorithm = (
+                    registered.algorithm
+                    if isinstance(registered, FilteredSIM)
+                    else registered
+                )
+                params[name] = (
+                    algorithm.k,
+                    getattr(algorithm, "influence_function", None),
+                )
+            if not params:
+                raise ShardingError("the probe board registers no queries")
+            return params
+        if isinstance(probe, SIMAlgorithm):
+            return {"main": (probe.k, getattr(probe, "influence_function", None))}
+        raise ShardingError(
+            f"factory(None) must build a SIMAlgorithm or MultiQueryEngine, "
+            f"got {type(probe).__name__}"
+        )
+
+    # -- streaming ---------------------------------------------------------
+
+    def process(self, batch: Sequence[Action]) -> None:
+        """Broadcast one slide to every shard (with per-shard catch-up).
+
+        The batch must be strictly ascending and beyond the facade clock
+        (the minimum shard clock).  A shard that is *ahead* — possible
+        after a crash that hit shards at different positions — receives
+        only the suffix beyond its own clock, so at-least-once redelivery
+        heals the lag instead of tripping the per-shard stream contract.
+        """
+        if self._closed:
+            raise ShardingError("sharded engine is closed")
+        batch = list(batch)
+        if not batch:
+            return
+        last = self.now
+        for action in batch:
+            if action.time <= last:
+                raise ValueError(
+                    f"engine received out-of-order action {action.time} "
+                    f"after {last}"
+                )
+            last = action.time
+        encoded = [(a.time, a.user, a.parent) for a in batch]
+        aligned = all(now == self._shard_nows[0] for now in self._shard_nows)
+        payloads: List = []
+        for shard_now in self._shard_nows:
+            if aligned:
+                payloads.append(encoded)
+            else:
+                suffix = [item for item in encoded if item[0] > shard_now]
+                payloads.append(suffix if suffix else _SKIP)
+        with self._lock:
+            replies = self._backend.call_all("process", payloads)
+        self._absorb_infos(replies)
+        if self._publish_hooks:
+            answers = self.query_all()
+            for hook in self._publish_hooks:
+                hook(answers)
+
+    def _absorb_infos(self, replies: Sequence[Optional[dict]]) -> None:
+        """Update cached per-shard positions from command replies."""
+        for shard, info in enumerate(replies):
+            if info is None:
+                continue
+            self._shard_nows[shard] = info["now"]
+            self._shard_slides[shard] = info["slides"]
+            self._snapshots[shard] = info["snapshots_written"]
+            self._actions = max(self._actions, info["actions"])
+
+    # -- reads -------------------------------------------------------------
+
+    def query_all(self) -> Dict[str, SIMResult]:
+        """Merged answers of every query (the merge-on-read read path)."""
+        if self._closed:
+            raise ShardingError("sharded engine is closed")
+        with self._lock:
+            gathered = self._backend.call_all(
+                "answers", [None] * self.shard_count
+            )
+        per_shard = [
+            self._decode_answers(shard, payload)
+            for shard, payload in enumerate(gathered)
+        ]
+        by_query = answers_by_query(per_shard)
+        merged: Dict[str, SIMResult] = {}
+        for name, (k, func) in self._merge_params.items():
+            merged[name] = merge_shard_answers(
+                by_query.get(name, []), k=k, func=func, time=self.now
+            )
+        return merged
+
+    @staticmethod
+    def _decode_answers(shard: int, payload: dict) -> Dict[str, ShardAnswer]:
+        """Rebuild :class:`~repro.sharding.merge.ShardAnswer` objects."""
+        decoded = {}
+        for name, entry in payload.items():
+            candidates = None
+            if entry["candidates"] is not None:
+                candidates = tuple(
+                    SeedCandidate(user=user, coverage=frozenset(coverage))
+                    for user, coverage in entry["candidates"]
+                )
+            decoded[name] = ShardAnswer(
+                shard=shard,
+                time=entry["time"],
+                seeds=frozenset(entry["seeds"]),
+                value=entry["value"],
+                candidates=candidates,
+            )
+        return decoded
+
+    def query(self) -> SIMResult:
+        """The merged answer (single-query engines answer as ``"main"``)."""
+        answers = self.query_all()
+        if not self._multi:
+            return answers["main"]
+        if len(answers) == 1:
+            return next(iter(answers.values()))
+        raise ShardingError(
+            f"query() is ambiguous on a board of {len(answers)} queries; "
+            "use query_all() or algorithm.query(name)"
+        )
+
+    def query_stats(self) -> Dict[str, dict]:
+        """Per-query operational stats (delegates to the board adapter)."""
+        return self._board.query_stats()
+
+    # -- durability --------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write a full-state snapshot on every shard now."""
+        if self._state_root is None:
+            raise PersistenceError("engine has no state store to snapshot to")
+        with self._lock:
+            replies = self._backend.call_all(
+                "snapshot", [None] * self.shard_count
+            )
+        self._absorb_infos(replies)
+
+    def close(self, snapshot: bool = True) -> None:
+        """Seal every shard (final snapshot by default) and stop workers.
+
+        Idempotent; worker failures during close are swallowed after the
+        first attempt so a crashed shard never blocks releasing the rest.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._lock:
+                self._backend.call_all(
+                    "close", [snapshot] * self.shard_count
+                )
+        except ShardingError:
+            # A dead shard cannot seal; its WAL already covers recovery.
+            pass
+        finally:
+            self._backend.stop()
+
+    def __enter__(self) -> "ShardedEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close on exit; skip the final snapshot after an exception."""
+        self.close(snapshot=exc_type is None)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def algorithm(self) -> ShardedBoard:
+        """The merged query board (the serving plane's write-side contract)."""
+        return self._board
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The influencer partitioner shared by all shards."""
+        return self._partitioner
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shard engines."""
+        return self._partitioner.shards
+
+    @property
+    def backend_name(self) -> str:
+        """Which worker backend runs the shards."""
+        return self._backend.name
+
+    @property
+    def worker_pids(self) -> Optional[List[int]]:
+        """Shard worker process ids (``None`` for in-process backends)."""
+        return self._backend.pids
+
+    @property
+    def now(self) -> int:
+        """The facade stream clock: the *minimum* shard clock.
+
+        Using the minimum keeps at-least-once redelivery sound after a
+        crash that left shards at different positions: the serving plane
+        drops actions at or below this clock, and anything newer is
+        forwarded per shard with the catch-up filter of :meth:`process`.
+        """
+        return min(self._shard_nows, default=0)
+
+    @property
+    def slides_processed(self) -> int:
+        """Engine slides at the most advanced shard."""
+        return max(self._shard_slides, default=0)
+
+    @property
+    def actions_processed(self) -> int:
+        """Actions consumed at the most advanced shard."""
+        return self._actions
+
+    @property
+    def replayed_slides(self) -> int:
+        """WAL slides replayed at open by the slowest-recovering shard."""
+        return max(self._replayed, default=0)
+
+    @property
+    def shard_replayed_slides(self) -> List[int]:
+        """Per-shard WAL replay counts from the last :meth:`open`."""
+        return list(self._replayed)
+
+    @property
+    def snapshots_written(self) -> int:
+        """Snapshots written across all shards by this engine instance."""
+        return sum(self._snapshots)
+
+    @property
+    def store(self) -> Optional[pathlib.Path]:
+        """The sharded state root (``None`` for in-memory engines)."""
+        return self._state_root
+
+    def shard_infos(self) -> List[dict]:
+        """Live per-shard positions (one IPC round; for metrics/debugging)."""
+        with self._lock:
+            infos = self._backend.call_all("info", [None] * self.shard_count)
+        self._absorb_infos(infos)
+        return infos

@@ -1,0 +1,220 @@
+"""Merge-on-read top-k: one global answer from per-shard candidate lists.
+
+Each shard engine answers the SIM query over the influencers it owns.
+Because influence evaluation of a seed set only touches the seeds' own
+influence sets — all of which live in the owning shard — a shard's
+reported ``(seeds, value)`` is an *exact* global evaluation of that seed
+set.  What the shards cannot see is cross-shard redundancy: seeds owned by
+different shards may influence the same users, so per-shard values must
+not simply be added.
+
+:func:`merge_shard_answers` therefore merges lazily at read time:
+
+* **Modular functions** (cardinality, weighted cardinality) ship, with
+  each candidate seed, its exact coverage set (the members of its
+  influence set in the answering suffix).  The merge runs a CELF-style
+  lazy greedy over the union of all shards' candidate lists, recomputing a
+  candidate's marginal gain only while it tops the priority queue, and
+  reports ``f`` of the union actually covered — cross-shard overlap is
+  deducted exactly, never estimated.  The result is at least as good as
+  the best single shard's answer (the merge falls back to it when greedy
+  selection ends lower), so with an ``α``-approximate per-shard oracle the
+  merged value is ``≥ α·OPT_s`` for every shard ``s``; since a submodular
+  ``f`` with ``f(∅)=0`` is subadditive over the optimum's per-shard split,
+  ``OPT ≤ Σ_s OPT_s``, giving the worst-case bound ``merged ≥ (α/S)·OPT``
+  (the two-round partition scheme of Mirzasoleiman et al.'s GreeDi; in
+  practice hash partitioning keeps the merge within a few percent of the
+  unsharded answer — the ratio property tests pin the bound).
+
+* **Non-modular oracles** (e.g. conformity-aware influence) cannot be
+  re-evaluated from bare coverage sets, so the merge is the documented
+  *bounded approximation*: the best single shard's answer, exact in value,
+  with the same ``(α/S)``-of-OPT worst-case guarantee.
+
+With a :class:`~repro.sharding.partition.ConstantPartitioner` all mass
+lands on one shard and both paths reduce to that shard's answer verbatim —
+which is how ``ShardedEngine ≡ single engine`` is pinned end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.base import SIMResult
+from repro.influence.functions import InfluenceFunction
+
+__all__ = ["SeedCandidate", "ShardAnswer", "merge_shard_answers"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeedCandidate:
+    """One shard-local seed candidate offered to the global merge.
+
+    Attributes:
+        user: The candidate seed user (owned by the reporting shard).
+        coverage: The users the candidate influences in the shard's
+            answering suffix — exact, because the shard owns every
+            influence pair of its users.  ``None`` when the shard engine
+            cannot ship coverage (non-modular oracles, algorithms without
+            the candidate hook); the merge then falls back to best-shard.
+    """
+
+    user: int
+    coverage: Optional[FrozenSet[int]]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardAnswer:
+    """One shard engine's local answer plus its mergeable candidates.
+
+    Attributes:
+        shard: Reporting shard id.
+        time: The shard's stream clock at answer time.
+        seeds: The shard oracle's seed set (at most ``k`` users).
+        value: The shard oracle's value — an exact global evaluation of
+            ``seeds`` (see module docstring).
+        candidates: Candidate list for the greedy merge, or ``None`` when
+            coverage cannot be shipped.
+    """
+
+    shard: int
+    time: int
+    seeds: FrozenSet[int]
+    value: float
+    candidates: Optional[Tuple[SeedCandidate, ...]] = None
+
+
+def _best_shard(answers: Sequence[ShardAnswer]) -> ShardAnswer:
+    """The answer with the highest value (ties to the lowest shard id)."""
+    return max(answers, key=lambda a: (a.value, -a.shard))
+
+
+def _greedy_merge(
+    pool: List[SeedCandidate], k: int, func: InfluenceFunction
+) -> Tuple[Set[int], Set[int]]:
+    """CELF lazy greedy over the candidate pool (modular functions only).
+
+    Returns ``(selected users, covered users)``.  Marginal gains are exact
+    (``f`` restricted to uncovered members); a candidate is re-evaluated
+    only while it tops the heap, and selection stops at ``k`` seeds or
+    when no candidate adds value.
+    """
+    covered: Set[int] = set()
+    selected: Set[int] = set()
+    # Heap entries: (-gain, insertion order, candidate, evaluation round).
+    # An entry evaluated in the current round is exact; stale entries are
+    # refreshed lazily when popped (gains only shrink as coverage grows).
+    heap = []
+    for order, candidate in enumerate(pool):
+        gain = func.value_of_covered(candidate.coverage)
+        heap.append((-gain, order, candidate, 0))
+    heapq.heapify(heap)
+    round_no = 0
+    while heap and len(selected) < k:
+        negative_gain, order, candidate, evaluated = heapq.heappop(heap)
+        if candidate.user in selected:
+            continue
+        if evaluated != round_no:
+            fresh = func.value_of_covered(candidate.coverage - covered)
+            heapq.heappush(heap, (-fresh, order, candidate, round_no))
+            continue
+        if -negative_gain <= 0.0:
+            break
+        selected.add(candidate.user)
+        covered |= candidate.coverage
+        round_no += 1
+    return selected, covered
+
+
+def merge_shard_answers(
+    answers: Sequence[ShardAnswer],
+    k: int,
+    func: Optional[InfluenceFunction] = None,
+    time: Optional[int] = None,
+) -> SIMResult:
+    """Combine per-shard answers into one global top-k answer.
+
+    Args:
+        answers: One :class:`ShardAnswer` per shard (empty shards may be
+            omitted or report empty seeds).
+        k: Global seed-set cardinality constraint.
+        func: The query's influence function.  The exact greedy merge runs
+            only when it is modular *and* every non-empty answer shipped
+            candidate coverage; otherwise the best single shard answers.
+        time: Stream clock for the merged answer; defaults to the maximum
+            shard clock.
+
+    Returns:
+        The merged :class:`~repro.core.base.SIMResult`.  Its value is
+        never an overestimate: it is either ``f`` evaluated on users
+        actually covered (greedy path) or a shard's own exact evaluation
+        (best-shard path).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    answers = [a for a in answers if a is not None]
+    when = time if time is not None else max((a.time for a in answers), default=0)
+    live = [a for a in answers if a.seeds]
+    if not live:
+        return SIMResult(time=when, seeds=frozenset(), value=0.0)
+    if len(live) == 1:
+        only = live[0]
+        return SIMResult(time=when, seeds=only.seeds, value=only.value)
+
+    mergeable = (
+        func is not None
+        and func.modular
+        and all(
+            a.candidates is not None
+            and all(c.coverage is not None for c in a.candidates)
+            for a in live
+        )
+    )
+    best = _best_shard(live)
+    if not mergeable:
+        return SIMResult(time=when, seeds=best.seeds, value=best.value)
+
+    pool: List[SeedCandidate] = []
+    seen: Set[int] = set()
+    for answer in live:
+        for candidate in answer.candidates:
+            if candidate.user not in seen:
+                seen.add(candidate.user)
+                pool.append(candidate)
+    if len(pool) <= k:
+        # Nothing to select: every candidate fits.  Keeping them all (even
+        # zero-marginal ones) preserves exact equality with the degenerate
+        # single-shard case, where the pool is precisely one oracle's
+        # answer set.
+        covered: Set[int] = set()
+        for candidate in pool:
+            covered |= candidate.coverage
+        return SIMResult(
+            time=when,
+            seeds=frozenset(c.user for c in pool),
+            value=func.value_of_covered(covered),
+        )
+    selected, covered = _greedy_merge(pool, k, func)
+    merged_value = func.value_of_covered(covered)
+    if merged_value < best.value:
+        # Greedy over the union can end below the best shard's own answer;
+        # taking the better of the two keeps merged >= max_s value_s.
+        return SIMResult(time=when, seeds=best.seeds, value=best.value)
+    return SIMResult(time=when, seeds=frozenset(selected), value=merged_value)
+
+
+def answers_by_query(
+    per_shard: Sequence[Dict[str, ShardAnswer]],
+) -> Dict[str, List[ShardAnswer]]:
+    """Pivot per-shard ``{query: answer}`` maps into per-query answer lists.
+
+    Missing entries are tolerated (a shard that has not yet opened a
+    query's board simply contributes nothing for it).
+    """
+    merged: Dict[str, List[ShardAnswer]] = {}
+    for shard_map in per_shard:
+        for name, answer in shard_map.items():
+            merged.setdefault(name, []).append(answer)
+    return merged

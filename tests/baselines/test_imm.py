@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.imm import IMMResult, imm_select
+from repro.baselines.imm import imm_select
 from repro.diffusion.monte_carlo import estimate_spread
 from repro.graphs.graph import DiGraph
 from repro.graphs.rmat import rmat_edges

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.actions import Action
 from repro.core.cascade_view import cascade_roots, render_cascade
-from tests.conftest import make_paper_stream, random_stream
+from tests.conftest import random_stream
 
 
 class TestCascadeRoots:

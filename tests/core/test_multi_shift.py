@@ -1,6 +1,5 @@
 """Properties of multiple window shifts (Section 5.3, L > 1)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.actions import Action
 from repro.datasets.io import (
     ingest_events,
     read_csv,
@@ -10,7 +9,7 @@ from repro.datasets.io import (
     write_csv,
     write_jsonl,
 )
-from tests.conftest import make_paper_stream, random_stream
+from tests.conftest import random_stream
 
 
 class TestJsonlRoundtrip:

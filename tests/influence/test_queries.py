@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.actions import Action
 from repro.core.greedy import WindowedGreedy
 from repro.influence.filters import Region, filter_stream
 from repro.influence.queries import FilteredSIM, LocationAwareSIM, TopicAwareSIM

@@ -1,0 +1,235 @@
+"""Unit tests for the merge-on-read top-k combiner."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.influence.functions import (
+    CardinalityInfluence,
+    ConformityAwareInfluence,
+    WeightedCardinalityInfluence,
+)
+from repro.sharding.merge import (
+    SeedCandidate,
+    ShardAnswer,
+    merge_shard_answers,
+)
+
+CARD = CardinalityInfluence()
+
+
+def answer(shard, seeds_coverage, time=10):
+    """A ShardAnswer whose value is the exact cardinality of the union."""
+    covered = set()
+    for _user, coverage in seeds_coverage:
+        covered |= set(coverage)
+    return ShardAnswer(
+        shard=shard,
+        time=time,
+        seeds=frozenset(u for u, _ in seeds_coverage),
+        value=float(len(covered)),
+        candidates=tuple(
+            SeedCandidate(user=u, coverage=frozenset(c))
+            for u, c in seeds_coverage
+        ),
+    )
+
+
+class TestModularMerge:
+    def test_cross_shard_overlap_is_deducted_exactly(self):
+        """Two shards covering the same users must not double count."""
+        merged = merge_shard_answers(
+            [
+                answer(0, [(1, {100, 101, 102})]),
+                answer(1, [(2, {101, 102, 103})]),
+            ],
+            k=2,
+            func=CARD,
+        )
+        assert merged.seeds == {1, 2}
+        assert merged.value == 4.0  # |{100,101,102,103}|, not 3+3
+
+    def test_greedy_beats_any_single_shard(self):
+        merged = merge_shard_answers(
+            [
+                answer(0, [(1, {100, 101}), (3, {104})]),
+                answer(1, [(2, {102, 103})]),
+            ],
+            k=2,
+            func=CARD,
+        )
+        # Best pair across shards is {1, 2} with 4 covered users.
+        assert merged.value == 4.0
+        assert merged.seeds == {1, 2}
+
+    def test_merged_never_below_best_shard(self):
+        """Pathological pools cannot drag the merge below the best shard."""
+        best = answer(0, [(1, {100, 101, 102, 103, 104})])
+        other = answer(1, [(2, {200}), (3, {201}), (4, {202})])
+        merged = merge_shard_answers([best, other], k=1, func=CARD)
+        assert merged.value >= best.value
+        assert merged.seeds == {1}
+
+    def test_pool_not_larger_than_k_returns_everything(self):
+        """<= k candidates: no selection, exact union (the S=1 identity)."""
+        only = answer(0, [(1, {100}), (2, {100, 101})])
+        merged = merge_shard_answers([only, answer(1, [])], k=3, func=CARD)
+        assert merged.seeds == {1, 2}
+        assert merged.value == 2.0
+
+    def test_k_is_respected(self):
+        merged = merge_shard_answers(
+            [
+                answer(0, [(1, {1}), (2, {2})]),
+                answer(1, [(3, {3}), (4, {4})]),
+            ],
+            k=2,
+            func=CARD,
+        )
+        assert len(merged.seeds) == 2
+
+    def test_weighted_function_uses_weights(self):
+        func = WeightedCardinalityInfluence({100: 10.0}, default=1.0)
+        merged = merge_shard_answers(
+            [
+                ShardAnswer(0, 5, frozenset({1}), 11.0, (
+                    SeedCandidate(1, frozenset({100, 101})),
+                )),
+                ShardAnswer(1, 5, frozenset({2}), 2.0, (
+                    SeedCandidate(2, frozenset({102, 103})),
+                )),
+            ],
+            k=1,
+            func=func,
+        )
+        assert merged.seeds == {1}
+        assert merged.value == 11.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_lazy_greedy_matches_naive_greedy_value(self, data):
+        """CELF's lazy refresh must not change the greedy outcome value."""
+        n_candidates = data.draw(st.integers(1, 8))
+        k = data.draw(st.integers(1, 4))
+        pool = []
+        for user in range(n_candidates):
+            coverage = data.draw(
+                st.frozensets(st.integers(0, 15), min_size=0, max_size=8)
+            )
+            pool.append((user, coverage))
+        shards = [
+            answer(0, pool[::2]),
+            answer(1, pool[1::2]),
+        ]
+        merged = merge_shard_answers(shards, k=k, func=CARD)
+
+        # Naive reference: exhaustive greedy (or all when pool <= k).
+        candidates = {u: c for u, c in pool}
+        if len(candidates) <= k:
+            expected = float(len(set().union(*candidates.values())
+                                 if candidates else set()))
+        else:
+            covered, chosen = set(), set()
+            for _ in range(k):
+                best_user, best_gain = None, 0.0
+                for u, c in candidates.items():
+                    if u in chosen:
+                        continue
+                    gain = len(c - covered)
+                    if gain > best_gain:
+                        best_user, best_gain = u, gain
+                if best_user is None:
+                    break
+                chosen.add(best_user)
+                covered |= candidates[best_user]
+            best_single = max(
+                (a.value for a in shards if a.seeds), default=0.0
+            )
+            expected = max(float(len(covered)), best_single)
+        assert merged.value == expected
+
+
+class TestFallbacks:
+    def test_non_modular_takes_best_shard(self):
+        func = ConformityAwareInfluence({}, {})
+        first = ShardAnswer(0, 9, frozenset({1}), 3.0, None)
+        second = ShardAnswer(1, 9, frozenset({2, 3}), 5.0, None)
+        merged = merge_shard_answers([first, second], k=2, func=func)
+        assert merged.seeds == {2, 3}
+        assert merged.value == 5.0
+
+    def test_missing_candidates_take_best_shard_even_when_modular(self):
+        first = ShardAnswer(0, 9, frozenset({1}), 3.0, None)
+        second = answer(1, [(2, {100, 101})])
+        merged = merge_shard_answers([first, second], k=2, func=CARD)
+        assert merged.seeds == {1}  # value 3.0 beats 2.0
+        assert merged.value == 3.0
+
+    def test_no_function_takes_best_shard(self):
+        merged = merge_shard_answers(
+            [answer(0, [(1, {100})]), answer(1, [(2, {101, 102})])],
+            k=2,
+            func=None,
+        )
+        assert merged.seeds == {2}
+
+    def test_ties_break_to_lowest_shard(self):
+        merged = merge_shard_answers(
+            [
+                ShardAnswer(0, 9, frozenset({1}), 4.0, None),
+                ShardAnswer(1, 9, frozenset({2}), 4.0, None),
+            ],
+            k=1,
+        )
+        assert merged.seeds == {1}
+
+    def test_empty_answers_give_zero_result(self):
+        merged = merge_shard_answers([], k=3, func=CARD)
+        assert merged.seeds == frozenset()
+        assert merged.value == 0.0
+
+    def test_single_live_shard_is_returned_verbatim(self):
+        only = answer(2, [(7, {100, 101})], time=42)
+        merged = merge_shard_answers(
+            [ShardAnswer(0, 42, frozenset(), 0.0, ()), only], k=5, func=CARD
+        )
+        assert merged.seeds == only.seeds
+        assert merged.value == only.value
+        assert merged.time == 42
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="got 0"):
+            merge_shard_answers([], k=0)
+
+
+class TestBound:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_merged_at_least_best_shard_and_within_opt(self, seed):
+        """merged >= max_s value_s and merged <= OPT over the pool."""
+        import random
+
+        rng = random.Random(seed)
+        k = rng.randint(1, 3)
+        shards = []
+        all_candidates = {}
+        for shard in range(3):
+            cands = []
+            # A real shard oracle never answers more than k seeds.
+            for user in range(shard * 10, shard * 10 + rng.randint(1, k)):
+                coverage = frozenset(
+                    rng.sample(range(30), rng.randint(0, 6))
+                )
+                cands.append((user, coverage))
+                all_candidates[user] = coverage
+            shards.append(answer(shard, cands))
+        merged = merge_shard_answers(shards, k=k, func=CARD)
+        assert merged.value >= max(a.value for a in shards if a.seeds)
+        opt = 0.0
+        users = list(all_candidates)
+        for combo in itertools.combinations(users, min(k, len(users))):
+            covered = set().union(*(all_candidates[u] for u in combo))
+            opt = max(opt, float(len(covered)))
+        assert merged.value <= opt + 1e-9

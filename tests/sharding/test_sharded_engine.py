@@ -1,0 +1,384 @@
+"""Property and integration tests for the sharded ingest plane.
+
+Covers the PR's acceptance criteria:
+
+* **Shard-merge equivalence** — with a degenerate partitioner (all
+  influencers on one shard) ``ShardedEngine(S)`` answers *identically* to
+  the single engine for IC + SIC at L ∈ {1, 5} and S ∈ {1, 2, 4}, across
+  every shard id and backend; S=1 hash partitioning is likewise exact.
+* **Merge soundness under real partitioning** — the merged value of a
+  hash-partitioned board is an exact evaluation (never an overestimate)
+  of the merged seeds against the true window index, is at least the best
+  single shard's answer, and clears the ``(1/2 − β)/S`` fraction of the
+  brute-force window optimum (the documented worst-case bound) for both
+  modular and non-modular influence functions.
+* **Crash recovery** — per-shard WAL/snapshot dirs recover independently:
+  abandoning mid-stream and re-feeding converges to the uninterrupted
+  run (thread backend), and ``kill -9`` of a single worker process
+  (process backend) surfaces as ``ShardingError``, after which reopening
+  the whole engine heals the lagging shard on redelivery.
+"""
+
+import itertools
+import os
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diffusion import DiffusionForest
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.influence_index import WindowInfluenceIndex
+from repro.core.multi import MultiQueryEngine
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.influence.functions import ConformityAwareInfluence
+from repro.persistence.serialize import PersistenceError
+from repro.sharding.engine import ShardedEngine, ShardingError
+from repro.sharding.partition import ConstantPartitioner, HashPartitioner
+from tests.conftest import random_stream
+
+MAKERS = {
+    "ic": lambda shard=None, **kw: InfluentialCheckpoints(
+        window_size=40, k=3, beta=0.3, shard=shard, **kw
+    ),
+    "sic": lambda shard=None, **kw: SparseInfluentialCheckpoints(
+        window_size=40, k=3, beta=0.3, shard=shard, **kw
+    ),
+}
+
+
+def run_single(make, actions, slide):
+    framework = make()
+    for batch in batched(actions, slide):
+        framework.process(batch)
+    return framework.query()
+
+
+def run_sharded(make, actions, slide, shards, **open_kwargs):
+    open_kwargs.setdefault("backend", "serial")
+    with ShardedEngine.open(
+        lambda assignment=None: make(shard=assignment), shards, **open_kwargs
+    ) as engine:
+        for batch in batched(actions, slide):
+            engine.process(list(batch))
+        return engine.query()
+
+
+def window_ground_truth(actions, window):
+    """The exact window influence index after the whole stream."""
+    forest = DiffusionForest()
+    index = WindowInfluenceIndex()
+    records = []
+    for action in actions:
+        record = forest.add(action)
+        records.append(record)
+        index.add(record)
+        if len(records) > window:
+            index.remove(records.pop(0))
+    return index
+
+
+class TestDegenerateEquivalence:
+    """ShardedEngine(S) ≡ single engine when one shard owns everything."""
+
+    @pytest.mark.parametrize("algorithm", ["ic", "sic"])
+    @pytest.mark.parametrize("slide", [1, 5])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_constant_partitioner_matches_single(
+        self, algorithm, slide, shards
+    ):
+        actions = random_stream(120, 12, seed=21)
+        make = MAKERS[algorithm]
+        expected = run_single(make, actions, slide)
+        for target in range(shards):
+            merged = run_sharded(
+                make,
+                actions,
+                slide,
+                shards,
+                partitioner=ConstantPartitioner(shards, target),
+            )
+            assert merged == expected
+
+    @pytest.mark.parametrize("algorithm", ["ic", "sic"])
+    @pytest.mark.parametrize("slide", [1, 5])
+    def test_single_shard_hash_matches_single(self, algorithm, slide):
+        actions = random_stream(120, 12, seed=22)
+        make = MAKERS[algorithm]
+        assert run_sharded(make, actions, slide, 1) == run_single(
+            make, actions, slide
+        )
+
+    def test_backends_agree(self):
+        actions = random_stream(150, 15, seed=23)
+        make = MAKERS["ic"]
+        answers = {
+            backend: run_sharded(make, actions, 5, 3, backend=backend)
+            for backend in ("serial", "thread", "process")
+        }
+        assert answers["serial"] == answers["thread"] == answers["process"]
+
+
+class TestMergeSoundness:
+    """Hash-partitioned merges are exact evaluations within the bound."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), slide=st.sampled_from([1, 4]))
+    def test_ic_merged_value_is_exact_window_evaluation(self, seed, slide):
+        """Modular merge: claimed value == |coverage(seeds)| in the window.
+
+        At aligned times IC's answering checkpoint covers exactly the
+        window, so the candidates' coverage sets are the true window
+        influence sets and the merged value must equal the ground truth
+        evaluation of the merged seeds — overlap deducted exactly.
+        """
+        window = 12  # both slide values divide it
+        actions = random_stream(48, 6, seed=seed)
+        make = lambda shard=None: InfluentialCheckpoints(
+            window_size=window, k=2, beta=0.2, shard=shard
+        )
+        merged = run_sharded(make, actions, slide, 3)
+        truth = window_ground_truth(actions, window)
+        assert merged.value == float(len(truth.coverage(merged.seeds)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), slide=st.sampled_from([1, 4]))
+    def test_sic_merged_value_never_overestimates(self, seed, slide):
+        """SIC suffixes cover at most the window: values stay conservative."""
+        window = 12
+        actions = random_stream(48, 6, seed=seed)
+        make = lambda shard=None: SparseInfluentialCheckpoints(
+            window_size=window, k=2, beta=0.2, shard=shard
+        )
+        merged = run_sharded(make, actions, slide, 3)
+        truth = window_ground_truth(actions, window)
+        assert merged.value <= float(len(truth.coverage(merged.seeds))) + 1e-9
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), shards=st.sampled_from([2, 4]))
+    def test_modular_ratio_bound(self, seed, shards):
+        """merged >= (1/2 − β)/S × OPT for the modular sieve oracle."""
+        window, k, beta = 12, 2, 0.2
+        actions = random_stream(48, 6, seed=seed)
+        make = lambda shard=None: InfluentialCheckpoints(
+            window_size=window, k=k, beta=beta, shard=shard
+        )
+        merged = run_sharded(make, actions, 1, shards)
+        truth = window_ground_truth(actions, window)
+        users = list(truth.influencers())
+        opt = 0.0
+        for combo in itertools.combinations(users, min(k, len(users))):
+            opt = max(opt, float(len(truth.coverage(combo))))
+        assert merged.value >= (0.5 - beta) / shards * opt - 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_non_modular_ratio_bound(self, seed):
+        """The best-shard fallback clears (1/2 − β)/S × OPT for the
+        conformity-aware (submodular, non-modular) function too."""
+        window, k, beta, shards = 12, 2, 0.2, 3
+        actions = random_stream(48, 6, seed=seed)
+        func = ConformityAwareInfluence(
+            {u: 0.3 + 0.1 * (u % 5) for u in range(6)},
+            {u: 0.4 + 0.1 * (u % 4) for u in range(6)},
+        )
+        make = lambda shard=None: SparseInfluentialCheckpoints(
+            window_size=window, k=k, beta=beta, func=func, shard=shard
+        )
+        merged = run_sharded(make, actions, 1, shards)
+        truth = window_ground_truth(actions, window)
+        users = list(truth.influencers())
+        opt = 0.0
+        for combo in itertools.combinations(users, min(k, len(users))):
+            opt = max(opt, func.evaluate(combo, truth))
+        assert merged.value >= (0.5 - beta) / shards * opt - 1e-9
+
+    def test_multi_query_board_merges_each_query(self):
+        actions = random_stream(150, 15, seed=24)
+
+        def factory(assignment=None):
+            board = MultiQueryEngine()
+            board.add("fast", MAKERS["ic"](shard=assignment))
+            board.add("sparse", MAKERS["sic"](shard=assignment))
+            return board
+
+        with ShardedEngine.open(factory, 3, backend="serial") as engine:
+            for batch in batched(actions, 5):
+                engine.process(list(batch))
+            answers = engine.query_all()
+            assert set(answers) == {"fast", "sparse"}
+            truth = window_ground_truth(actions, 40)
+            for name, answer in answers.items():
+                assert answer.time == 150
+                assert answer.value <= len(truth.coverage(answer.seeds)) + 1e-9
+
+    def test_deterministic_across_runs(self):
+        actions = random_stream(150, 15, seed=25)
+        first = run_sharded(MAKERS["ic"], actions, 5, 4)
+        second = run_sharded(MAKERS["ic"], actions, 5, 4)
+        assert first == second
+
+
+class TestRecovery:
+    def _feed(self, engine, batches):
+        resume = engine.now
+        for batch in batches:
+            if batch[-1].time <= resume:
+                continue
+            engine.process([a for a in batch if a.time > resume])
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_abandon_reopen_refeed_matches_uninterrupted(
+        self, tmp_path, backend
+    ):
+        """Per-shard snapshot + WAL recovery converges to the clean run."""
+        actions = random_stream(200, 20, seed=26)
+        batches = [list(b) for b in batched(actions, 5)]
+        make = MAKERS["ic"]
+        factory = lambda assignment=None: make(shard=assignment)
+        expected = run_sharded(make, actions, 5, 2)
+
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend=backend,
+            snapshot_every=7, fsync=False,
+        )
+        for batch in batches[:23]:
+            engine.process(batch)
+        # Crash: drop the engine without sealing (workers just stop).
+        engine._backend.stop()
+
+        recovered = ShardedEngine.open(
+            factory, 2, state_dir=state, backend=backend,
+            snapshot_every=7, fsync=False,
+        )
+        assert recovered.slides_processed == 23
+        assert max(recovered.shard_replayed_slides) >= 1  # WAL tail replayed
+        self._feed(recovered, batches)
+        assert recovered.query() == expected
+        recovered.close()
+
+        # A sealed close leaves nothing to replay.
+        reopened = ShardedEngine.open(
+            factory, 2, state_dir=state, backend=backend, fsync=False
+        )
+        assert reopened.shard_replayed_slides == [0, 0]
+        assert reopened.query() == expected
+        reopened.close()
+
+    def test_sigkill_one_worker_then_reopen_heals(self, tmp_path):
+        """kill -9 of one shard worker: error surfaced, redelivery heals."""
+        actions = random_stream(200, 20, seed=27)
+        batches = [list(b) for b in batched(actions, 5)]
+        factory = lambda assignment=None: MAKERS["ic"](shard=assignment)
+        expected = run_sharded(MAKERS["ic"], actions, 5, 2)
+
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="process",
+            snapshot_every=4, fsync=False,
+        )
+        for batch in batches[:20]:
+            engine.process(batch)
+        os.kill(engine.worker_pids[0], signal.SIGKILL)
+        with pytest.raises(ShardingError, match="shard 0"):
+            for batch in batches[20:]:
+                engine.process(batch)
+        engine.close(snapshot=False)
+
+        recovered = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="process",
+            snapshot_every=4, fsync=False,
+        )
+        # The killed shard recovered from snapshot + WAL; the facade clock
+        # is the minimum, so re-feeding from there heals both shards even
+        # if the survivor had advanced further.
+        self._feed(recovered, batches)
+        assert recovered.query() == expected
+        assert all(now == 200 for now in recovered._shard_nows)
+        recovered.close()
+
+
+class TestRefusals:
+    def test_manifest_mismatch_is_rejected(self, tmp_path):
+        factory = lambda assignment=None: MAKERS["ic"](shard=assignment)
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(factory, 2, state_dir=state, fsync=False)
+        engine.process([a for a in random_stream(10, 5, seed=1)])
+        engine.close()
+        with pytest.raises(PersistenceError, match="2 shards"):
+            ShardedEngine.open(factory, 4, state_dir=state, fsync=False)
+        with pytest.raises(PersistenceError, match="partitioner"):
+            ShardedEngine.open(
+                factory, 2, state_dir=state, fsync=False,
+                partitioner=ConstantPartitioner(2, 0),
+            )
+
+    def test_per_shard_config_mismatch_is_rejected(self, tmp_path):
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(
+            lambda a=None: InfluentialCheckpoints(
+                window_size=40, k=3, beta=0.3, shard=a
+            ),
+            2,
+            state_dir=state,
+            fsync=False,
+        )
+        engine.process([a for a in random_stream(10, 5, seed=1)])
+        engine.close()
+        with pytest.raises(ShardingError, match="different engine settings"):
+            ShardedEngine.open(
+                lambda a=None: InfluentialCheckpoints(
+                    window_size=40, k=5, beta=0.3, shard=a
+                ),
+                2,
+                state_dir=state,
+                fsync=False,
+            )
+
+    def test_bad_knobs_are_rejected(self):
+        factory = lambda a=None: MAKERS["ic"](shard=a)
+        with pytest.raises(ShardingError, match="got 0"):
+            ShardedEngine.open(factory, 0)
+        with pytest.raises(ShardingError, match="unknown backend"):
+            ShardedEngine.open(factory, 2, backend="carrier-pigeon")
+        with pytest.raises(ShardingError, match="4 shards"):
+            ShardedEngine.open(factory, 2, partitioner=HashPartitioner(4))
+
+    def test_out_of_order_batch_is_rejected(self):
+        factory = lambda a=None: MAKERS["ic"](shard=a)
+        with ShardedEngine.open(factory, 2, backend="serial") as engine:
+            engine.process([a for a in random_stream(10, 5, seed=2)])
+            with pytest.raises(ValueError, match="out-of-order"):
+                engine.process([a for a in random_stream(5, 5, seed=2)])
+
+    def test_closed_engine_refuses_work(self):
+        factory = lambda a=None: MAKERS["ic"](shard=a)
+        engine = ShardedEngine.open(factory, 2, backend="serial")
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ShardingError, match="closed"):
+            engine.process([a for a in random_stream(5, 5, seed=3)])
+
+
+class TestStatePersistenceOfShardConfig:
+    def test_shard_assignment_rides_engine_state(self):
+        """to_state/from_state round-trips the shard filter."""
+        from repro.sharding.partition import HashPartitioner, ShardAssignment
+
+        assignment = ShardAssignment(HashPartitioner(3), 1)
+        engine = InfluentialCheckpoints(
+            window_size=20, k=2, beta=0.3, shard=assignment
+        )
+        for batch in batched(random_stream(60, 8, seed=4), 5):
+            engine.process(batch)
+        rebuilt = InfluentialCheckpoints.from_state(engine.to_state())
+        assert rebuilt.shard == assignment
+        assert rebuilt.query() == engine.query()
+        tail = random_stream(80, 8, seed=4)[60:]
+        for batch in batched(tail, 5):
+            engine.process(batch)
+            rebuilt.process(batch)
+        assert rebuilt.query() == engine.query()

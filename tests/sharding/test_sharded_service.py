@@ -1,0 +1,200 @@
+"""The sharded serving plane: sockets, CLI, load_gen, and SIGTERM seals."""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.stream import batched
+from repro.persistence.engine import (
+    RecoverableEngine,
+    list_shard_state_dirs,
+)
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.runner import ServiceRunner
+from repro.sharding.engine import ShardedEngine
+from tests.conftest import random_stream
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _factory(assignment=None):
+    return InfluentialCheckpoints(
+        window_size=60, k=3, beta=0.3, shard=assignment
+    )
+
+
+class TestShardedServiceInProcess:
+    def test_socket_answers_match_offline_sharded_engine(self):
+        """Socket ingest through a sharded engine ≡ offline sharded feed."""
+        actions = random_stream(300, 20, seed=31)
+        slide = 20
+
+        offline = ShardedEngine.open(_factory, 2, backend="serial")
+        answers = []
+        for batch in batched(actions, slide):
+            offline.process(list(batch))
+            answers.append(offline.query())
+        offline.close()
+
+        engine = ShardedEngine.open(_factory, 2, backend="thread")
+        config = ServiceConfig(
+            port=0, slide=slide, flush_interval=60.0, shards=2
+        )
+        with ServiceRunner(engine, config) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            summary = client.ingest(actions)
+            assert summary["accepted"] == len(actions)
+            assert summary["slide"] == len(answers)
+            served = client.history("main", limit=len(answers))
+            status, metrics = client.http_get("/metrics")
+        assert status == 200
+        assert metrics["engine"]["shards"] == 2
+        assert metrics["engine"]["shard_backend"] == "thread"
+        assert metrics["queries"]["main"]["kind"] == "sharded"
+        assert [a["time"] for a in served] == [a.time for a in answers]
+        assert [a["value"] for a in served] == [a.value for a in answers]
+        assert [set(a["seeds"]) for a in served] == [
+            set(a.seeds) for a in answers
+        ]
+
+
+def _spawn_server(args, cwd):
+    """Start ``repro.cli serve`` and return (process, host, port)."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(cwd) / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        cwd=cwd,
+        env=env,
+    )
+    line = process.stdout.readline().decode()
+    assert line.startswith("listening on "), line
+    address = line.split()[2]
+    host, _, port = address.partition(":")
+    return process, host, int(port)
+
+
+class TestShardedServeSubprocess:
+    def test_smoke_shards2_loadgen_sigterm_seal(self, tmp_path):
+        """The CI sharded smoke: ``serve --shards 2``, 2k actions through
+        ``scripts/load_gen.py``, a top-k read, and a SIGTERM seal leaving
+        every shard's state dir replay-free."""
+        state_dir = tmp_path / "state"
+        report_path = tmp_path / "load_gen.json"
+        process, host, port = _spawn_server(
+            [
+                "--algorithm", "sic", "--window", "500", "--slide", "25",
+                "-k", "5", "--beta", "0.3", "--shards", "2",
+                "--shard-backend", "process", "--state-dir", str(state_dir),
+                "--snapshot-every", "0", "--flush-interval", "60",
+            ],
+            cwd=REPO_ROOT,
+        )
+        try:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = (
+                str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+            )
+            completed = subprocess.run(
+                [
+                    sys.executable,
+                    str(REPO_ROOT / "scripts" / "load_gen.py"),
+                    "--port", str(port), "-n", "2000", "-u", "200",
+                    "--seed", "15", "--output", str(report_path),
+                ],
+                capture_output=True,
+                text=True,
+                timeout=240,
+                env=env,
+                cwd=REPO_ROOT,
+            )
+            assert completed.returncode == 0, completed.stderr[-1500:]
+            report = json.loads(report_path.read_text())
+            assert report["actions"] == 2000
+            assert report["accepted"] == 2000
+            assert report["rejected"] == 0
+            assert report["slides"] == 80
+            assert report["actions_per_sec"] > 0
+            client = ServiceClient(host, port)
+            answer = client.topk("main")
+            assert answer["time"] == 2000
+            assert len(answer["seeds"]) == 5
+            assert answer["value"] == report["query_value"]
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        # The SIGTERM seal, per shard: snapshot at the final slide, no
+        # WAL tail to replay.
+        shard_dirs = list_shard_state_dirs(state_dir)
+        assert len(shard_dirs) == 2
+        for shard_dir in shard_dirs:
+            engine = RecoverableEngine.open(shard_dir, factory=None)
+            try:
+                assert engine.slides_processed == 80
+                assert engine.replayed_slides == 0
+                assert engine.now == 2000
+            finally:
+                engine.close(snapshot=False)
+
+    def test_sharded_resume_after_sigkill_converges(self, tmp_path):
+        """kill -9 the whole sharded server; restart + replay converges."""
+        state_dir = tmp_path / "state"
+        actions = random_stream(600, 40, seed=32)
+        server_args = [
+            "--algorithm", "ic", "--window", "120", "--slide", "5",
+            "-k", "3", "--beta", "0.3", "--shards", "2",
+            "--shard-backend", "thread", "--state-dir", str(state_dir),
+            "--snapshot-every", "7", "--flush-interval", "60",
+        ]
+
+        def offline_factory(assignment=None):
+            return InfluentialCheckpoints(
+                window_size=120, k=3, beta=0.3, shard=assignment
+            )
+
+        reference = ShardedEngine.open(offline_factory, 2, backend="serial")
+        for batch in batched(actions, 5):
+            reference.process(list(batch))
+        expected = reference.query()
+        reference.close()
+
+        process, host, port = _spawn_server(server_args, cwd=REPO_ROOT)
+        try:
+            client = ServiceClient(host, port)
+            summary = client.ingest(actions[:400])
+            assert summary["slide"] == 80
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        process, host, port = _spawn_server(server_args, cwd=REPO_ROOT)
+        try:
+            client = ServiceClient(host, port)
+            summary = client.ingest(actions)  # at-least-once redelivery
+            assert summary["slide"] == 120
+            assert summary["time"] == 600
+            answer = client.topk("main")
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        assert answer["time"] == expected.time
+        assert answer["value"] == expected.value
+        assert set(answer["seeds"]) == set(expected.seeds)

@@ -26,6 +26,7 @@ class TestPackage:
         "repro.experiments",
         "repro.experiments.cli",
         "repro.service",
+        "repro.sharding",
     ])
     def test_submodules_import(self, module):
         mod = importlib.import_module(module)
