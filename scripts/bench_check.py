@@ -45,8 +45,9 @@ def collect_rates(document: dict, prefix: str = "") -> dict:
 
 #: Gate-exempt sections: rates derived from sub-second timings whose
 #: run-to-run swing exceeds any reasonable tolerance.  They stay in the
-#: report (the scaling *shape* is the signal there) but never fail CI.
-DEFAULT_IGNORED_PREFIXES = ("shard_scaling",)
+#: report (the scaling *shape* / time-to-heal is the signal there) but
+#: never fail CI.
+DEFAULT_IGNORED_PREFIXES = ("shard_scaling", "chaos_recovery")
 
 
 def compare(

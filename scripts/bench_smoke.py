@@ -40,7 +40,12 @@ Reported figures:
   shard engine's standalone processing time on the same stream vs the
   unsharded engine.  ``implied_speedup_at_s4`` = single seconds / slowest
   shard seconds is the ingest speedup an otherwise-idle 4-core machine
-  would see (dispatch overhead aside), measurable even on 1 CPU.
+  would see (dispatch overhead aside), measurable even on 1 CPU;
+* ``chaos_recovery`` — the supervision-plane cost: a scripted SIGKILL of
+  one process-backend shard mid-stream, reporting the time the in-place
+  heal took (restore + WAL-tail replay + suffix redelivery), the degraded
+  window, and whether the final answer converged to the fault-free run.
+  Reported but never gated (sub-second timings on shared runners).
 """
 
 from __future__ import annotations
@@ -450,6 +455,58 @@ def bench_shard_scaling(stream, n_actions, shards=4):
     }
 
 
+def bench_chaos_recovery(stream, n_actions, shards=2):
+    """Time-to-heal a SIGKILLed process-backend shard mid-stream.
+
+    Runs :func:`repro.experiments.chaos.chaos_run` with a one-kill
+    :class:`~repro.faults.FaultPlan` on the IC N=1000 workload at the
+    service plane's slide of 50.  The scenario's correctness verdict
+    (``identical`` + zero caller errors) is asserted — a bench run that
+    failed to converge would otherwise record a meaningless timing.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.chaos import chaos_run
+    from repro.faults import Fault, FaultPlan
+
+    actions = stream[:n_actions]
+    slides_total = max(len(actions) // 50, 2)
+    plan = FaultPlan(
+        [Fault(kind="kill", shard=0, at_slide=max(slides_total // 2, 2))],
+        seed=7,
+    )
+    root = pathlib.Path(tempfile.mkdtemp(prefix="bench-chaos-"))
+    try:
+        report = chaos_run(
+            lambda assignment=None: InfluentialCheckpoints(
+                window_size=1000, k=5, beta=0.3, shard=assignment
+            ),
+            actions,
+            slide=50,
+            shards=shards,
+            plan=plan,
+            state_dir=root / "state",
+            backend="process",
+            snapshot_every=8,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    assert report.identical and report.caller_errors == 0, report
+    return {
+        "shards": shards,
+        "backend": report.backend,
+        "slides": report.slides_total,
+        "kill_at_slide": max(slides_total // 2, 2),
+        "restarts": report.restarts,
+        "heal_seconds": round(report.heal_seconds, 4),
+        "degraded_windows": report.degraded_windows,
+        "degraded_seconds": round(report.degraded_seconds, 4),
+        "caller_errors": report.caller_errors,
+        "identical": report.identical,
+    }
+
+
 def main(argv=None):
     """Run the smoke benchmarks and write BENCH_core_ops.json."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -493,6 +550,9 @@ def main(argv=None):
         "shard_scaling": bench_shard_scaling(
             stream, min(n_actions, len(stream))
         ),
+        "chaos_recovery": bench_chaos_recovery(
+            stream, min(n_actions, len(stream))
+        ),
     }
     report["service_ingest_sharded"]["speedup_vs_single"] = round(
         report["service_ingest_sharded"]["actions_per_sec"]
@@ -529,6 +589,10 @@ def main(argv=None):
               f"{scaling['single_seconds']}s, slowest shard "
               f"{scaling['max_shard_seconds']}s -> implied "
               f"{scaling['implied_speedup_at_s4']}x on idle 4 cores")
+    chaos = report["chaos_recovery"]
+    print(f"chaos shard SIGKILL:     healed in {chaos['heal_seconds']}s "
+          f"({chaos['restarts']} restart(s), degraded "
+          f"{chaos['degraded_seconds']}s, converged={chaos['identical']})")
     print(f"report written to {args.output}")
     return report
 

@@ -152,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker backend for --shards > 1 (process = one forked "
         "worker per shard, real multi-core)",
     )
+    _add_supervision_arguments(track)
 
     snapshot = commands.add_parser(
         "snapshot", help="inspect or manage a track/serve --state-dir"
@@ -271,7 +272,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker backend for --shards > 1 (process = one forked "
         "worker per shard, real multi-core)",
     )
+    _add_supervision_arguments(serve)
     return parser
+
+
+def _add_supervision_arguments(command) -> None:
+    """Shard-supervision knobs shared by ``track`` and ``serve``."""
+    command.add_argument(
+        "--shard-retries",
+        type=int,
+        default=3,
+        help="in-place restarts attempted per failed shard before a "
+        "slide escalates ShardingError (0 = fail fast)",
+    )
+    command.add_argument(
+        "--shard-call-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a shard may take to answer one command before it "
+        "is declared hung, killed and restarted",
+    )
+    command.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="scripted fault-injection plan (repro.faults.FaultPlan "
+        "JSON) armed in the shard workers — chaos testing only",
+    )
 
 
 def _cmd_generate(args) -> int:
@@ -365,12 +392,20 @@ def _open_engine(args, factory):
     if args.shards > 1:
         from repro.sharding.engine import ShardedEngine
 
+        fault_plan = None
+        if getattr(args, "fault_plan", None):
+            from repro.faults import FaultPlan
+
+            fault_plan = FaultPlan.load(args.fault_plan)
         return ShardedEngine.open(
             factory,
             args.shards,
             state_dir=args.state_dir,
             backend=args.shard_backend,
             snapshot_every=args.snapshot_every,
+            retries=args.shard_retries,
+            call_timeout=args.shard_call_timeout,
+            fault_plan=fault_plan,
         )
     return RecoverableEngine.open(
         args.state_dir,
@@ -477,33 +512,60 @@ def _cmd_snapshot(args) -> int:
         # Inspection must not mkdir a state tree at a typoed path.
         raise PersistenceError(f"no state directory at {args.state_dir}")
     shard_dirs = list_shard_state_dirs(root)
-    if shard_dirs:
-        # A sharded root: recurse over the per-shard stores.
-        manifest_path = root / "sharding.json"
-        if args.snapshot_command == "info":
-            if manifest_path.exists():
+    manifest_path = root / "sharding.json"
+    if shard_dirs or manifest_path.exists():
+        # A sharded root: recurse over the per-shard stores.  A crash can
+        # leave this tree partial — a shard dir missing entirely, or with
+        # a corrupt WAL tail — so every per-shard step reports unhealthy
+        # state and continues instead of aborting the whole inspection.
+        expected = None
+        if manifest_path.exists():
+            try:
                 manifest = json.loads(manifest_path.read_text())
+                expected = int(manifest["shards"])
                 print(
                     f"sharded root   {root}  ({manifest['shards']} shards, "
                     f"partitioner {manifest['partitioner']})"
                 )
-            for shard_dir in shard_dirs:
-                print(f"--- {shard_dir.name} ---")
-                _rewritten = argparse.Namespace(
-                    state_dir=str(shard_dir), snapshot_command="info"
-                )
-                _cmd_snapshot(_rewritten)
-            return 0
-        if args.snapshot_command == "prune":
-            for shard_dir in shard_dirs:
-                print(f"--- {shard_dir.name} ---")
-                _prune_store(shard_dir, args.keep)
-            return 0
-        raise PersistenceError(
-            f"snapshot {args.snapshot_command} works on one engine's state "
-            f"dir; {root} is a sharded root — run it against a single "
-            f"shard, e.g. {shard_dirs[0]}"
-        )
+            except (ValueError, KeyError, TypeError) as error:
+                print(f"unhealthy      corrupt sharding.json: {error}")
+        if args.snapshot_command not in ("info", "prune"):
+            example = shard_dirs[0] if shard_dirs else root / "shard-0"
+            raise PersistenceError(
+                f"snapshot {args.snapshot_command} works on one engine's "
+                f"state dir; {root} is a sharded root — run it against a "
+                f"single shard, e.g. {example}"
+            )
+        known = {path.name: path for path in shard_dirs}
+        names = list(known)
+        if expected is not None:
+            # The manifest is authoritative: surface shard dirs it
+            # promises but the tree lacks, alongside any strays.
+            names = [f"shard-{i}" for i in range(expected)]
+            names.extend(sorted(set(known) - set(names)))
+        unhealthy = 0
+        for name in names:
+            print(f"--- {name} ---")
+            shard_dir = known.get(name)
+            if shard_dir is None:
+                print(f"unhealthy      missing shard state dir {root / name}")
+                unhealthy += 1
+                continue
+            try:
+                if args.snapshot_command == "info":
+                    _cmd_snapshot(
+                        argparse.Namespace(
+                            state_dir=str(shard_dir), snapshot_command="info"
+                        )
+                    )
+                else:
+                    _prune_store(shard_dir, args.keep)
+            except (PersistenceError, OSError) as error:
+                print(f"unhealthy      {error}")
+                unhealthy += 1
+        if unhealthy:
+            print(f"{unhealthy} of {len(names)} shard state dirs unhealthy")
+        return 0
     if args.snapshot_command == "prune":
         _prune_store(args.state_dir, args.keep)
         return 0

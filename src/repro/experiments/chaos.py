@@ -1,0 +1,172 @@
+"""Chaos scenario: scripted shard faults under supervision, scored.
+
+The supervision plane's promise is also behavioural — a shard worker
+that dies or hangs mid-stream is healed in place without the caller ever
+seeing an error, and the answers converge to exactly the uninterrupted
+run.  :func:`chaos_run` drives a :class:`~repro.sharding.ShardedEngine`
+through a stream with a deterministic :class:`~repro.faults.FaultPlan`
+armed in its workers, counts every caller-visible
+:class:`~repro.sharding.ShardingError`, and compares the final merged
+top-k against a fault-free reference run of the same topology:
+
+* **converged** — identical final answer (time, value, seed set)?
+* **self-healed** — zero caller-visible errors, and how many in-place
+  restarts / how long the degraded windows were.
+
+Used by the CI chaos smoke step and the ``chaos_recovery`` section of
+``scripts/bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.actions import Action
+from repro.core.stream import batched
+from repro.faults import FaultPlan
+from repro.sharding.engine import ShardedEngine, ShardingError
+
+__all__ = ["ChaosReport", "chaos_run"]
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one scripted-fault run.
+
+    Attributes:
+        name: Algorithm label.
+        shards: Shard engines behind the facade.
+        backend: Worker backend the faults were injected into.
+        slides_total: Slides in the stream.
+        faults: Scripted faults in the plan.
+        caller_errors: ``ShardingError`` escalations the driving loop
+            saw (0 = the supervisor absorbed every fault).
+        restarts: In-place shard restarts the supervisor performed.
+        escalations: Heal attempts that exhausted the retry budget.
+        degraded_windows: Down→up cycles the degraded flag went through.
+        degraded_seconds: Total wall time any shard was down.
+        heal_seconds: Wall time of the last successful heal (restore +
+            WAL-tail replay + suffix redelivery).
+        wall_seconds: Wall time of the whole faulted run.
+        identical: True when the final merged answer matched the
+            fault-free reference exactly.
+    """
+
+    name: str
+    shards: int
+    backend: str
+    slides_total: int
+    faults: int
+    caller_errors: int
+    restarts: int
+    escalations: int
+    degraded_windows: int
+    degraded_seconds: float
+    heal_seconds: float
+    wall_seconds: float
+    identical: bool
+
+
+def chaos_run(
+    factory: Callable,
+    stream: Iterable[Action],
+    slide: int,
+    shards: int,
+    plan: FaultPlan,
+    state_dir,
+    backend: str = "process",
+    snapshot_every: int = 4,
+    retries: int = 3,
+    call_timeout: float = 30.0,
+    fsync: bool = False,
+    name: str = "",
+) -> ChaosReport:
+    """Run a sharded engine under a scripted fault plan and score it.
+
+    Args:
+        factory: One-argument shard-engine constructor (receives the
+            shard assignment, ``None`` for the reference topology) — the
+            same recipe :meth:`~repro.sharding.ShardedEngine.open` takes.
+        stream: The action stream (consumed once, materialised).
+        slide: Actions per window slide.
+        shards: Shard engines to partition influencers over.
+        plan: The deterministic fault plan armed in the workers.
+        state_dir: Durable state root (required — healing replays the
+            failed shard's ``shard-<i>/`` snapshot + WAL).
+        backend: Worker backend to inject into (``process`` exercises
+            real SIGKILL semantics).
+        snapshot_every: Per-shard snapshot cadence.
+        retries: Supervisor restart budget per incident.
+        call_timeout: Seconds before a silent shard is declared hung.
+        fsync: Force per-append fsync in the shard WALs.
+        name: Report label (defaults to the algorithm class name).
+
+    Returns:
+        A :class:`ChaosReport`; ``identical and caller_errors == 0`` is
+        the scenario's pass/fail verdict.
+    """
+    if state_dir is None:
+        raise ValueError("chaos_run needs a state_dir (healing replays it)")
+    batches = [list(b) for b in batched(stream, slide)]
+    label = name or type(factory(None)).__name__
+
+    reference = ShardedEngine.open(factory, shards, backend="serial")
+    try:
+        for batch in batches:
+            reference.process(batch)
+        expected = reference.query()
+    finally:
+        reference.close()
+
+    engine = ShardedEngine.open(
+        factory,
+        shards,
+        state_dir=state_dir,
+        backend=backend,
+        snapshot_every=snapshot_every,
+        fsync=fsync,
+        retries=retries,
+        call_timeout=call_timeout,
+        fault_plan=plan,
+    )
+    caller_errors = 0
+    started = time.perf_counter()
+    observed = None
+    try:
+        for batch in batches:
+            try:
+                engine.process(batch)
+            except ShardingError:
+                caller_errors += 1
+        try:
+            observed = engine.query()
+        except ShardingError:
+            caller_errors += 1
+        stats = engine.supervision_stats()
+    finally:
+        engine.close()
+    wall_seconds = time.perf_counter() - started
+
+    identical = (
+        observed is not None
+        and observed.time == expected.time
+        and observed.value == expected.value
+        and sorted(observed.seeds) == sorted(expected.seeds)
+    )
+    return ChaosReport(
+        name=label,
+        shards=shards,
+        backend=backend,
+        slides_total=len(batches),
+        faults=len(plan),
+        caller_errors=caller_errors,
+        restarts=stats["restarts"],
+        escalations=stats["escalations"],
+        degraded_windows=stats["degraded_windows"],
+        degraded_seconds=stats["degraded_seconds"],
+        heal_seconds=stats["last_heal_seconds"],
+        wall_seconds=wall_seconds,
+        identical=identical,
+    )

@@ -1,0 +1,231 @@
+"""Serializable fault plans: the script a chaos drill replays.
+
+A plan is a list of :class:`Fault` entries, each naming a kind, a target
+shard, and a trigger.  Worker-side kinds fire when the shard worker is
+about to process a specific slide sequence number (deterministic in the
+stream, not in wall-clock time); the facade-side ``corrupt_wal_tail`` kind
+fires while the supervisor is restarting the shard after an incident.
+Every fault fires at most once per worker lifetime, and restarted workers
+re-arm only the faults *beyond* the incident that killed their
+predecessor, so a plan never re-kills a healing shard on the retried
+slide.
+
+The JSON document::
+
+    {
+      "format": 1,
+      "seed": 7,
+      "faults": [
+        {"kind": "kill", "shard": 1, "at_slide": 3},
+        {"kind": "hang", "shard": 0, "at_slide": 5, "seconds": 2.0},
+        {"kind": "drop_reply", "shard": 1, "at_slide": 8},
+        {"kind": "corrupt_wal_tail", "shard": 1, "at_slide": 3, "nbytes": 4}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan"]
+
+#: Format tag of the plan document.
+PLAN_FORMAT_VERSION = 1
+
+#: Faults that fire inside a shard worker, keyed on the slide it is about
+#: to process.
+WORKER_KINDS = ("kill", "hang", "drop_reply")
+
+#: Faults the supervising facade applies to a shard's durable state while
+#: the worker is down (between kill and restart).
+FACADE_KINDS = ("corrupt_wal_tail",)
+
+FAULT_KINDS = WORKER_KINDS + FACADE_KINDS
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One scripted failure.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        shard: The target shard id.
+        at_slide: Worker kinds: the slide sequence number (1-based) the
+            worker is about to process when the fault fires.
+            ``corrupt_wal_tail``: the earliest incident slide the
+            corruption applies to (0 = any restart).
+        seconds: ``hang`` only — how long the worker sleeps before
+            handling the command.
+        nbytes: ``corrupt_wal_tail`` only — how many tail bytes to flip.
+    """
+
+    kind: str
+    shard: int
+    at_slide: int = 0
+    seconds: float = 0.0
+    nbytes: int = 4
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"fault shard must be >= 0, got {self.shard}")
+        if self.kind in WORKER_KINDS and self.at_slide < 1:
+            raise ValueError(
+                f"{self.kind!r} fault needs at_slide >= 1 (slides are "
+                f"1-based), got {self.at_slide}"
+            )
+        if self.at_slide < 0:
+            raise ValueError(f"at_slide must be >= 0, got {self.at_slide}")
+        if self.kind == "hang" and self.seconds <= 0.0:
+            raise ValueError(
+                f"hang fault needs seconds > 0, got {self.seconds}"
+            )
+        if self.kind == "corrupt_wal_tail" and self.nbytes < 1:
+            raise ValueError(f"nbytes must be >= 1, got {self.nbytes}")
+
+    def to_state(self) -> dict:
+        """Plain-JSON document of this fault (only the relevant knobs)."""
+        doc = {"kind": self.kind, "shard": self.shard, "at_slide": self.at_slide}
+        if self.kind == "hang":
+            doc["seconds"] = self.seconds
+        if self.kind == "corrupt_wal_tail":
+            doc["nbytes"] = self.nbytes
+        return doc
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Fault":
+        """Rebuild a fault from its :meth:`to_state` document."""
+        known = {"kind", "shard", "at_slide", "seconds", "nbytes"}
+        unknown = set(state) - known
+        if unknown:
+            raise ValueError(f"unknown fault fields {sorted(unknown)}")
+        return cls(**state)
+
+
+class FaultPlan:
+    """An immutable, serializable list of scripted faults."""
+
+    def __init__(self, faults: Sequence[Fault] = (), seed: Optional[int] = None):
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        self.seed = seed
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(
+                    f"FaultPlan takes Fault entries, got {type(fault).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FaultPlan)
+            and self.faults == other.faults
+            and self.seed == other.seed
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(faults={list(self.faults)!r}, seed={self.seed!r})"
+
+    def for_shard(self, shard: int, kinds: Sequence[str] = WORKER_KINDS) -> Tuple[Fault, ...]:
+        """The plan's faults targeting ``shard``, filtered to ``kinds``."""
+        return tuple(
+            f for f in self.faults if f.shard == shard and f.kind in kinds
+        )
+
+    def max_shard(self) -> int:
+        """The highest shard id any fault targets (-1 for an empty plan)."""
+        return max((f.shard for f in self.faults), default=-1)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Plain-JSON plan document (see module docstring)."""
+        doc = {
+            "format": PLAN_FORMAT_VERSION,
+            "faults": [f.to_state() for f in self.faults],
+        }
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultPlan":
+        """Rebuild a plan from its :meth:`to_state` document."""
+        if not isinstance(state, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object, got {type(state).__name__}"
+            )
+        version = state.get("format")
+        if version != PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported fault plan format {version!r} "
+                f"(this build reads format {PLAN_FORMAT_VERSION})"
+            )
+        faults = [Fault.from_state(doc) for doc in state.get("faults", [])]
+        return cls(faults, seed=state.get("seed"))
+
+    def to_json(self) -> str:
+        """The plan as a JSON string."""
+        return json.dumps(self.to_state(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON string."""
+        return cls.from_state(json.loads(text))
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    def save(self, path) -> None:
+        """Write the plan to a JSON file."""
+        pathlib.Path(path).write_text(self.to_json() + "\n")
+
+    # -- generators --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        shards: int,
+        slides: int,
+        kills: int = 1,
+        hangs: int = 0,
+        hang_seconds: float = 1.0,
+    ) -> "FaultPlan":
+        """A seeded random plan: the same seed always yields the same plan.
+
+        Kills and hangs are spread over distinct ``(shard, slide)`` cells
+        so two faults never race for the same worker call.
+        """
+        if shards < 1 or slides < 1:
+            raise ValueError("random plan needs shards >= 1 and slides >= 1")
+        rng = random.Random(seed)
+        cells = [(s, t) for s in range(shards) for t in range(1, slides + 1)]
+        wanted = kills + hangs
+        if wanted > len(cells):
+            raise ValueError(
+                f"{wanted} faults do not fit in {len(cells)} (shard, slide) cells"
+            )
+        picked = rng.sample(cells, wanted)
+        faults = [
+            Fault(kind="kill", shard=s, at_slide=t) for s, t in picked[:kills]
+        ] + [
+            Fault(kind="hang", shard=s, at_slide=t, seconds=hang_seconds)
+            for s, t in picked[kills:]
+        ]
+        faults.sort(key=lambda f: (f.at_slide, f.shard, f.kind))
+        return cls(faults, seed=seed)

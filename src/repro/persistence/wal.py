@@ -24,6 +24,13 @@ Design points, all standard WAL practice:
   last complete, parseable record; replay likewise stops cleanly at a
   torn tail.  Only the *final* line of the *final* segment may be torn —
   anywhere else it is corruption and raises.
+* **Per-record CRC32.**  Every record carries a ``crc`` checksum of its
+  payload, so bit rot that still parses as JSON is caught: a checksum
+  mismatch mid-segment raises a :class:`PersistenceError` naming the
+  segment and sequence number, while a mismatch on the final line of the
+  final segment is treated as a torn tail (truncated, healed by
+  redelivery).  Records written before checksums existed carry no ``crc``
+  field and replay unchanged.
 """
 
 from __future__ import annotations
@@ -31,7 +38,8 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Iterator, List, Sequence, Tuple
+import zlib
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.actions import Action
 from repro.persistence.serialize import (
@@ -41,6 +49,28 @@ from repro.persistence.serialize import (
 )
 
 __all__ = ["ActionWAL"]
+
+
+def _record_crc(seq: int, encoded_actions: list) -> int:
+    """CRC32 of a record's canonical payload (everything but ``crc``)."""
+    payload = json.dumps(
+        {"seq": seq, "actions": encoded_actions}, separators=(",", ":")
+    )
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _crc_mismatch(record: dict) -> Optional[int]:
+    """The stored-but-wrong ``crc`` of a parsed record, or ``None`` if ok.
+
+    Records without a ``crc`` field (written before checksums existed)
+    always verify.
+    """
+    stored = record.get("crc")
+    if stored is None:
+        return None
+    if stored == _record_crc(record["seq"], record["actions"]):
+        return None
+    return stored
 
 
 class ActionWAL:
@@ -103,7 +133,12 @@ class ActionWAL:
             )
         if self._handle is None or self._active_records >= self._segment_records:
             self._open_segment(seq)
-        record = {"seq": seq, "actions": [encode_action(a) for a in actions]}
+        encoded = [encode_action(a) for a in actions]
+        record = {
+            "seq": seq,
+            "actions": encoded,
+            "crc": _record_crc(seq, encoded),
+        }
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         if self._fsync:
@@ -139,6 +174,7 @@ class ActionWAL:
                 try:
                     record = json.loads(raw.decode("utf-8"))
                     seq = record["seq"]
+                    bad_crc = _crc_mismatch(record)
                     actions = [decode_action(f) for f in record["actions"]]
                 except (ValueError, KeyError, TypeError) as exc:
                     if torn_ok:
@@ -146,6 +182,14 @@ class ActionWAL:
                     raise PersistenceError(
                         f"corrupt WAL record {path.name}:{line_number} ({exc})"
                     ) from exc
+                if bad_crc is not None:
+                    if torn_ok:
+                        return
+                    raise PersistenceError(
+                        f"WAL checksum mismatch in segment {path.name} at "
+                        f"record seq {seq} (line {line_number}): stored crc "
+                        f"{bad_crc} does not match the record payload"
+                    )
                 if expected is not None and seq != expected:
                     raise PersistenceError(
                         f"WAL gap at {path.name}:{line_number}: "
@@ -204,27 +248,48 @@ class ActionWAL:
         segments = self.segments()
         for index, path in enumerate(segments):
             is_tail_segment = index == len(segments) - 1
+            size = path.stat().st_size
             good_bytes = 0
             records = 0
             torn = False
             with open(path, "rb") as handle:
                 for raw in handle:
                     complete = raw.endswith(b"\n")
+                    # Only the *final* line of the *final* segment may be
+                    # torn; a bad record anywhere else is corruption and
+                    # must raise, not silently truncate durable records
+                    # behind it.
+                    torn_ok = (
+                        is_tail_segment and good_bytes + len(raw) >= size
+                    )
                     try:
                         record = json.loads(raw.decode("utf-8"))
                         seq = record["seq"]
                         record["actions"]
+                        bad_crc = _crc_mismatch(record)
                     except (ValueError, KeyError, TypeError) as exc:
-                        if is_tail_segment:
+                        if torn_ok:
                             torn = True
                             break
                         raise PersistenceError(
                             f"corrupt WAL record in {path.name} ({exc})"
                         ) from exc
+                    if bad_crc is not None:
+                        if torn_ok:
+                            # A damaged final record is indistinguishable
+                            # from a torn append: truncate and heal through
+                            # redelivery.
+                            torn = True
+                            break
+                        raise PersistenceError(
+                            f"WAL checksum mismatch in segment {path.name} "
+                            f"at record seq {seq}: stored crc {bad_crc} "
+                            "does not match the record payload"
+                        )
                     if not complete:
                         # Parsed but unterminated: treat as torn — a
                         # completed append always ends with a newline.
-                        if is_tail_segment:
+                        if torn_ok:
                             torn = True
                             break
                         raise PersistenceError(
@@ -235,7 +300,7 @@ class ActionWAL:
                     good_bytes += len(raw)
                     self._last_seq = seq
             if is_tail_segment:
-                if torn or good_bytes < path.stat().st_size:
+                if torn or good_bytes < size:
                     with open(path, "rb+") as handle:
                         handle.truncate(good_bytes)
                 self._active_path = path

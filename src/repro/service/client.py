@@ -57,19 +57,40 @@ class ServiceClient:
         status = int(head.split(None, 2)[1])
         return status, json.loads(body) if body else {}
 
-    def wait_healthy(self, attempts: int = 50, delay: float = 0.1) -> dict:
-        """Poll ``/healthz`` until it answers; returns the payload."""
+    def wait_healthy(
+        self,
+        attempts: int = 50,
+        delay: float = 0.1,
+        accept_degraded: bool = False,
+    ) -> dict:
+        """Poll ``/healthz`` until it answers ok; returns the payload.
+
+        A 503 with status ``"degraded"`` (a shard is down and healing;
+        reads still answer from the survivors) is returned immediately
+        when ``accept_degraded`` is set, and otherwise polled through —
+        the degraded window normally clears on the next healed write.
+        """
         import time
 
         last_error: Optional[Exception] = None
+        last_degraded: Optional[dict] = None
         for _ in range(attempts):
             try:
                 status, payload = self.http_get("/healthz")
                 if status == 200:
                     return payload
+                if status == 503 and payload.get("status") == "degraded":
+                    if accept_degraded:
+                        return payload
+                    last_degraded = payload
             except OSError as error:
                 last_error = error
             time.sleep(delay)
+        if last_degraded is not None:
+            raise RuntimeError(
+                f"service at {self.host}:{self.port} stayed degraded "
+                f"(shards {last_degraded.get('degraded_shards')})"
+            )
         raise RuntimeError(
             f"service at {self.host}:{self.port} never became healthy"
         ) from last_error

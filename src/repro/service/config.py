@@ -37,6 +37,13 @@ class ServiceConfig:
             (default), ``"process"`` (one forked worker per shard — real
             multi-core), or ``"serial"`` (debugging).  Validated against
             the served engine like ``shards``.
+        writer_retries: Extra attempts the ingest writer makes when a
+            slide raises :class:`~repro.sharding.ShardingError` before it
+            gives up and dies.  A sharded engine only escalates after its
+            own supervision budget is exhausted, so this is the second
+            line of defence; retrying the same slide is safe because the
+            engine's per-shard catch-up filter makes redelivery
+            idempotent.  ``0`` disables the retry.
     """
 
     host: str = "127.0.0.1"
@@ -48,6 +55,7 @@ class ServiceConfig:
     history: int = 128
     shards: int = 1
     shard_backend: str = "thread"
+    writer_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.slide < 1:
@@ -72,4 +80,8 @@ class ServiceConfig:
             raise ValueError(
                 f"shard_backend must be serial, thread or process, "
                 f"got {self.shard_backend!r}"
+            )
+        if self.writer_retries < 0:
+            raise ValueError(
+                f"writer_retries must be >= 0, got {self.writer_retries}"
             )

@@ -35,6 +35,7 @@ from repro.core.multi import MultiQueryEngine
 from repro.experiments.metrics import RateEstimator
 from repro.persistence.engine import RecoverableEngine
 from repro.service.cache import AnswerBoard, AnswerCache
+from repro.sharding.supervisor import ShardingError
 
 __all__ = ["IngestStats", "IngestLoop", "as_board"]
 
@@ -69,6 +70,7 @@ class IngestStats:
         self.count_flushes = 0  # flushes triggered by a full slide
         self.interval_flushes = 0  # flushes triggered by the timer
         self.forced_flushes = 0  # flushes triggered by sync/stop
+        self.writer_retries = 0  # slides re-dispatched after ShardingError
         self.last_slide_seconds = 0.0
         self.engine_seconds = 0.0
         self.started_at = time.time()
@@ -85,6 +87,7 @@ class IngestStats:
             "count_flushes": self.count_flushes,
             "interval_flushes": self.interval_flushes,
             "forced_flushes": self.forced_flushes,
+            "writer_retries": self.writer_retries,
             "last_slide_seconds": round(self.last_slide_seconds, 6),
             "mean_slide_seconds": round(
                 self.engine_seconds / slides if slides else 0.0, 6
@@ -122,6 +125,7 @@ class IngestLoop:
         slide: int = 32,
         flush_interval: float = 0.5,
         queue_capacity: int = 4096,
+        writer_retries: int = 2,
     ):
         """
         Args:
@@ -131,6 +135,10 @@ class IngestLoop:
             slide: Maximum actions per coalesced slide (>= 1).
             flush_interval: Seconds before a partial slide is flushed.
             queue_capacity: Ingest queue bound (backpressure threshold).
+            writer_retries: Extra ``engine.process`` attempts after a
+                :class:`~repro.sharding.ShardingError` before the writer
+                dies (safe: the sharded engine's per-shard catch-up
+                filter makes redelivering the same slide idempotent).
         """
         if slide < 1:
             raise ValueError(f"slide must be >= 1, got {slide}")
@@ -138,10 +146,15 @@ class IngestLoop:
             raise ValueError(
                 f"flush_interval must be positive, got {flush_interval}"
             )
+        if writer_retries < 0:
+            raise ValueError(
+                f"writer_retries must be >= 0, got {writer_retries}"
+            )
         self._engine = engine
         self._cache = cache
         self._slide = slide
         self._flush_interval = flush_interval
+        self._writer_retries = writer_retries
         self._queue: asyncio.Queue = asyncio.Queue(queue_capacity)
         self._pending: List[Action] = []
         self._floor = engine.now
@@ -323,9 +336,26 @@ class IngestLoop:
         self.stats.rate.record(len(batch))
 
     def _run_slide(self, batch: List[Action]) -> float:
-        """Worker-thread body: process one slide and publish its answers."""
+        """Worker-thread body: process one slide and publish its answers.
+
+        A :class:`~repro.sharding.ShardingError` (a sharded engine whose
+        supervision budget ran out mid-slide) is retried up to
+        ``writer_retries`` times — each retry gives the supervisor a
+        fresh budget, and redelivery is idempotent because every shard
+        only consumes the suffix beyond its own clock.  Any other
+        failure (or exhausting the retries) kills the writer as before.
+        """
         started = time.perf_counter()
-        self._engine.process(batch)
+        attempts = 0
+        while True:
+            try:
+                self._engine.process(batch)
+                break
+            except ShardingError:
+                if attempts >= self._writer_retries:
+                    raise
+                attempts += 1
+                self.stats.writer_retries += 1
         if self._multi is None:
             self._publish({"main": self._engine.query()})
         return time.perf_counter() - started

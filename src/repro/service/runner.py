@@ -47,6 +47,11 @@ class ServiceRunner:
         """The listen address."""
         return self.service.host
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the served engine is running degraded (shard down)."""
+        return bool(getattr(self.service.engine, "degraded", False))
+
     def start(self, timeout: float = 10.0) -> "ServiceRunner":
         """Start the server thread; returns once the socket is bound."""
         if self._thread is not None:

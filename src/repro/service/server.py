@@ -88,6 +88,7 @@ class ReproService:
             slide=config.slide,
             flush_interval=config.flush_interval,
             queue_capacity=config.queue_capacity,
+            writer_retries=config.writer_retries,
         )
         self._multi = as_board(engine.algorithm)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -404,6 +405,17 @@ class ReproService:
         if error is not None:
             payload["error"] = str(error)
             return 500, payload
+        if getattr(self._engine, "degraded", False):
+            # A shard is down and healing: reads still answer (merged
+            # from the survivors), so this is 503 "degraded", not the
+            # 500 "failed" of a dead writer.
+            payload["status"] = "degraded"
+            payload["degraded_shards"] = self._engine.degraded_shards
+            supervision = self._engine.supervision_stats()
+            payload["restarts"] = supervision["restarts"]
+            payload["escalations"] = supervision["escalations"]
+            payload["degraded_seconds"] = supervision["degraded_seconds"]
+            return 503, payload
         return 200, payload
 
     def _route_topk(self, name: str) -> Tuple[int, dict]:
@@ -475,6 +487,10 @@ class ReproService:
         if shard_count is not None:
             engine["shards"] = shard_count
             engine["shard_backend"] = self._engine.backend_name
+        if hasattr(self._engine, "supervision_stats"):
+            engine["degraded"] = self._engine.degraded
+            engine["degraded_shards"] = self._engine.degraded_shards
+            engine["supervision"] = self._engine.supervision_stats()
         return {
             "uptime_seconds": round(now - self._started_at, 3),
             "ingest": ingest,

@@ -21,10 +21,16 @@ The division of labour:
   facade exposing the familiar engine API (``process``/``query``/``now``/
   ``close``) over per-shard writer loops (in-process, thread, or
   ``multiprocessing`` workers) with per-shard ``shard-<i>/`` WAL+snapshot
-  directories for parallel, independent crash recovery.
+  directories for parallel, independent crash recovery;
+* :mod:`repro.sharding.supervisor` — the
+  :class:`~repro.sharding.supervisor.ShardSupervisor` running every
+  fan-out under per-call timeouts, in-place restart with exponential
+  backoff (detect → back off → heal → degrade → escalate), and the
+  degraded-read accounting surfaced through ``/metrics`` and ``/healthz``.
 """
 
 from repro.sharding.engine import ShardedBoard, ShardedEngine, ShardingError
+from repro.sharding.supervisor import ShardSupervisor
 from repro.sharding.merge import SeedCandidate, ShardAnswer, merge_shard_answers
 from repro.sharding.partition import (
     ConstantPartitioner,
@@ -48,4 +54,5 @@ __all__ = [
     "ShardedEngine",
     "ShardedBoard",
     "ShardingError",
+    "ShardSupervisor",
 ]

@@ -21,6 +21,22 @@ cores.  Three interchangeable backends run the shard hosts:
 * ``process`` — one ``multiprocessing`` (fork) worker per shard: real
   multi-core ingest, per-shard crash domains.
 
+All three speak the same per-shard protocol — ``start``/``send``/``recv``
+(with a deadline)/``kill`` — so a dead worker surfaces as ``dead`` and a
+hung one as ``timeout`` instead of wedging the caller.
+
+**Supervision.**  Every fan-out runs under a
+:class:`~repro.sharding.supervisor.ShardSupervisor`: a failed shard is
+restarted in place from its own ``shard-<i>/`` snapshot + WAL tail with
+bounded exponential backoff, the in-flight slide is re-dispatched as the
+suffix beyond the recovered clock, and only an exhausted retry budget (or
+an in-memory shard, which has nothing to heal from) escalates to
+:class:`ShardingError`.  While a shard is down, reads *degrade* instead
+of failing: survivors answer, :attr:`ShardedEngine.degraded` turns on,
+and the dead shard contributes its last-known clock.  Scripted chaos
+(:mod:`repro.faults`) rides into workers through the backend host
+arguments, keeping every drill seeded and reproducible.
+
 **Read path.**  Reads are merge-on-read: the facade gathers every shard's
 answer plus candidate coverage and combines them with
 :func:`~repro.sharding.merge.merge_shard_answers` (exact lazy greedy for
@@ -46,13 +62,16 @@ import json
 import os
 import pathlib
 import queue
+import signal
 import threading
-import traceback
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.actions import Action
 from repro.core.base import SIMAlgorithm, SIMResult
 from repro.core.multi import MultiQueryEngine
+from repro.faults.inject import WorkerFaultInjector, WorkerKilled
+from repro.faults.plan import FaultPlan
 from repro.influence.queries import FilteredSIM
 from repro.persistence.engine import RecoverableEngine, shard_state_dir
 from repro.persistence.serialize import (
@@ -71,25 +90,28 @@ from repro.sharding.partition import (
     ShardAssignment,
     partitioner_from_state,
 )
+from repro.sharding.supervisor import (
+    _SKIP,
+    ShardingError,
+    ShardSupervisor,
+    _describe_error,
+)
 
 __all__ = ["ShardedEngine", "ShardedBoard", "ShardingError"]
 
 #: File at the sharded state root recording shard count and partitioner.
 MANIFEST_NAME = "sharding.json"
 
-#: Sentinel payload: this shard has nothing to do for the current call.
-_SKIP = object()
-
 _BACKENDS = ("serial", "thread", "process")
 
 
-class ShardingError(RuntimeError):
-    """A shard worker failed (construction, dispatch, or death)."""
+class _Dropped:
+    """Wrapper a handler returns when a scripted fault dropped the reply."""
 
+    __slots__ = ("result",)
 
-def _describe_error(error: BaseException) -> str:
-    """One-line error description plus traceback for cross-worker transport."""
-    return f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+    def __init__(self, result):
+        self.result = result
 
 
 class _ShardHost:
@@ -105,6 +127,7 @@ class _ShardHost:
         keep_snapshots: int,
         segment_records: int,
         fsync: bool,
+        fault_state: Optional[dict] = None,
     ):
         self.shard_id = shard_id
         self.assignment = assignment
@@ -122,6 +145,13 @@ class _ShardHost:
                 factory(self.assignment),
                 where=f"shard {self.shard_id} state",
             )
+        self.abandoned_check: Optional[Callable[[], bool]] = None
+        self._injector = None
+        if fault_state and fault_state.get("faults"):
+            self._injector = WorkerFaultInjector(
+                fault_state["faults"],
+                disarm_through=fault_state.get("disarm_through", 0),
+            )
 
     def info(self) -> dict:
         """Position and durability counters of this shard's engine."""
@@ -136,13 +166,32 @@ class _ShardHost:
             "durable": self.engine.store is not None,
         }
 
+    def abandon(self) -> None:
+        """Release file handles without sealing (the worker is giving up).
+
+        Called when a worker dies by script or is fenced off by the
+        supervisor: the WAL handle must be dropped so the restarted host
+        owns the log alone.  Safe to call twice.
+        """
+        try:
+            if self.engine.store is not None:
+                self.engine.store.close()
+        except Exception:  # pragma: no cover - best-effort release
+            pass
+
     def handle(self, cmd: str, payload):
         """Dispatch one facade command; returns a pickle-friendly result."""
         if cmd == "process":
+            drop = False
+            if self._injector is not None:
+                drop = self._injector.before_slide(
+                    self.engine.slides_processed + 1,
+                    abandoned=self.abandoned_check,
+                )
             self.engine.process(
                 [Action(time=t, user=u, parent=p) for t, u, p in payload]
             )
-            return self.info()
+            return _Dropped(self.info()) if drop else self.info()
         if cmd == "answers":
             return self._answers()
         if cmd == "info":
@@ -181,29 +230,90 @@ class _ShardHost:
         return out
 
 
+def _merge_overrides(kwargs: dict, overrides: Optional[dict]) -> dict:
+    return {**kwargs, **overrides} if overrides else dict(kwargs)
+
+
 class _SerialBackend:
-    """All shard hosts in the calling thread — deterministic and simple."""
+    """All shard hosts in the calling thread — deterministic and simple.
+
+    Calls execute synchronously in :meth:`send`; :meth:`recv` then reports
+    the stored outcome, applying the deadline *post hoc* (a call that took
+    longer than the timeout is reported as ``timeout``, giving the serial
+    backend the same supervision semantics as the others — the restarted
+    shard replays its WAL to the identical position, so the retry is a
+    no-op suffix).
+    """
 
     name = "serial"
 
     def __init__(self, host_args: List[dict]):
-        self._hosts = [_ShardHost(**kwargs) for kwargs in host_args]
+        self._host_args = [dict(kwargs) for kwargs in host_args]
+        self._hosts: List[Optional[_ShardHost]] = [None] * len(host_args)
+        self._pending: List[Optional[Tuple[str, object, float]]] = (
+            [None] * len(host_args)
+        )
 
-    def call_all(self, cmd: str, payloads: Sequence) -> List:
-        """Run ``cmd`` on every non-skipped shard, in shard order."""
-        results: List = []
-        for host, payload in zip(self._hosts, payloads):
-            if payload is _SKIP:
-                results.append(None)
-                continue
-            try:
-                results.append(host.handle(cmd, payload))
-            except BaseException as error:
-                raise ShardingError(
-                    f"shard {host.shard_id} failed on {cmd!r}: "
-                    f"{_describe_error(error)}"
-                ) from error
-        return results
+    def start(self, shard: int, overrides: Optional[dict] = None):
+        """(Re)build one shard host; returns ``("ok", info)`` or ``("fatal", msg)``."""
+        self.kill(shard)
+        try:
+            host = _ShardHost(
+                **_merge_overrides(self._host_args[shard], overrides)
+            )
+        except BaseException as error:
+            return "fatal", _describe_error(error)
+        self._hosts[shard] = host
+        return "ok", host.info()
+
+    def send(self, shard: int, cmd: str, payload) -> bool:
+        """Execute the command now; stash the outcome for :meth:`recv`."""
+        host = self._hosts[shard]
+        if host is None:
+            return False
+        started = time.monotonic()
+        try:
+            result = host.handle(cmd, payload)
+        except WorkerKilled as error:
+            self._hosts[shard] = None
+            host.abandon()
+            self._pending[shard] = ("dead", f"worker died: {error}", 0.0)
+            return True
+        except BaseException as error:
+            self._pending[shard] = (
+                "error", _describe_error(error), time.monotonic() - started
+            )
+            return True
+        elapsed = time.monotonic() - started
+        if isinstance(result, _Dropped):
+            self._pending[shard] = (
+                "timeout", "reply dropped (scripted fault)", elapsed
+            )
+        else:
+            self._pending[shard] = ("ok", result, elapsed)
+        return True
+
+    def recv(self, shard: int, timeout: Optional[float]):
+        """The stored outcome of the last :meth:`send`, deadline-checked."""
+        entry = self._pending[shard]
+        self._pending[shard] = None
+        if entry is None:
+            return "dead", "no call in flight"
+        status, result, elapsed = entry
+        if status == "ok" and timeout is not None and elapsed > timeout:
+            return (
+                "timeout",
+                f"call took {elapsed:.3f}s (deadline {timeout}s)",
+            )
+        return status, result
+
+    def kill(self, shard: int) -> None:
+        """Drop the shard host (releasing its WAL handle)."""
+        host = self._hosts[shard]
+        self._hosts[shard] = None
+        self._pending[shard] = None
+        if host is not None:
+            host.abandon()
 
     @property
     def pids(self) -> Optional[List[int]]:
@@ -211,79 +321,142 @@ class _SerialBackend:
         return None
 
     def stop(self) -> None:
-        """Nothing to join for in-process hosts."""
+        """Release every host's file handles."""
+        for shard in range(len(self._hosts)):
+            self.kill(shard)
 
 
 class _ThreadBackend:
-    """One worker thread per shard, fed through request/reply queues."""
+    """One worker thread per shard, fed through request/reply queues.
+
+    A restart builds a fresh thread with fresh queues; the old thread —
+    which cannot be killed from outside — is *abandoned*: its event is
+    set, so it exits (releasing its WAL handle, replying to nobody) the
+    next time it reaches a checkpoint.  Scripted hangs check the event
+    after sleeping, which keeps chaos drills free of WAL double-writers.
+    """
 
     name = "thread"
 
     def __init__(self, host_args: List[dict]):
-        self._requests: List[queue.Queue] = []
-        self._replies: List[queue.Queue] = []
-        self._threads: List[threading.Thread] = []
-        for kwargs in host_args:
-            requests: queue.Queue = queue.Queue()
-            replies: queue.Queue = queue.Queue()
-            thread = threading.Thread(
-                target=self._worker,
-                args=(kwargs, requests, replies),
-                name=f"repro-shard-{kwargs['shard_id']}",
-                daemon=True,
-            )
-            thread.start()
-            self._requests.append(requests)
-            self._replies.append(replies)
-            self._threads.append(thread)
-        failures = []
-        for shard, replies in enumerate(self._replies):
-            status, result = replies.get()
-            if status != "ok":
-                failures.append(f"shard {shard}: {result}")
-        if failures:
-            self.stop()
-            raise ShardingError(
-                "shard worker construction failed: " + "; ".join(failures)
-            )
+        n = len(host_args)
+        self._host_args = [dict(kwargs) for kwargs in host_args]
+        self._requests: List[Optional[queue.Queue]] = [None] * n
+        self._replies: List[Optional[queue.Queue]] = [None] * n
+        self._threads: List[Optional[threading.Thread]] = [None] * n
+        self._abandoned: List[Optional[threading.Event]] = [None] * n
+
+    def start(self, shard: int, overrides: Optional[dict] = None):
+        """(Re)start one shard worker thread."""
+        self.kill(shard)
+        requests: queue.Queue = queue.Queue()
+        replies: queue.Queue = queue.Queue()
+        abandoned = threading.Event()
+        kwargs = _merge_overrides(self._host_args[shard], overrides)
+        thread = threading.Thread(
+            target=self._worker,
+            args=(kwargs, requests, replies, abandoned),
+            name=f"repro-shard-{kwargs['shard_id']}",
+            daemon=True,
+        )
+        thread.start()
+        self._requests[shard] = requests
+        self._replies[shard] = replies
+        self._threads[shard] = thread
+        self._abandoned[shard] = abandoned
+        status, result = replies.get()
+        if status != "ok":
+            self.kill(shard)
+            return "fatal", result
+        return "ok", result
 
     @staticmethod
-    def _worker(kwargs: dict, requests: queue.Queue, replies: queue.Queue):
+    def _worker(
+        kwargs: dict,
+        requests: queue.Queue,
+        replies: queue.Queue,
+        abandoned: threading.Event,
+    ):
         try:
             host = _ShardHost(**kwargs)
         except BaseException as error:
             replies.put(("fatal", _describe_error(error)))
             return
+        host.abandoned_check = abandoned.is_set
         replies.put(("ok", host.info()))
         while True:
             item = requests.get()
             if item is None:
+                host.abandon()
                 return
             cmd, payload = item
             try:
-                replies.put(("ok", host.handle(cmd, payload)))
+                result = host.handle(cmd, payload)
+            except WorkerKilled:
+                host.abandon()
+                return
             except BaseException as error:
+                if abandoned.is_set():
+                    host.abandon()
+                    return
                 replies.put(("error", _describe_error(error)))
-
-    def call_all(self, cmd: str, payloads: Sequence) -> List:
-        """Dispatch to every non-skipped shard, then collect all replies."""
-        waiting = []
-        for shard, payload in enumerate(payloads):
-            if payload is _SKIP:
                 continue
-            self._requests[shard].put((cmd, payload))
-            waiting.append(shard)
-        results: List = [None] * len(payloads)
-        failures = []
-        for shard in waiting:
-            status, result = self._replies[shard].get()
-            if status == "ok":
-                results[shard] = result
-            else:
-                failures.append(f"shard {shard} failed on {cmd!r}: {result}")
-        if failures:
-            raise ShardingError("; ".join(failures))
-        return results
+            if abandoned.is_set():
+                host.abandon()
+                return
+            if isinstance(result, _Dropped):
+                continue
+            replies.put(("ok", result))
+
+    def send(self, shard: int, cmd: str, payload) -> bool:
+        """Enqueue the command; False when no worker is installed."""
+        requests = self._requests[shard]
+        if requests is None:
+            return False
+        requests.put((cmd, payload))
+        return True
+
+    def recv(self, shard: int, timeout: Optional[float]):
+        """Wait for the reply, watching the deadline and the thread's life."""
+        replies = self._replies[shard]
+        thread = self._threads[shard]
+        if replies is None or thread is None:
+            return "dead", "no worker installed"
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = 0.05
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return (
+                        "timeout",
+                        f"no reply within {timeout}s "
+                        f"(thread alive: {thread.is_alive()})",
+                    )
+                wait = min(wait, remaining)
+            try:
+                return replies.get(timeout=wait)
+            except queue.Empty:
+                if not thread.is_alive():
+                    try:  # a reply may have raced the thread's exit
+                        return replies.get_nowait()
+                    except queue.Empty:
+                        return (
+                            "dead",
+                            "worker thread exited without replying",
+                        )
+
+    def kill(self, shard: int) -> None:
+        """Abandon the shard's worker thread (it cannot be force-killed)."""
+        thread = self._threads[shard]
+        if thread is None:
+            return
+        self._abandoned[shard].set()
+        self._requests[shard].put(None)  # unblock an idle worker
+        self._requests[shard] = None
+        self._replies[shard] = None
+        self._threads[shard] = None
+        self._abandoned[shard] = None
 
     @property
     def pids(self) -> Optional[List[int]]:
@@ -292,10 +465,15 @@ class _ThreadBackend:
 
     def stop(self) -> None:
         """Ask every worker thread to exit and join it."""
-        for requests in self._requests:
+        threads = []
+        for shard, requests in enumerate(self._requests):
+            if requests is None:
+                continue
             requests.put(None)
-        for thread in self._threads:
-            thread.join(timeout=30)
+            threads.append(self._threads[shard])
+        for thread in threads:
+            if thread is not None:
+                thread.join(timeout=30)
 
 
 def _process_worker(conn, kwargs: dict) -> None:
@@ -303,8 +481,10 @@ def _process_worker(conn, kwargs: dict) -> None:
     try:
         host = _ShardHost(**kwargs)
     except BaseException as error:
-        conn.send(("fatal", _describe_error(error)))
-        conn.close()
+        try:
+            conn.send(("fatal", _describe_error(error)))
+        finally:
+            conn.close()
         return
     conn.send(("ok", host.info()))
     while True:
@@ -316,9 +496,16 @@ def _process_worker(conn, kwargs: dict) -> None:
             break
         cmd, payload = item
         try:
-            conn.send(("ok", host.handle(cmd, payload)))
+            result = host.handle(cmd, payload)
+        except WorkerKilled:
+            # Die like a real crash: no reply, no cleanup, no atexit.
+            os.kill(os.getpid(), signal.SIGKILL)
         except BaseException as error:
             conn.send(("error", _describe_error(error)))
+            continue
+        if isinstance(result, _Dropped):
+            continue
+        conn.send(("ok", result))
     conn.close()
 
 
@@ -331,95 +518,157 @@ class _ProcessBackend:
         import multiprocessing
 
         try:
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
         except ValueError as error:  # pragma: no cover - platform-specific
             raise ShardingError(
                 "the process backend requires a fork-capable platform "
                 "(factories cross into workers by inheritance); use the "
                 "thread backend instead"
             ) from error
-        self._connections = []
-        self._processes = []
-        for kwargs in host_args:
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_process_worker,
-                args=(child_conn, kwargs),
-                name=f"repro-shard-{kwargs['shard_id']}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
-        failures = []
-        for shard, conn in enumerate(self._connections):
-            try:
-                status, result = conn.recv()
-            except EOFError:
-                status, result = "fatal", "worker exited before reporting"
-            if status != "ok":
-                failures.append(f"shard {shard}: {result}")
-        if failures:
-            self.stop()
-            raise ShardingError(
-                "shard worker construction failed: " + "; ".join(failures)
-            )
+        n = len(host_args)
+        self._host_args = [dict(kwargs) for kwargs in host_args]
+        self._connections = [None] * n
+        self._processes = [None] * n
 
-    def call_all(self, cmd: str, payloads: Sequence) -> List:
-        """Dispatch to every non-skipped shard, then collect all replies."""
-        waiting = []
-        for shard, payload in enumerate(payloads):
-            if payload is _SKIP:
-                continue
+    def start(self, shard: int, overrides: Optional[dict] = None):
+        """(Re)fork one shard worker and wait for its construction report."""
+        self.kill(shard)
+        kwargs = _merge_overrides(self._host_args[shard], overrides)
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_process_worker,
+            args=(child_conn, kwargs),
+            name=f"repro-shard-{kwargs['shard_id']}",
+            daemon=True,
+        )
+        try:
+            process.start()
+        except BaseException as error:
+            parent_conn.close()
+            child_conn.close()
+            return "fatal", _describe_error(error)
+        child_conn.close()
+        self._connections[shard] = parent_conn
+        self._processes[shard] = process
+        try:
+            status, result = parent_conn.recv()
+        except (ConnectionError, EOFError, OSError):
+            status, result = "fatal", "worker exited before reporting"
+        if status != "ok":
+            self.kill(shard)
+            return "fatal", result
+        return "ok", result
+
+    def send(self, shard: int, cmd: str, payload) -> bool:
+        """Write the command down the shard's pipe; False if unreachable."""
+        conn = self._connections[shard]
+        if conn is None:
+            return False
+        try:
+            conn.send((cmd, payload))
+            return True
+        except (ConnectionError, EOFError, OSError):
+            return False
+
+    def recv(self, shard: int, timeout: Optional[float]):
+        """Wait for the reply, watching the deadline and the process's life."""
+        conn = self._connections[shard]
+        process = self._processes[shard]
+        if conn is None or process is None:
+            return "dead", "no worker installed"
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = 0.05
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return (
+                        "timeout",
+                        f"no reply within {timeout}s "
+                        f"(pid {process.pid} alive: {process.is_alive()})",
+                    )
+                wait = min(wait, remaining)
             try:
-                self._connections[shard].send((cmd, payload))
-                waiting.append(shard)
+                ready = conn.poll(wait)
             except (ConnectionError, EOFError, OSError):
-                raise ShardingError(
-                    f"shard {shard} worker is dead (pid "
-                    f"{self._processes[shard].pid}); reopen the sharded "
-                    "engine to recover from its WAL"
-                ) from None
-        results: List = [None] * len(payloads)
-        failures = []
-        for shard in waiting:
+                return "dead", f"worker pipe broke (pid {process.pid})"
+            if ready:
+                try:
+                    return conn.recv()
+                except (ConnectionError, EOFError, OSError):
+                    return (
+                        "dead",
+                        f"worker died mid-command (pid {process.pid})",
+                    )
+            if not process.is_alive():
+                # One final poll: the reply may have raced the exit.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (ConnectionError, EOFError, OSError):
+                    pass
+                return "dead", f"worker died (pid {process.pid})"
+
+    def kill(self, shard: int) -> None:
+        """SIGKILL the shard's worker and reap it — fencing it off its WAL."""
+        process = self._processes[shard]
+        conn = self._connections[shard]
+        self._processes[shard] = None
+        self._connections[shard] = None
+        if conn is not None:
             try:
-                status, result = self._connections[shard].recv()
-            except (ConnectionError, EOFError, OSError):
-                status = "error"
-                result = (
-                    f"worker died mid-command (pid "
-                    f"{self._processes[shard].pid}); reopen the sharded "
-                    "engine to recover from its WAL"
-                )
-            if status == "ok":
-                results[shard] = result
-            else:
-                failures.append(f"shard {shard} failed on {cmd!r}: {result}")
-        if failures:
-            raise ShardingError("; ".join(failures))
-        return results
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=10)
+            if not process.is_alive():
+                process.close()
 
     @property
-    def pids(self) -> List[int]:
+    def pids(self) -> List[Optional[int]]:
         """Worker process ids (e.g. for crash-injection tests)."""
-        return [process.pid for process in self._processes]
+        return [
+            process.pid if process is not None else None
+            for process in self._processes
+        ]
 
     def stop(self) -> None:
-        """Ask every worker to exit; join, then terminate stragglers."""
+        """Ask every worker to exit; join, then terminate/kill stragglers.
+
+        Always leaves zero live children behind, whatever state the
+        workers were in — including after a failed open or a mid-run
+        escalation.
+        """
         for conn in self._connections:
+            if conn is None:
+                continue
             try:
                 conn.send(None)
             except (ConnectionError, EOFError, OSError):
                 pass
         for process in self._processes:
-            process.join(timeout=30)
-            if process.is_alive():  # pragma: no cover - defensive
+            if process is None:
+                continue
+            process.join(timeout=10)
+            if process.is_alive():
                 process.terminate()
                 process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5)
+            if not process.is_alive():
+                process.close()
         for conn in self._connections:
-            conn.close()
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        self._connections = [None] * len(self._connections)
+        self._processes = [None] * len(self._processes)
 
 
 class ShardedBoard:
@@ -458,17 +707,27 @@ class ShardedBoard:
         return self._engine.query_all()
 
     def query_stats(self) -> Dict[str, dict]:
-        """Per-query operational stats (sharded flavour, for ``/metrics``)."""
+        """Per-query operational stats (sharded flavour, for ``/metrics``).
+
+        While a shard is healing the stats carry ``degraded: True`` plus
+        the down shard ids, so readers can see they are on survivor
+        answers.
+        """
         engine = self._engine
-        return {
-            name: {
+        degraded = engine.degraded
+        stats = {}
+        for name in self.names():
+            entry = {
                 "kind": "sharded",
                 "shards": engine.shard_count,
                 "actions_processed": engine.actions_processed,
                 "time": engine.now,
+                "degraded": degraded,
             }
-            for name in self.names()
-        }
+            if degraded:
+                entry["degraded_shards"] = engine.degraded_shards
+            stats[name] = entry
+        return stats
 
     def add_publish_hook(self, hook) -> None:
         """Call ``hook(merged_answers)`` after every processed slide."""
@@ -481,6 +740,7 @@ class ShardedEngine:
     def __init__(
         self,
         backend,
+        supervisor: ShardSupervisor,
         partitioner: Partitioner,
         merge_params: Dict[str, tuple],
         multi: bool,
@@ -489,6 +749,7 @@ class ShardedEngine:
     ):
         """Internal constructor — use :meth:`open`."""
         self._backend = backend
+        self._supervisor = supervisor
         self._partitioner = partitioner
         self._merge_params = merge_params
         self._multi = multi
@@ -517,6 +778,11 @@ class ShardedEngine:
         keep_snapshots: int = 3,
         segment_records: int = 256,
         fsync: bool = True,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        call_timeout: Optional[float] = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "ShardedEngine":
         """Build (or recover) a sharded engine.
 
@@ -536,6 +802,16 @@ class ShardedEngine:
             keep_snapshots: Per-shard snapshot retention.
             segment_records: Per-shard WAL records per segment.
             fsync: Force per-shard WAL appends/snapshots to stable storage.
+            retries: Supervisor restart attempts per shard incident before
+                escalating :class:`ShardingError` (``0`` = fail fast).
+            backoff_base: First restart delay in seconds (doubles per
+                attempt, capped at ``backoff_max``).
+            backoff_max: Restart backoff ceiling in seconds.
+            call_timeout: Per-call reply deadline in seconds; ``None``
+                disables hang detection (deaths are still detected).
+            fault_plan: Optional scripted chaos
+                (:class:`~repro.faults.plan.FaultPlan`) for deterministic
+                failure drills.
 
         Raises:
             ShardingError: on bad knobs or worker construction failure.
@@ -555,6 +831,11 @@ class ShardedEngine:
                 f"partitioner spreads over {partitioner.shards} shards, "
                 f"but {shards} were requested"
             )
+        if fault_plan is not None and fault_plan.max_shard() >= shards:
+            raise ShardingError(
+                f"fault plan targets shard {fault_plan.max_shard()}, but "
+                f"only {shards} shard(s) were requested"
+            )
         state_root = None
         if state_dir is not None:
             state_root = pathlib.Path(state_dir)
@@ -562,31 +843,74 @@ class ShardedEngine:
         probe = factory(None)
         merge_params = cls._probe_merge_params(probe)
         multi = isinstance(probe, MultiQueryEngine)
-        host_args = [
-            {
-                "shard_id": shard,
-                "assignment": ShardAssignment(partitioner, shard),
-                "factory": factory,
-                "state_dir": (
-                    shard_state_dir(state_root, shard)
-                    if state_root is not None
-                    else None
-                ),
-                "snapshot_every": snapshot_every,
-                "keep_snapshots": keep_snapshots,
-                "segment_records": segment_records,
-                "fsync": fsync,
-            }
+        state_dirs = [
+            shard_state_dir(state_root, shard) if state_root is not None else None
             for shard in range(shards)
         ]
+        host_args = []
+        for shard in range(shards):
+            worker_faults = (
+                fault_plan.for_shard(shard) if fault_plan is not None else ()
+            )
+            host_args.append(
+                {
+                    "shard_id": shard,
+                    "assignment": ShardAssignment(partitioner, shard),
+                    "factory": factory,
+                    "state_dir": state_dirs[shard],
+                    "snapshot_every": snapshot_every,
+                    "keep_snapshots": keep_snapshots,
+                    "segment_records": segment_records,
+                    "fsync": fsync,
+                    "fault_state": (
+                        {
+                            "faults": [f.to_state() for f in worker_faults],
+                            "disarm_through": 0,
+                        }
+                        if worker_faults
+                        else None
+                    ),
+                }
+            )
         builder = {
             "serial": _SerialBackend,
             "thread": _ThreadBackend,
             "process": _ProcessBackend,
         }[backend]
         backend_obj = builder(host_args)
-        infos = backend_obj.call_all("info", [None] * shards)
-        return cls(backend_obj, partitioner, merge_params, multi, state_root, infos)
+        infos = []
+        failures = []
+        for shard in range(shards):
+            status, result = backend_obj.start(shard)
+            if status == "ok":
+                infos.append(result)
+            else:
+                failures.append(f"shard {shard}: {result}")
+        if failures:
+            # Never leave half-started workers behind a failed open.
+            backend_obj.stop()
+            raise ShardingError(
+                "shard worker construction failed: " + "; ".join(failures)
+            )
+        supervisor = ShardSupervisor(
+            backend_obj,
+            shards,
+            state_dirs=state_dirs,
+            retries=retries,
+            backoff_base=backoff_base,
+            backoff_max=backoff_max,
+            call_timeout=call_timeout,
+            fault_plan=fault_plan,
+        )
+        return cls(
+            backend_obj,
+            supervisor,
+            partitioner,
+            merge_params,
+            multi,
+            state_root,
+            infos,
+        )
 
     @staticmethod
     def _check_manifest(
@@ -653,6 +977,11 @@ class ShardedEngine:
         after a crash that hit shards at different positions — receives
         only the suffix beyond its own clock, so at-least-once redelivery
         heals the lag instead of tripping the per-shard stream contract.
+
+        A shard worker that dies or hangs during the call is healed in
+        place by the supervisor (restart from its snapshot + WAL, then
+        redeliver the suffix beyond its recovered clock); the caller sees
+        :class:`ShardingError` only after the retry budget is exhausted.
         """
         if self._closed:
             raise ShardingError("sharded engine is closed")
@@ -676,8 +1005,20 @@ class ShardedEngine:
             else:
                 suffix = [item for item in encoded if item[0] > shard_now]
                 payloads.append(suffix if suffix else _SKIP)
+        incidents = [slides + 1 for slides in self._shard_slides]
+
+        def repayload(shard: int, restored: dict):
+            suffix = [item for item in encoded if item[0] > restored["now"]]
+            return suffix if suffix else _SKIP
+
         with self._lock:
-            replies = self._backend.call_all("process", payloads)
+            replies = self._supervisor.call(
+                "process",
+                payloads,
+                heal=True,
+                repayload=repayload,
+                incident_slides=incidents,
+            )
         self._absorb_infos(replies)
         if self._publish_hooks:
             answers = self.query_all()
@@ -697,16 +1038,23 @@ class ShardedEngine:
     # -- reads -------------------------------------------------------------
 
     def query_all(self) -> Dict[str, SIMResult]:
-        """Merged answers of every query (the merge-on-read read path)."""
+        """Merged answers of every query (the merge-on-read read path).
+
+        Degrades instead of failing: a shard that is down (or dies during
+        the call) contributes nothing, survivors are merged as usual, and
+        :attr:`degraded` turns on until the shard heals.  Raises
+        :class:`ShardingError` only when *no* shard can answer.
+        """
         if self._closed:
             raise ShardingError("sharded engine is closed")
         with self._lock:
-            gathered = self._backend.call_all(
-                "answers", [None] * self.shard_count
+            gathered = self._supervisor.call(
+                "answers", [None] * self.shard_count, heal=False
             )
         per_shard = [
             self._decode_answers(shard, payload)
             for shard, payload in enumerate(gathered)
+            if payload is not None
         ]
         by_query = answers_by_query(per_shard)
         merged: Dict[str, SIMResult] = {}
@@ -752,6 +1100,43 @@ class ShardedEngine:
         """Per-query operational stats (delegates to the board adapter)."""
         return self._board.query_stats()
 
+    # -- supervision -------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard is down — reads are on survivor answers."""
+        return self._supervisor.degraded
+
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Ids of the shards currently down/healing."""
+        return self._supervisor.degraded_shards
+
+    def supervision_stats(self) -> dict:
+        """Supervisor counters plus per-shard health and last-known clocks."""
+        stats = self._supervisor.stats()
+        states = self._supervisor.shard_states()
+        for state in states:
+            state["last_known_now"] = self._shard_nows[state["shard"]]
+        stats["shards"] = states
+        return stats
+
+    def heal(self) -> bool:
+        """Restart every down shard now; ``True`` when something healed.
+
+        Raises:
+            ShardingError: when a down shard cannot be healed (retry
+                budget exhausted, or no durable state).
+        """
+        if self._closed:
+            raise ShardingError("sharded engine is closed")
+        with self._lock:
+            restored = self._supervisor.heal_all(
+                incident_slides=list(self._shard_slides)
+            )
+        self._absorb_infos(restored)
+        return any(info is not None for info in restored)
+
     # -- durability --------------------------------------------------------
 
     def snapshot(self) -> None:
@@ -759,8 +1144,11 @@ class ShardedEngine:
         if self._state_root is None:
             raise PersistenceError("engine has no state store to snapshot to")
         with self._lock:
-            replies = self._backend.call_all(
-                "snapshot", [None] * self.shard_count
+            replies = self._supervisor.call(
+                "snapshot",
+                [None] * self.shard_count,
+                heal=True,
+                incident_slides=list(self._shard_slides),
             )
         self._absorb_infos(replies)
 
@@ -775,8 +1163,8 @@ class ShardedEngine:
         self._closed = True
         try:
             with self._lock:
-                self._backend.call_all(
-                    "close", [snapshot] * self.shard_count
+                self._supervisor.call(
+                    "close", [snapshot] * self.shard_count, heal=False
                 )
         except ShardingError:
             # A dead shard cannot seal; its WAL already covers recovery.
@@ -815,7 +1203,7 @@ class ShardedEngine:
         return self._backend.name
 
     @property
-    def worker_pids(self) -> Optional[List[int]]:
+    def worker_pids(self) -> Optional[List[Optional[int]]]:
         """Shard worker process ids (``None`` for in-process backends)."""
         return self._backend.pids
 
@@ -827,6 +1215,8 @@ class ShardedEngine:
         crash that left shards at different positions: the serving plane
         drops actions at or below this clock, and anything newer is
         forwarded per shard with the catch-up filter of :meth:`process`.
+        A down shard contributes its last-known clock, so a degraded
+        answer is honestly timestamped at the healing shard's position.
         """
         return min(self._shard_nows, default=0)
 
@@ -861,8 +1251,35 @@ class ShardedEngine:
         return self._state_root
 
     def shard_infos(self) -> List[dict]:
-        """Live per-shard positions (one IPC round; for metrics/debugging)."""
-        with self._lock:
-            infos = self._backend.call_all("info", [None] * self.shard_count)
+        """Live per-shard positions (one IPC round; for metrics/debugging).
+
+        Down shards are reported from their last-known position with
+        ``"state": "down"`` instead of failing the whole call.
+        """
+        try:
+            with self._lock:
+                infos = self._supervisor.call(
+                    "info", [None] * self.shard_count, heal=False
+                )
+        except ShardingError:
+            # Even a fully-down engine can report last-known positions.
+            infos = [None] * self.shard_count
         self._absorb_infos(infos)
-        return infos
+        out = []
+        for shard, info in enumerate(infos):
+            if info is not None:
+                entry = dict(info)
+                entry["state"] = "up"
+            else:
+                entry = {
+                    "shard": shard,
+                    "slides": self._shard_slides[shard],
+                    "now": self._shard_nows[shard],
+                    "replayed": self._replayed[shard],
+                    "snapshots_written": self._snapshots[shard],
+                    "actions": None,
+                    "durable": self._state_root is not None,
+                    "state": "down",
+                }
+            out.append(entry)
+        return out

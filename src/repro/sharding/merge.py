@@ -103,22 +103,26 @@ def _greedy_merge(
     """
     covered: Set[int] = set()
     selected: Set[int] = set()
-    # Heap entries: (-gain, insertion order, candidate, evaluation round).
-    # An entry evaluated in the current round is exact; stale entries are
-    # refreshed lazily when popped (gains only shrink as coverage grows).
+    # Heap entries: (-gain, user id, candidate, evaluation round).  Ties in
+    # gain break to the lowest user id — a property of the *candidates*,
+    # not of the pool's shard-interleaved insertion order, so the merged
+    # answer is identical no matter how the pool is partitioned across
+    # shards.  An entry evaluated in the current round is exact; stale
+    # entries are refreshed lazily when popped (gains only shrink as
+    # coverage grows).
     heap = []
-    for order, candidate in enumerate(pool):
+    for candidate in pool:
         gain = func.value_of_covered(candidate.coverage)
-        heap.append((-gain, order, candidate, 0))
+        heap.append((-gain, candidate.user, candidate, 0))
     heapq.heapify(heap)
     round_no = 0
     while heap and len(selected) < k:
-        negative_gain, order, candidate, evaluated = heapq.heappop(heap)
+        negative_gain, user, candidate, evaluated = heapq.heappop(heap)
         if candidate.user in selected:
             continue
         if evaluated != round_no:
             fresh = func.value_of_covered(candidate.coverage - covered)
-            heapq.heappush(heap, (-fresh, order, candidate, round_no))
+            heapq.heappush(heap, (-fresh, user, candidate, round_no))
             continue
         if -negative_gain <= 0.0:
             break

@@ -1,0 +1,420 @@
+"""ShardSupervisor: detect → back off → heal → degrade → escalate.
+
+The sharded facade used to treat any worker failure as fatal: one dead
+fork worker raised :class:`ShardingError` out of ``process``/``query_all``
+and the whole engine had to be reopened by hand — even though every shard
+already owns a crash-recoverable ``shard-<i>/`` snapshot + WAL directory.
+The supervisor closes that loop:
+
+* **Detect.**  Every backend call runs under a per-call timeout with a
+  liveness probe, so a dead worker surfaces as ``dead`` and a hung one as
+  ``timeout`` (after which it is killed — fencing it off its WAL) instead
+  of wedging the caller forever.
+* **Heal (writes).**  A failed shard is restarted *in place* from its own
+  snapshot + WAL tail, with bounded exponential-backoff retries.  The
+  facade re-dispatches only the suffix of the in-flight slide beyond the
+  recovered clock (the same min-shard-clock catch-up filter that heals
+  at-least-once redelivery), so a heal is invisible to the caller.
+* **Degrade (reads).**  A read never restarts workers and never fails on
+  a single dead shard: survivors answer, the dead shard contributes its
+  last-known clock, and the engine reports ``degraded`` until the next
+  write (or an explicit heal) brings the shard back.
+* **Escalate.**  Only when the retry budget is exhausted — or the shard
+  has no durable state to heal from — does the failure surface as
+  :class:`ShardingError`, exactly like before the supervisor existed.
+
+Scripted chaos (:mod:`repro.faults`) plugs in at two points: worker-kind
+faults ride into workers through the backend host arguments, and
+facade-kind storage faults fire here, between kill and restart.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.faults.inject import FacadeFaultInjector
+from repro.faults.plan import FACADE_KINDS, FaultPlan
+
+__all__ = ["ShardSupervisor", "ShardingError"]
+
+#: Sentinel payload: this shard has nothing to do for the current call.
+_SKIP = object()
+
+
+class ShardingError(RuntimeError):
+    """A shard worker failed (construction, dispatch, or death)."""
+
+
+def _describe_error(error: BaseException) -> str:
+    """One-line error description plus traceback for cross-worker transport."""
+    return f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+
+
+class _ShardHealth:
+    """Mutable per-shard supervision record."""
+
+    __slots__ = ("state", "restarts", "last_error", "down_since")
+
+    def __init__(self):
+        self.state = "up"
+        self.restarts = 0
+        self.last_error: Optional[str] = None
+        self.down_since: Optional[float] = None
+
+
+class ShardSupervisor:
+    """Runs every backend fan-out under detection, healing, and accounting."""
+
+    def __init__(
+        self,
+        backend,
+        shards: int,
+        *,
+        state_dirs: Sequence[Optional[object]],
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        call_timeout: Optional[float] = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """
+        Args:
+            backend: A shard backend speaking the per-shard protocol
+                (``start``/``send``/``recv``/``kill``/``stop``).
+            shards: Shard count.
+            state_dirs: Per-shard durable state directory (``None`` for
+                in-memory shards, which cannot be healed — a worker
+                failure there escalates after marking the shard down).
+            retries: Restart attempts per incident before escalating
+                (``0`` restores the pre-supervision fail-fast behavior).
+            backoff_base: First retry delay; doubles per attempt.
+            backoff_max: Backoff ceiling in seconds.
+            call_timeout: Per-call reply deadline in seconds (``None``
+                disables timeout detection; deaths are still detected).
+            fault_plan: Optional scripted chaos; its facade-kind faults
+                (WAL corruption) fire between kill and restart, and its
+                worker-kind faults are re-armed past the incident slide
+                on every restart.
+            sleep, clock: Injectable timing (tests).
+        """
+        if retries < 0:
+            raise ShardingError(f"retries must be >= 0, got {retries}")
+        if call_timeout is not None and call_timeout <= 0:
+            raise ShardingError(
+                f"call_timeout must be positive or None, got {call_timeout}"
+            )
+        if backoff_base < 0 or backoff_max < 0:
+            raise ShardingError("backoff delays must be >= 0")
+        self._backend = backend
+        self._shards = shards
+        self._state_dirs = list(state_dirs)
+        self._retries = retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._call_timeout = call_timeout
+        self._fault_plan = fault_plan
+        self._facade_faults = FacadeFaultInjector(
+            [f for f in fault_plan.faults if f.kind in FACADE_KINDS]
+            if fault_plan is not None
+            else []
+        )
+        self._sleep = sleep
+        self._clock = clock
+        self._health = [_ShardHealth() for _ in range(shards)]
+        self._call_timeouts = 0
+        self._escalations = 0
+        self._degraded_windows = 0
+        self._degraded_seconds = 0.0
+        self._degraded_since: Optional[float] = None
+        self._last_heal_seconds: Optional[float] = None
+
+    # -- the supervised fan-out --------------------------------------------
+
+    def call(
+        self,
+        cmd: str,
+        payloads: Sequence,
+        *,
+        heal: bool,
+        repayload: Optional[Callable[[int, dict], object]] = None,
+        incident_slides: Optional[Sequence[int]] = None,
+    ) -> List:
+        """Run ``cmd`` on every non-skipped shard; heal or degrade failures.
+
+        Args:
+            cmd: The shard command.
+            payloads: One payload per shard (``_SKIP`` to skip a shard).
+            heal: Write-path semantics — restart failed shards in place
+                and re-dispatch, escalating :class:`ShardingError` after
+                the retry budget.  With ``heal=False`` (read path) failed
+                shards are marked down and contribute ``None``; the call
+                raises only when *no* shard can answer.
+            repayload: ``repayload(shard, restored_info)`` recomputes the
+                payload to re-dispatch after a restart (e.g. the slide
+                suffix beyond the recovered clock).  Defaults to the
+                original payload.
+            incident_slides: Per-shard slide sequence number the call is
+                about to produce — used to re-arm scripted faults past the
+                incident on restart.  Defaults to 0 (re-arm everything).
+
+        Returns:
+            Per-shard results; ``None`` for skipped shards and (reads
+            only) for shards that are down.
+        """
+        results: List = [None] * self._shards
+        pending: List[int] = []
+        crashed: Dict[int, str] = {}
+        app_errors: List[str] = []
+        for shard in range(self._shards):
+            if self._health[shard].state == "down":
+                if heal:
+                    crashed[shard] = (
+                        self._health[shard].last_error or "shard is down"
+                    )
+                continue
+            payload = payloads[shard]
+            if payload is _SKIP:
+                continue
+            if self._backend.send(shard, cmd, payload):
+                pending.append(shard)
+            else:
+                reason = f"dispatch of {cmd!r} failed: worker unreachable"
+                self._mark_down(shard, reason)
+                if heal:
+                    crashed[shard] = reason
+        # Drain every dispatched reply before acting on failures: the
+        # reply channels are per-shard and strictly request/reply, so an
+        # early exit would leave stale replies to desynchronize the next
+        # call.
+        for shard in pending:
+            status, result = self._backend.recv(shard, self._call_timeout)
+            if status == "ok":
+                results[shard] = result
+            elif status == "error":
+                # The worker is alive and its engine rejected the command
+                # (e.g. a stream-contract violation).  That is the
+                # caller's bug, not a crash: restarting would replay the
+                # same state and fail the same way.
+                app_errors.append(f"shard {shard} failed on {cmd!r}: {result}")
+            else:  # timeout | dead
+                if status == "timeout":
+                    self._call_timeouts += 1
+                    # Fence the stuck worker off its WAL before a restart
+                    # can open it.
+                    self._backend.kill(shard)
+                reason = f"{status} on {cmd!r}: {result}"
+                self._mark_down(shard, reason)
+                if heal:
+                    crashed[shard] = reason
+        if app_errors:
+            raise ShardingError("; ".join(app_errors))
+        if heal:
+            for shard in sorted(crashed):
+                incident = (
+                    incident_slides[shard] if incident_slides is not None else 0
+                )
+                results[shard] = self._heal(
+                    shard, cmd, payloads[shard], repayload, incident
+                )
+        elif self.degraded and all(
+            h.state == "down" for h in self._health
+        ):
+            raise ShardingError(
+                f"all {self._shards} shards are down "
+                f"(last: {self._health[-1].last_error}); "
+                "process a slide or call heal() to restart them"
+            )
+        return results
+
+    def heal_all(self, incident_slides: Optional[Sequence[int]] = None) -> List:
+        """Restart every down shard now; return per-shard restored infos.
+
+        Raises :class:`ShardingError` when a shard cannot be healed.
+        Healthy shards contribute ``None`` (they were not touched).
+        """
+        results: List = [None] * self._shards
+        for shard in range(self._shards):
+            if self._health[shard].state != "down":
+                continue
+            incident = (
+                incident_slides[shard] if incident_slides is not None else 0
+            )
+            results[shard] = self._heal(shard, None, _SKIP, None, incident)
+        return results
+
+    # -- healing -----------------------------------------------------------
+
+    def _heal(
+        self,
+        shard: int,
+        cmd: Optional[str],
+        payload,
+        repayload: Optional[Callable[[int, dict], object]],
+        incident_slide: int,
+    ):
+        """Restart ``shard`` and re-dispatch the in-flight command.
+
+        Returns the command result (or the restored info when there is
+        nothing to re-dispatch).  Raises :class:`ShardingError` when the
+        retry budget is exhausted or the shard has no durable state.
+        """
+        health = self._health[shard]
+        last_reason = health.last_error or "unknown failure"
+        if self._state_dirs[shard] is None:
+            self._escalations += 1
+            raise ShardingError(
+                f"shard {shard} died ({last_reason.splitlines()[0]}) and has "
+                "no durable state to heal from; reads are degraded until the "
+                "engine is rebuilt"
+            )
+        attempts = 0
+        while attempts < self._retries:
+            if attempts:
+                delay = min(
+                    self._backoff_base * (2 ** (attempts - 1)),
+                    self._backoff_max,
+                )
+                if delay:
+                    self._sleep(delay)
+            attempts += 1
+            self._facade_faults.before_restart(
+                shard, incident_slide, self._state_dirs[shard]
+            )
+            status, restored = self._backend.start(
+                shard, self._restart_overrides(shard, incident_slide)
+            )
+            if status != "ok":
+                last_reason = f"restart failed: {restored}"
+                continue
+            health.restarts += 1
+            retry_payload = payload
+            if repayload is not None:
+                retry_payload = repayload(shard, restored)
+            if cmd is None or retry_payload is _SKIP:
+                # Recovery already covers the in-flight work (the WAL had
+                # the slide, or there was nothing to redo).
+                self._mark_up(shard)
+                return restored
+            if not self._backend.send(shard, cmd, retry_payload):
+                last_reason = "restarted worker is unreachable"
+                continue
+            status, result = self._backend.recv(shard, self._call_timeout)
+            if status == "ok":
+                self._mark_up(shard)
+                return result
+            if status == "error":
+                # The recovered worker is alive and rejected the retry:
+                # an application error, not a crash.
+                self._mark_up(shard)
+                raise ShardingError(
+                    f"shard {shard} failed on {cmd!r} after restart: {result}"
+                )
+            if status == "timeout":
+                self._call_timeouts += 1
+                self._backend.kill(shard)
+            last_reason = f"{status} on retried {cmd!r}: {result}"
+        self._escalations += 1
+        health.last_error = last_reason
+        raise ShardingError(
+            f"shard {shard} did not heal after {self._retries} restart "
+            f"attempt(s) (last: {last_reason})"
+        )
+
+    def _restart_overrides(self, shard: int, incident_slide: int) -> Optional[dict]:
+        """Host-arg overrides for a restart: re-arm faults past the incident."""
+        if self._fault_plan is None:
+            return None
+        worker_faults = self._fault_plan.for_shard(shard)
+        if not worker_faults:
+            return None
+        return {
+            "fault_state": {
+                "faults": [f.to_state() for f in worker_faults],
+                "disarm_through": incident_slide,
+            }
+        }
+
+    # -- degraded-window accounting ----------------------------------------
+
+    def _mark_down(self, shard: int, reason: str) -> None:
+        health = self._health[shard]
+        health.last_error = reason
+        if health.state == "down":
+            return
+        health.state = "down"
+        health.down_since = self._clock()
+        if self._degraded_since is None:
+            self._degraded_since = health.down_since
+
+    def _mark_up(self, shard: int) -> None:
+        health = self._health[shard]
+        if health.state == "up":
+            return
+        health.state = "up"
+        health.down_since = None
+        if self._degraded_since is not None and not self.degraded:
+            window = self._clock() - self._degraded_since
+            self._degraded_windows += 1
+            self._degraded_seconds += window
+            self._last_heal_seconds = window
+            self._degraded_since = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard is currently down."""
+        return any(h.state == "down" for h in self._health)
+
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Ids of the shards currently down."""
+        return [i for i, h in enumerate(self._health) if h.state == "down"]
+
+    @property
+    def restarts(self) -> int:
+        """Total successful worker restarts."""
+        return sum(h.restarts for h in self._health)
+
+    def shard_states(self) -> List[dict]:
+        """Per-shard health documents (for ``/metrics`` and debugging)."""
+        now = self._clock()
+        out = []
+        for shard, health in enumerate(self._health):
+            doc = {
+                "shard": shard,
+                "state": health.state,
+                "restarts": health.restarts,
+            }
+            if health.last_error is not None:
+                doc["last_error"] = health.last_error.splitlines()[0][:200]
+            if health.down_since is not None:
+                doc["down_seconds"] = round(now - health.down_since, 6)
+            out.append(doc)
+        return out
+
+    def stats(self) -> dict:
+        """Supervision counters (for ``/metrics`` and chaos reports)."""
+        degraded_seconds = self._degraded_seconds
+        if self._degraded_since is not None:
+            degraded_seconds += self._clock() - self._degraded_since
+        return {
+            "degraded": self.degraded,
+            "degraded_shards": self.degraded_shards,
+            "restarts": self.restarts,
+            "call_timeouts": self._call_timeouts,
+            "escalations": self._escalations,
+            "degraded_windows": self._degraded_windows,
+            "degraded_seconds": round(degraded_seconds, 6),
+            "last_heal_seconds": (
+                None
+                if self._last_heal_seconds is None
+                else round(self._last_heal_seconds, 6)
+            ),
+            "retries": self._retries,
+            "call_timeout": self._call_timeout,
+        }

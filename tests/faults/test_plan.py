@@ -1,0 +1,122 @@
+"""FaultPlan: validation, round-trips, filtering, seeded generation."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, Fault, FaultPlan
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(kind="explode", shard=0, at_slide=1)
+
+    def test_worker_kinds_need_a_slide(self):
+        for kind in ("kill", "drop_reply"):
+            with pytest.raises(ValueError, match="at_slide >= 1"):
+                Fault(kind=kind, shard=0)
+
+    def test_hang_needs_positive_seconds(self):
+        with pytest.raises(ValueError, match="seconds > 0"):
+            Fault(kind="hang", shard=0, at_slide=2)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard must be >= 0"):
+            Fault(kind="kill", shard=-1, at_slide=1)
+
+    def test_corrupt_wal_tail_accepts_any_restart(self):
+        # at_slide=0 means "the first restart, whenever it happens".
+        fault = Fault(kind="corrupt_wal_tail", shard=1)
+        assert fault.at_slide == 0
+        with pytest.raises(ValueError, match="nbytes"):
+            Fault(kind="corrupt_wal_tail", shard=1, nbytes=0)
+
+    def test_plan_rejects_non_fault_entries(self):
+        with pytest.raises(TypeError, match="Fault entries"):
+            FaultPlan([{"kind": "kill", "shard": 0, "at_slide": 1}])
+
+
+class TestRoundTrip:
+    def _plan(self):
+        return FaultPlan(
+            [
+                Fault(kind="kill", shard=1, at_slide=3),
+                Fault(kind="hang", shard=0, at_slide=5, seconds=2.0),
+                Fault(kind="drop_reply", shard=1, at_slide=8),
+                Fault(kind="corrupt_wal_tail", shard=1, at_slide=3, nbytes=2),
+            ],
+            seed=7,
+        )
+
+    def test_json_round_trip_is_identity(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_state_emits_only_relevant_knobs(self):
+        state = Fault(kind="kill", shard=0, at_slide=1).to_state()
+        assert set(state) == {"kind", "shard", "at_slide"}
+        state = Fault(kind="hang", shard=0, at_slide=1, seconds=0.5).to_state()
+        assert state["seconds"] == 0.5
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported fault plan format"):
+            FaultPlan.from_state({"format": 99, "faults": []})
+
+    def test_unknown_fault_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault fields"):
+            Fault.from_state({"kind": "kill", "shard": 0, "at_slide": 1, "x": 2})
+
+
+class TestFiltering:
+    def test_for_shard_defaults_to_worker_kinds(self):
+        plan = FaultPlan(
+            [
+                Fault(kind="kill", shard=0, at_slide=2),
+                Fault(kind="corrupt_wal_tail", shard=0, at_slide=2),
+                Fault(kind="hang", shard=1, at_slide=4, seconds=1.0),
+            ]
+        )
+        mine = plan.for_shard(0)
+        assert [f.kind for f in mine] == ["kill"]
+        facade = plan.for_shard(0, kinds=("corrupt_wal_tail",))
+        assert [f.kind for f in facade] == ["corrupt_wal_tail"]
+
+    def test_max_shard(self):
+        assert FaultPlan().max_shard() == -1
+        plan = FaultPlan([Fault(kind="kill", shard=3, at_slide=1)])
+        assert plan.max_shard() == 3
+
+    def test_kinds_are_partitioned(self):
+        # Every kind belongs to exactly one side of the injection plane.
+        assert len(FAULT_KINDS) == len(set(FAULT_KINDS)) == 4
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=11, shards=4, slides=20, kills=3, hangs=2)
+        b = FaultPlan.random(seed=11, shards=4, slides=20, kills=3, hangs=2)
+        assert a == b
+        assert len(a) == 5
+        assert a.seed == 11
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.random(seed=1, shards=4, slides=50, kills=4)
+        b = FaultPlan.random(seed=2, shards=4, slides=50, kills=4)
+        assert a != b
+
+    def test_faults_land_on_distinct_cells_in_range(self):
+        plan = FaultPlan.random(seed=5, shards=2, slides=6, kills=6, hangs=3)
+        cells = [(f.shard, f.at_slide) for f in plan]
+        assert len(set(cells)) == len(cells)
+        for fault in plan:
+            assert 0 <= fault.shard < 2
+            assert 1 <= fault.at_slide <= 6
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            FaultPlan.random(seed=1, shards=1, slides=2, kills=3)

@@ -268,8 +268,9 @@ class TestRecovery:
         assert reopened.query() == expected
         reopened.close()
 
-    def test_sigkill_one_worker_then_reopen_heals(self, tmp_path):
-        """kill -9 of one shard worker: error surfaced, redelivery heals."""
+    def test_sigkill_one_worker_is_healed_in_place(self, tmp_path):
+        """kill -9 of one shard worker: the supervisor restarts it from
+        its snapshot + WAL mid-stream and the caller never sees an error."""
         actions = random_stream(200, 20, seed=27)
         batches = [list(b) for b in batched(actions, 5)]
         factory = lambda assignment=None: MAKERS["ic"](shard=assignment)
@@ -282,11 +283,51 @@ class TestRecovery:
         )
         for batch in batches[:20]:
             engine.process(batch)
+        victim = engine.worker_pids[0]
+        os.kill(victim, signal.SIGKILL)
+        for batch in batches[20:]:
+            engine.process(batch)
+        assert engine.query() == expected
+        assert all(now == 200 for now in engine._shard_nows)
+        stats = engine.supervision_stats()
+        assert stats["restarts"] == 1
+        assert stats["degraded_windows"] == 1
+        assert not stats["degraded"]
+        survivors = list(engine.worker_pids)
+        engine.close()
+        # No stray workers: the killed pid and every later worker are gone.
+        for pid in [victim] + [p for p in survivors if p is not None]:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_sigkill_with_retries_zero_fails_fast_then_reopen_heals(
+        self, tmp_path
+    ):
+        """retries=0 restores the old fail-fast contract: the error is
+        surfaced, and a manual reopen + redelivery heals."""
+        actions = random_stream(200, 20, seed=27)
+        batches = [list(b) for b in batched(actions, 5)]
+        factory = lambda assignment=None: MAKERS["ic"](shard=assignment)
+        expected = run_sharded(MAKERS["ic"], actions, 5, 2)
+
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="process",
+            snapshot_every=4, fsync=False, retries=0,
+        )
+        for batch in batches[:20]:
+            engine.process(batch)
         os.kill(engine.worker_pids[0], signal.SIGKILL)
         with pytest.raises(ShardingError, match="shard 0"):
             for batch in batches[20:]:
                 engine.process(batch)
+        assert engine.degraded and engine.degraded_shards == [0]
+        pids = [p for p in engine.worker_pids if p is not None]
         engine.close(snapshot=False)
+        # The mid-run escalation must not leave zombie workers behind.
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
 
         recovered = ShardedEngine.open(
             factory, 2, state_dir=state, backend="process",

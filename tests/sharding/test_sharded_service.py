@@ -6,9 +6,11 @@ import pathlib
 import signal
 import subprocess
 import sys
+import time
 
 from repro.core.ic import InfluentialCheckpoints
 from repro.core.stream import batched
+from repro.faults import Fault, FaultPlan
 from repro.persistence.engine import (
     RecoverableEngine,
     list_shard_state_dirs,
@@ -198,3 +200,124 @@ class TestShardedServeSubprocess:
         assert answer["time"] == expected.time
         assert answer["value"] == expected.value
         assert set(answer["seeds"]) == set(expected.seeds)
+
+
+class TestDegradedHealth:
+    def test_healthz_degraded_after_shard_kill_then_clears(self, tmp_path):
+        """SIGKILL one shard worker: reads degrade (503 "degraded" with
+        the shard named), the next write heals it in place, and the
+        service returns to 200 with the degraded window on record."""
+        actions = random_stream(400, 30, seed=34)
+        offline = ShardedEngine.open(_factory, 2, backend="serial")
+        for batch in batched(actions, 20):
+            offline.process(list(batch))
+        expected = offline.query()
+        offline.close()
+
+        engine = ShardedEngine.open(
+            _factory, 2, state_dir=tmp_path / "state",
+            backend="process", snapshot_every=4,
+        )
+        config = ServiceConfig(
+            port=0, slide=20, flush_interval=60.0,
+            shards=2, shard_backend="process",
+        )
+        with ServiceRunner(engine, config) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            client.ingest(actions[:200])
+            victim = engine.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.2)
+            # A merged read notices the dead worker and degrades instead
+            # of failing (reads never restart workers).
+            engine.query_all()
+            assert runner.degraded
+            status, payload = client.http_get("/healthz")
+            assert status == 503
+            assert payload["status"] == "degraded"
+            assert payload["degraded_shards"] == [0]
+            assert payload["restarts"] == 0
+            degraded = client.wait_healthy(accept_degraded=True)
+            assert degraded["status"] == "degraded"
+            # The next write heals the shard in place and clears the flag.
+            client.ingest(actions[200:])
+            assert client.wait_healthy()["status"] == "ok"
+            assert not runner.degraded
+            answer = client.topk("main")
+            status, metrics = client.http_get("/metrics")
+        assert answer["time"] == expected.time
+        assert answer["value"] == expected.value
+        assert set(answer["seeds"]) == set(expected.seeds)
+        assert status == 200
+        assert metrics["engine"]["degraded"] is False
+        assert metrics["engine"]["degraded_shards"] == []
+        supervision = metrics["engine"]["supervision"]
+        assert supervision["restarts"] == 1
+        assert supervision["degraded_windows"] == 1
+        assert supervision["degraded_seconds"] > 0
+        assert metrics["ingest"]["writer_retries"] == 0
+
+
+class TestChaosServeSubprocess:
+    def test_fault_plan_serve_shards2_converges(self, tmp_path):
+        """The CI chaos smoke: ``serve --shards 2 --fault-plan`` with a
+        scripted SIGKILL per shard mid-stream.  The client sees zero
+        errors, the final answer matches a fault-free run, and /metrics
+        records the healed degraded windows."""
+        state_dir = tmp_path / "state"
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            [
+                Fault(kind="kill", shard=0, at_slide=6),
+                Fault(kind="kill", shard=1, at_slide=14),
+            ],
+            seed=15,
+        ).save(plan_path)
+        actions = random_stream(600, 40, seed=33)
+
+        def offline_factory(assignment=None):
+            return InfluentialCheckpoints(
+                window_size=120, k=3, beta=0.3, shard=assignment
+            )
+
+        reference = ShardedEngine.open(offline_factory, 2, backend="serial")
+        for batch in batched(actions, 5):
+            reference.process(list(batch))
+        expected = reference.query()
+        reference.close()
+
+        process, host, port = _spawn_server(
+            [
+                "--algorithm", "ic", "--window", "120", "--slide", "5",
+                "-k", "3", "--beta", "0.3", "--shards", "2",
+                "--shard-backend", "process", "--state-dir", str(state_dir),
+                "--snapshot-every", "5", "--flush-interval", "60",
+                "--fault-plan", str(plan_path),
+            ],
+            cwd=REPO_ROOT,
+        )
+        try:
+            client = ServiceClient(host, port)
+            summary = client.ingest(actions)  # raises on any error line
+            assert summary["slide"] == 120
+            assert summary["time"] == 600
+            answer = client.topk("main")
+            status, payload = client.http_get("/healthz")
+            assert status == 200, payload
+            status, metrics = client.http_get("/metrics")
+            assert status == 200
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert answer["time"] == expected.time
+        assert answer["value"] == expected.value
+        assert set(answer["seeds"]) == set(expected.seeds)
+        assert metrics["engine"]["degraded"] is False
+        supervision = metrics["engine"]["supervision"]
+        assert supervision["restarts"] == 2
+        assert supervision["degraded_windows"] == 2
+        assert supervision["escalations"] == 0
+        assert metrics["ingest"]["writer_retries"] == 0
