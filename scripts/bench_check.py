@@ -13,9 +13,13 @@ catching real hot-path regressions)::
 
 Tracked metrics are every ``*_per_sec`` figure in the baseline (rates,
 where higher is better; latencies and byte sizes are reported but never
-gated — they scale with ``--quick``'s shorter stream).  A tracked metric
-missing from the current run fails the gate too: silently losing coverage
-is itself a regression.
+gated — they scale with ``--quick``'s shorter stream) plus the floor
+*ratios* in :data:`GATED_SUFFIXES` — ``shard_scaling.implied_speedup_at_s4``
+and ``ic_n1000_l1.speedup_vs_object_plane``.  Those live in sections whose
+raw sub-second rates are too noisy to gate, but the ratio is the signal:
+it cancels the machine speed and still catches a scaling or kernel
+regression.  A tracked metric missing from the current run fails the gate
+too: silently losing coverage is itself a regression.
 
 ``--load-gen REPORT`` additionally holds a ``scripts/load_gen.py``
 ``--output`` report against the baseline's ``service_ingest`` rate — the
@@ -30,24 +34,53 @@ import pathlib
 
 __all__ = ["collect_rates", "compare", "main"]
 
+#: Metric-name suffixes the gate tracks: throughput rates plus the floor
+#: ratios whose sections are otherwise too noisy to gate rate-by-rate
+#: (the ratio cancels machine speed, so it stays comparable).
+GATED_SUFFIXES = (
+    "_per_sec",
+    "implied_speedup_at_s4",
+    "speedup_vs_object_plane",
+)
 
-def collect_rates(document: dict, prefix: str = "") -> dict:
-    """Flatten every ``*_per_sec`` metric into ``{dotted.path: value}``."""
+
+def collect_rates(
+    document: dict, prefix: str = "", suffixes=GATED_SUFFIXES
+) -> dict:
+    """Flatten every tracked metric into ``{dotted.path: value}``."""
     rates = {}
     for key, value in document.items():
         path = f"{prefix}.{key}" if prefix else key
         if isinstance(value, dict):
-            rates.update(collect_rates(value, path))
-        elif key.endswith("_per_sec") and isinstance(value, (int, float)):
+            rates.update(collect_rates(value, path, suffixes))
+        elif isinstance(value, (int, float)) and any(
+            key.endswith(suffix) for suffix in suffixes
+        ):
             rates[path] = float(value)
     return rates
 
 
-#: Gate-exempt sections: rates derived from sub-second timings whose
+#: Noise-exempt sections: *rates* derived from sub-second timings whose
 #: run-to-run swing exceeds any reasonable tolerance.  They stay in the
-#: report (the scaling *shape* / time-to-heal is the signal there) but
-#: never fail CI.
+#: report but never fail CI — only their floor ratios (see
+#: :data:`GATED_SUFFIXES`) are gated.
 DEFAULT_IGNORED_PREFIXES = ("shard_scaling", "chaos_recovery")
+
+
+def _is_gated(path: str, ignored, hard_ignored) -> bool:
+    """Whether a tracked metric can fail the gate.
+
+    ``hard_ignored`` prefixes exempt everything beneath them (used for
+    hardware-dependent sections under a CPU-count mismatch); ``ignored``
+    prefixes exempt only the noisy raw rates, not the floor ratios.
+    """
+    if any(path.startswith(prefix) for prefix in hard_ignored):
+        return False
+    if path.endswith("_per_sec") and any(
+        path.startswith(prefix) for prefix in ignored
+    ):
+        return False
+    return True
 
 
 def compare(
@@ -55,27 +88,30 @@ def compare(
     current: dict,
     tolerance: float,
     ignored_prefixes=DEFAULT_IGNORED_PREFIXES,
+    hard_ignored_prefixes=(),
 ) -> list:
     """Regressions of ``current`` vs ``baseline``: ``[(path, base, now), ...]``.
 
     A metric regresses when it is missing from the current run or when
     ``now < base * (1 - tolerance)``.  Metrics only present in the current
     run never fail the gate (new coverage is welcome before the baseline
-    is refreshed), and paths under ``ignored_prefixes`` are reported but
-    never gated.
+    is refreshed).  Raw rates under ``ignored_prefixes`` are reported but
+    never gated — their floor ratios still are — while everything under
+    ``hard_ignored_prefixes`` is fully exempt.
     """
     baseline_rates = collect_rates(baseline)
     current_rates = collect_rates(current)
     ignored = tuple(ignored_prefixes)
+    hard_ignored = tuple(hard_ignored_prefixes)
     if baseline.get("cpus") != current.get("cpus"):
         # The sharded socket rate is a hardware property (a 4-shard
         # process engine on 1 CPU runs *below* the single rate; on 4+
         # cores above it).  Across machines with different core counts
         # the comparison is meaningless, so it is only gated like-for-like.
-        ignored += ("service_ingest_sharded",)
+        hard_ignored += ("service_ingest_sharded",)
     regressions = []
     for path, base in sorted(baseline_rates.items()):
-        if any(path.startswith(prefix) for prefix in ignored):
+        if not _is_gated(path, ignored, hard_ignored):
             continue
         now = current_rates.get(path)
         if now is None:
@@ -125,11 +161,14 @@ def main(argv=None) -> int:
 
     if args.current is not None:
         current = json.loads(args.current.read_text())
-        ignored = DEFAULT_IGNORED_PREFIXES
+        hard_ignored = ()
         if baseline.get("cpus") != current.get("cpus"):
-            ignored += ("service_ingest_sharded",)
+            hard_ignored = ("service_ingest_sharded",)
         regressions = compare(
-            baseline, current, args.tolerance, ignored_prefixes=ignored
+            baseline,
+            current,
+            args.tolerance,
+            hard_ignored_prefixes=hard_ignored,
         )
         tracked = collect_rates(baseline)
         current_rates = collect_rates(current)
@@ -140,7 +179,7 @@ def main(argv=None) -> int:
         for path, base in sorted(tracked.items()):
             now = current_rates.get(path)
             status = "MISSING" if now is None else f"{now:>12,.1f}"
-            if any(path.startswith(p) for p in ignored):
+            if not _is_gated(path, DEFAULT_IGNORED_PREFIXES, hard_ignored):
                 marker = "  (not gated)"
             elif (path, base, now) in regressions:
                 marker = "  !! REGRESSION"

@@ -82,20 +82,33 @@ def time_framework(framework, batches):
 
 
 def bench_ic_n1000_l1(stream, n_actions, repeats=2):
-    """The acceptance workload: IC, window 1000, slide 1, shared vs reference.
+    """The acceptance workload: IC, window 1000, slide 1, three planes.
 
-    Each mode reports its best of ``repeats`` runs (scheduler noise on a
-    ~10 s single-shot run can swing throughput by >10%).
+    ``shared`` is the default engine (shared index + columnar oracle
+    kernel), ``object`` pins the shared index to per-checkpoint object
+    oracles (``columnar=False``), and ``reference`` is the per-checkpoint
+    index copy mode.  Each mode reports its best of ``repeats`` runs
+    (scheduler noise on a ~10 s single-shot run can swing throughput by
+    >10%).
     """
     actions = stream[:n_actions]
     batches = [[a] for a in actions]
     results = {}
-    for label, shared in (("shared", True), ("reference", False)):
+    modes = (
+        ("shared", True, None),
+        ("object", True, False),
+        ("reference", False, None),
+    )
+    for label, shared, columnar in modes:
         best = None
         for _ in range(repeats):
             elapsed, ic = time_framework(
                 InfluentialCheckpoints(
-                    window_size=1000, k=5, beta=0.3, shared_index=shared
+                    window_size=1000,
+                    k=5,
+                    beta=0.3,
+                    shared_index=shared,
+                    columnar=columnar,
                 ),
                 batches,
             )
@@ -116,6 +129,11 @@ def bench_ic_n1000_l1(stream, n_actions, repeats=2):
     results["speedup_vs_reference_mode"] = round(
         results["shared"]["actions_per_sec"]
         / results["reference"]["actions_per_sec"],
+        2,
+    )
+    results["speedup_vs_object_plane"] = round(
+        results["shared"]["actions_per_sec"]
+        / results["object"]["actions_per_sec"],
         2,
     )
     return results
@@ -564,6 +582,8 @@ def main(argv=None):
     headline = report["ic_n1000_l1"]
     print(f"IC N=1000 L=1 shared:    {headline['shared']['actions_per_sec']:>10,.1f} actions/s "
           f"({headline['shared']['index_entries']:,} index entries)")
+    print(f"IC N=1000 L=1 object:    {headline['object']['actions_per_sec']:>10,.1f} actions/s "
+          f"(columnar kernel off)")
     print(f"IC N=1000 L=1 reference: {headline['reference']['actions_per_sec']:>10,.1f} actions/s "
           f"({headline['reference']['index_entries']:,} index entries)")
     print(f"speedup vs in-tree reference mode: "

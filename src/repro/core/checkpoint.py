@@ -38,6 +38,7 @@ frameworks' job.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Sequence
@@ -48,6 +49,7 @@ from repro.core.influence_index import (
     VersionedInfluenceIndex,
 )
 from repro.core.oracles.base import CheckpointOracle, make_oracle
+from repro.core.oracles.streaming_base import StreamingThresholdOracle
 from repro.influence.functions import InfluenceFunction
 
 __all__ = [
@@ -55,8 +57,101 @@ __all__ = [
     "CheckpointRoster",
     "OracleSpec",
     "feed_shared",
+    "make_columnar_kernel",
     "project_records",
 ]
+
+
+def _columnar_module():
+    """Import the numpy-backed kernel module.
+
+    Isolated in a helper so tests can simulate a missing numpy, and so
+    engines that never enable the columnar plane never pay the import.
+    """
+    from repro.core.oracles import columnar
+
+    return columnar
+
+
+def make_columnar_kernel(spec, shared, columnar, batch_feeds: bool = True):
+    """Resolve an engine's oracle-plane choice to a kernel (or ``None``).
+
+    Args:
+        spec: The engine's :class:`OracleSpec`.
+        shared: The engine's
+            :class:`~repro.core.influence_index.VersionedInfluenceIndex`,
+            or ``None`` in per-checkpoint reference mode.
+        columnar: The engine's plane flag — ``True`` requires the columnar
+            kernel (raising if unsupported), ``False`` forces the object
+            plane, ``None`` auto-selects: columnar whenever supported.
+        batch_feeds: The engine's dispatch-plane flag; the kernel *is* the
+            batched plane, so unbatched engines keep object oracles.
+
+    Returns:
+        A ``ColumnarThresholdKernel`` when the columnar plane is active,
+        else ``None`` (object-oracle plane).
+
+    Raises:
+        ValueError: ``columnar=True`` on an unsupported configuration.
+        ImportError: ``columnar=True`` without numpy installed.
+    """
+    if columnar is False:
+        return None
+    reasons = []
+    if shared is None:
+        reasons.append("shared_index=False (per-checkpoint reference mode)")
+    if not batch_feeds:
+        reasons.append("batch_feeds=False (unbatched dispatch reference)")
+    if not spec.func.modular:
+        reasons.append(
+            f"non-modular influence function {type(spec.func).__name__}"
+        )
+    elif spec.func.uniform_weight is None:
+        # Admission gains for weighted members are float sums taken in each
+        # object oracle's set-iteration order; the kernel's bitset popcount
+        # gains can only reproduce the uniform-weight multiply exactly.
+        reasons.append(
+            f"non-uniform member weights ({type(spec.func).__name__}); "
+            "the kernel computes admission gains as popcounts"
+        )
+    if not reasons:
+        try:
+            probe = spec.build(shared.view(1))
+        except KeyError:
+            # Unknown oracle names keep their pinned contract: the engine
+            # constructs fine and raises on the first checkpoint build.
+            probe = None
+        if not isinstance(probe, StreamingThresholdOracle):
+            reasons.append(
+                f"oracle {spec.name!r} is not a threshold-guessing "
+                "streaming oracle"
+            )
+        elif int(math.log(2 * spec.k) / probe._log_base) + 3 > 64:
+            # The kernel packs per-checkpoint seed membership into uint64
+            # masks, one bit per live guess instance.
+            reasons.append(
+                f"beta={probe._beta} spreads the guess ladder over more "
+                "than 64 live instances per checkpoint"
+            )
+    if reasons:
+        if columnar:
+            raise ValueError(
+                "columnar=True requires a shared-index engine with batched "
+                "feeds, a modular uniform-weight influence function, and a "
+                "sieve/threshold oracle; blocked by: " + "; ".join(reasons)
+            )
+        return None
+    try:
+        module = _columnar_module()
+    except ImportError as exc:
+        if columnar:
+            raise ImportError(
+                "columnar=True requires numpy (the columnar oracle kernel "
+                "is array-backed); install numpy or pass columnar=False "
+                "to keep the per-checkpoint object oracles"
+            ) from exc
+        return None
+    return module.ColumnarThresholdKernel(spec, shared)
 
 
 def project_records(records: Sequence[ActionRecord], owns) -> List[ActionRecord]:
@@ -371,7 +466,7 @@ class CheckpointRoster:
 
     @classmethod
     def from_state(
-        cls, state: dict, spec: OracleSpec, shared=None
+        cls, state: dict, spec: OracleSpec, shared=None, kernel=None
     ) -> "CheckpointRoster":
         """Rebuild a roster from :meth:`to_state` output.
 
@@ -382,9 +477,21 @@ class CheckpointRoster:
                 :class:`~repro.core.influence_index.VersionedInfluenceIndex`
                 (checkpoints get fresh views of it), or ``None`` for the
                 per-checkpoint reference mode.
+            kernel: The framework's ``ColumnarThresholdKernel`` when the
+                columnar plane is active — checkpoints restore as kernel
+                columns instead of object oracles.  Snapshot documents are
+                plane-agnostic, so either plane opens either document.
         """
         roster = cls()
         roster.absorbed = state["absorbed"]
+        if kernel is not None:
+            from repro.core.oracles.columnar import restore_checkpoint
+
+            for checkpoint_state in state["checkpoints"]:
+                roster.append(
+                    restore_checkpoint(kernel, checkpoint_state, roster)
+                )
+            return roster
         for checkpoint_state in state["checkpoints"]:
             view = (
                 shared.view(checkpoint_state["start"])

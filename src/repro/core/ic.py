@@ -50,6 +50,7 @@ from repro.core.checkpoint import (
     CheckpointRoster,
     OracleSpec,
     feed_shared,
+    make_columnar_kernel,
     project_records,
 )
 from repro.core.diffusion import ActionRecord
@@ -78,6 +79,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
         batch_feeds: bool = True,
         checkpoint_interval: int = 1,
         shard=None,
+        columnar: Optional[bool] = None,
     ):
         """
         Args:
@@ -106,6 +108,16 @@ class InfluentialCheckpoints(SIMAlgorithm):
                 influence pairs whose influencer the assignment owns — one
                 shard of the partitioned ingest plane
                 (:mod:`repro.sharding`).
+            columnar: Oracle-plane selection.  ``None`` (default) enables
+                the vectorized columnar kernel
+                (:mod:`repro.core.oracles.columnar`) whenever the
+                configuration supports it — shared index, batched feeds,
+                modular influence function, sieve/threshold oracle —
+                falling back to per-checkpoint object oracles otherwise.
+                ``True`` requires it (raising on unsupported configs or a
+                missing numpy); ``False`` forces the object-oracle plane,
+                kept as the columnar kernel's equivalence reference exactly
+                like ``shared_index=False`` is for the shared data plane.
         """
         # window_size and k are validated (with the offending value in the
         # message) by SIMAlgorithm/SlidingWindow in super().__init__;
@@ -126,6 +138,10 @@ class InfluentialCheckpoints(SIMAlgorithm):
         self._shard = shard
         self._shared: Optional[VersionedInfluenceIndex] = (
             VersionedInfluenceIndex() if shared_index else None
+        )
+        self._columnar_requested = columnar
+        self._kernel = make_columnar_kernel(
+            self._spec, self._shared, columnar, batch_feeds
         )
 
     @property
@@ -154,6 +170,16 @@ class InfluentialCheckpoints(SIMAlgorithm):
         return self._shard
 
     @property
+    def columnar(self) -> bool:
+        """Whether the columnar oracle kernel is active."""
+        return self._kernel is not None
+
+    @property
+    def columnar_kernel(self):
+        """The active ``ColumnarThresholdKernel`` (``None`` = object plane)."""
+        return self._kernel
+
+    @property
     def influence_function(self) -> InfluenceFunction:
         """The influence function ``f`` the checkpoint oracles maximise."""
         return self._spec.func
@@ -174,7 +200,12 @@ class InfluentialCheckpoints(SIMAlgorithm):
             else project_records(arrived, self._shard.owns)
         )
         shared = self._shared
-        if shared is not None:
+        kernel = self._kernel
+        if kernel is not None:
+            if open_checkpoint:
+                roster.append(kernel.new_checkpoint(arrived[0].time, roster))
+            kernel.absorb_slide(roster, records, absorbed=len(arrived))
+        elif shared is not None:
             if open_checkpoint:
                 start = arrived[0].time
                 roster.append(
@@ -211,11 +242,13 @@ class InfluentialCheckpoints(SIMAlgorithm):
             # cover strictly less than the window).
             second = roster[1] if len(roster) > 1 else None
             if second is not None and second.start <= max(1, now - size + 1):
-                roster.pop_oldest()
+                popped = roster.pop_oldest()
+                if kernel is not None:
+                    kernel.retire_checkpoint(popped)
             else:
                 break
         if shared is not None and roster:
-            shared.compact(roster[0].start)
+            shared.compact(roster[0].start, now=now)
 
     def query(self) -> SIMResult:
         """Return the solution of ``Λ_t[1]`` (Algorithm 1 lines 9-10)."""
@@ -271,6 +304,10 @@ class InfluentialCheckpoints(SIMAlgorithm):
             },
             "base": self._base_state(),
             "slide_index": self._slide_index,
+            # The oracle plane is a runtime choice, not part of the engine
+            # config: object-plane and columnar snapshots stay
+            # config-compatible and open into either plane.
+            "columnar": self._columnar_requested,
             "shared": self._shared.to_state() if self._shared is not None else None,
             "roster": self._roster.to_state(),
         }
@@ -300,6 +337,7 @@ class InfluentialCheckpoints(SIMAlgorithm):
             batch_feeds=config["batch_feeds"],
             checkpoint_interval=config["checkpoint_interval"],
             shard=shard,
+            columnar=False,
         )
         # The spec's params are authoritative (the ctor only wires beta for
         # the threshold-guessing oracles); restore them verbatim.
@@ -310,7 +348,21 @@ class InfluentialCheckpoints(SIMAlgorithm):
         algorithm._slide_index = state["slide_index"]
         if algorithm._shared is not None:
             algorithm._shared = VersionedInfluenceIndex.from_state(state["shared"])
+        # Plane selection re-runs against the *restored* spec and index
+        # (the ctor's were placeholders); documents without the key (older
+        # snapshots) auto-select, so old object-plane snapshots open
+        # straight into the columnar kernel.
+        algorithm._columnar_requested = state.get("columnar")
+        algorithm._kernel = make_columnar_kernel(
+            algorithm._spec,
+            algorithm._shared,
+            algorithm._columnar_requested,
+            config["batch_feeds"],
+        )
         algorithm._roster = CheckpointRoster.from_state(
-            state["roster"], algorithm._spec, shared=algorithm._shared
+            state["roster"],
+            algorithm._spec,
+            shared=algorithm._shared,
+            kernel=algorithm._kernel,
         )
         return algorithm

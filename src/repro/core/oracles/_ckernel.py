@@ -1,0 +1,144 @@
+"""Loader for the compiled columnar event kernel (optional fast path).
+
+``_ckernel.c`` is compiled on first use with the system C compiler into a
+content-addressed shared object under the temp directory, then loaded via
+ctypes.  Everything degrades gracefully: no compiler, a failed build, a
+failed load, or ``REPRO_NO_CKERNEL=1`` in the environment all yield
+``None``, and :class:`~repro.core.oracles.columnar.ColumnarThresholdKernel`
+falls back to its pure-numpy event path (same results, lower throughput).
+
+The build deliberately avoids ``-ffast-math`` and forces
+``-ffp-contract=off``: the kernel's contract is bit-identical float
+results versus the CPython object plane, and FMA contraction or unsafe
+math would silently break that.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["EventCtx", "load", "ENV_DISABLE"]
+
+#: Set this environment variable (to any non-empty value) to force the
+#: pure-numpy event path — used by tests to exercise both paths.
+ENV_DISABLE = "REPRO_NO_CKERNEL"
+
+_SOURCE = Path(__file__).with_name("_ckernel.c")
+_CFLAGS = [
+    "-O3",
+    "-shared",
+    "-fPIC",
+    # Exactness: results must match CPython float arithmetic bit-for-bit.
+    "-fno-fast-math",
+    "-ffp-contract=off",
+]
+
+_lib: Optional[ctypes.CDLL] = None
+_tried = False
+
+
+class EventCtx(ctypes.Structure):
+    """Mirror of the ``EventCtx`` struct in ``_ckernel.c`` (all 8-byte
+    fields, so the layouts agree without explicit packing)."""
+
+    _fields_ = [
+        ("cap", ctypes.c_int64),
+        ("jcap", ctypes.c_int64),
+        ("kcap", ctypes.c_int64),
+        ("wcap", ctypes.c_int64),
+        ("k", ctypes.c_int64),
+        ("bar_mode", ctypes.c_int64),
+        ("uniform", ctypes.c_double),
+        ("base", ctypes.c_double),
+        ("log_base", ctypes.c_double),
+    ] + [
+        (name, ctypes.c_void_p)
+        for name in (
+            "m",
+            "best",
+            "floor_",
+            "rthresh",
+            "blow",
+            "bhigh",
+            "starts",
+            "ival",
+            "ibar",
+            "iguess",
+            "inseed",
+            "iseed_ids",
+            "best_ids",
+            "best_ns",
+            "dirtyf",
+            "icov",
+            "mem2d",
+            "cache2d",
+            "lanes",
+            "times",
+            "skeys",
+            "cum",
+            "counts",
+            "los",
+            "freshb",
+        )
+    ]
+
+
+def _build(source: Path, out: Path) -> bool:
+    tmp = out.with_name(f"{out.name}.{os.getpid()}.tmp")
+    cmd = ["cc", *_CFLAGS, "-o", str(tmp), str(source), "-lm"]
+    try:
+        subprocess.run(
+            cmd, check=True, capture_output=True, timeout=120
+        )
+        os.replace(tmp, out)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, building it on first call.
+
+    Returns ``None`` when disabled or unavailable; the result (either
+    way) is cached for the process.
+    """
+    global _lib, _tried
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get(ENV_DISABLE):
+        return None
+    try:
+        source_bytes = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source_bytes).hexdigest()[:16]
+    so_path = Path(tempfile.gettempdir()) / f"repro_ckernel_{digest}.so"
+    if not so_path.exists() and not _build(_SOURCE, so_path):
+        return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        lib.process_event.restype = ctypes.c_int
+        lib.process_event.argtypes = [
+            ctypes.POINTER(EventCtx),
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int64,
+        ]
+    except (OSError, AttributeError):
+        return None
+    _lib = lib
+    return _lib

@@ -46,6 +46,7 @@ from repro.core.checkpoint import (
     CheckpointRoster,
     OracleSpec,
     feed_shared,
+    make_columnar_kernel,
     project_records,
 )
 from repro.core.diffusion import ActionRecord
@@ -74,6 +75,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         shared_index: bool = True,
         batch_feeds: bool = True,
         shard=None,
+        columnar: Optional[bool] = None,
     ):
         """
         Args:
@@ -101,6 +103,11 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
                 influence pairs whose influencer the assignment owns — one
                 shard of the partitioned ingest plane
                 (:mod:`repro.sharding`).
+            columnar: Oracle-plane selection — see
+                :class:`~repro.core.ic.InfluentialCheckpoints`.  ``None``
+                auto-enables the vectorized columnar kernel when supported,
+                ``True`` requires it, ``False`` keeps the object-oracle
+                equivalence reference.
         """
         # window_size and k are validated (with the offending value in the
         # message) by SIMAlgorithm/SlidingWindow in super().__init__;
@@ -119,6 +126,10 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         self._shard = shard
         self._shared: Optional[VersionedInfluenceIndex] = (
             VersionedInfluenceIndex() if shared_index else None
+        )
+        self._columnar_requested = columnar
+        self._kernel = make_columnar_kernel(
+            self._spec, self._shared, columnar, batch_feeds
         )
 
     @property
@@ -152,6 +163,16 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         return self._shard
 
     @property
+    def columnar(self) -> bool:
+        """Whether the columnar oracle kernel is active."""
+        return self._kernel is not None
+
+    @property
+    def columnar_kernel(self):
+        """The active ``ColumnarThresholdKernel`` (``None`` = object plane)."""
+        return self._kernel
+
+    @property
     def influence_function(self) -> InfluenceFunction:
         """The influence function ``f`` the checkpoint oracles maximise."""
         return self._spec.func
@@ -170,7 +191,11 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             else project_records(arrived, self._shard.owns)
         )
         shared = self._shared
-        if shared is not None:
+        kernel = self._kernel
+        if kernel is not None:
+            roster.append(kernel.new_checkpoint(start, roster))
+            kernel.absorb_slide(roster, records, absorbed=len(arrived))
+        elif shared is not None:
             roster.append(
                 Checkpoint(
                     start, self._spec, index=shared.view(start), ledger=roster
@@ -195,7 +220,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         self._prune()
         self._retire_expired_head()
         if shared is not None and roster:
-            shared.compact(roster[0].start)
+            shared.compact(roster[0].start, now=self.now)
 
     # -- Algorithm 2 lines 9-20 -------------------------------------------
 
@@ -216,6 +241,9 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             while j + 1 < len(cps) and cps[j].value >= bar and cps[j + 1].value >= bar:
                 j += 1
             self._pruned_total += j - (i + 1)
+            if self._kernel is not None:
+                for removed in cps[i + 1 : j]:
+                    self._kernel.retire_checkpoint(removed)
             i = j
         if len(keep) < len(cps):
             self._roster.replace(keep)
@@ -228,7 +256,9 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         size = self.window_size
         roster = self._roster
         while len(roster) > 1 and not roster[1].covers_window(now, size):
-            roster.pop_oldest()
+            popped = roster.pop_oldest()
+            if self._kernel is not None:
+                self._kernel.retire_checkpoint(popped)
 
     def query(self) -> SIMResult:
         """Return the solution of ``Λ_t[x_1]`` (Algorithm 2 line 25)."""
@@ -297,6 +327,9 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             },
             "base": self._base_state(),
             "pruned_total": self._pruned_total,
+            # Runtime plane choice, deliberately outside config (snapshots
+            # from either plane stay config-compatible).
+            "columnar": self._columnar_requested,
             "shared": self._shared.to_state() if self._shared is not None else None,
             "roster": self._roster.to_state(),
         }
@@ -326,6 +359,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
             shared_index=config["shared_index"],
             batch_feeds=config["batch_feeds"],
             shard=shard,
+            columnar=False,
         )
         algorithm._spec = OracleSpec(
             name=config["oracle"], k=config["k"], func=func, params=dict(params)
@@ -334,7 +368,20 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         algorithm._pruned_total = state["pruned_total"]
         if algorithm._shared is not None:
             algorithm._shared = VersionedInfluenceIndex.from_state(state["shared"])
+        # Re-run plane selection against the restored spec and index; older
+        # documents without the key auto-select (old snapshots open into
+        # the columnar kernel).
+        algorithm._columnar_requested = state.get("columnar")
+        algorithm._kernel = make_columnar_kernel(
+            algorithm._spec,
+            algorithm._shared,
+            algorithm._columnar_requested,
+            config["batch_feeds"],
+        )
         algorithm._roster = CheckpointRoster.from_state(
-            state["roster"], algorithm._spec, shared=algorithm._shared
+            state["roster"],
+            algorithm._spec,
+            shared=algorithm._shared,
+            kernel=algorithm._kernel,
         )
         return algorithm

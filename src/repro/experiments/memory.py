@@ -80,21 +80,31 @@ def measure_footprint(
     instances = 0
     covered = 0
     shared = getattr(framework, "shared_index", None)
-    for checkpoint in framework.checkpoints:
-        checkpoints += 1
-        if shared is None:
-            influence = checkpoint.index._influence  # noqa: SLF001 - accounting
-            index_users += len(influence)
-            index_entries += sum(len(members) for members in influence.values())
-        oracle = checkpoint.oracle
-        oracle_instances = getattr(oracle, "_instances", None)
-        if oracle_instances:
-            instances += len(oracle_instances)
-            for instance in oracle_instances.values():
-                covered += len(getattr(instance, "covered", ()))
-        cover_counts = getattr(oracle, "_cover_counts", None)
-        if cover_counts is not None:
-            covered += len(cover_counts)
+    kernel = getattr(framework, "columnar_kernel", None)
+    if kernel is not None:
+        # Columnar plane: the kernel accounts for every column at once —
+        # materializing a per-checkpoint oracle object just to count its
+        # instances would defeat the plane being measured.
+        checkpoints = len(framework.checkpoints)
+        instances, covered = kernel.footprint()
+    else:
+        for checkpoint in framework.checkpoints:
+            checkpoints += 1
+            if shared is None:
+                influence = checkpoint.index._influence  # noqa: SLF001 - accounting
+                index_users += len(influence)
+                index_entries += sum(
+                    len(members) for members in influence.values()
+                )
+            oracle = checkpoint.oracle
+            oracle_instances = getattr(oracle, "_instances", None)
+            if oracle_instances:
+                instances += len(oracle_instances)
+                for instance in oracle_instances.values():
+                    covered += len(getattr(instance, "covered", ()))
+            cover_counts = getattr(oracle, "_cover_counts", None)
+            if cover_counts is not None:
+                covered += len(cover_counts)
     if shared is not None:
         # One versioned map serves every checkpoint: count it once.
         index_users = shared.user_count

@@ -1,0 +1,202 @@
+"""Equivalence proof: columnar oracle kernel ≡ per-checkpoint oracles.
+
+The columnar plane replaces every checkpoint's private sieve/threshold
+oracle object with one engine-owned :class:`ColumnarThresholdKernel` that
+stores all checkpoints' instance state in flat numpy columns and serves a
+slide with two vectorized passes (singleton-cache update, admission
+gains).  These tests drive the kernel and the object plane over identical
+random streams and assert they are indistinguishable, slide by slide:
+
+* query answers (times, seeds, *exact* float values);
+* the retained checkpoint populations (starts, values, seeds, absorbed
+  action counts) — so SIC pruning coincides too;
+* the full serialized oracle state of every live checkpoint, canonicalized
+  (the kernel emits caches/members/seeds in column order, the objects in
+  set-iteration order; sorting both sides makes the comparison exact).
+
+Both kernel event paths are proven: the compiled C fast path (when a C
+compiler is available) and the pure-numpy fallback, forced per-run by
+nulling the kernel's loaded library handle.
+
+The streams run well past the window, so checkpoints expire mid-run (the
+``expired`` witness asserts it) — expiry/teardown bookkeeping in the
+column plane is therefore part of the proof, not an untested corner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.influence.functions import WeightedCardinalityInfluence
+from tests.conftest import random_stream
+
+FRAMEWORKS = {"ic": InfluentialCheckpoints, "sic": SparseInfluentialCheckpoints}
+
+#: Oracles the columnar kernel supports (the threshold-guessing pair).
+ORACLES = ["sieve", "threshold"]
+
+
+def canon(state):
+    """Canonicalize an oracle ``state_dict`` for cross-plane comparison.
+
+    The planes agree on content but not on emission order: the kernel
+    walks columns/slots, the objects iterate dicts and sets.  Sorting the
+    order-free collections makes equality exact (values are compared
+    bit-for-bit — no rounding).
+    """
+    state = dict(state)
+    state["singleton_cache"] = sorted(map(tuple, state["singleton_cache"]))
+    state["member_counts"] = sorted(map(tuple, state["member_counts"]))
+    state["best_seeds"] = sorted(state["best_seeds"])
+    state["instances"] = [
+        [j, {**f, "seeds": sorted(f["seeds"]), "covered": sorted(f["covered"])}]
+        for j, f in state["instances"]
+    ]
+    return state
+
+
+def run_plane(cls, oracle, slide, seed, columnar, force_numpy=False):
+    """Drive one plane over the stream; return per-slide snapshots.
+
+    Returns ``(snapshots, expired)`` where each snapshot is the query
+    answer, the checkpoint populations, and every checkpoint's
+    canonicalized oracle state; ``expired`` is the set of checkpoint
+    starts that were retired before the stream ended.
+    """
+    actions = random_stream(120, 8, seed=seed)
+    algorithm = cls(
+        window_size=40, k=3, beta=0.25, oracle=oracle, columnar=columnar
+    )
+    if force_numpy:
+        assert algorithm.columnar_kernel is not None
+        algorithm.columnar_kernel._cfast = None
+    snapshots = []
+    starts_seen = set()
+    for batch in batched(actions, slide):
+        algorithm.process(batch)
+        answer = algorithm.query()
+        starts_seen.update(c.start for c in algorithm.checkpoints)
+        snapshots.append(
+            (
+                (answer.time, answer.seeds, answer.value),
+                [
+                    (c.start, c.value, c.seeds, c.actions_processed)
+                    for c in algorithm.checkpoints
+                ],
+                [
+                    (c.start, canon(c.oracle.state_dict()))
+                    for c in algorithm.checkpoints
+                ],
+            )
+        )
+    expired = starts_seen - {c.start for c in algorithm.checkpoints}
+    return snapshots, expired
+
+
+@pytest.mark.parametrize("framework", ["ic", "sic"])
+@pytest.mark.parametrize("oracle", ORACLES)
+@pytest.mark.parametrize("slide", [1, 5])
+def test_columnar_object_equivalence(framework, oracle, slide):
+    """The full matrix: IC+SIC × sieve/threshold × L∈{1, 5}, both kernel
+    event paths, three random streams each."""
+    cls = FRAMEWORKS[framework]
+    for seed in (0, 1, 2):
+        reference, ref_expired = run_plane(cls, oracle, slide, seed, False)
+        # Checkpoints genuinely expired mid-run, so teardown is exercised.
+        assert ref_expired, (framework, oracle, slide, seed)
+        for path in ("c", "numpy"):
+            snapshots, expired = run_plane(
+                cls, oracle, slide, seed, True, force_numpy=(path == "numpy")
+            )
+            key = (framework, oracle, slide, seed, path)
+            assert snapshots == reference, key
+            assert expired == ref_expired, key
+
+
+def test_columnar_is_the_default_where_supported():
+    ic = InfluentialCheckpoints(window_size=10, k=2, beta=0.3)
+    assert ic.columnar
+    assert ic.columnar_kernel is not None
+
+
+class TestPlaneFallback:
+    """Auto-selection (``columnar=None``) silently falls back to the
+    object plane on unsupported configs; ``columnar=True`` refuses."""
+
+    def test_non_uniform_weights_fall_back(self):
+        func = WeightedCardinalityInfluence({1: 2.0})
+        ic = InfluentialCheckpoints(window_size=10, k=2, beta=0.3, func=func)
+        assert not ic.columnar
+        assert ic.columnar_kernel is None
+        with pytest.raises(ValueError, match="popcount"):
+            InfluentialCheckpoints(
+                window_size=10, k=2, beta=0.3, func=func, columnar=True
+            )
+
+    def test_reference_index_mode_falls_back(self):
+        ic = InfluentialCheckpoints(
+            window_size=10, k=2, beta=0.3, shared_index=False
+        )
+        assert not ic.columnar
+        with pytest.raises(ValueError, match="shared_index=False"):
+            InfluentialCheckpoints(
+                window_size=10, k=2, beta=0.3, shared_index=False, columnar=True
+            )
+
+    def test_non_threshold_oracle_falls_back(self):
+        ic = InfluentialCheckpoints(
+            window_size=10, k=2, beta=0.3, oracle="greedy"
+        )
+        assert not ic.columnar
+        with pytest.raises(ValueError, match="greedy"):
+            InfluentialCheckpoints(
+                window_size=10, k=2, beta=0.3, oracle="greedy", columnar=True
+            )
+
+    def test_oversized_guess_ladder_falls_back(self):
+        """A tiny beta spreads the ladder over >64 instances, overflowing
+        the kernel's per-column uint64 membership masks."""
+        ic = InfluentialCheckpoints(window_size=10, k=2, beta=0.001)
+        assert not ic.columnar
+        with pytest.raises(ValueError, match="64"):
+            InfluentialCheckpoints(
+                window_size=10, k=2, beta=0.001, columnar=True
+            )
+
+    def test_missing_numpy_raises_naming_the_flag(self, monkeypatch):
+        from repro.core import checkpoint as checkpoint_module
+
+        def unavailable():
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(
+            checkpoint_module, "_columnar_module", unavailable
+        )
+        # Auto-selection degrades silently to a working object plane...
+        ic = InfluentialCheckpoints(window_size=10, k=2, beta=0.3)
+        assert not ic.columnar
+        ic.process(random_stream(12, 4, seed=0))
+        assert ic.query().value >= 0
+        # ...but the explicit flag fails loudly, naming flag and fix.
+        with pytest.raises(ImportError, match="columnar=True requires numpy"):
+            InfluentialCheckpoints(
+                window_size=10, k=2, beta=0.3, columnar=True
+            )
+
+
+def test_ckernel_env_kill_switch(monkeypatch):
+    """``REPRO_NO_CKERNEL`` forces the pure-numpy event path."""
+    from repro.core.oracles import _ckernel
+
+    monkeypatch.setattr(_ckernel, "_tried", False)
+    monkeypatch.setattr(_ckernel, "_lib", None)
+    monkeypatch.setenv(_ckernel.ENV_DISABLE, "1")
+    assert _ckernel.load() is None
+    ic = InfluentialCheckpoints(window_size=10, k=2, beta=0.3)
+    assert ic.columnar
+    assert ic.columnar_kernel._cfast is None
+    ic.process(random_stream(12, 4, seed=0))
+    assert ic.query().value >= 0

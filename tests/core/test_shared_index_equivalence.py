@@ -109,15 +109,19 @@ def drive_logged(make_algorithm, actions, slide):
 
 
 def make_factory(framework, oracle, plane):
+    # columnar=False throughout: these tests prove the *dispatch* planes
+    # equivalent by intercepting Checkpoint.feed*, which the columnar
+    # kernel legitimately bypasses (its equivalence proof lives in
+    # tests/core/test_columnar_equivalence.py).
     shared, batch = PLANES[plane]
     if framework == "ic":
         return lambda: InfluentialCheckpoints(
             window_size=40, k=3, beta=0.25, oracle=oracle,
-            shared_index=shared, batch_feeds=batch,
+            shared_index=shared, batch_feeds=batch, columnar=False,
         )
     return lambda: SparseInfluentialCheckpoints(
         window_size=40, k=3, beta=0.25, oracle=oracle,
-        shared_index=shared, batch_feeds=batch,
+        shared_index=shared, batch_feeds=batch, columnar=False,
     )
 
 
@@ -171,7 +175,7 @@ def test_three_way_equivalence_with_checkpoint_interval(slide, interval):
                 lambda: InfluentialCheckpoints(
                     window_size=40, k=3, beta=0.25,
                     shared_index=shared, batch_feeds=batch,
-                    checkpoint_interval=interval,
+                    checkpoint_interval=interval, columnar=False,
                 ),
                 actions,
                 slide,

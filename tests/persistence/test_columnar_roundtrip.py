@@ -1,0 +1,149 @@
+"""Persistence proofs for the columnar oracle kernel.
+
+Three contracts:
+
+* **Round-trip:** serializing a columnar engine mid-stream and restoring
+  it yields a framework that continues bit-identically — answers *and*
+  the canonicalized per-checkpoint oracle state agree with an
+  uninterrupted run, and the restored engine is still on the columnar
+  plane.
+* **Crash recovery:** the WAL/snapshot engine restores a columnar
+  framework exactly (same harness as ``test_restore_equivalence``).
+* **Plane portability:** snapshots carry the plane as a runtime choice,
+  not config.  An object-plane snapshot *without* the ``columnar`` key —
+  i.e. one written before the kernel existed — opens straight into the
+  columnar kernel and still continues identically, while an explicit
+  ``columnar: false`` snapshot stays on the object plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.persistence.engine import RecoverableEngine
+from repro.persistence.serialize import algorithm_from_state, algorithm_to_state
+from tests.conftest import random_stream
+from tests.core.test_columnar_equivalence import canon
+
+FRAMEWORKS = {"ic": InfluentialCheckpoints, "sic": SparseInfluentialCheckpoints}
+
+
+def drive(algorithm, batches):
+    answers = []
+    for batch in batches:
+        algorithm.process(batch)
+        answers.append(algorithm.query())
+    return answers
+
+
+def oracle_states(algorithm):
+    return [
+        (c.start, canon(c.oracle.state_dict())) for c in algorithm.checkpoints
+    ]
+
+
+@pytest.mark.parametrize("framework", ["ic", "sic"])
+@pytest.mark.parametrize("oracle", ["sieve", "threshold"])
+def test_columnar_state_roundtrip_continues_identically(framework, oracle):
+    cls = FRAMEWORKS[framework]
+
+    def factory():
+        return cls(
+            window_size=40, k=3, beta=0.25, oracle=oracle, columnar=True
+        )
+
+    batches = list(batched(random_stream(120, 8, seed=1), 5))
+    reference = factory()
+    expected = drive(reference, batches)
+
+    half = factory()
+    drive(half, batches[:12])
+    document = algorithm_to_state(half)
+    restored = algorithm_from_state(document)
+    assert restored.columnar, (framework, oracle)
+    assert restored.columnar_kernel is not None
+    # The restored kernel columns describe the same oracle state.
+    assert oracle_states(restored) == oracle_states(half)
+    # Continuation is bit-identical: times, seeds, exact float values.
+    assert drive(restored, batches[12:]) == expected[12:]
+    assert oracle_states(restored) == oracle_states(reference)
+
+
+def test_columnar_crash_recovery(tmp_path):
+    def factory():
+        return InfluentialCheckpoints(
+            window_size=40, k=3, beta=0.25, columnar=True
+        )
+
+    batches = list(batched(random_stream(120, 8, seed=2), 5))
+    expected = drive(factory(), batches)
+    doomed = RecoverableEngine.open(
+        tmp_path, factory, snapshot_every=4, fsync=False
+    )
+    for batch in batches[:10]:
+        doomed.process(batch)
+    doomed.close(snapshot=False)  # simulated SIGKILL: WAL tail only
+    restored = RecoverableEngine.open(
+        tmp_path, factory, snapshot_every=4, fsync=False
+    )
+    assert restored.replayed_slides == 2  # snapshot at 8, WAL 9-10
+    assert restored.algorithm.columnar
+    answers = []
+    for batch in batches[10:]:
+        restored.process(batch)
+        answers.append(restored.query())
+    restored.close(snapshot=False)
+    assert answers == expected[10:]
+
+
+def test_pre_columnar_snapshot_opens_into_columnar_kernel():
+    """A snapshot written before the kernel existed (no ``columnar`` key)
+    auto-selects the columnar plane on restore — and the kernel continues
+    the object plane's stream bit-identically."""
+    batches = list(batched(random_stream(120, 8, seed=3), 5))
+    reference = InfluentialCheckpoints(
+        window_size=40, k=3, beta=0.25, columnar=False
+    )
+    expected = drive(reference, batches)
+
+    old = InfluentialCheckpoints(window_size=40, k=3, beta=0.25, columnar=False)
+    drive(old, batches[:12])
+    assert not old.columnar
+    document = algorithm_to_state(old)
+    assert document["columnar"] is False
+    del document["columnar"]  # simulate the pre-kernel document schema
+    restored = algorithm_from_state(document)
+    assert restored.columnar
+    assert restored.columnar_kernel is not None
+    assert drive(restored, batches[12:]) == expected[12:]
+    assert oracle_states(restored) == oracle_states(reference)
+
+
+def test_explicit_object_plane_choice_survives_roundtrip():
+    engine = InfluentialCheckpoints(
+        window_size=40, k=3, beta=0.25, columnar=False
+    )
+    drive(engine, list(batched(random_stream(60, 6, seed=4), 5)))
+    restored = algorithm_from_state(algorithm_to_state(engine))
+    assert not restored.columnar
+    assert restored.columnar_kernel is None
+
+
+def test_columnar_snapshot_opens_on_numpy_event_path():
+    """A snapshot from a C-kernel run restores fine when the compiled
+    kernel is unavailable (the numpy path produces identical columns)."""
+    batches = list(batched(random_stream(120, 8, seed=5), 5))
+    reference = InfluentialCheckpoints(
+        window_size=40, k=3, beta=0.25, columnar=True
+    )
+    expected = drive(reference, batches)
+    half = InfluentialCheckpoints(
+        window_size=40, k=3, beta=0.25, columnar=True
+    )
+    drive(half, batches[:12])
+    restored = algorithm_from_state(algorithm_to_state(half))
+    restored.columnar_kernel._cfast = None
+    assert drive(restored, batches[12:]) == expected[12:]
