@@ -354,6 +354,8 @@ def bench_service_ingest(stream, n_actions):
         summary = client.ingest(actions, sync=True)
         elapsed = time.perf_counter() - started
         answer = client.topk("main")
+        _, metrics = client.http_get("/metrics")
+    slide_seconds = metrics["telemetry"]["metrics"]["repro_slide_seconds"]
     return {
         "actions": len(actions),
         "slide": 50,
@@ -361,6 +363,10 @@ def bench_service_ingest(stream, n_actions):
         "actions_per_sec": round(len(actions) / elapsed, 1),
         "slides": summary["slide"],
         "query_value": answer["value"],
+        # Informational (not gated): per-slide latency digest from the
+        # telemetry plane's own histogram.
+        "slide_p50_ms": round(slide_seconds["p50"] * 1000.0, 3),
+        "slide_p99_ms": round(slide_seconds["p99"] * 1000.0, 3),
     }
 
 

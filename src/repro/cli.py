@@ -22,6 +22,10 @@ Subcommands:
   ``--shards N`` the write plane is partitioned by influencer over N
   shard engines (``--shard-backend process`` for one worker process per
   shard) and answers merge on read; ``track`` accepts the same flags.
+  With ``--trace-log`` + ``--slow-slide-ms`` slow slides emit per-stage
+  JSONL traces;
+* ``trace`` — ``tail`` or ``summarize`` a ``--trace-log`` file: the
+  per-stage latency breakdown of traced slides.
 
 Examples::
 
@@ -272,7 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker backend for --shards > 1 (process = one forked "
         "worker per shard, real multi-core)",
     )
+    serve.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help="append slow-slide stage traces to this JSONL file "
+        "(see --slow-slide-ms)",
+    )
+    serve.add_argument(
+        "--slow-slide-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help="emit a stage trace for slides slower than N ms "
+        "(0 traces every slide; default: off)",
+    )
+    serve.add_argument(
+        "--trace-ring",
+        type=int,
+        default=64,
+        help="recent slide traces kept in memory (default: 64)",
+    )
     _add_supervision_arguments(serve)
+
+    trace = commands.add_parser(
+        "trace", help="inspect a serve --trace-log JSONL file"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    tail = trace_commands.add_parser(
+        "tail", help="print the last N trace events"
+    )
+    tail.add_argument("file")
+    tail.add_argument(
+        "-n", type=int, default=10, help="events to print (default: 10)"
+    )
+    summarize = trace_commands.add_parser(
+        "summarize", help="per-stage latency breakdown of a trace log"
+    )
+    summarize.add_argument("file")
     return parser
 
 
@@ -788,6 +829,9 @@ def _cmd_serve(args) -> int:
         history=args.history,
         shards=args.shards,
         shard_backend=args.shard_backend,
+        trace_log=args.trace_log,
+        slow_slide_ms=args.slow_slide_ms,
+        trace_ring=args.trace_ring,
     )
     factory = _make_serve_factory(args)
     engine = _open_engine(args, factory)
@@ -829,6 +873,85 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _read_trace_events(path: pathlib.Path) -> List[dict]:
+    """Parse a ``--trace-log`` JSONL file, skipping torn/foreign lines.
+
+    A crash can leave a torn final line and operators sometimes point
+    the command at a mixed log; both are survivable, so bad lines are
+    counted on stderr instead of aborting.
+    """
+    events: List[dict] = []
+    skipped = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(document, dict) and "stages" in document:
+                events.append(document)
+            else:
+                skipped += 1
+    if skipped:
+        print(f"skipped {skipped} unparseable line(s)", file=sys.stderr)
+    return events
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import STAGES
+
+    path = pathlib.Path(args.file)
+    events = _read_trace_events(path)
+    if not events:
+        print(f"no trace events in {path}")
+        return 0
+    if args.trace_command == "tail":
+        for event in events[-args.n:]:
+            stages = ", ".join(
+                f"{name}={doc['seconds'] * 1000.0:.2f}ms"
+                for name, doc in event.get("stages", {}).items()
+            )
+            print(
+                f"slide {event.get('slide'):>8}  "
+                f"{event.get('actions', 0):>6} actions  "
+                f"{event.get('total_seconds', 0.0) * 1000.0:>9.2f}ms  "
+                f"[{stages}]"
+            )
+        return 0
+
+    # summarize: per-stage aggregate over every event in the file.
+    totals: dict = {}
+    for event in events:
+        for name, doc in event.get("stages", {}).items():
+            entry = totals.setdefault(
+                name, {"count": 0, "seconds": 0.0, "max": 0.0, "items": 0}
+            )
+            entry["count"] += 1
+            entry["seconds"] += doc.get("seconds", 0.0)
+            entry["max"] = max(entry["max"], doc.get("seconds", 0.0))
+            entry["items"] += doc.get("items", 0)
+    grand_total = sum(entry["seconds"] for entry in totals.values()) or 1.0
+    order = {name: i for i, name in enumerate(STAGES)}
+    print(f"{len(events)} traced slides in {path}")
+    print(
+        f"{'stage':<14}{'count':>7}{'total s':>10}{'mean ms':>10}"
+        f"{'max ms':>10}{'items':>10}{'share':>8}"
+    )
+    for name in sorted(totals, key=lambda n: (order.get(n, len(order)), n)):
+        entry = totals[name]
+        mean_ms = entry["seconds"] / entry["count"] * 1000.0
+        print(
+            f"{name:<14}{entry['count']:>7}{entry['seconds']:>10.3f}"
+            f"{mean_ms:>10.3f}{entry['max'] * 1000.0:>10.3f}"
+            f"{entry['items']:>10}{entry['seconds'] / grand_total:>8.1%}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.sharding.engine import ShardingError
@@ -841,6 +964,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "track": _cmd_track,
         "snapshot": _cmd_snapshot,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

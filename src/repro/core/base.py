@@ -14,11 +14,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Deque, FrozenSet, List, Optional, Sequence
 
 from repro.core.actions import Action
 from repro.core.diffusion import ActionRecord, DiffusionForest
 from repro.core.window import SlidingWindow
+from repro.telemetry.trace import active_trace
 
 __all__ = [
     "SIMResult",
@@ -131,9 +133,18 @@ class SIMAlgorithm(ABC):
         return self._forest
 
     def process(self, batch: Sequence[Action]) -> None:
-        """Slide the window by ``len(batch)`` actions (Section 5.3's ``L``)."""
+        """Slide the window by ``len(batch)`` actions (Section 5.3's ``L``).
+
+        When a :class:`~repro.telemetry.SlideTrace` is active on this
+        thread (the serving plane's writer), the slide splits into two
+        recorded stages: ``forest_index`` (ancestor resolution + window
+        bookkeeping) and ``oracle`` (the algorithm's ``_on_slide``).
+        Without an active trace the cost is one thread-local lookup.
+        """
         if not batch:
             return
+        trace = active_trace()
+        started = perf_counter() if trace is not None else 0.0
         arrived: List[ActionRecord] = [self._forest.add(a) for a in batch]
         self._window.slide(batch)
         self._window_records.extend(arrived)
@@ -141,7 +152,13 @@ class SIMAlgorithm(ABC):
         while len(self._window_records) > self._window.size:
             expired.append(self._window_records.popleft())
         self._actions_processed += len(batch)
-        self._on_slide(arrived, expired)
+        if trace is not None:
+            indexed = perf_counter()
+            trace.add_stage("forest_index", indexed - started, len(batch))
+            self._on_slide(arrived, expired)
+            trace.add_stage("oracle", perf_counter() - indexed, len(batch))
+        else:
+            self._on_slide(arrived, expired)
 
     def process_stream(self, batches) -> None:
         """Consume an iterable of batches (see :func:`repro.core.stream.batched`)."""

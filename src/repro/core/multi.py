@@ -142,6 +142,7 @@ class MultiQueryEngine:
                 "actions_processed": algorithm.actions_processed,
                 "time": algorithm.now,
             }
+            self._add_plane_stats(stats[name], algorithm)
         for name, query in self._filtered.items():
             stats[name] = {
                 "kind": "filtered",
@@ -150,7 +151,19 @@ class MultiQueryEngine:
                 "actions_processed": query.algorithm.actions_processed,
                 "time": query.algorithm.now,
             }
+            self._add_plane_stats(stats[name], query.algorithm)
         return dict(sorted(stats.items()))
+
+    @staticmethod
+    def _add_plane_stats(entry: dict, algorithm) -> None:
+        """Oracle-plane counters (columnar kernel vs object fallback)."""
+        columnar = getattr(algorithm, "columnar", None)
+        if columnar is None:
+            return
+        entry["columnar"] = columnar
+        kernel = getattr(algorithm, "columnar_kernel", None)
+        if kernel is not None:
+            entry["kernel"] = kernel.stats()
 
     # -- publication -------------------------------------------------------
 

@@ -99,6 +99,7 @@ from __future__ import annotations
 import ctypes
 import math
 from bisect import bisect_right
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional
 
 import numpy as np
@@ -109,6 +110,7 @@ from repro.core.oracles.streaming_base import (
     StreamingThresholdOracle,
     ThresholdInstance,
 )
+from repro.telemetry.trace import active_trace
 
 __all__ = [
     "ColumnarThresholdKernel",
@@ -205,6 +207,10 @@ class ColumnarThresholdKernel:
         #: from ``guess``).
         self._dummy = ThresholdInstance(guess=1.0)
         self._jbits = np.arange(self._jcap, dtype=np.int64)
+
+        # Telemetry plane counters (scraped via :meth:`stats`).
+        self.slides_absorbed = 0
+        self.pair_updates = 0
 
         cap = 64
         self._cap = cap
@@ -593,6 +599,8 @@ class ColumnarThresholdKernel:
         if not len(roster):
             return
         if arrived:
+            trace = active_trace()
+            index_started = perf_counter() if trace is not None else 0.0
             if len(arrived) == 1:
                 record = arrived[0]
                 performer = record.user
@@ -602,7 +610,19 @@ class ColumnarThresholdKernel:
                 ]
             else:
                 updates = self._shared.add_batch(arrived)
-            self._absorb(updates)
+            if trace is not None:
+                indexed = perf_counter()
+                trace.add_stage(
+                    "kernel_index", indexed - index_started, len(arrived)
+                )
+                self._absorb(updates)
+                trace.add_stage(
+                    "kernel_pass", perf_counter() - indexed, len(updates)
+                )
+            else:
+                self._absorb(updates)
+            self.slides_absorbed += 1
+            self.pair_updates += len(updates)
         roster.absorbed += absorbed
 
     def _absorb(self, updates) -> None:
@@ -1123,6 +1143,16 @@ class ColumnarThresholdKernel:
         oracle = self._spec.build(self._views[col])
         oracle.load_state(self.col_state(col))
         return oracle
+
+    def stats(self) -> dict:
+        """Plane/counter document for the telemetry scrape."""
+        return {
+            "plane": "columnar",
+            "event_kernel": "c" if self._cfast is not None else "numpy",
+            "slides_absorbed": self.slides_absorbed,
+            "pair_updates": self.pair_updates,
+            "columns": int(self._n - self._dead),
+        }
 
     def footprint(self) -> tuple:
         """``(live instances, total covered entries)`` across live columns

@@ -95,10 +95,15 @@ class RateEstimator:
         self._count = 0.0
         self._elapsed = 0.0
         self._last: Optional[float] = None
+        self._total = 0
+        self._first: Optional[float] = None
 
     def record(self, count: int = 1) -> None:
         """Credit ``count`` events at the current clock reading."""
         now = self._clock()
+        self._total += count
+        if self._first is None:
+            self._first = now
         if self._last is not None:
             interval = max(now - self._last, 0.0)
             weight = 0.5 ** (interval / self._halflife)
@@ -122,6 +127,22 @@ class RateEstimator:
         if elapsed <= 0.0:
             return 0.0
         return count / elapsed
+
+    @property
+    def total(self) -> int:
+        """Undecayed lifetime event count."""
+        return self._total
+
+    @property
+    def lifetime_rate(self) -> float:
+        """Lifetime events/second since the first recording (undecayed)."""
+        first = self._first
+        if first is None:
+            return 0.0
+        elapsed = max(self._clock() - first, 0.0)
+        if elapsed <= 0.0:
+            return 0.0
+        return self._total / elapsed
 
 
 class StreamEvaluator:

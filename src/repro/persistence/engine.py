@@ -35,6 +35,7 @@ persistence is off.
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Callable, Optional
 
 from repro.core.base import SIMAlgorithm, SIMResult
@@ -46,6 +47,8 @@ from repro.persistence.serialize import (
 )
 from repro.persistence.snapshots import SnapshotStore
 from repro.persistence.wal import ActionWAL
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.trace import record_stage
 
 __all__ = [
     "StateStore",
@@ -144,6 +147,10 @@ class RecoverableEngine:
         self._replayed = _replayed
         self._snapshots_written = 0
         self._last_snapshot_seq = _slide_seq if _replayed == 0 else None
+        # Durability latency distributions (observed once per slide /
+        # snapshot — negligible cost; scraped by the telemetry plane).
+        self.fsync_hist = Histogram()
+        self.snapshot_hist = Histogram()
 
     @classmethod
     def open(
@@ -255,7 +262,11 @@ class RecoverableEngine:
             last = action.time
         seq = self._slide_seq + 1
         if self._store is not None:
+            wal_started = time.perf_counter()
             self._store.wal.append(seq, batch)
+            wal_elapsed = time.perf_counter() - wal_started
+            self.fsync_hist.observe(wal_elapsed)
+            record_stage("wal_fsync", wal_elapsed, len(batch))
         self._algorithm.process(batch)
         self._slide_seq = seq
         if (
@@ -275,6 +286,7 @@ class RecoverableEngine:
         """Write a full-state snapshot now and prune the covered WAL tail."""
         if self._store is None:
             raise PersistenceError("engine has no state store to snapshot to")
+        snapshot_started = time.perf_counter()
         document = {
             "format": SNAPSHOT_FORMAT_VERSION,
             "slide_seq": self._slide_seq,
@@ -286,6 +298,9 @@ class RecoverableEngine:
         retained = self._store.snapshots.sequences()
         if retained:
             self._store.wal.prune_through(min(retained))
+        snapshot_elapsed = time.perf_counter() - snapshot_started
+        self.snapshot_hist.observe(snapshot_elapsed)
+        record_stage("snapshot", snapshot_elapsed, 1)
 
     def close(self, snapshot: bool = True) -> None:
         """Release the store; by default seal state with a final snapshot.

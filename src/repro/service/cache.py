@@ -34,7 +34,11 @@ class PublishedAnswer:
         seeds: Selected seed users, sorted.
         value: The algorithm's influence value for the seeds.
         slide: Serving-plane slide sequence the answer was published at.
-        published_at: Wall-clock publication time (``time.time()``).
+        published_at: Wall-clock publication time (``time.time()``) —
+            client-facing metadata only, never used for arithmetic.
+        published_monotonic: ``time.monotonic()`` at publication; age
+            computations use this so an NTP step can never produce a
+            negative ``answer_age_seconds``.
     """
 
     name: str
@@ -43,10 +47,16 @@ class PublishedAnswer:
     value: float
     slide: int
     published_at: float
+    published_monotonic: float = 0.0
 
     @classmethod
     def from_result(
-        cls, name: str, result: SIMResult, slide: int, published_at: float
+        cls,
+        name: str,
+        result: SIMResult,
+        slide: int,
+        published_at: float,
+        published_monotonic: float = 0.0,
     ) -> "PublishedAnswer":
         """Freeze one :class:`~repro.core.base.SIMResult` for publication."""
         return cls(
@@ -56,6 +66,7 @@ class PublishedAnswer:
             value=result.value,
             slide=slide,
             published_at=published_at,
+            published_monotonic=published_monotonic,
         )
 
     def to_json(self) -> dict:
@@ -82,6 +93,7 @@ class AnswerBoard:
     time: int
     published_at: float
     answers: Mapping[str, PublishedAnswer]
+    published_monotonic: float = 0.0
 
     @classmethod
     def from_results(
@@ -90,15 +102,17 @@ class AnswerBoard:
         slide: int,
         time: int,
         published_at: float,
+        published_monotonic: float = 0.0,
     ) -> "AnswerBoard":
         """Freeze a ``query_all`` result set into one immutable board."""
         return cls(
             slide=slide,
             time=time,
             published_at=published_at,
+            published_monotonic=published_monotonic,
             answers={
                 name: PublishedAnswer.from_result(
-                    name, result, slide, published_at
+                    name, result, slide, published_at, published_monotonic
                 )
                 for name, result in results.items()
             },

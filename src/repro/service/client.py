@@ -38,6 +38,16 @@ class ServiceClient:
 
     def http_get(self, path: str) -> Tuple[int, dict]:
         """``GET path`` → ``(status, parsed JSON body)``."""
+        status, body, _ = self.http_get_raw(path)
+        return status, json.loads(body) if body else {}
+
+    def http_get_raw(self, path: str) -> Tuple[int, str, str]:
+        """``GET path`` → ``(status, body text, content type)``.
+
+        The non-JSON read path — prometheus exposition is plain text, so
+        scrapers use this and :meth:`http_get` keeps its parsed-dict
+        contract.
+        """
         with socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         ) as sock:
@@ -55,7 +65,19 @@ class ServiceClient:
                 raw += chunk
         head, _, body = raw.partition(b"\r\n\r\n")
         status = int(head.split(None, 2)[1])
-        return status, json.loads(body) if body else {}
+        content_type = ""
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-type":
+                content_type = value.strip().decode("latin-1")
+        return status, body.decode("utf-8"), content_type
+
+    def metrics_prometheus(self) -> str:
+        """The prometheus text exposition (raises on non-200)."""
+        status, body, _ = self.http_get_raw("/metrics?format=prometheus")
+        if status != 200:
+            raise RuntimeError(f"prometheus scrape -> {status}: {body[:200]}")
+        return body
 
     def wait_healthy(
         self,

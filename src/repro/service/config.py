@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["ServiceConfig"]
 
@@ -44,6 +45,14 @@ class ServiceConfig:
             line of defence; retrying the same slide is safe because the
             engine's per-shard catch-up filter makes redelivery
             idempotent.  ``0`` disables the retry.
+        trace_log: Path of the slow-slide JSONL trace log (``None``
+            disables emission; the in-memory trace ring still runs).
+        slow_slide_ms: Slides whose end-to-end dispatch takes at least
+            this many milliseconds are emitted to ``trace_log``.  ``0``
+            emits *every* slide (the triage/test hook); ``None`` keeps
+            emission off.
+        trace_ring: Most-recent slide traces retained in memory for
+            ``/metrics`` and triage.
     """
 
     host: str = "127.0.0.1"
@@ -56,6 +65,9 @@ class ServiceConfig:
     shards: int = 1
     shard_backend: str = "thread"
     writer_retries: int = 2
+    trace_log: Optional[str] = None
+    slow_slide_ms: Optional[float] = None
+    trace_ring: int = 64
 
     def __post_init__(self) -> None:
         if self.slide < 1:
@@ -84,4 +96,12 @@ class ServiceConfig:
         if self.writer_retries < 0:
             raise ValueError(
                 f"writer_retries must be >= 0, got {self.writer_retries}"
+            )
+        if self.slow_slide_ms is not None and self.slow_slide_ms < 0:
+            raise ValueError(
+                f"slow_slide_ms must be >= 0, got {self.slow_slide_ms}"
+            )
+        if self.trace_ring < 1:
+            raise ValueError(
+                f"trace_ring must be >= 1, got {self.trace_ring}"
             )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.actions import Action
 from repro.core.base import SIMResult
@@ -36,6 +36,8 @@ from repro.experiments.metrics import RateEstimator
 from repro.persistence.engine import RecoverableEngine
 from repro.service.cache import AnswerBoard, AnswerCache
 from repro.sharding.supervisor import ShardingError
+from repro.telemetry import MetricsRegistry, TraceRecorder
+from repro.telemetry.trace import record_stage
 
 __all__ = ["IngestStats", "IngestLoop", "as_board"]
 
@@ -73,7 +75,10 @@ class IngestStats:
         self.writer_retries = 0  # slides re-dispatched after ShardingError
         self.last_slide_seconds = 0.0
         self.engine_seconds = 0.0
-        self.started_at = time.time()
+        self.started_at = time.time()  # wall clock, display only
+        self.started_monotonic = time.monotonic()  # all arithmetic
+        # One estimator backs both reported rates: decayed (EWMA) for
+        # "how fast right now", lifetime for "how fast overall".
         self.rate = RateEstimator(halflife=10.0)
 
     def snapshot(self) -> dict:
@@ -93,6 +98,7 @@ class IngestStats:
                 self.engine_seconds / slides if slides else 0.0, 6
             ),
             "ingest_rate_actions_per_sec": round(self.rate.rate, 1),
+            "lifetime_rate_actions_per_sec": round(self.rate.lifetime_rate, 1),
         }
 
 
@@ -126,6 +132,8 @@ class IngestLoop:
         flush_interval: float = 0.5,
         queue_capacity: int = 4096,
         writer_retries: int = 2,
+        recorder: Optional[TraceRecorder] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         """
         Args:
@@ -139,6 +147,9 @@ class IngestLoop:
                 :class:`~repro.sharding.ShardingError` before the writer
                 dies (safe: the sharded engine's per-shard catch-up
                 filter makes redelivering the same slide idempotent).
+            recorder: Per-slide stage-trace recorder (``None`` disables
+                tracing entirely; library use pays nothing).
+            registry: Metrics registry for the queue-wait histogram.
         """
         if slide < 1:
             raise ValueError(f"slide must be >= 1, got {slide}")
@@ -162,6 +173,19 @@ class IngestLoop:
         self._task: Optional[asyncio.Task] = None
         self._error: Optional[BaseException] = None
         self.stats = IngestStats()
+        self.recorder = recorder
+        self._queue_wait_hist = (
+            registry.histogram(
+                "repro_ingest_queue_wait_seconds",
+                "Per-action wait in the bounded ingest queue",
+            )
+            if registry is not None
+            else None
+        )
+        # Accumulated queue wait of the actions in the pending slide, and
+        # when the pending slide started coalescing (event-loop clock).
+        self._pending_wait = 0.0
+        self._pending_since = 0.0
         self._multi = as_board(engine.algorithm)
         if self._multi is not None:
             # Publication rides the engine's own slide boundary: the hook
@@ -227,7 +251,7 @@ class IngestLoop:
         """Enqueue one action; blocks when the queue is full (backpressure)."""
         if self._error is not None:
             raise RuntimeError(f"ingest loop failed: {self._error}")
-        await self._queue.put(action)
+        await self._queue.put((asyncio.get_running_loop().time(), action))
 
     async def sync(self) -> None:
         """Barrier: flush pending actions and wait until they are processed.
@@ -287,13 +311,19 @@ class IngestLoop:
                         item.event.set()
                     deadline = None
                     continue
-                if item.time <= self._floor:
+                enqueued_at, action = item
+                waited = loop.time() - enqueued_at
+                if self._queue_wait_hist is not None:
+                    self._queue_wait_hist.observe(waited)
+                if action.time <= self._floor:
                     self.stats.dropped_stale += 1
                     continue
-                self._floor = item.time
+                self._floor = action.time
                 if not self._pending:
                     deadline = loop.time() + self._flush_interval
-                self._pending.append(item)
+                    self._pending_since = loop.time()
+                self._pending.append(action)
+                self._pending_wait += waited
                 self.stats.accepted += 1
                 if len(self._pending) >= self._slide:
                     await self._flush("count")
@@ -320,11 +350,20 @@ class IngestLoop:
         """Dispatch the pending slide to the engine (in a worker thread)."""
         if not self._pending:
             return
+        loop = asyncio.get_running_loop()
         batch = self._pending
+        # Stages observed on the event-loop side, handed to the trace the
+        # worker thread opens: per-action queue wait and how long the
+        # slide sat coalescing before this dispatch.
+        pre_stages: Tuple[Tuple[str, float, int], ...] = (
+            ("queue_wait", self._pending_wait, len(batch)),
+            ("coalesce", loop.time() - self._pending_since, len(batch)),
+        )
         self._pending = []
+        self._pending_wait = 0.0
         self._slide_seq += 1
-        elapsed = await asyncio.get_running_loop().run_in_executor(
-            None, self._run_slide, batch
+        elapsed = await loop.run_in_executor(
+            None, self._run_slide, batch, pre_stages
         )
         self.stats.slides += 1
         setattr(
@@ -335,8 +374,17 @@ class IngestLoop:
         self.stats.engine_seconds += elapsed
         self.stats.rate.record(len(batch))
 
-    def _run_slide(self, batch: List[Action]) -> float:
+    def _run_slide(
+        self,
+        batch: List[Action],
+        pre_stages: Tuple[Tuple[str, float, int], ...] = (),
+    ) -> float:
         """Worker-thread body: process one slide and publish its answers.
+
+        Opens the slide's :class:`~repro.telemetry.SlideTrace` (ambient,
+        per-thread) so every layer underneath — core algorithm, columnar
+        kernel, persistence, sharding facade — records its stage into
+        this slide's timeline without plumbing.
 
         A :class:`~repro.sharding.ShardingError` (a sharded engine whose
         supervision budget ran out mid-slide) is retried up to
@@ -345,28 +393,46 @@ class IngestLoop:
         only consumes the suffix beyond its own clock.  Any other
         failure (or exhausting the retries) kills the writer as before.
         """
+        recorder = self.recorder
+        trace = None
+        if recorder is not None:
+            trace = recorder.begin(self._slide_seq, len(batch))
+            for name, seconds, items in pre_stages:
+                trace.add_stage(name, seconds, items)
         started = time.perf_counter()
-        attempts = 0
-        while True:
-            try:
-                self._engine.process(batch)
-                break
-            except ShardingError:
-                if attempts >= self._writer_retries:
-                    raise
-                attempts += 1
-                self.stats.writer_retries += 1
-        if self._multi is None:
-            self._publish({"main": self._engine.query()})
+        try:
+            attempts = 0
+            while True:
+                try:
+                    self._engine.process(batch)
+                    break
+                except ShardingError:
+                    if attempts >= self._writer_retries:
+                        raise
+                    attempts += 1
+                    self.stats.writer_retries += 1
+            if self._multi is None:
+                self._publish({"main": self._engine.query()})
+        except BaseException:
+            if recorder is not None:
+                recorder.abandon(trace)
+            raise
+        if recorder is not None:
+            recorder.finish(trace)
         return time.perf_counter() - started
 
     def _publish(self, results: Dict[str, SIMResult]) -> None:
         """Freeze and swap the answer board for the slide just processed."""
+        publish_started = time.perf_counter()
         self._cache.publish(
             AnswerBoard.from_results(
                 results,
                 slide=self._slide_seq,
                 time=self._engine.now,
                 published_at=time.time(),
+                published_monotonic=time.monotonic(),
             )
+        )
+        record_stage(
+            "publish", time.perf_counter() - publish_started, len(results)
         )

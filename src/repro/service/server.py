@@ -37,6 +37,13 @@ from repro.persistence.engine import RecoverableEngine
 from repro.service.cache import AnswerCache
 from repro.service.config import ServiceConfig
 from repro.service.ingest import IngestLoop, as_board
+from repro.telemetry import (
+    MetricsRegistry,
+    TraceLog,
+    TraceRecorder,
+    render_prometheus,
+)
+from repro.telemetry.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 
 __all__ = ["ReproService"]
 
@@ -82,6 +89,16 @@ class ReproService:
         self._engine = engine
         self._config = config
         self._cache = AnswerCache(history=config.history)
+        self._registry = MetricsRegistry()
+        self._trace_log = (
+            TraceLog(config.trace_log) if config.trace_log else None
+        )
+        self._recorder = TraceRecorder(
+            capacity=config.trace_ring,
+            slow_slide_ms=config.slow_slide_ms,
+            trace_log=self._trace_log,
+            registry=self._registry,
+        )
         self._ingest = IngestLoop(
             engine,
             self._cache,
@@ -89,6 +106,8 @@ class ReproService:
             flush_interval=config.flush_interval,
             queue_capacity=config.queue_capacity,
             writer_retries=config.writer_retries,
+            recorder=self._recorder,
+            registry=self._registry,
         )
         self._multi = as_board(engine.algorithm)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -96,7 +115,37 @@ class ReproService:
         self._shutdown = asyncio.Event()
         self._connections: set = set()
         self._started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._port: Optional[int] = None
+        self._wire_telemetry()
+
+    def _wire_telemetry(self) -> None:
+        """Graft layer-owned histograms into the registry (scrape-once)."""
+        registry = self._registry
+        fsync_hist = getattr(self._engine, "fsync_hist", None)
+        if fsync_hist is not None:
+            registry.attach(
+                "repro_wal_fsync_seconds",
+                "histogram",
+                fsync_hist,
+                "WAL append + fsync latency per durable slide",
+            )
+        snapshot_hist = getattr(self._engine, "snapshot_hist", None)
+        if snapshot_hist is not None:
+            registry.attach(
+                "repro_snapshot_seconds",
+                "histogram",
+                snapshot_hist,
+                "Full-state snapshot write latency",
+            )
+        heal_hist = getattr(self._engine, "heal_histogram", None)
+        if heal_hist is not None:
+            registry.attach(
+                "repro_shard_heal_seconds",
+                "histogram",
+                heal_hist,
+                "Shard restart-and-restore (heal) duration",
+            )
 
     # -- introspection -----------------------------------------------------
 
@@ -124,6 +173,16 @@ class ReproService:
     def engine(self) -> RecoverableEngine:
         """The served engine."""
         return self._engine
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The telemetry registry backing ``/metrics``."""
+        return self._registry
+
+    @property
+    def recorder(self) -> TraceRecorder:
+        """The per-slide stage-trace recorder."""
+        return self._recorder
 
     def query_names(self) -> list:
         """Names the read path serves answers under."""
@@ -173,6 +232,7 @@ class ReproService:
         await asyncio.get_running_loop().run_in_executor(
             None, lambda: self._engine.close(snapshot=seal)
         )
+        self._recorder.close()
 
     def request_shutdown(self) -> None:
         """Ask :meth:`run` to exit (signal-handler / same-loop safe)."""
@@ -354,23 +414,35 @@ class ReproService:
                 writer, 405, {"error": f"method {method} not allowed"}
             )
             return
-        status, payload = self._route(target)
-        await self._respond(writer, status, payload)
+        result = self._route(target)
+        await self._respond(writer, *result)
 
-    async def _respond(self, writer, status: int, payload: dict) -> None:
-        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    async def _respond(
+        self,
+        writer,
+        status: int,
+        payload,
+        content_type: Optional[str] = None,
+    ) -> None:
+        """Write one response; dict payloads are JSON, str is sent raw."""
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = content_type or "text/plain; charset=utf-8"
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            content_type = content_type or "application/json"
         reason = _HTTP_REASONS.get(status, "OK")
         head = (
             f"HTTP/1.0 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
         await writer.drain()
 
-    def _route(self, target: str) -> Tuple[int, dict]:
-        """Dispatch one GET target to its JSON payload."""
+    def _route(self, target: str) -> tuple:
+        """Dispatch one GET target to ``(status, payload[, content_type])``."""
         path, _, query_string = target.partition("?")
         params = {}
         for pair in query_string.split("&"):
@@ -380,7 +452,9 @@ class ReproService:
         if path == "/healthz":
             return self._route_healthz()
         if path == "/metrics":
-            return 200, self._metrics_payload()
+            return self._route_metrics(params)
+        if path == "/metrics/prometheus":
+            return self._route_metrics({"format": "prometheus"})
         if path == "/queries":
             return 200, {"queries": self.query_names()}
         segments = [s for s in path.split("/") if s]
@@ -391,6 +465,24 @@ class ReproService:
             if endpoint == "history":
                 return self._route_history(name, params)
         return 404, {"error": f"no route for {path}"}
+
+    def _route_metrics(self, params: dict) -> tuple:
+        """``/metrics`` with format negotiation (json default)."""
+        fmt = params.get("format", "json")
+        if fmt == "json":
+            return 200, self._metrics_payload()
+        if fmt == "prometheus":
+            self._sync_registry()
+            return (
+                200,
+                render_prometheus(self._registry),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+        return 400, {
+            "error": f"unknown metrics format {fmt!r}",
+            "formats": ["json", "prometheus"],
+            "hint": "GET /metrics?format=prometheus or /metrics/prometheus",
+        }
 
     def _route_healthz(self) -> Tuple[int, dict]:
         error = self._ingest.error
@@ -448,12 +540,22 @@ class ReproService:
             "answers": [answer.to_json() for answer in answers],
         }
 
+    @staticmethod
+    def _answer_age_seconds(answer) -> float:
+        """Age of a published answer on the monotonic clock.
+
+        ``published_monotonic`` is stamped at publish time with
+        ``time.monotonic()``, so an NTP step between publish and scrape
+        can never make the age negative (the old wall-clock computation
+        could).
+        """
+        return round(time.monotonic() - answer.published_monotonic, 3)
+
     def _metrics_payload(self) -> dict:
         ingest = self._ingest.stats.snapshot()
         ingest["queue_depth"] = self._ingest.queue_depth
         ingest["queue_capacity"] = self._ingest.queue_capacity
         board = self._cache.board
-        now = time.time()
         queries = {}
         per_query_stats = (
             self._multi.query_stats() if self._multi is not None else {}
@@ -467,8 +569,8 @@ class ReproService:
                         "answer_time": answer.time,
                         "answer_slide": answer.slide,
                         "answer_value": answer.value,
-                        "answer_age_seconds": round(
-                            now - answer.published_at, 3
+                        "answer_age_seconds": self._answer_age_seconds(
+                            answer
                         ),
                         "answer_lag_slides": (
                             self._ingest.slides_processed - answer.slide
@@ -491,9 +593,118 @@ class ReproService:
             engine["degraded"] = self._engine.degraded
             engine["degraded_shards"] = self._engine.degraded_shards
             engine["supervision"] = self._engine.supervision_stats()
+        self._sync_registry()
         return {
-            "uptime_seconds": round(now - self._started_at, 3),
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
             "ingest": ingest,
             "engine": engine,
             "queries": queries,
+            "telemetry": {
+                "metrics": self._registry.snapshot(),
+                "traces": self._recorder.stats(),
+            },
         }
+
+    def _sync_registry(self) -> None:
+        """Copy scalar stats into the registry at scrape time.
+
+        Counters/gauges that already live as plain attributes on the
+        ingest loop, engine, and supervisor are mirrored here rather
+        than instrumented at the source — the hot path stays untouched
+        and a scrape pays the (tiny) copy cost instead.
+        """
+        registry = self._registry
+        stats = self._ingest.stats
+        registry.counter(
+            "repro_ingest_accepted_total", "Actions admitted into a slide"
+        ).value = float(stats.accepted)
+        registry.counter(
+            "repro_ingest_dropped_stale_total",
+            "Actions dropped for arriving at or before the stream clock",
+        ).value = float(stats.dropped_stale)
+        registry.counter(
+            "repro_ingest_rejected_lines_total",
+            "Ingest lines rejected as unparseable or invalid",
+        ).value = float(stats.rejected_lines)
+        registry.counter(
+            "repro_ingest_slides_total", "Slides flushed into the engine"
+        ).value = float(stats.slides)
+        registry.counter(
+            "repro_ingest_writer_retries_total",
+            "Transient engine failures retried by the writer",
+        ).value = float(stats.writer_retries)
+        registry.gauge(
+            "repro_ingest_queue_depth", "Actions waiting in the bounded queue"
+        ).set(float(self._ingest.queue_depth))
+        registry.gauge(
+            "repro_ingest_queue_capacity", "Bounded ingest queue capacity"
+        ).set(float(self._ingest.queue_capacity))
+        registry.gauge(
+            "repro_ingest_rate_actions_per_sec",
+            "EWMA ingest rate (instantaneous)",
+        ).set(round(stats.rate.rate, 3))
+        registry.gauge(
+            "repro_ingest_lifetime_rate_actions_per_sec",
+            "Undecayed ingest rate since start",
+        ).set(round(stats.rate.lifetime_rate, 3))
+        registry.gauge(
+            "repro_uptime_seconds", "Service uptime on the monotonic clock"
+        ).set(round(time.monotonic() - self._started_monotonic, 3))
+        registry.gauge(
+            "repro_engine_slides", "Slides the engine has processed"
+        ).set(float(self._engine.slides_processed))
+        registry.gauge(
+            "repro_engine_stream_time", "Engine stream clock (action time)"
+        ).set(float(self._engine.now))
+        registry.counter(
+            "repro_engine_snapshots_written_total", "Snapshots written"
+        ).value = float(self._engine.snapshots_written)
+        registry.gauge(
+            "repro_engine_replayed_slides", "WAL slides replayed at open"
+        ).set(float(self._engine.replayed_slides))
+        board = self._cache.board
+        if board is not None:
+            for name, answer in board.answers.items():
+                registry.gauge(
+                    "repro_answer_age_seconds",
+                    "Seconds since this query's answer was published",
+                    query=name,
+                ).set(self._answer_age_seconds(answer))
+                registry.gauge(
+                    "repro_answer_lag_slides",
+                    "Slides the published answer trails the writer by",
+                    query=name,
+                ).set(float(self._ingest.slides_processed - answer.slide))
+        if hasattr(self._engine, "supervision_stats"):
+            supervision = self._engine.supervision_stats()
+            for state in supervision["shards"]:
+                shard = str(state["shard"])
+                registry.counter(
+                    "repro_shard_busy_seconds_total",
+                    "Wall seconds this shard spent processing slides "
+                    "(cumulative across worker restarts)",
+                    shard=shard,
+                ).value = float(state.get("busy_seconds", 0.0))
+                registry.counter(
+                    "repro_shard_restarts_total",
+                    "Times this shard's worker was restarted",
+                    shard=shard,
+                ).value = float(state.get("restarts", 0))
+                registry.gauge(
+                    "repro_shard_up",
+                    "1 when the shard is serving, 0 while down/healing",
+                    shard=shard,
+                ).set(1.0 if state.get("state") == "up" else 0.0)
+            registry.gauge(
+                "repro_shards_degraded", "Shards currently down or healing"
+            ).set(float(len(supervision.get("degraded_shards", ()))))
+            registry.gauge(
+                "repro_shard_straggler_seconds",
+                "Busy-time gap between slowest and fastest shard last slide",
+            ).set(float(supervision.get("straggler_seconds", 0.0)))
+            registry.counter(
+                "repro_shard_call_timeouts_total",
+                "Shard calls that timed out at the supervisor",
+            ).value = float(supervision.get("call_timeouts", 0))

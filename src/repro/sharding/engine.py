@@ -96,6 +96,7 @@ from repro.sharding.supervisor import (
     ShardSupervisor,
     _describe_error,
 )
+from repro.telemetry.trace import record_stage
 
 __all__ = ["ShardedEngine", "ShardedBoard", "ShardingError"]
 
@@ -146,6 +147,9 @@ class _ShardHost:
                 where=f"shard {self.shard_id} state",
             )
         self.abandoned_check: Optional[Callable[[], bool]] = None
+        # Cumulative wall seconds this incarnation spent in "process" —
+        # the per-shard heat signal (rides every info/process reply).
+        self.busy_seconds = 0.0
         self._injector = None
         if fault_state and fault_state.get("faults"):
             self._injector = WorkerFaultInjector(
@@ -164,6 +168,7 @@ class _ShardHost:
             "snapshots_written": self.engine.snapshots_written,
             "actions": algorithm.actions_processed,
             "durable": self.engine.store is not None,
+            "busy_seconds": round(self.busy_seconds, 6),
         }
 
     def abandon(self) -> None:
@@ -188,9 +193,11 @@ class _ShardHost:
                     self.engine.slides_processed + 1,
                     abandoned=self.abandoned_check,
                 )
+            busy_started = time.perf_counter()
             self.engine.process(
                 [Action(time=t, user=u, parent=p) for t, u, p in payload]
             )
+            self.busy_seconds += time.perf_counter() - busy_started
             return _Dropped(self.info()) if drop else self.info()
         if cmd == "answers":
             return self._answers()
@@ -759,6 +766,15 @@ class ShardedEngine:
         self._snapshots = [info["snapshots_written"] for info in infos]
         self._actions = max((info["actions"] for info in infos), default=0)
         self._replayed = [info["replayed"] for info in infos]
+        # Per-shard busy-seconds: cumulative across worker incarnations
+        # (restarts reset a worker's own counter; we fold the delta).
+        self._busy_seconds = [
+            float(info.get("busy_seconds", 0.0)) for info in infos
+        ]
+        self._busy_last_seen = list(self._busy_seconds)
+        #: Busy-time gap between the hottest and coolest shard on the
+        #: last processed slide — the slide-barrier straggler signal.
+        self.last_straggler_seconds = 0.0
         self._publish_hooks: List = []
         self._board = ShardedBoard(self)
         self._lock = threading.Lock()
@@ -1011,6 +1027,8 @@ class ShardedEngine:
             suffix = [item for item in encoded if item[0] > restored["now"]]
             return suffix if suffix else _SKIP
 
+        busy_before = list(self._busy_seconds)
+        fanout_started = time.perf_counter()
         with self._lock:
             replies = self._supervisor.call(
                 "process",
@@ -1020,8 +1038,22 @@ class ShardedEngine:
                 incident_slides=incidents,
             )
         self._absorb_infos(replies)
+        record_stage(
+            "shard_fanout", time.perf_counter() - fanout_started, len(batch)
+        )
+        deltas = [
+            self._busy_seconds[shard] - busy_before[shard]
+            for shard, info in enumerate(replies)
+            if info is not None
+        ]
+        if len(deltas) > 1:
+            self.last_straggler_seconds = max(deltas) - min(deltas)
         if self._publish_hooks:
+            merge_started = time.perf_counter()
             answers = self.query_all()
+            record_stage(
+                "shard_merge", time.perf_counter() - merge_started, len(answers)
+            )
             for hook in self._publish_hooks:
                 hook(answers)
 
@@ -1034,6 +1066,13 @@ class ShardedEngine:
             self._shard_slides[shard] = info["slides"]
             self._snapshots[shard] = info["snapshots_written"]
             self._actions = max(self._actions, info["actions"])
+            busy = float(info.get("busy_seconds", 0.0))
+            delta = busy - self._busy_last_seen[shard]
+            if delta < 0:
+                # The worker restarted: its counter began again at zero.
+                delta = busy
+            self._busy_seconds[shard] += delta
+            self._busy_last_seen[shard] = busy
 
     # -- reads -------------------------------------------------------------
 
@@ -1112,13 +1151,21 @@ class ShardedEngine:
         """Ids of the shards currently down/healing."""
         return self._supervisor.degraded_shards
 
+    @property
+    def heal_histogram(self):
+        """The supervisor's heal-duration histogram (telemetry scrape)."""
+        return self._supervisor.heal_hist
+
     def supervision_stats(self) -> dict:
         """Supervisor counters plus per-shard health and last-known clocks."""
         stats = self._supervisor.stats()
         states = self._supervisor.shard_states()
         for state in states:
-            state["last_known_now"] = self._shard_nows[state["shard"]]
+            shard = state["shard"]
+            state["last_known_now"] = self._shard_nows[shard]
+            state["busy_seconds"] = round(self._busy_seconds[shard], 6)
         stats["shards"] = states
+        stats["straggler_seconds"] = round(self.last_straggler_seconds, 6)
         return stats
 
     def heal(self) -> bool:

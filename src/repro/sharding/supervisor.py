@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.faults.inject import FacadeFaultInjector
 from repro.faults.plan import FACADE_KINDS, FaultPlan
+from repro.telemetry.metrics import Histogram
 
 __all__ = ["ShardSupervisor", "ShardingError"]
 
@@ -131,6 +132,11 @@ class ShardSupervisor:
         self._degraded_seconds = 0.0
         self._degraded_since: Optional[float] = None
         self._last_heal_seconds: Optional[float] = None
+        # Restart/heal duration accounting: one observation per
+        # successful in-place heal (kill -> backoff -> restart -> retry).
+        self.heal_hist = Histogram()
+        self._heal_seconds_total = 0.0
+        self._last_restart_seconds: Optional[float] = None
 
     # -- the supervised fan-out --------------------------------------------
 
@@ -262,6 +268,7 @@ class ShardSupervisor:
         nothing to re-dispatch).  Raises :class:`ShardingError` when the
         retry budget is exhausted or the shard has no durable state.
         """
+        heal_started = self._clock()
         health = self._health[shard]
         last_reason = health.last_error or "unknown failure"
         if self._state_dirs[shard] is None:
@@ -298,6 +305,7 @@ class ShardSupervisor:
                 # Recovery already covers the in-flight work (the WAL had
                 # the slide, or there was nothing to redo).
                 self._mark_up(shard)
+                self._note_heal(heal_started)
                 return restored
             if not self._backend.send(shard, cmd, retry_payload):
                 last_reason = "restarted worker is unreachable"
@@ -305,6 +313,7 @@ class ShardSupervisor:
             status, result = self._backend.recv(shard, self._call_timeout)
             if status == "ok":
                 self._mark_up(shard)
+                self._note_heal(heal_started)
                 return result
             if status == "error":
                 # The recovered worker is alive and rejected the retry:
@@ -339,6 +348,13 @@ class ShardSupervisor:
         }
 
     # -- degraded-window accounting ----------------------------------------
+
+    def _note_heal(self, started: float) -> None:
+        """Account one successful in-place heal's duration."""
+        elapsed = max(self._clock() - started, 0.0)
+        self._heal_seconds_total += elapsed
+        self._last_restart_seconds = elapsed
+        self.heal_hist.observe(elapsed)
 
     def _mark_down(self, shard: int, reason: str) -> None:
         health = self._health[shard]
@@ -415,6 +431,13 @@ class ShardSupervisor:
                 if self._last_heal_seconds is None
                 else round(self._last_heal_seconds, 6)
             ),
+            "heal_seconds_total": round(self._heal_seconds_total, 6),
+            "last_restart_seconds": (
+                None
+                if self._last_restart_seconds is None
+                else round(self._last_restart_seconds, 6)
+            ),
+            "heal_seconds": self.heal_hist.summary(),
             "retries": self._retries,
             "call_timeout": self._call_timeout,
         }

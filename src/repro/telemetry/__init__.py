@@ -1,0 +1,55 @@
+"""Zero-dependency telemetry plane: metrics core + per-slide stage traces.
+
+Three pieces, layered so the hot path stays allocation-light:
+
+``repro.telemetry.metrics``
+    ``Counter`` / ``Gauge`` / ``Histogram`` primitives with preallocated
+    log-spaced bucket arrays, and a labeled ``MetricsRegistry`` whose
+    ``snapshot()`` is safe to call from any thread while a single writer
+    mutates the metrics (CPython attribute/list stores are atomic).
+
+``repro.telemetry.trace``
+    ``SlideTrace`` — the per-slide stage timeline (queue-wait → coalesce
+    → forest/index → oracle → shard fan-out/merge → WAL fsync → snapshot
+    → publish).  The active trace rides an ambient per-thread slot so
+    deep layers (core algorithm, persistence, sharding) can record
+    stages without threading a handle through every signature;
+    ``record_stage`` is a single attribute check when no trace is
+    active, so library use (benchmarks, offline replay) pays nothing.
+
+``repro.telemetry.prometheus``
+    Standard text exposition rendering of a registry snapshot, served by
+    ``GET /metrics?format=prometheus``.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.trace import (
+    STAGES,
+    SlideTrace,
+    TraceLog,
+    TraceRecorder,
+    active_trace,
+    record_stage,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "STAGES",
+    "SlideTrace",
+    "TraceLog",
+    "TraceRecorder",
+    "active_trace",
+    "record_stage",
+]

@@ -1,0 +1,67 @@
+"""Prometheus text exposition (version 0.0.4) for a ``MetricsRegistry``.
+
+Renders ``# HELP`` / ``# TYPE`` headers and one sample line per child;
+histograms expand into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``, matching what a stock Prometheus scraper
+expects from a ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_labels(labels, extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label_value(value)}"' for name, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as one prometheus text-exposition document.
+
+    Families render in name order with ``# HELP`` / ``# TYPE`` headers;
+    histogram children expand into cumulative ``_bucket{le=...}`` series
+    plus exact ``_sum`` / ``_count``.  The result always ends with a
+    trailing newline, as the exposition format requires.
+    """
+    lines: List[str] = []
+    for family in sorted(registry.families(), key=lambda f: f.name):
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, metric in sorted(family.children.items()):
+            if isinstance(metric, Histogram):
+                cumulative = metric.cumulative_counts()
+                for bound, running in zip(metric.bounds, cumulative):
+                    label_str = _format_labels(labels, f'le="{_format_value(bound)}"')
+                    lines.append(f"{family.name}_bucket{label_str} {running}")
+                inf_labels = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{inf_labels} {cumulative[-1]}")
+                label_str = _format_labels(labels)
+                lines.append(f"{family.name}_sum{label_str} {repr(metric.sum)}")
+                lines.append(f"{family.name}_count{label_str} {metric.count}")
+            else:
+                label_str = _format_labels(labels)
+                value = _format_value(metric.value)  # type: ignore[attr-defined]
+                lines.append(f"{family.name}{label_str} {value}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,256 @@
+"""Per-slide stage traces with an ambient per-thread slot.
+
+A ``SlideTrace`` is the timeline of one slide through the pipeline::
+
+    queue_wait -> coalesce -> forest_index -> oracle
+               -> shard_fanout -> shard_merge
+               -> wal_fsync -> snapshot -> publish
+
+The ingest writer thread activates the trace (``TraceRecorder.begin``)
+before dispatching the slide and finalizes it after publish; deep
+layers (core algorithm, persistence, sharding facade) call the
+module-level ``record_stage`` which is a single ``getattr`` when no
+trace is active — offline/bench use of the engine pays one attribute
+lookup per slide stage, no allocation.
+
+Stages recorded by shard *worker* threads/processes are intentionally
+absent: the trace reflects work observed by the single writer thread
+(the sharded facade records ``shard_fanout``/``shard_merge`` spans that
+cover the workers' wall time instead).
+
+Stage semantics: most stages are wall-time spans of the slide, but
+``queue_wait`` is *cumulative across the batch's actions* (the sum of
+each action's time in the bounded queue) — under backpressure it can
+far exceed the slide's wall time; divide ``seconds`` by ``items`` for
+the mean per-action wait.  ``total_seconds`` covers dispatch through
+publish and deliberately excludes the pre-recorded ``queue_wait`` /
+``coalesce`` spans.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+# Canonical stage order, used to sort trace output and summaries.
+STAGES = (
+    "queue_wait",
+    "coalesce",
+    "forest_index",
+    "oracle",
+    "kernel_index",
+    "kernel_pass",
+    "shard_fanout",
+    "shard_merge",
+    "wal_fsync",
+    "snapshot",
+    "publish",
+)
+
+_STAGE_ORDER = {name: i for i, name in enumerate(STAGES)}
+
+
+def _stage_sort_key(name: str) -> tuple:
+    return (_STAGE_ORDER.get(name, len(STAGES)), name)
+
+
+class SlideTrace:
+    """Wall time + item count per pipeline stage for one slide."""
+
+    __slots__ = ("slide", "actions", "started_wall", "started", "stages", "total_seconds")
+
+    def __init__(self, slide: int, actions: int) -> None:
+        self.slide = slide
+        self.actions = actions
+        self.started_wall = time.time()
+        self.started = time.perf_counter()
+        # stage name -> [seconds, items]; insertion order ~ execution order.
+        self.stages: Dict[str, List[float]] = {}
+        self.total_seconds = 0.0
+
+    def add_stage(self, name: str, seconds: float, items: int = 0) -> None:
+        """Accumulate ``seconds``/``items`` into stage ``name``."""
+        entry = self.stages.get(name)
+        if entry is None:
+            self.stages[name] = [seconds, items]
+        else:
+            entry[0] += seconds
+            entry[1] += items
+
+    def to_event(self, threshold_ms: Optional[float] = None) -> Dict[str, object]:
+        """The structured JSONL event for this slide."""
+        stages = {
+            name: {"seconds": round(entry[0], 6), "items": int(entry[1])}
+            for name, entry in sorted(
+                self.stages.items(), key=lambda kv: _stage_sort_key(kv[0])
+            )
+        }
+        event: Dict[str, object] = {
+            "event": "slow_slide",
+            "ts": round(self.started_wall, 3),
+            "slide": self.slide,
+            "actions": self.actions,
+            "total_seconds": round(self.total_seconds, 6),
+            "stages": stages,
+        }
+        if threshold_ms is not None:
+            event["threshold_ms"] = threshold_ms
+        return event
+
+
+# ---------------------------------------------------------------------------
+# Ambient per-thread trace slot.
+
+_ACTIVE = threading.local()
+
+
+def active_trace() -> Optional[SlideTrace]:
+    """The trace active on this thread, or None."""
+    return getattr(_ACTIVE, "trace", None)
+
+
+def record_stage(name: str, seconds: float, items: int = 0) -> None:
+    """Record a stage on the active trace, if any (cheap no-op otherwise)."""
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is not None:
+        trace.add_stage(name, seconds, items)
+
+
+def _activate(trace: SlideTrace) -> None:
+    _ACTIVE.trace = trace
+
+
+def _deactivate() -> None:
+    _ACTIVE.trace = None
+
+
+# ---------------------------------------------------------------------------
+# Trace log + recorder.
+
+
+class TraceLog:
+    """Append-only JSONL sink for slow-slide events (one dict per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Append one event as a compact JSON line (flushed, locked)."""
+        line = json.dumps(event, separators=(",", ":"))
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.events_written += 1
+
+    def close(self) -> None:
+        """Close the sink; later ``emit`` calls become no-ops."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class TraceRecorder:
+    """Owns the trace ring buffer, slow-slide threshold, and histograms.
+
+    ``begin``/``finish`` bracket one slide and are called only from the
+    single writer thread.  ``recent``/``stats`` may be called from any
+    thread (they copy under CPython's atomic list/deque snapshots).
+
+    ``slow_slide_ms`` semantics: ``None`` disables trace-log emission;
+    ``0`` emits *every* slide (the test/triage hook); ``N > 0`` emits
+    slides whose total wall time is at least N milliseconds.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        slow_slide_ms: Optional[float] = None,
+        trace_log: Optional[TraceLog] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.slow_slide_ms = slow_slide_ms
+        self.trace_log = trace_log
+        self._ring: deque = deque(maxlen=capacity)
+        self._registry = registry
+        self._stage_hists: Dict[str, Histogram] = {}
+        self._total_hist: Optional[Histogram] = (
+            registry.histogram(
+                "repro_slide_seconds", "End-to-end wall time per slide"
+            )
+            if registry is not None
+            else None
+        )
+        self.slow_slides = 0
+        self.traced_slides = 0
+
+    def begin(self, slide: int, actions: int) -> SlideTrace:
+        """Create and activate the trace for one slide dispatch."""
+        trace = SlideTrace(slide, actions)
+        _activate(trace)
+        return trace
+
+    def finish(self, trace: SlideTrace) -> SlideTrace:
+        """Deactivate, total, ring-buffer, and (maybe) emit the trace."""
+        _deactivate()
+        trace.total_seconds = time.perf_counter() - trace.started
+        self._ring.append(trace)
+        self.traced_slides += 1
+        if self._registry is not None:
+            self._total_hist.observe(trace.total_seconds)
+            for name, (seconds, _items) in trace.stages.items():
+                hist = self._stage_hists.get(name)
+                if hist is None:
+                    hist = self._registry.histogram(
+                        "repro_slide_stage_seconds",
+                        "Wall time per pipeline stage per slide",
+                        stage=name,
+                    )
+                    self._stage_hists[name] = hist
+                hist.observe(seconds)
+        threshold = self.slow_slide_ms
+        if threshold is not None and trace.total_seconds * 1000.0 >= threshold:
+            self.slow_slides += 1
+            if self.trace_log is not None:
+                self.trace_log.emit(trace.to_event(threshold_ms=threshold))
+        return trace
+
+    def abandon(self, trace: SlideTrace) -> None:
+        """Drop the ambient slot without recording (dispatch failed)."""
+        _deactivate()
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """The last ``limit`` (default all) ring-buffered trace events."""
+        traces = list(self._ring)
+        if limit is not None:
+            traces = traces[-limit:]
+        return [t.to_event() for t in traces]
+
+    def stats(self) -> Dict[str, object]:
+        """Recorder counters for ``/metrics`` (traced/slow slide totals)."""
+        return {
+            "traced_slides": self.traced_slides,
+            "slow_slides": self.slow_slides,
+            "slow_slide_ms": self.slow_slide_ms,
+            "ring_capacity": self.capacity,
+            "trace_log_events": (
+                self.trace_log.events_written if self.trace_log else 0
+            ),
+        }
+
+    def close(self) -> None:
+        """Close the attached trace log, if any."""
+        if self.trace_log is not None:
+            self.trace_log.close()

@@ -69,3 +69,36 @@ def random_stream(
 def small_random_stream() -> List[Action]:
     """A 60-action stream over 8 users (dense interactions)."""
     return random_stream(60, 8, seed=13)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Tiny prometheus text-exposition parser (no deps; tests only).
+
+    Returns ``{metric_name: {label_string: float_value}}`` where
+    ``label_string`` is the raw ``{...}`` part (``""`` when unlabeled),
+    and raises ValueError on lines that are not valid exposition.
+    """
+    samples: dict = {}
+    types: dict = {}
+    for line in text.splitlines():
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split(None, 3)
+            if kind not in ("counter", "gauge", "histogram", "summary"):
+                raise ValueError(f"bad TYPE line: {line!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"unknown comment line: {line!r}")
+        body, _, value = line.rpartition(" ")
+        if not body:
+            raise ValueError(f"sample line without value: {line!r}")
+        name, brace, labels = body.partition("{")
+        if brace and not labels.endswith("}"):
+            raise ValueError(f"unterminated labels: {line!r}")
+        float(value)  # must parse; +Inf etc. never appear as values here
+        samples.setdefault(name, {})[brace + labels] = float(value)
+    if not types:
+        raise ValueError("no TYPE headers found")
+    return samples

@@ -36,7 +36,7 @@ from repro.persistence.engine import RecoverableEngine
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.runner import ServiceRunner
-from tests.conftest import random_stream
+from tests.conftest import parse_prometheus, random_stream
 
 
 def serve(engine_factory, **config_kwargs) -> ServiceRunner:
@@ -309,6 +309,158 @@ class TestHttpReadPath:
             assert synced[0]["rejected"] == 2
             client = ServiceClient("127.0.0.1", runner.port)
             assert client.topk("main")["time"] == 2
+
+
+class TestHttpErrorPaths:
+    """Negative-path contracts of the read plane (one server, many probes)."""
+
+    def test_unknown_query_bad_limit_and_bad_format(self):
+        with serve(
+            lambda: WindowedGreedy(window_size=10, k=1), slide=2
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            client.wait_healthy()
+
+            status, payload = client.http_get("/queries/ghost/topk")
+            assert status == 404
+            assert "ghost" in payload["error"]
+            assert payload["queries"] == ["main"]  # helpful: what exists
+
+            status, payload = client.http_get("/queries/ghost/history")
+            assert status == 404
+            assert payload["queries"] == ["main"]
+
+            status, payload = client.http_get(
+                "/queries/main/history?limit=five"
+            )
+            assert status == 400
+            assert "five" in payload["error"]
+
+            status, payload = client.http_get("/metrics?format=xml")
+            assert status == 400
+            assert payload["formats"] == ["json", "prometheus"]
+            assert "prometheus" in payload["hint"]
+
+            # Content negotiation errors must not poison later requests.
+            assert client.http_get("/metrics")[0] == 200
+
+
+class TestTelemetryPlane:
+    def test_prometheus_exposition_covers_the_pipeline(self):
+        actions = random_stream(40, 8, seed=14)
+        with serve(
+            lambda: SparseInfluentialCheckpoints(window_size=20, k=2, beta=0.3),
+            slide=4,
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            client.ingest(actions)
+
+            status, body, content_type = client.http_get_raw(
+                "/metrics?format=prometheus"
+            )
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            assert "version=0.0.4" in content_type
+            samples = parse_prometheus(body)
+
+            assert samples["repro_ingest_accepted_total"][""] == 40
+            assert samples["repro_ingest_slides_total"][""] == 10
+            assert samples["repro_ingest_queue_depth"][""] == 0
+            assert samples["repro_ingest_queue_capacity"][""] > 0
+            assert samples["repro_slide_seconds_count"][""] == 10
+            assert samples["repro_ingest_queue_wait_seconds_count"][""] == 40
+            stage_counts = samples["repro_slide_stage_seconds_count"]
+            for stage in ("queue_wait", "coalesce", "forest_index", "oracle"):
+                assert stage_counts[f'{{stage="{stage}"}}'] == 10, stage
+            assert samples["repro_answer_age_seconds"]['{query="main"}'] >= 0
+
+            # The path alias renders the identical families.
+            status, alias_body, _ = client.http_get_raw("/metrics/prometheus")
+            assert status == 200
+            assert set(parse_prometheus(alias_body)) == set(samples)
+
+    def test_json_metrics_has_histogram_summaries_and_rates(self):
+        actions = random_stream(30, 6, seed=3)
+        with serve(
+            lambda: WindowedGreedy(window_size=15, k=2), slide=3
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            client.ingest(actions)
+            status, metrics = client.http_get("/metrics")
+            assert status == 200
+            assert metrics["ingest"]["lifetime_rate_actions_per_sec"] > 0
+            assert "ingest_rate_actions_per_sec" in metrics["ingest"]
+            telemetry = metrics["telemetry"]
+            slide_summary = telemetry["metrics"]["repro_slide_seconds"]
+            assert slide_summary["count"] == 10
+            assert {"p50", "p95", "p99", "max"} <= set(slide_summary)
+            stage_summaries = telemetry["metrics"]["repro_slide_stage_seconds"]
+            assert stage_summaries["stage=oracle"]["count"] == 10
+            assert telemetry["traces"]["traced_slides"] == 10
+            assert metrics["queries"]["main"]["answer_age_seconds"] >= 0
+
+    def test_slow_slide_trace_lands_in_jsonl_and_summarizes(self, tmp_path):
+        """slow_slide_ms=0 forces every slide into --trace-log; the trace
+        covers the whole durable pipeline and `trace summarize` renders it."""
+        from repro.cli import main as cli_main
+
+        trace_path = tmp_path / "trace.jsonl"
+        engine = RecoverableEngine.open(
+            str(tmp_path / "state"),
+            lambda: SparseInfluentialCheckpoints(
+                window_size=20, k=2, beta=0.3
+            ),
+            snapshot_every=5,
+        )
+        runner = ServiceRunner(
+            engine,
+            ServiceConfig(
+                port=0,
+                flush_interval=60.0,
+                slide=4,
+                trace_log=str(trace_path),
+                slow_slide_ms=0.0,
+            ),
+        )
+        runner.start()
+        try:
+            client = ServiceClient("127.0.0.1", runner.port)
+            client.ingest(random_stream(40, 8, seed=14))
+            status, metrics = client.http_get("/metrics")
+            assert metrics["telemetry"]["traces"]["slow_slides"] == 10
+            assert metrics["telemetry"]["traces"]["trace_log_events"] == 10
+        finally:
+            runner.stop()
+
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().strip().splitlines()
+        ]
+        assert len(events) == 10
+        required = {
+            "queue_wait", "coalesce", "forest_index", "oracle",
+            "wal_fsync", "publish",
+        }
+        for event in events:
+            assert event["event"] == "slow_slide"
+            assert event["threshold_ms"] == 0.0
+            assert required <= set(event["stages"]), event["stages"]
+            for doc in event["stages"].values():
+                assert doc["seconds"] >= 0
+        # Cadence snapshots (every 5 slides) appear as a snapshot stage.
+        assert any("snapshot" in event["stages"] for event in events)
+
+        import io
+        from contextlib import redirect_stdout
+
+        for command in ("tail", "summarize"):
+            out = io.StringIO()
+            with redirect_stdout(out):
+                assert cli_main(["trace", command, str(trace_path)]) == 0
+            rendered = out.getvalue()
+            assert "oracle" in rendered
+        assert "10 traced slides" in rendered
+        assert "share" in rendered  # the breakdown table header
 
 
 def _spawn_server(args, cwd):

@@ -19,7 +19,7 @@ from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.runner import ServiceRunner
 from repro.sharding.engine import ShardedEngine
-from tests.conftest import random_stream
+from tests.conftest import parse_prometheus, random_stream
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
 
@@ -87,16 +87,21 @@ def _spawn_server(args, cwd):
 class TestShardedServeSubprocess:
     def test_smoke_shards2_loadgen_sigterm_seal(self, tmp_path):
         """The CI sharded smoke: ``serve --shards 2``, 2k actions through
-        ``scripts/load_gen.py``, a top-k read, and a SIGTERM seal leaving
-        every shard's state dir replay-free."""
+        ``scripts/load_gen.py``, a prometheus scrape + trace-log check,
+        a top-k read, and a SIGTERM seal leaving every shard's state dir
+        replay-free."""
         state_dir = tmp_path / "state"
         report_path = tmp_path / "load_gen.json"
+        trace_path = os.environ.get(
+            "REPRO_SMOKE_TRACE_LOG", str(tmp_path / "trace.jsonl")
+        )
         process, host, port = _spawn_server(
             [
                 "--algorithm", "sic", "--window", "500", "--slide", "25",
                 "-k", "5", "--beta", "0.3", "--shards", "2",
                 "--shard-backend", "process", "--state-dir", str(state_dir),
                 "--snapshot-every", "0", "--flush-interval", "60",
+                "--trace-log", trace_path, "--slow-slide-ms", "0",
             ],
             cwd=REPO_ROOT,
         )
@@ -130,6 +135,37 @@ class TestShardedServeSubprocess:
             assert answer["time"] == 2000
             assert len(answer["seeds"]) == 5
             assert answer["value"] == report["query_value"]
+
+            # The telemetry plane under real sharded-process load: the
+            # exposition parses, covers every layer, and the forced
+            # slow-slide threshold traced each of the 80 slides.
+            samples = parse_prometheus(client.metrics_prometheus())
+            assert samples["repro_ingest_accepted_total"][""] == 2000
+            assert samples["repro_slide_seconds_count"][""] == 80
+            stage_counts = samples["repro_slide_stage_seconds_count"]
+            assert stage_counts['{stage="shard_fanout"}'] == 80
+            assert stage_counts['{stage="shard_merge"}'] == 80
+            for shard in ("0", "1"):
+                labels = f'{{shard="{shard}"}}'
+                assert samples["repro_shard_busy_seconds_total"][labels] > 0
+                assert samples["repro_shard_restarts_total"][labels] == 0
+                assert samples["repro_shard_up"][labels] == 1
+            assert samples["repro_shards_degraded"][""] == 0
+
+            traced = [
+                json.loads(line)
+                for line in pathlib.Path(trace_path)
+                .read_text()
+                .strip()
+                .splitlines()
+            ]
+            assert len(traced) == 80
+            stages = set(traced[-1]["stages"])
+            assert {
+                "queue_wait", "coalesce", "shard_fanout",
+                "shard_merge", "publish",
+            } <= stages
+
             process.send_signal(signal.SIGTERM)
             assert process.wait(timeout=30) == 0
         finally:

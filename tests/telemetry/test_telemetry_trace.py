@@ -1,0 +1,182 @@
+"""Unit tests for slide traces, the ambient slot, and the recorder."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    STAGES,
+    MetricsRegistry,
+    SlideTrace,
+    TraceLog,
+    TraceRecorder,
+    active_trace,
+    record_stage,
+)
+
+
+class TestSlideTrace:
+    def test_add_stage_accumulates(self):
+        trace = SlideTrace(slide=3, actions=10)
+        trace.add_stage("oracle", 0.1, items=5)
+        trace.add_stage("oracle", 0.2, items=5)
+        assert trace.stages["oracle"] == [pytest.approx(0.3), 10]
+
+    def test_to_event_orders_stages_canonically(self):
+        trace = SlideTrace(slide=1, actions=4)
+        trace.add_stage("publish", 0.01)
+        trace.add_stage("queue_wait", 0.02)
+        trace.add_stage("oracle", 0.03)
+        event = trace.to_event(threshold_ms=5.0)
+        names = list(event["stages"])
+        assert names == ["queue_wait", "oracle", "publish"]
+        assert event["event"] == "slow_slide"
+        assert event["threshold_ms"] == 5.0
+        assert event["slide"] == 1 and event["actions"] == 4
+
+    def test_unknown_stage_sorts_last_not_lost(self):
+        trace = SlideTrace(slide=1, actions=1)
+        trace.add_stage("custom_stage", 0.01)
+        trace.add_stage("queue_wait", 0.01)
+        assert list(trace.to_event()["stages"]) == [
+            "queue_wait",
+            "custom_stage",
+        ]
+
+
+class TestAmbientSlot:
+    def test_record_stage_without_trace_is_noop(self):
+        assert active_trace() is None
+        record_stage("oracle", 1.0)  # must not raise
+
+    def test_record_stage_hits_active_trace(self):
+        recorder = TraceRecorder()
+        trace = recorder.begin(slide=1, actions=2)
+        try:
+            record_stage("wal_fsync", 0.5, items=2)
+            assert active_trace() is trace
+            assert trace.stages["wal_fsync"] == [0.5, 2]
+        finally:
+            recorder.finish(trace)
+        assert active_trace() is None
+
+    def test_slot_is_per_thread(self):
+        recorder = TraceRecorder()
+        trace = recorder.begin(slide=1, actions=1)
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(active_trace()))
+        thread.start()
+        thread.join()
+        recorder.finish(trace)
+        assert seen == [None]
+
+
+class TestTraceRecorder:
+    def test_ring_buffer_keeps_last_n(self):
+        recorder = TraceRecorder(capacity=3)
+        for slide in range(6):
+            recorder.finish(recorder.begin(slide, actions=1))
+        events = recorder.recent()
+        assert [e["slide"] for e in events] == [3, 4, 5]
+        assert [e["slide"] for e in recorder.recent(limit=2)] == [4, 5]
+
+    def test_abandon_clears_slot_without_recording(self):
+        recorder = TraceRecorder()
+        trace = recorder.begin(slide=1, actions=1)
+        recorder.abandon(trace)
+        assert active_trace() is None
+        assert recorder.traced_slides == 0
+        assert recorder.recent() == []
+
+    def test_registry_feeds_total_and_stage_histograms(self):
+        registry = MetricsRegistry()
+        recorder = TraceRecorder(registry=registry)
+        trace = recorder.begin(slide=1, actions=2)
+        trace.add_stage("oracle", 0.01, items=2)
+        recorder.finish(trace)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_slide_seconds"]["count"] == 1
+        assert snapshot["repro_slide_stage_seconds"]["stage=oracle"]["count"] == 1
+
+    def test_slow_slide_threshold_semantics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = TraceLog(str(path))
+        # 1e9 ms: nothing real is that slow -> no emission.
+        recorder = TraceRecorder(slow_slide_ms=1e9, trace_log=log)
+        recorder.finish(recorder.begin(slide=1, actions=1))
+        assert recorder.slow_slides == 0
+        # 0 ms: every slide emits.
+        recorder = TraceRecorder(slow_slide_ms=0.0, trace_log=log)
+        recorder.finish(recorder.begin(slide=2, actions=1))
+        assert recorder.slow_slides == 1
+        assert log.events_written == 1
+        log.close()
+        event = json.loads(path.read_text().strip())
+        assert event["event"] == "slow_slide"
+        assert event["slide"] == 2
+
+    def test_none_threshold_disables_emission(self, tmp_path):
+        log = TraceLog(str(tmp_path / "trace.jsonl"))
+        recorder = TraceRecorder(slow_slide_ms=None, trace_log=log)
+        recorder.finish(recorder.begin(slide=1, actions=1))
+        assert recorder.slow_slides == 0
+        assert log.events_written == 0
+        recorder.close()
+
+    def test_stats_shape(self):
+        recorder = TraceRecorder(capacity=8, slow_slide_ms=0.0)
+        recorder.finish(recorder.begin(slide=1, actions=1))
+        stats = recorder.stats()
+        assert stats["traced_slides"] == 1
+        assert stats["slow_slides"] == 1
+        assert stats["ring_capacity"] == 8
+        assert stats["trace_log_events"] == 0  # no sink attached
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+class TestTraceLog:
+    def test_appends_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = TraceLog(str(path))
+        log.emit({"event": "slow_slide", "slide": 1})
+        log.emit({"event": "slow_slide", "slide": 2})
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["slide"] for line in lines] == [1, 2]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = TraceLog(str(path))
+        log.close()
+        log.emit({"event": "slow_slide"})  # must not raise
+        assert log.events_written == 0
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for slide in (1, 2):
+            log = TraceLog(str(path))
+            log.emit({"slide": slide, "stages": {}})
+            log.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+
+def test_stage_names_cover_the_pipeline():
+    """The canonical ladder names every stage the layers record."""
+    expected = {
+        "queue_wait",
+        "coalesce",
+        "forest_index",
+        "oracle",
+        "kernel_index",
+        "kernel_pass",
+        "shard_fanout",
+        "shard_merge",
+        "wal_fsync",
+        "snapshot",
+        "publish",
+    }
+    assert expected == set(STAGES)
