@@ -45,7 +45,12 @@ Reported figures:
   one process-backend shard mid-stream, reporting the time the in-place
   heal took (restore + WAL-tail replay + suffix redelivery), the degraded
   window, and whether the final answer converged to the fault-free run.
-  Reported but never gated (sub-second timings on shared runners).
+  Reported but never gated (sub-second timings on shared runners);
+* ``observability_overhead`` — the ``service_ingest`` workload with the
+  flight recorder + sampling profiler fully on vs fully off, reporting
+  the relative throughput cost (the DESIGN.md contract note: single-digit
+  percent).  Keys deliberately avoid the gated ``_per_sec`` suffix —
+  run-to-run noise on a shared runner exceeds the effect being measured.
 """
 
 from __future__ import annotations
@@ -469,13 +474,64 @@ def bench_shard_scaling(stream, n_actions, shards=4):
     actions = stream[:n_actions]
     # L=1 is slow per action; half the stream keeps the section bounded
     # while still covering a full window plus steady-state slides.
+    # best-of-2: the gated implied-speedup ratio divides two timings, so
+    # single-shot scheduler noise on a shared runner hits it twice.
     l1_actions = actions[: max(len(actions) // 2, 1)]
     return {
-        "l1": measure([[a] for a in l1_actions], repeats=1),
+        "l1": measure([[a] for a in l1_actions], repeats=2),
         "l50": measure(
             [actions[i : i + 50] for i in range(0, len(actions), 50)],
             repeats=3,
         ),
+    }
+
+
+def bench_observability_overhead(stream, n_actions):
+    """Recorder + profiler cost on the service ingest path (never gated).
+
+    Runs the :func:`bench_service_ingest` workload twice — observability
+    fully off (no flight recorder, no profiler) and fully on (recorder at
+    4x the default cadence plus the 100 Hz continuous profiler) — and
+    reports the relative throughput cost.  ``overhead_pct`` can go
+    slightly negative under scheduler noise; the contract target is
+    single-digit percent, checked by eye in the perf trajectory rather
+    than gated.
+    """
+    from repro.persistence.engine import RecoverableEngine
+    from repro.service.client import ServiceClient
+    from repro.service.config import ServiceConfig
+    from repro.service.runner import ServiceRunner
+
+    actions = stream[:n_actions]
+
+    def run(**overrides):
+        engine = RecoverableEngine.open(
+            None,
+            lambda: InfluentialCheckpoints(window_size=1000, k=5, beta=0.3),
+        )
+        config = ServiceConfig(
+            port=0,
+            slide=50,
+            flush_interval=60.0,
+            queue_capacity=8192,
+            **overrides,
+        )
+        with ServiceRunner(engine, config) as runner:
+            client = ServiceClient("127.0.0.1", runner.port, timeout=300.0)
+            client.wait_healthy()
+            started = time.perf_counter()
+            client.ingest(actions, sync=True)
+            return len(actions) / (time.perf_counter() - started)
+
+    base = run(flight_recorder=False)
+    full = run(flight_recorder=True, sample_interval=0.25, profile=True)
+    return {
+        "actions": len(actions),
+        "base_aps": round(base, 1),
+        "full_aps": round(full, 1),
+        "sample_interval": 0.25,
+        "profile_hz": 100.0,
+        "overhead_pct": round((base - full) / base * 100.0, 2),
     }
 
 
@@ -577,6 +633,9 @@ def main(argv=None):
         "chaos_recovery": bench_chaos_recovery(
             stream, min(n_actions, len(stream))
         ),
+        "observability_overhead": bench_observability_overhead(
+            stream, min(n_actions, len(stream))
+        ),
     }
     report["service_ingest_sharded"]["speedup_vs_single"] = round(
         report["service_ingest_sharded"]["actions_per_sec"]
@@ -619,6 +678,10 @@ def main(argv=None):
     print(f"chaos shard SIGKILL:     healed in {chaos['heal_seconds']}s "
           f"({chaos['restarts']} restart(s), degraded "
           f"{chaos['degraded_seconds']}s, converged={chaos['identical']})")
+    obs = report["observability_overhead"]
+    print(f"observability overhead:  {obs['base_aps']:,.1f} -> "
+          f"{obs['full_aps']:,.1f} actions/s with recorder+profiler on "
+          f"({obs['overhead_pct']}%)")
     print(f"report written to {args.output}")
     return report
 

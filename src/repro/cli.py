@@ -25,7 +25,14 @@ Subcommands:
   With ``--trace-log`` + ``--slow-slide-ms`` slow slides emit per-stage
   JSONL traces;
 * ``trace`` — ``tail`` or ``summarize`` a ``--trace-log`` file: the
-  per-stage latency breakdown of traced slides.
+  per-stage latency breakdown of traced slides;
+* ``top`` — live terminal console over a running server: sparkline
+  panels of ingest rate, slide latency quantiles and per-shard busy
+  time from ``/metrics/history``, with active SLO alerts inline
+  (``--once`` renders one frame for CI/no-TTY use);
+* ``profile`` — fetch a collapsed-stack wall-clock profile from a
+  running server's ``/debug/profile`` endpoint (flamegraph.pl /
+  speedscope input).
 
 Examples::
 
@@ -297,7 +304,97 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="recent slide traces kept in memory (default: 64)",
     )
+    serve.add_argument(
+        "--flight-recorder",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="sample metrics into retained time-series for "
+        "/metrics/history and SLO alerting (fixed memory; default: on)",
+    )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between flight-recorder samples (default: 1.0)",
+    )
+    serve.add_argument(
+        "--alert-log",
+        default=None,
+        metavar="PATH",
+        help="append SLO alert raise/clear events to this JSONL file",
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="NAME=SERIES,threshold=T[,key=value...]",
+        help="add an SLO objective over a retained series (repeatable); "
+        "keys: threshold (required), objective, fast, slow, burn, "
+        "severity (page|ticket), min-samples",
+    )
+    serve.add_argument(
+        "--slo-defaults",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="evaluate the stock serving-plane objectives (default: on)",
+    )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the continuous sampling profiler from boot "
+        "(GET /debug/profile works either way)",
+    )
+    serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=100.0,
+        help="wall-clock profiler sampling rate (default: 100)",
+    )
     _add_supervision_arguments(serve)
+
+    top = commands.add_parser(
+        "top", help="live terminal console over a running server"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7077)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between frames (default: 2.0)",
+    )
+    top.add_argument(
+        "--window",
+        type=float,
+        default=120.0,
+        help="history window per sparkline panel (default: 120 s)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame without clearing the screen and exit "
+        "(CI / no-TTY use)",
+    )
+
+    profile = commands.add_parser(
+        "profile", help="collapsed-stack profile of a running server"
+    )
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument("--port", type=int, default=7077)
+    profile.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        help="profiling window length (default: 2.0)",
+    )
+    profile.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the collapsed stacks here instead of stdout "
+        "(feed to flamegraph.pl / speedscope)",
+    )
 
     trace = commands.add_parser(
         "trace", help="inspect a serve --trace-log JSONL file"
@@ -832,6 +929,13 @@ def _cmd_serve(args) -> int:
         trace_log=args.trace_log,
         slow_slide_ms=args.slow_slide_ms,
         trace_ring=args.trace_ring,
+        flight_recorder=args.flight_recorder,
+        sample_interval=args.sample_interval,
+        alert_log=args.alert_log,
+        slo_defaults=args.slo_defaults,
+        slo_specs=tuple(args.slo or ()),
+        profile=args.profile,
+        profile_hz=args.profile_hz,
     )
     factory = _make_serve_factory(args)
     engine = _open_engine(args, factory)
@@ -901,10 +1005,56 @@ def _read_trace_events(path: pathlib.Path) -> List[dict]:
     return events
 
 
+def _cmd_top(args) -> int:
+    from repro.service.client import ServiceClient
+    from repro.telemetry.console import run_top
+
+    client = ServiceClient(args.host, args.port, timeout=10.0)
+    try:
+        run_top(
+            client,
+            interval=args.interval,
+            window=args.window,
+            iterations=1 if args.once else None,
+            clear=not args.once,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=args.seconds + 30.0)
+    status, body, _ = client.http_get_raw(
+        f"/debug/profile?seconds={args.seconds:g}"
+    )
+    if status != 200:
+        print(f"error: profile -> {status}: {body[:200]}", file=sys.stderr)
+        return 1
+    if args.output:
+        pathlib.Path(args.output).write_text(body, encoding="utf-8")
+        print(
+            f"wrote {len(body.splitlines())} collapsed stacks to "
+            f"{args.output}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(body)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.telemetry import STAGES
 
     path = pathlib.Path(args.file)
+    if not path.exists():
+        # A missing log is an ordinary state (the server writes it
+        # lazily, and slow-slide emission may simply never have fired) —
+        # report it plainly and succeed rather than stack-tracing.
+        print(f"no trace log at {path} (no slow slides recorded yet)")
+        return 0
     events = _read_trace_events(path)
     if not events:
         print(f"no trace events in {path}")
@@ -965,6 +1115,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "snapshot": _cmd_snapshot,
         "serve": _cmd_serve,
         "trace": _cmd_trace,
+        "top": _cmd_top,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)

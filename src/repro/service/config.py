@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = ["ServiceConfig"]
 
@@ -53,6 +53,23 @@ class ServiceConfig:
             emission off.
         trace_ring: Most-recent slide traces retained in memory for
             ``/metrics`` and triage.
+        flight_recorder: Run the metrics flight recorder — the retained
+            time-series sampler behind ``GET /metrics/history`` and the
+            SLO monitor.  Fixed memory (see DESIGN.md); on by default.
+        sample_interval: Seconds between flight-recorder samples (the
+            base ring resolution).
+        alert_log: Path of the SLO alert JSONL log (``None`` keeps alert
+            state in-memory/exported only).
+        slo_defaults: Evaluate the stock serving-plane objectives
+            (:func:`repro.telemetry.slo.default_slos`).
+        slo_specs: Extra objectives as ``--slo`` spec strings
+            (``NAME=SERIES,threshold=...``), parsed by
+            :func:`repro.telemetry.slo.parse_slo_spec`; validated here so
+            a typo fails at config time, not mid-flight.
+        profile: Start the continuous sampling profiler at boot.  Off by
+            default; ``GET /debug/profile?seconds=N`` still works when
+            off (it samples just for the request window).
+        profile_hz: Sampling rate of the wall-clock profiler.
     """
 
     host: str = "127.0.0.1"
@@ -68,6 +85,13 @@ class ServiceConfig:
     trace_log: Optional[str] = None
     slow_slide_ms: Optional[float] = None
     trace_ring: int = 64
+    flight_recorder: bool = True
+    sample_interval: float = 1.0
+    alert_log: Optional[str] = None
+    slo_defaults: bool = True
+    slo_specs: Tuple[str, ...] = ()
+    profile: bool = False
+    profile_hz: float = 100.0
 
     def __post_init__(self) -> None:
         if self.slide < 1:
@@ -105,3 +129,19 @@ class ServiceConfig:
             raise ValueError(
                 f"trace_ring must be >= 1, got {self.trace_ring}"
             )
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {self.sample_interval}"
+            )
+        if self.profile_hz <= 0:
+            raise ValueError(
+                f"profile_hz must be positive, got {self.profile_hz}"
+            )
+        if not isinstance(self.slo_specs, tuple):
+            # Accept any iterable of specs but store a hashable tuple
+            # (the dataclass is frozen; bypass the freeze for coercion).
+            object.__setattr__(self, "slo_specs", tuple(self.slo_specs))
+        from repro.telemetry.slo import parse_slo_spec
+
+        for spec in self.slo_specs:
+            parse_slo_spec(spec)  # raises ValueError on a bad spec

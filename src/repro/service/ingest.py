@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.actions import Action
@@ -167,6 +168,12 @@ class IngestLoop:
         self._flush_interval = flush_interval
         self._writer_retries = writer_retries
         self._queue: asyncio.Queue = asyncio.Queue(queue_capacity)
+        # Slides run on this dedicated, *named* worker thread (not the
+        # loop's anonymous default executor) so the sampling profiler
+        # can attribute engine time to the ingest loop by thread name.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-ingest"
+        )
         self._pending: List[Action] = []
         self._floor = engine.now
         self._slide_seq = engine.slides_processed
@@ -203,11 +210,13 @@ class IngestLoop:
     async def stop(self) -> None:
         """Flush pending work and stop the writer task."""
         if self._task is None:
+            self._executor.shutdown(wait=False)
             return
         if not self._task.done():
             await self._queue.put(_STOP)
         await self._task
         self._task = None
+        self._executor.shutdown(wait=True)
 
     @property
     def error(self) -> Optional[BaseException]:
@@ -363,7 +372,7 @@ class IngestLoop:
         self._pending_wait = 0.0
         self._slide_seq += 1
         elapsed = await loop.run_in_executor(
-            None, self._run_slide, batch, pre_stages
+            self._executor, self._run_slide, batch, pre_stages
         )
         self.stats.slides += 1
         setattr(

@@ -31,6 +31,7 @@ import json
 import signal
 import time
 from typing import Callable, Optional, Tuple
+from urllib.parse import unquote
 
 from repro.core.actions import ROOT, Action
 from repro.persistence.engine import RecoverableEngine
@@ -38,12 +39,17 @@ from repro.service.cache import AnswerCache
 from repro.service.config import ServiceConfig
 from repro.service.ingest import IngestLoop, as_board
 from repro.telemetry import (
+    MetricsFlightRecorder,
     MetricsRegistry,
+    SamplingProfiler,
     TraceLog,
     TraceRecorder,
     render_prometheus,
 )
+from repro.telemetry.profiler import collapse_counts
+from repro.telemetry.timeseries import resolutions_for
 from repro.telemetry.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.telemetry.slo import AlertLog, SLOMonitor, default_slos, parse_slo_spec
 
 __all__ = ["ReproService"]
 
@@ -110,6 +116,33 @@ class ReproService:
             registry=self._registry,
         )
         self._multi = as_board(engine.algorithm)
+        # Retained observability: flight recorder -> SLO monitor ->
+        # profiler.  The recorder's pre-sample hook is _sync_registry so
+        # every mirrored scalar becomes a retained series; the SLO
+        # monitor evaluates as its post-sample hook, on the sampler
+        # thread, right after fresh points land.
+        self._alert_log = (
+            AlertLog(config.alert_log) if config.alert_log else None
+        )
+        slos = list(default_slos()) if config.slo_defaults else []
+        slos.extend(parse_slo_spec(spec) for spec in config.slo_specs)
+        self._flight: Optional[MetricsFlightRecorder] = None
+        self._slo_monitor: Optional[SLOMonitor] = None
+        if config.flight_recorder:
+            self._flight = MetricsFlightRecorder(
+                self._registry,
+                interval=config.sample_interval,
+                resolutions=resolutions_for(config.sample_interval),
+                pre_sample=self._sync_registry,
+                post_sample=self._evaluate_slos,
+            )
+            self._slo_monitor = SLOMonitor(
+                self._flight,
+                slos,
+                alert_log=self._alert_log,
+                registry=self._registry,
+            )
+        self._profiler = SamplingProfiler(hz=config.profile_hz)
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown = asyncio.Event()
@@ -184,6 +217,26 @@ class ReproService:
         """The per-slide stage-trace recorder."""
         return self._recorder
 
+    @property
+    def flight_recorder(self) -> Optional[MetricsFlightRecorder]:
+        """The retained-metrics sampler (None when disabled)."""
+        return self._flight
+
+    @property
+    def slo_monitor(self) -> Optional[SLOMonitor]:
+        """The burn-rate alert monitor (None when the recorder is off)."""
+        return self._slo_monitor
+
+    @property
+    def profiler(self) -> SamplingProfiler:
+        """The continuous wall-clock sampling profiler."""
+        return self._profiler
+
+    def _evaluate_slos(self, t: float) -> None:
+        """Flight-recorder post-sample hook: re-evaluate every objective."""
+        if self._slo_monitor is not None:
+            self._slo_monitor.evaluate(t)
+
     def query_names(self) -> list:
         """Names the read path serves answers under."""
         if self._multi is not None:
@@ -208,6 +261,10 @@ class ReproService:
             limit=1 << 20,  # one action per line: 1 MiB is already generous
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self._flight is not None:
+            self._flight.start()
+        if self._config.profile:
+            self._profiler.start()
 
     async def stop(self) -> None:
         """Graceful shutdown: drain, flush, and seal.
@@ -232,6 +289,11 @@ class ReproService:
         await asyncio.get_running_loop().run_in_executor(
             None, lambda: self._engine.close(snapshot=seal)
         )
+        if self._flight is not None:
+            self._flight.stop()
+        self._profiler.stop()
+        if self._slo_monitor is not None:
+            self._slo_monitor.close()
         self._recorder.close()
 
     def request_shutdown(self) -> None:
@@ -414,7 +476,14 @@ class ReproService:
                 writer, 405, {"error": f"method {method} not allowed"}
             )
             return
-        result = self._route(target)
+        if target.partition("?")[0] == "/debug/profile":
+            # The only route that must await (it spans a sampling
+            # window); everything else stays on the sync dispatch.
+            result = await self._route_debug_profile(
+                self._parse_target(target)[1]
+            )
+        else:
+            result = self._route(target)
         await self._respond(writer, *result)
 
     async def _respond(
@@ -441,20 +510,28 @@ class ReproService:
         writer.write(head + body)
         await writer.drain()
 
-    def _route(self, target: str) -> tuple:
-        """Dispatch one GET target to ``(status, payload[, content_type])``."""
+    @staticmethod
+    def _parse_target(target: str) -> Tuple[str, dict]:
+        """Split one GET target into ``(path, query params)``."""
         path, _, query_string = target.partition("?")
         params = {}
         for pair in query_string.split("&"):
             key, _, value = pair.partition("=")
             if key:
-                params[key] = value
+                params[key] = unquote(value)
+        return path, params
+
+    def _route(self, target: str) -> tuple:
+        """Dispatch one GET target to ``(status, payload[, content_type])``."""
+        path, params = self._parse_target(target)
         if path == "/healthz":
             return self._route_healthz()
         if path == "/metrics":
             return self._route_metrics(params)
         if path == "/metrics/prometheus":
             return self._route_metrics({"format": "prometheus"})
+        if path == "/metrics/history":
+            return self._route_metrics_history(params)
         if path == "/queries":
             return 200, {"queries": self.query_names()}
         segments = [s for s in path.split("/") if s]
@@ -484,6 +561,80 @@ class ReproService:
             "hint": "GET /metrics?format=prometheus or /metrics/prometheus",
         }
 
+    def _route_metrics_history(self, params: dict) -> tuple:
+        """``/metrics/history``: retained series from the flight recorder.
+
+        Without ``series`` the response is the catalog (every retained
+        series key + recorder stats); with ``series`` it is that series'
+        downsampled points, optionally bounded by ``window`` seconds or
+        pinned to an exact ``resolution``.
+        """
+        if self._flight is None:
+            return 503, {
+                "error": "flight recorder disabled",
+                "hint": "start the service with flight_recorder=True",
+            }
+        series = params.get("series")
+        if not series:
+            return 200, {
+                "series": self._flight.series_names(),
+                "recorder": self._flight.stats(),
+            }
+        window = resolution = None
+        try:
+            if "window" in params:
+                window = float(params["window"])
+            if "resolution" in params:
+                resolution = float(params["resolution"])
+        except ValueError:
+            return 400, {
+                "error": "window and resolution must be numbers",
+                "got": {k: params[k] for k in ("window", "resolution")
+                        if k in params},
+            }
+        try:
+            return 200, self._flight.history(
+                series, window=window, resolution=resolution
+            )
+        except KeyError:
+            return 404, {
+                "error": f"unknown series {series!r}",
+                "hint": "GET /metrics/history for the catalog",
+            }
+        except ValueError as error:
+            return 400, {"error": str(error)}
+
+    async def _route_debug_profile(self, params: dict) -> tuple:
+        """``/debug/profile?seconds=N``: collapsed stacks of a fresh window.
+
+        Works whether or not the continuous profiler is running: when it
+        is, the window is a snapshot diff around an async sleep; when it
+        is not, the profiler is started just for this window and stopped
+        after.  The sleep is ``asyncio.sleep`` — the event loop keeps
+        serving while the window elapses.
+        """
+        try:
+            seconds = float(params.get("seconds", "2"))
+        except ValueError:
+            return 400, {"error": f"bad seconds {params.get('seconds')!r}"}
+        if not 0 < seconds <= 60:
+            return 400, {"error": f"seconds must be in (0, 60], got {seconds}"}
+        profiler = self._profiler
+        started_here = not profiler.running
+        if started_here:
+            profiler.start()
+        before = profiler.counts()
+        await asyncio.sleep(seconds)
+        after = profiler.counts()
+        if started_here:
+            profiler.stop()
+        delta = {
+            stack: count - before.get(stack, 0)
+            for stack, count in after.items()
+            if count - before.get(stack, 0) > 0
+        }
+        return 200, collapse_counts(delta), "text/plain; charset=utf-8"
+
     def _route_healthz(self) -> Tuple[int, dict]:
         error = self._ingest.error
         payload = {
@@ -508,6 +659,17 @@ class ReproService:
             payload["escalations"] = supervision["escalations"]
             payload["degraded_seconds"] = supervision["degraded_seconds"]
             return 503, payload
+        if self._slo_monitor is not None:
+            active = self._slo_monitor.active_alerts()
+            if active:
+                payload["alerts"] = [a.to_json() for a in active]
+                if self._slo_monitor.page_active():
+                    # A page-severity burn-rate alert is the service
+                    # saying "I am violating my latency/freshness
+                    # budget" — surfaced exactly like degradation so
+                    # load balancers and probes can react.
+                    payload["status"] = "alerting"
+                    return 503, payload
         return 200, payload
 
     def _route_topk(self, name: str) -> Tuple[int, dict]:
@@ -594,6 +756,15 @@ class ReproService:
             engine["degraded_shards"] = self._engine.degraded_shards
             engine["supervision"] = self._engine.supervision_stats()
         self._sync_registry()
+        telemetry = {
+            "metrics": self._registry.snapshot(),
+            "traces": self._recorder.stats(),
+            "profiler": self._profiler.stats(),
+        }
+        if self._flight is not None:
+            telemetry["flight_recorder"] = self._flight.stats()
+        if self._slo_monitor is not None:
+            telemetry["slo"] = self._slo_monitor.snapshot()
         return {
             "uptime_seconds": round(
                 time.monotonic() - self._started_monotonic, 3
@@ -601,10 +772,7 @@ class ReproService:
             "ingest": ingest,
             "engine": engine,
             "queries": queries,
-            "telemetry": {
-                "metrics": self._registry.snapshot(),
-                "traces": self._recorder.stats(),
-            },
+            "telemetry": telemetry,
         }
 
     def _sync_registry(self) -> None:
@@ -652,6 +820,15 @@ class ReproService:
         registry.gauge(
             "repro_uptime_seconds", "Service uptime on the monotonic clock"
         ).set(round(time.monotonic() - self._started_monotonic, 3))
+        if self._flight is not None:
+            registry.gauge(
+                "repro_flight_sampler_lag_seconds",
+                "How far behind schedule the flight-recorder sampler ran",
+            ).set(round(self._flight.sampler_lag_seconds, 6))
+            registry.counter(
+                "repro_flight_samples_total",
+                "Sample sweeps the flight recorder has taken",
+            ).value = float(self._flight.samples_taken)
         registry.gauge(
             "repro_engine_slides", "Slides the engine has processed"
         ).set(float(self._engine.slides_processed))
@@ -692,6 +869,11 @@ class ReproService:
                     "Times this shard's worker was restarted",
                     shard=shard,
                 ).value = float(state.get("restarts", 0))
+                registry.counter(
+                    "repro_shard_slides_total",
+                    "Slides this shard's worker has processed",
+                    shard=shard,
+                ).value = float(state.get("slides", 0))
                 registry.gauge(
                     "repro_shard_up",
                     "1 when the shard is serving, 0 while down/healing",

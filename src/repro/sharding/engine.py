@@ -1164,6 +1164,7 @@ class ShardedEngine:
             shard = state["shard"]
             state["last_known_now"] = self._shard_nows[shard]
             state["busy_seconds"] = round(self._busy_seconds[shard], 6)
+            state["slides"] = self._shard_slides[shard]
         stats["shards"] = states
         stats["straggler_seconds"] = round(self.last_straggler_seconds, 6)
         return stats

@@ -20,6 +20,23 @@ Three pieces, layered so the hot path stays allocation-light:
 ``repro.telemetry.prometheus``
     Standard text exposition rendering of a registry snapshot, served by
     ``GET /metrics?format=prometheus``.
+
+Retained observability rides on top of the metrics core:
+
+``repro.telemetry.timeseries``
+    ``MetricsFlightRecorder`` — a fixed-memory multi-resolution ring
+    store that samples the registry on an interval (counters → rates,
+    histograms → windowed p50/p95/p99), backing ``GET /metrics/history``.
+
+``repro.telemetry.slo``
+    Declarative SLOs evaluated as fast/slow multi-window burn rates over
+    the recorder, raising/clearing alerts into ``/healthz``, gauges, and
+    a JSONL alert log.
+
+``repro.telemetry.profiler``
+    ``SamplingProfiler`` — continuous wall-clock sampling over
+    ``sys._current_frames()`` into bounded collapsed stacks, backing
+    ``GET /debug/profile`` and ``repro-stream profile``.
 """
 
 from repro.telemetry.metrics import (
@@ -29,7 +46,10 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.profiler import SamplingProfiler
 from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.slo import SLO, AlertLog, SLOMonitor, default_slos, parse_slo_spec
+from repro.telemetry.timeseries import DEFAULT_RESOLUTIONS, MetricsFlightRecorder
 from repro.telemetry.trace import (
     STAGES,
     SlideTrace,
@@ -41,10 +61,18 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_RESOLUTIONS",
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsFlightRecorder",
     "MetricsRegistry",
+    "SLO",
+    "SLOMonitor",
+    "AlertLog",
+    "SamplingProfiler",
+    "default_slos",
+    "parse_slo_spec",
     "render_prometheus",
     "STAGES",
     "SlideTrace",

@@ -1,0 +1,223 @@
+"""`repro-stream top`: a curses-free live ops console.
+
+Polls a running service's ``/metrics``, ``/metrics/history`` and
+``/healthz`` endpoints and renders a fixed-layout text dashboard —
+sparkline panels for ingest rate, slide latency quantiles, and per-shard
+busy time, with active SLO alerts inline.  Rendering is a pure function
+over the fetched documents (:func:`render_top`), so tests never need a
+terminal; the CLI loop just clears the screen and reprints.
+
+No curses, no ANSI beyond ``ESC[2J``/``ESC[H`` (clear + home) between
+frames: the console must work over the dumbest possible transport
+(a CI log, ``ssh`` without a TTY via ``--once``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import quote
+
+__all__ = ["sparkline", "format_quantity", "render_top", "gather_top", "run_top"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+#: (label, series key, unit) panels rendered in order; shard panels are
+#: discovered dynamically from the history catalog.
+_PANELS: Tuple[Tuple[str, str, str], ...] = (
+    ("ingest rate", "repro_ingest_accepted_total:rate", "act/s"),
+    ("slide p99", "repro_slide_seconds:p99", "s"),
+    ("slide p50", "repro_slide_seconds:p50", "s"),
+    ("queue depth", "repro_ingest_queue_depth", ""),
+)
+
+_SHARD_PREFIX = 'repro_shard_busy_seconds_total{shard="'
+_SHARD_SUFFIX = '"}:rate'
+
+
+def sparkline(values: Sequence[float], width: int = 42) -> str:
+    """Render values as a block-character sparkline, newest on the right."""
+    if not values:
+        return "·" * width
+    tail = list(values)[-width:]
+    lo = min(tail)
+    hi = max(tail)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(tail)
+    return "".join(
+        _SPARK[min(int((v - lo) / span * len(_SPARK)), len(_SPARK) - 1)]
+        for v in tail
+    )
+
+
+def format_quantity(value: Optional[float], unit: str = "") -> str:
+    """Human-compact number: 1234567 → ``1.23M``, 0.00123 s → ``1.2ms``."""
+    if value is None:
+        return "—"
+    if unit == "s":
+        if value < 0.001:
+            return f"{value * 1e6:.0f}µs"
+        if value < 1.0:
+            return f"{value * 1e3:.1f}ms"
+        return f"{value:.2f}s"
+    magnitude = abs(value)
+    for threshold, divisor, suffix in (
+        (1e9, 1e9, "G"),
+        (1e6, 1e6, "M"),
+        (1e3, 1e3, "k"),
+    ):
+        if magnitude >= threshold:
+            return f"{value / divisor:.2f}{suffix}{unit}"
+    if magnitude >= 100 or value == int(value):
+        return f"{value:.0f}{unit}"
+    return f"{value:.2f}{unit}"
+
+
+def _series_values(history: Dict[str, dict], key: str) -> List[float]:
+    entry = history.get(key)
+    if not entry:
+        return []
+    return [point[1] for point in entry.get("points", [])]
+
+
+def render_top(
+    metrics: dict,
+    history: Dict[str, dict],
+    health_status: int,
+    health: dict,
+    width: int = 42,
+) -> str:
+    """One dashboard frame from already-fetched documents (pure).
+
+    Args:
+        metrics: The ``/metrics`` JSON document.
+        history: Series key → ``/metrics/history`` response document.
+        health_status: ``/healthz`` HTTP status.
+        health: ``/healthz`` JSON document.
+        width: Sparkline width in characters.
+    """
+    lines: List[str] = []
+    status = health.get("status", "?")
+    uptime = metrics.get("uptime_seconds", 0.0)
+    engine = metrics.get("engine", {})
+    ingest = metrics.get("ingest", {})
+    marker = "OK" if health_status == 200 else f"!! {health_status}"
+    lines.append(
+        f"repro-stream top — {marker} {status}"
+        f" · up {uptime:.0f}s"
+        f" · slides {engine.get('slides', 0)}"
+        f" · accepted {format_quantity(float(ingest.get('accepted', 0)))}"
+    )
+    lines.append("-" * (width + 30))
+    label_width = max(len(label) for label, _, _ in _PANELS) + 2
+    for label, key, unit in _PANELS:
+        values = _series_values(history, key)
+        latest = values[-1] if values else None
+        lines.append(
+            f"{label:<{label_width}}"
+            f"{sparkline(values, width)}  "
+            f"{format_quantity(latest, unit)}"
+        )
+    shard_keys = sorted(
+        k
+        for k in history
+        if k.startswith(_SHARD_PREFIX) and k.endswith(_SHARD_SUFFIX)
+    )
+    for key in shard_keys:
+        shard = key[len(_SHARD_PREFIX) : -len(_SHARD_SUFFIX)]
+        values = _series_values(history, key)
+        latest = values[-1] if values else None
+        lines.append(
+            f"{f'shard {shard} busy':<{label_width}}"
+            f"{sparkline(values, width)}  "
+            f"{format_quantity(latest, 's/s' if latest is not None else '')}"
+        )
+    slo = metrics.get("telemetry", {}).get("slo")
+    if slo:
+        active = slo.get("active", [])
+        if active:
+            lines.append("")
+            for alert in slo.get("alerts", []):
+                if not alert.get("active"):
+                    continue
+                lines.append(
+                    f"ALERT [{alert.get('severity')}] {alert.get('slo')}"
+                    f" burn fast={alert.get('fast_burn')}"
+                    f" slow={alert.get('slow_burn')}"
+                    f" last={format_quantity(alert.get('last_value'))}"
+                )
+        else:
+            lines.append(
+                f"alerts: none ({len(slo.get('alerts', []))} objectives green)"
+            )
+    degraded = engine.get("degraded_shards")
+    if degraded:
+        lines.append(f"DEGRADED shards: {degraded}")
+    return "\n".join(lines) + "\n"
+
+
+def gather_top(
+    client, window: float = 120.0
+) -> Tuple[dict, Dict[str, dict], int, dict]:
+    """Fetch one frame's documents from a live service.
+
+    ``client`` is anything with ``http_get(path) -> (status, dict)`` —
+    in practice :class:`repro.service.client.ServiceClient`.
+    """
+    _, metrics = client.http_get("/metrics")
+    health_status, health = client.http_get("/healthz")
+    wanted = [key for _, key, _ in _PANELS]
+    catalog_status, catalog = client.http_get("/metrics/history")
+    if catalog_status == 200:
+        wanted.extend(
+            k
+            for k in catalog.get("series", [])
+            if k.startswith(_SHARD_PREFIX) and k.endswith(_SHARD_SUFFIX)
+        )
+    history: Dict[str, dict] = {}
+    for key in wanted:
+        status, document = client.http_get(
+            f"/metrics/history?series={quote(key, safe='')}&window={window:g}"
+        )
+        if status == 200:
+            history[key] = document
+    return metrics, history, health_status, health
+
+
+def run_top(
+    client,
+    interval: float = 2.0,
+    window: float = 120.0,
+    iterations: Optional[int] = None,
+    out: Callable[[str], None] = None,
+    clear: bool = True,
+) -> None:
+    """The ``repro-stream top`` loop: gather, render, sleep, repeat.
+
+    Args:
+        client: A :class:`~repro.service.client.ServiceClient`.
+        interval: Seconds between frames.
+        window: History window per panel.
+        iterations: Frames to render (None = until interrupted).
+        out: Frame sink (default: ``print`` without extra newline).
+        clear: Emit the ANSI clear+home prefix before each frame.
+    """
+    if out is None:
+        import sys
+
+        def out(frame: str) -> None:
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+
+    rendered = 0
+    while iterations is None or rendered < iterations:
+        metrics, history, health_status, health = gather_top(client, window)
+        frame = render_top(metrics, history, health_status, health)
+        if clear:
+            frame = "\x1b[2J\x1b[H" + frame
+        out(frame)
+        rendered += 1
+        if iterations is not None and rendered >= iterations:
+            break
+        time.sleep(interval)

@@ -1,0 +1,422 @@
+"""Declarative SLOs evaluated as multi-window burn rates over the recorder.
+
+An :class:`SLO` names one flight-recorder series (see
+:mod:`repro.telemetry.timeseries`), a per-sample *violation* threshold,
+and an objective — the fraction of samples that must be good.  The
+:class:`SLOMonitor` re-evaluates every objective after each recorder
+sample, on the sampler thread:
+
+* ``bad fraction`` over a window = violating samples / samples;
+* ``burn rate`` = bad fraction / error budget, where the budget is
+  ``1 - objective`` (a burn of 1.0 exactly exhausts the budget over the
+  window; 6.0 burns it six times as fast);
+* the alert **raises** when *both* the fast and the slow window burn at
+  or above ``burn`` — the classic fast+slow guard: the slow window
+  stops a single hiccup from paging, the fast window makes the alert
+  clear quickly once the condition ends;
+* the alert **clears** when the fast window's burn drops below ``burn``
+  (recovery is observed at fast-window latency, not slow).
+
+Raises and clears are appended to a structured JSONL alert log and
+mirrored into the metrics registry (``repro_alert_active{slo=...}``,
+``repro_slo_burn_rate{slo=...,window=...}``) so alert state survives in
+every surface: ``/healthz`` (503 on an active page-severity alert),
+``/metrics`` JSON and prometheus, and the ops console.
+
+Windows shorter than one sampling interval hold zero samples and never
+fire; the monitor requires at least ``min_samples`` points in a window
+before trusting it (an empty ring at startup is "no data", not "0%
+violations are a lie" — burn is 0 until data exists).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import MetricsFlightRecorder
+
+__all__ = ["SLO", "Alert", "AlertLog", "SLOMonitor", "default_slos", "parse_slo_spec"]
+
+_SEVERITIES = ("page", "ticket")
+
+
+@dataclass(frozen=True, slots=True)
+class SLO:
+    """One objective over one retained series.
+
+    Attributes:
+        name: Alert name (``repro_alert_active{slo=<name>}``).
+        series: Flight-recorder series key, e.g.
+            ``repro_slide_seconds:p99``.
+        threshold: A sample is *violating* when it exceeds this value
+            (strictly greater).
+        objective: Fraction of samples that must be non-violating;
+            the error budget is ``1 - objective``.
+        fast_window: Seconds of the fast burn window.
+        slow_window: Seconds of the slow burn window (>= fast).
+        burn: Burn-rate multiple at which the alert fires.
+        severity: ``"page"`` (surfaces as 503 in ``/healthz``) or
+            ``"ticket"`` (recorded and exported, never 503s).
+        min_samples: Fewest window samples before a window is trusted.
+    """
+
+    name: str
+    series: str
+    threshold: float
+    objective: float = 0.99
+    fast_window: float = 60.0
+    slow_window: float = 600.0
+    burn: float = 6.0
+    severity: str = "page"
+    min_samples: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO name must be non-empty")
+        if not self.series:
+            raise ValueError(f"SLO {self.name!r}: series must be non-empty")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+        if self.fast_window <= 0 or self.slow_window < self.fast_window:
+            raise ValueError(
+                f"SLO {self.name!r}: need 0 < fast_window <= slow_window, "
+                f"got {self.fast_window}/{self.slow_window}"
+            )
+        if self.burn <= 0:
+            raise ValueError(
+                f"SLO {self.name!r}: burn must be positive, got {self.burn}"
+            )
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"SLO {self.name!r}: severity must be one of {_SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"SLO {self.name!r}: min_samples must be >= 1, "
+                f"got {self.min_samples}"
+            )
+
+    def to_json(self) -> dict:
+        """JSON description (the ``/metrics`` objective catalog)."""
+        return {
+            "name": self.name,
+            "series": self.series,
+            "threshold": self.threshold,
+            "objective": self.objective,
+            "fast_window_seconds": self.fast_window,
+            "slow_window_seconds": self.slow_window,
+            "burn": self.burn,
+            "severity": self.severity,
+        }
+
+
+class Alert:
+    """Mutable state of one objective's alert."""
+
+    __slots__ = (
+        "slo",
+        "active",
+        "since_monotonic",
+        "raised_count",
+        "fast_burn",
+        "slow_burn",
+        "last_value",
+    )
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        self.active = False
+        self.since_monotonic: Optional[float] = None
+        self.raised_count = 0
+        self.fast_burn = 0.0
+        self.slow_burn = 0.0
+        self.last_value: Optional[float] = None
+
+    def to_json(self) -> dict:
+        """JSON state for ``/metrics`` and ``/healthz``."""
+        return {
+            "slo": self.slo.name,
+            "series": self.slo.series,
+            "severity": self.slo.severity,
+            "active": self.active,
+            "fast_burn": round(self.fast_burn, 3),
+            "slow_burn": round(self.slow_burn, 3),
+            "last_value": self.last_value,
+            "raised_count": self.raised_count,
+        }
+
+
+class AlertLog:
+    """Append-only JSONL sink for alert transitions (one dict per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Append one event as a compact JSON line (flushed, locked)."""
+        line = json.dumps(event, separators=(",", ":"))
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.events_written += 1
+
+    def close(self) -> None:
+        """Close the sink; later ``emit`` calls become no-ops."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class SLOMonitor:
+    """Evaluate objectives over the recorder; raise/clear named alerts.
+
+    ``evaluate`` runs on the recorder's sampler thread (wired as its
+    ``post_sample`` hook); everything it mutates — alert states, registry
+    gauges — is scalar writes readers copy lock-free.
+    """
+
+    def __init__(
+        self,
+        recorder: MetricsFlightRecorder,
+        slos: Sequence[SLO],
+        alert_log: Optional[AlertLog] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        names = [s.name for s in slos]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate SLO names: {duplicates}")
+        self._recorder = recorder
+        self.slos: Tuple[SLO, ...] = tuple(slos)
+        self.alert_log = alert_log
+        self._registry = registry
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._alerts: Dict[str, Alert] = {s.name: Alert(s) for s in slos}
+        self.evaluations = 0
+        self._gauges = {}
+        if registry is not None:
+            for slo in slos:
+                self._gauges[slo.name] = (
+                    registry.gauge(
+                        "repro_alert_active",
+                        "1 while this SLO's burn-rate alert is raised",
+                        slo=slo.name,
+                    ),
+                    registry.gauge(
+                        "repro_slo_burn_rate",
+                        "Error-budget burn rate over the fast window",
+                        slo=slo.name,
+                        window="fast",
+                    ),
+                    registry.gauge(
+                        "repro_slo_burn_rate",
+                        "Error-budget burn rate over the slow window",
+                        slo=slo.name,
+                        window="slow",
+                    ),
+                )
+
+    # -- evaluation --------------------------------------------------------
+
+    def _burn(self, slo: SLO, window: float) -> Tuple[float, int]:
+        """(burn rate, samples) of one window; burn 0 under min_samples."""
+        values = self._recorder.window_values(slo.series, window)
+        if len(values) < slo.min_samples:
+            return 0.0, len(values)
+        bad = sum(1 for v in values if v > slo.threshold)
+        budget = 1.0 - slo.objective
+        return (bad / len(values)) / budget, len(values)
+
+    def evaluate(self, now: Optional[float] = None) -> None:
+        """Re-evaluate every objective against the recorder's rings."""
+        t = self._clock() if now is None else now
+        for slo in self.slos:
+            alert = self._alerts[slo.name]
+            alert.fast_burn, fast_n = self._burn(slo, slo.fast_window)
+            alert.slow_burn, _slow_n = self._burn(slo, slo.slow_window)
+            alert.last_value = self._recorder.latest(slo.series)
+            if not alert.active:
+                if (
+                    fast_n >= slo.min_samples
+                    and alert.fast_burn >= slo.burn
+                    and alert.slow_burn >= slo.burn
+                ):
+                    alert.active = True
+                    alert.since_monotonic = t
+                    alert.raised_count += 1
+                    self._transition("alert_raised", alert, t)
+            elif alert.fast_burn < slo.burn:
+                alert.active = False
+                self._transition("alert_cleared", alert, t)
+                alert.since_monotonic = None
+            if slo.name in self._gauges:
+                active_g, fast_g, slow_g = self._gauges[slo.name]
+                active_g.set(1.0 if alert.active else 0.0)
+                fast_g.set(round(alert.fast_burn, 3))
+                slow_g.set(round(alert.slow_burn, 3))
+        self.evaluations += 1
+
+    def _transition(self, event: str, alert: Alert, t: float) -> None:
+        if self.alert_log is None:
+            return
+        slo = alert.slo
+        document: Dict[str, object] = {
+            "event": event,
+            "ts": round(self._wall_clock(), 3),
+            "slo": slo.name,
+            "series": slo.series,
+            "severity": slo.severity,
+            "threshold": slo.threshold,
+            "fast_burn": round(alert.fast_burn, 3),
+            "slow_burn": round(alert.slow_burn, 3),
+            "value": alert.last_value,
+        }
+        if event == "alert_cleared" and alert.since_monotonic is not None:
+            document["active_seconds"] = round(t - alert.since_monotonic, 3)
+        self.alert_log.emit(document)
+
+    # -- read path ---------------------------------------------------------
+
+    def alerts(self) -> List[Alert]:
+        """Every alert state, objective order."""
+        return [self._alerts[s.name] for s in self.slos]
+
+    def active_alerts(self) -> List[Alert]:
+        """Currently-raised alerts."""
+        return [a for a in self.alerts() if a.active]
+
+    def page_active(self) -> bool:
+        """Whether any page-severity alert is raised (the 503 signal)."""
+        return any(a.slo.severity == "page" for a in self.active_alerts())
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON state for ``/metrics``: objectives + per-alert burn/state."""
+        return {
+            "objectives": [s.to_json() for s in self.slos],
+            "alerts": [a.to_json() for a in self.alerts()],
+            "active": [a.slo.name for a in self.active_alerts()],
+            "evaluations": self.evaluations,
+            "alert_log_events": (
+                self.alert_log.events_written if self.alert_log else 0
+            ),
+        }
+
+    def close(self) -> None:
+        """Close the attached alert log, if any."""
+        if self.alert_log is not None:
+            self.alert_log.close()
+
+
+def default_slos() -> Tuple[SLO, ...]:
+    """The stock serving-plane objectives.
+
+    Thresholds are deliberately loose (a healthy laptop-scale deployment
+    never trips them); operators tighten per deployment via ``--slo``.
+    """
+    return (
+        SLO(
+            name="slide_latency",
+            series="repro_slide_seconds:p99",
+            threshold=1.0,
+            objective=0.99,
+            fast_window=60.0,
+            slow_window=600.0,
+            burn=6.0,
+            severity="page",
+        ),
+        SLO(
+            name="ingest_queue_wait",
+            series="repro_ingest_queue_wait_seconds:p99",
+            threshold=2.0,
+            objective=0.99,
+            fast_window=60.0,
+            slow_window=600.0,
+            burn=6.0,
+            severity="page",
+        ),
+        SLO(
+            name="answer_age",
+            series='repro_answer_age_seconds{query="main"}',
+            threshold=30.0,
+            objective=0.95,
+            fast_window=120.0,
+            slow_window=900.0,
+            burn=3.0,
+            severity="ticket",
+        ),
+        SLO(
+            name="degraded_shards",
+            series="repro_shards_degraded",
+            threshold=0.0,
+            objective=0.95,
+            fast_window=60.0,
+            slow_window=600.0,
+            burn=3.0,
+            severity="ticket",
+        ),
+    )
+
+
+def parse_slo_spec(spec: str) -> SLO:
+    """``NAME=SERIES[,key=value...]`` → :class:`SLO` (the ``--slo`` flag).
+
+    Example::
+
+        tight=repro_slide_seconds:p99,threshold=0.001,fast=5,slow=30,burn=2
+
+    Keys: ``threshold`` (required), ``objective``, ``fast``/``slow``
+    (window seconds), ``burn``, ``severity``, ``min-samples``.
+    """
+    name, separator, rest = spec.partition("=")
+    name = name.strip()
+    if not separator or not name:
+        raise ValueError(
+            f"bad --slo spec {spec!r}; expected NAME=SERIES[,key=value...]"
+        )
+    fields = [f.strip() for f in rest.split(",") if f.strip()]
+    if not fields:
+        raise ValueError(f"--slo spec {spec!r} names no series")
+    series = fields[0]
+    options: Dict[str, object] = {}
+    parsers: Dict[str, Callable[[str], object]] = {
+        "threshold": float,
+        "objective": float,
+        "fast": float,
+        "slow": float,
+        "burn": float,
+        "severity": str,
+        "min_samples": int,
+    }
+    keymap = {
+        "fast": "fast_window",
+        "slow": "slow_window",
+    }
+    for field in fields[1:]:
+        key, eq, value = field.partition("=")
+        key = key.strip().replace("-", "_")
+        if not eq or key not in parsers:
+            raise ValueError(
+                f"--slo spec {spec!r}: bad option {field!r} "
+                f"(known: {', '.join(parsers)})"
+            )
+        options[keymap.get(key, key)] = parsers[key](value)
+    if "threshold" not in options:
+        raise ValueError(f"--slo spec {spec!r} needs threshold=<value>")
+    return SLO(name=name, series=series, **options)  # type: ignore[arg-type]

@@ -1,0 +1,536 @@
+"""The metrics flight recorder: retained time-series over the registry.
+
+PR 8's telemetry plane is *instantaneous* — a scrape shows the state now.
+The :class:`MetricsFlightRecorder` adds memory: a background sampler
+visits the :class:`~repro.telemetry.metrics.MetricsRegistry` on a fixed
+interval and appends one point per derived series into multi-resolution
+ring buffers, so the system itself can answer "what did slide p99 look
+like over the last ten minutes" — the sensor layer the SLO monitor
+(:mod:`repro.telemetry.slo`) and the ``repro-stream top`` console read.
+
+Derivation per metric kind, at each sample tick:
+
+* **counter** — the raw cumulative value is kept (series ``name``) and a
+  windowed rate is derived from the delta against the previous sample
+  (series ``name:rate``, per second);
+* **gauge** — stored as-is (series ``name``);
+* **histogram** — the *delta* histogram against the previous sample's
+  bucket counts yields interval-local ``:p50``/``:p95``/``:p99`` series
+  plus an observation ``:rate``; an interval with no observations
+  records 0 (nothing happened, nothing violated).
+
+Labeled children become separate series keyed ``name{k="v",...}`` with
+the derivation suffix appended after the label block.
+
+Memory bound (see DESIGN.md): every ring is a preallocated
+``capacity``-slot array pair; the recorder's footprint is
+``series x resolutions x capacity`` floats plus one previous-sample
+scalar (or bucket list) per raw metric — nothing grows with uptime.
+
+Clock contract: sample timestamps are taken from ``time.monotonic()``
+and exported as wall-clock times through a single ``(wall, monotonic)``
+anchor captured at construction, so an NTP step mid-run shifts *no*
+retained point and never reorders a series.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Resolution",
+    "SeriesRing",
+    "MetricsFlightRecorder",
+    "DEFAULT_RESOLUTIONS",
+    "resolutions_for",
+]
+
+#: Multi-resolution retention ladder: 1 s points for the last 2 minutes,
+#: 10 s points for the last hour, 60 s points for the last 12 hours.
+DEFAULT_RESOLUTIONS: Tuple[Tuple[float, int], ...] = (
+    (1.0, 120),
+    (10.0, 360),
+    (60.0, 720),
+)
+
+
+def resolutions_for(
+    interval: float,
+    defaults: Tuple[Tuple[float, int], ...] = DEFAULT_RESOLUTIONS,
+) -> Tuple[Tuple[float, int], ...]:
+    """A retention ladder whose base level matches the sampling interval.
+
+    Keeps every default coarse level that is still strictly coarser than
+    the base, so a fast-sampling server (tests, smoke runs) gets the same
+    ladder shape without violating the strictly-increasing contract.
+    """
+    ladder = [(float(interval), defaults[0][1])]
+    ladder.extend((i, c) for i, c in defaults[1:] if i > float(interval))
+    return tuple(ladder)
+
+_QUANTILE_SUFFIXES = (":p50", ":p95", ":p99")
+
+
+class Resolution:
+    """One retention level: points every ``interval`` s, ``capacity`` kept."""
+
+    __slots__ = ("interval", "capacity")
+
+    def __init__(self, interval: float, capacity: int) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+
+    @property
+    def window_seconds(self) -> float:
+        """The span this level retains."""
+        return self.interval * self.capacity
+
+
+class SeriesRing:
+    """Fixed-memory ring of ``(monotonic_time, value)`` points.
+
+    Preallocated at construction; ``append`` overwrites the oldest slot.
+    Writers are the sampler thread only; readers copy via :meth:`points`
+    (CPython list reads are atomic per-slot, so a reader sees a possibly
+    off-by-one-point but never torn ring).
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_next", "count")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._times: List[float] = [0.0] * capacity
+        self._values: List[float] = [0.0] * capacity
+        self._next = 0
+        self.count = 0
+
+    def append(self, t: float, value: float) -> None:
+        """Store one point, evicting the oldest when full."""
+        slot = self._next
+        self._times[slot] = t
+        self._values[slot] = value
+        self._next = (slot + 1) % self.capacity
+        if self.count < self.capacity:
+            self.count += 1
+
+    def points(self, since: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Retained points oldest-first, optionally only those at/after ``since``."""
+        if self.count < self.capacity:
+            start, n = 0, self.count
+        else:
+            start, n = self._next, self.capacity
+        out = []
+        for i in range(n):
+            slot = (start + i) % self.capacity
+            t = self._times[slot]
+            if since is None or t >= since:
+                out.append((t, self._values[slot]))
+        return out
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        """The newest point, or None when empty."""
+        if self.count == 0:
+            return None
+        slot = (self._next - 1) % self.capacity
+        return (self._times[slot], self._values[slot])
+
+
+class _Series:
+    """One derived series: a ring per resolution plus aggregation state.
+
+    ``agg`` is how fine points fold into a coarse point: ``"mean"`` for
+    rates/gauges/raw counters, ``"max"`` for latency quantiles (a mean of
+    p99s would bury exactly the spike the retention exists to show).
+    """
+
+    __slots__ = ("key", "agg", "rings", "_pending")
+
+    def __init__(self, key: str, agg: str, resolutions: Sequence[Resolution]):
+        self.key = key
+        self.agg = agg
+        self.rings: List[SeriesRing] = [
+            SeriesRing(r.capacity) for r in resolutions
+        ]
+        # Per coarse level: [accumulated value, points, bucket_start].
+        self._pending: List[List[float]] = [
+            [0.0, 0.0, -1.0] for _ in resolutions
+        ]
+
+    def record(self, t: float, value: float, resolutions: Sequence[Resolution]) -> None:
+        """Append to the base ring; roll completed coarse buckets up."""
+        self.rings[0].append(t, value)
+        for level in range(1, len(resolutions)):
+            interval = resolutions[level].interval
+            pending = self._pending[level]
+            bucket = t - (t % interval)
+            if pending[2] < 0:
+                pending[2] = bucket
+            elif bucket != pending[2]:
+                # The previous coarse bucket is complete: emit one point
+                # stamped at its start, then begin the new bucket.
+                if pending[1]:
+                    self.rings[level].append(
+                        pending[2],
+                        pending[0] / pending[1]
+                        if self.agg == "mean"
+                        else pending[0],
+                    )
+                pending[0] = 0.0
+                pending[1] = 0.0
+                pending[2] = bucket
+            if self.agg == "mean":
+                pending[0] += value
+            else:
+                pending[0] = max(pending[0], value) if pending[1] else value
+            pending[1] += 1.0
+
+
+def _labels_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+
+
+def _delta_percentile(
+    bounds: Sequence[float],
+    delta_counts: Sequence[int],
+    delta_max: float,
+    q: float,
+) -> float:
+    """Interpolated quantile of a delta histogram (bucket counts diff)."""
+    total = sum(delta_counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    lo = 0.0
+    for i, bucket_count in enumerate(delta_counts):
+        if bucket_count == 0:
+            if i < len(bounds):
+                lo = bounds[i]
+            continue
+        if seen + bucket_count >= rank:
+            if i >= len(bounds):  # overflow bucket
+                return delta_max
+            hi = bounds[i]
+            fraction = (rank - seen) / bucket_count
+            value = lo + (hi - lo) * fraction
+            return min(value, delta_max) if delta_max else value
+        seen += bucket_count
+        lo = bounds[i] if i < len(bounds) else lo
+    return delta_max
+
+
+class MetricsFlightRecorder:
+    """Sample a registry into fixed-memory multi-resolution time-series.
+
+    Single sampler writer: either the internal daemon thread
+    (:meth:`start`) or a test driving :meth:`sample_once` — never both at
+    once.  Readers (:meth:`history`, :meth:`export`, the SLO monitor) are
+    lock-free copies.
+
+    Args:
+        registry: The live registry to sample.
+        interval: Base sampling cadence in seconds.
+        resolutions: ``(interval, capacity)`` ladder; the first entry is
+            the base resolution and its interval should equal ``interval``.
+        pre_sample: Called before each sample (the server passes its
+            ``_sync_registry`` so scalar mirrors are fresh).
+        post_sample: Called after each sample with the sample's monotonic
+            time (the SLO monitor evaluates here, on the sampler thread).
+        clock: Monotonic clock (injectable for tests).
+        wall_clock: Wall clock used once for the export anchor.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float = 1.0,
+        resolutions: Sequence[Tuple[float, int]] = DEFAULT_RESOLUTIONS,
+        pre_sample: Optional[Callable[[], None]] = None,
+        post_sample: Optional[Callable[[float], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not resolutions:
+            raise ValueError("at least one resolution level is required")
+        self.interval = float(interval)
+        self.resolutions = [Resolution(i, c) for i, c in resolutions]
+        for prev, nxt in zip(self.resolutions, self.resolutions[1:]):
+            if nxt.interval <= prev.interval:
+                raise ValueError(
+                    "resolution intervals must be strictly increasing, got "
+                    f"{[r.interval for r in self.resolutions]}"
+                )
+        self._registry = registry
+        self._pre_sample = pre_sample
+        self._post_sample = post_sample
+        self._clock = clock
+        # One anchor pair for the recorder's lifetime: every exported
+        # timestamp is anchor_wall + (t_mono - anchor_mono).  An NTP step
+        # after construction cannot reorder or shift retained points.
+        self.anchor_monotonic = clock()
+        self.anchor_wall = wall_clock()
+        self._series: Dict[str, _Series] = {}
+        # Raw previous-sample state per metric child, for deltas.
+        self._prev_counter: Dict[str, float] = {}
+        self._prev_hist: Dict[str, Tuple[List[int], int, float]] = {}
+        self._prev_t: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.samples_taken = 0
+        self.last_sample_seconds = 0.0  # how long the last sweep took
+        self.sampler_lag_seconds = 0.0  # how far behind schedule it ran
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampler daemon thread is live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the sampler daemon (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-flight-recorder", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop and join the sampler daemon (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        next_due = self._clock() + self.interval
+        while not self._stop.wait(max(next_due - self._clock(), 0.0)):
+            started = self._clock()
+            self.sampler_lag_seconds = max(started - next_due, 0.0)
+            try:
+                self.sample_once(started)
+            except Exception:  # one bad sweep must not kill retention
+                pass
+            next_due += self.interval
+            if next_due < self._clock() - self.interval:
+                # Fell more than a full period behind (suspend, GC storm):
+                # resynchronise instead of burst-sampling stale intervals.
+                next_due = self._clock() + self.interval
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_once(self, now: Optional[float] = None) -> None:
+        """Take one sample sweep over the registry (sampler thread/tests)."""
+        if self._pre_sample is not None:
+            self._pre_sample()
+        t = self._clock() if now is None else now
+        sweep_started = time.perf_counter()
+        dt = None if self._prev_t is None else t - self._prev_t
+        for family in self._registry.families():
+            for labels, metric in list(family.children.items()):
+                key = family.name + _labels_suffix(labels)
+                if isinstance(metric, Histogram):
+                    self._sample_histogram(key, metric, t)
+                elif isinstance(metric, Counter):
+                    self._sample_counter(key, metric.value, t, dt)
+                elif isinstance(metric, Gauge):
+                    self._record(key, "mean", t, float(metric.value))
+        self._prev_t = t
+        self.samples_taken += 1
+        self.last_sample_seconds = time.perf_counter() - sweep_started
+        if self._post_sample is not None:
+            self._post_sample(t)
+
+    def _sample_counter(
+        self, key: str, value: float, t: float, dt: Optional[float]
+    ) -> None:
+        value = float(value)
+        self._record(key, "mean", t, value)
+        previous = self._prev_counter.get(key)
+        if previous is not None and dt and dt > 0:
+            delta = value - previous
+            # A counter that went backwards was reset (restart/heal):
+            # treat the sample as a fresh base rather than a negative rate.
+            rate = delta / dt if delta >= 0 else 0.0
+            self._record(key + ":rate", "mean", t, rate)
+        self._prev_counter[key] = value
+
+    def _sample_histogram(self, key: str, metric: Histogram, t: float) -> None:
+        counts = list(metric.counts)  # one slice: consistent-enough copy
+        count = metric.count
+        maximum = metric.max
+        previous = self._prev_hist.get(key)
+        if previous is not None:
+            prev_counts, prev_count, _prev_max = previous
+            delta_counts = [
+                max(c - p, 0) for c, p in zip(counts, prev_counts)
+            ]
+            observations = max(count - prev_count, 0)
+            dt = t - self._prev_t if self._prev_t is not None else None
+            if dt and dt > 0:
+                self._record(
+                    key + ":rate", "mean", t, observations / dt
+                )
+            for suffix, q in zip(_QUANTILE_SUFFIXES, (0.50, 0.95, 0.99)):
+                self._record(
+                    key + suffix,
+                    "max",
+                    t,
+                    _delta_percentile(metric.bounds, delta_counts, maximum, q)
+                    if observations
+                    else 0.0,
+                )
+        self._prev_hist[key] = (counts, count, maximum)
+
+    def _record(self, key: str, agg: str, t: float, value: float) -> None:
+        series = self._series.get(key)
+        if series is None:
+            series = _Series(key, agg, self.resolutions)
+            self._series[key] = series
+        series.record(t, value, self.resolutions)
+
+    # -- read path ---------------------------------------------------------
+
+    def series_names(self) -> List[str]:
+        """Every retained series key, sorted."""
+        return sorted(self._series)
+
+    def to_wall(self, monotonic_t: float) -> float:
+        """Export a sample time through the recorder's wall anchor."""
+        return self.anchor_wall + (monotonic_t - self.anchor_monotonic)
+
+    def history(
+        self,
+        series: str,
+        window: Optional[float] = None,
+        resolution: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Retained points of one series, as wall-stamped ``[t, v]`` pairs.
+
+        Args:
+            series: Series key (see :meth:`series_names`).
+            window: Only points within the last this-many seconds; picks
+                the finest resolution level that spans the window unless
+                ``resolution`` pins one.
+            resolution: Exact resolution interval to read (must match a
+                configured level).
+
+        Raises:
+            KeyError: Unknown series.
+            ValueError: ``resolution`` names no configured level.
+        """
+        entry = self._series.get(series)
+        if entry is None:
+            raise KeyError(series)
+        if resolution is not None:
+            for level, r in enumerate(self.resolutions):
+                if r.interval == float(resolution):
+                    break
+            else:
+                raise ValueError(
+                    f"no resolution level at {resolution}s; configured: "
+                    f"{[r.interval for r in self.resolutions]}"
+                )
+        elif window is None:
+            level = 0
+        else:
+            level = len(self.resolutions) - 1
+            for i, r in enumerate(self.resolutions):
+                if r.window_seconds >= window:
+                    level = i
+                    break
+        since = None
+        if window is not None:
+            since = self._clock() - window
+        raw = entry.rings[level].points(since)
+        if not raw and resolution is None and level > 0:
+            # A window-picked coarse level may not have completed its
+            # first bucket yet (coarse points are emitted one bucket
+            # late); fall back to the finest level with data rather
+            # than serve an empty chart over a non-empty series.
+            for finer in range(level):
+                raw = entry.rings[finer].points(since)
+                if raw:
+                    level = finer
+                    break
+        points = [
+            [round(self.to_wall(t), 3), round(v, 6)] for t, v in raw
+        ]
+        return {
+            "series": series,
+            "resolution_seconds": self.resolutions[level].interval,
+            "agg": entry.agg,
+            "points": points,
+        }
+
+    def latest(self, series: str) -> Optional[float]:
+        """The newest retained value of one series (None when absent)."""
+        entry = self._series.get(series)
+        if entry is None:
+            return None
+        point = entry.rings[0].latest()
+        return point[1] if point is not None else None
+
+    def window_values(self, series: str, window: float) -> List[float]:
+        """Base-resolution values within the last ``window`` seconds.
+
+        The SLO monitor's read path: values only, newest-resolution ring,
+        no wall conversion.
+        """
+        entry = self._series.get(series)
+        if entry is None:
+            return []
+        since = self._clock() - window
+        return [v for _t, v in entry.rings[0].points(since)]
+
+    def export(self, window: Optional[float] = None) -> Dict[str, object]:
+        """Every series' history in one JSON document."""
+        return {
+            "interval_seconds": self.interval,
+            "resolutions": [
+                {"interval_seconds": r.interval, "capacity": r.capacity}
+                for r in self.resolutions
+            ],
+            "anchor_wall": round(self.anchor_wall, 3),
+            "samples_taken": self.samples_taken,
+            "series": {
+                name: self.history(name, window=window)
+                for name in self.series_names()
+            },
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Recorder health counters for ``/metrics``."""
+        return {
+            "running": self.running,
+            "interval_seconds": self.interval,
+            "samples_taken": self.samples_taken,
+            "series": len(self._series),
+            "sampler_lag_seconds": round(self.sampler_lag_seconds, 6),
+            "last_sample_seconds": round(self.last_sample_seconds, 6),
+            "resolutions": [
+                {"interval_seconds": r.interval, "capacity": r.capacity}
+                for r in self.resolutions
+            ],
+        }
+
+
+def iter_series_keys(recorder: MetricsFlightRecorder, prefix: str) -> Iterable[str]:
+    """Series keys starting with ``prefix`` (console/test convenience)."""
+    return [k for k in recorder.series_names() if k.startswith(prefix)]

@@ -88,12 +88,27 @@ class TestShardedServeSubprocess:
     def test_smoke_shards2_loadgen_sigterm_seal(self, tmp_path):
         """The CI sharded smoke: ``serve --shards 2``, 2k actions through
         ``scripts/load_gen.py``, a prometheus scrape + trace-log check,
-        a top-k read, and a SIGTERM seal leaving every shard's state dir
-        replay-free."""
+        a flight-recorder/SLO check (a deliberately tight objective must
+        fire during the burst and clear at rest), a collapsed-stack
+        profile grab, a top-k read, and a SIGTERM seal leaving every
+        shard's state dir replay-free."""
         state_dir = tmp_path / "state"
         report_path = tmp_path / "load_gen.json"
         trace_path = os.environ.get(
             "REPRO_SMOKE_TRACE_LOG", str(tmp_path / "trace.jsonl")
+        )
+        alert_path = os.environ.get(
+            "REPRO_SMOKE_ALERT_LOG", str(tmp_path / "alerts.jsonl")
+        )
+        profile_path = os.environ.get(
+            "REPRO_SMOKE_PROFILE", str(tmp_path / "profile.txt")
+        )
+        # Any slide at all violates threshold 0 — guaranteed to burn
+        # while load_gen runs and to clear once the stream stops.
+        tight_slo = (
+            "smoke_tight=repro_slide_seconds:p99,threshold=0.0,"
+            "objective=0.5,fast=0.5,slow=1.0,burn=1.0,severity=page,"
+            "min-samples=2"
         )
         process, host, port = _spawn_server(
             [
@@ -102,6 +117,8 @@ class TestShardedServeSubprocess:
                 "--shard-backend", "process", "--state-dir", str(state_dir),
                 "--snapshot-every", "0", "--flush-interval", "60",
                 "--trace-log", trace_path, "--slow-slide-ms", "0",
+                "--sample-interval", "0.1", "--alert-log", alert_path,
+                "--slo", tight_slo,
             ],
             cwd=REPO_ROOT,
         )
@@ -151,6 +168,46 @@ class TestShardedServeSubprocess:
                 assert samples["repro_shard_restarts_total"][labels] == 0
                 assert samples["repro_shard_up"][labels] == 1
             assert samples["repro_shards_degraded"][""] == 0
+            # The flight recorder's own health rides the exposition too.
+            assert samples["repro_flight_samples_total"][""] >= 1
+            assert "" in samples["repro_flight_sampler_lag_seconds"]
+            assert '{slo="smoke_tight"}' in samples["repro_alert_active"]
+
+            # The tight SLO burned during the load burst and must clear
+            # now that the stream has stopped (idle intervals record 0).
+            alert_file = pathlib.Path(alert_path)
+            deadline = time.time() + 30
+            kinds = []
+            while time.time() < deadline:
+                if alert_file.exists():
+                    kinds = [
+                        json.loads(line)["event"]
+                        for line in alert_file.read_text().splitlines()
+                        if line
+                    ]
+                    if "alert_cleared" in kinds:
+                        break
+                time.sleep(0.1)
+            assert "alert_raised" in kinds, kinds
+            assert "alert_cleared" in kinds, kinds
+            events = [
+                json.loads(line)
+                for line in alert_file.read_text().splitlines()
+                if line
+            ]
+            raised = events[kinds.index("alert_raised")]
+            assert raised["slo"] == "smoke_tight"
+            assert raised["severity"] == "page"
+            status, health = client.http_get("/healthz")
+            assert status == 200, health  # back to green after clearing
+
+            # A two-second profile window: collapsed stacks must exist
+            # and attribute samples to the (parked) ingest executor.
+            status, body, _ = client.http_get_raw("/debug/profile?seconds=2")
+            assert status == 200
+            assert body.strip(), "empty profile"
+            assert "ingest;" in body, body[:2000]
+            pathlib.Path(profile_path).write_text(body)
 
             traced = [
                 json.loads(line)

@@ -1,0 +1,164 @@
+"""Unit tests for the ops-console rendering (`repro-stream top`)."""
+
+from repro.telemetry.console import (
+    format_quantity,
+    gather_top,
+    render_top,
+    run_top,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty_is_placeholder(self):
+        assert sparkline([], width=5) == "·····"
+
+    def test_flat_series_renders_lowest_block(self):
+        assert sparkline([3.0, 3.0, 3.0], width=10) == "▁▁▁"
+
+    def test_ramp_uses_full_range(self):
+        line = sparkline(list(range(8)), width=8)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_width_keeps_newest_tail(self):
+        line = sparkline([0.0] * 50 + [9.0], width=4)
+        assert len(line) == 4
+        assert line[-1] == "█"
+
+
+class TestFormatQuantity:
+    def test_latency_scales(self):
+        assert format_quantity(0.0000005, "s") == "0µs"
+        assert format_quantity(0.0023, "s") == "2.3ms"
+        assert format_quantity(1.5, "s") == "1.50s"
+
+    def test_magnitudes(self):
+        assert format_quantity(1_234_567) == "1.23M"
+        assert format_quantity(2_500) == "2.50k"
+        assert format_quantity(42.0) == "42"
+        assert format_quantity(None) == "—"
+
+
+def fake_documents(active_alert=False):
+    metrics = {
+        "uptime_seconds": 12.5,
+        "ingest": {"accepted": 1500},
+        "engine": {"slides": 47},
+        "telemetry": {
+            "slo": {
+                "active": ["slide_latency"] if active_alert else [],
+                "alerts": [
+                    {
+                        "slo": "slide_latency",
+                        "severity": "page",
+                        "active": active_alert,
+                        "fast_burn": 8.0,
+                        "slow_burn": 7.0,
+                        "last_value": 2.5,
+                    }
+                ],
+            }
+        },
+    }
+    history = {
+        "repro_ingest_accepted_total:rate": {
+            "points": [[1.0, 100.0], [2.0, 150.0]]
+        },
+        "repro_slide_seconds:p99": {"points": [[1.0, 0.002], [2.0, 0.004]]},
+        'repro_shard_busy_seconds_total{shard="0"}:rate': {
+            "points": [[1.0, 0.5]]
+        },
+    }
+    return metrics, history
+
+
+class TestRenderTop:
+    def test_healthy_frame_contents(self):
+        metrics, history = fake_documents()
+        frame = render_top(metrics, history, 200, {"status": "ok"})
+        assert "OK ok" in frame
+        assert "ingest rate" in frame
+        assert "slide p99" in frame
+        assert "shard 0 busy" in frame
+        assert "alerts: none" in frame
+        assert "ALERT" not in frame
+
+    def test_alerting_frame_shows_alert_and_503(self):
+        metrics, history = fake_documents(active_alert=True)
+        frame = render_top(metrics, history, 503, {"status": "alerting"})
+        assert "!! 503 alerting" in frame
+        assert "ALERT [page] slide_latency" in frame
+        assert "fast=8.0" in frame
+
+    def test_missing_series_render_placeholders(self):
+        frame = render_top({"ingest": {}, "engine": {}}, {}, 200, {})
+        assert "—" in frame  # no data, but no crash either
+
+
+class FakeClient:
+    """Answers http_get from a canned route table, records requests."""
+
+    def __init__(self, routes):
+        self.routes = routes
+        self.requests = []
+
+    def http_get(self, path):
+        self.requests.append(path)
+        for prefix, response in self.routes.items():
+            if path.startswith(prefix):
+                return response
+        return 404, {}
+
+
+class TestGatherAndRun:
+    def test_gather_pulls_catalog_and_series(self):
+        metrics, history = fake_documents()
+        shard_key = 'repro_shard_busy_seconds_total{shard="0"}:rate'
+        routes = {
+            "/metrics/history?series=": (200, {"points": [[1.0, 2.0]]}),
+            "/metrics/history": (200, {"series": [shard_key, "other"]}),
+            "/metrics": (200, metrics),
+            "/healthz": (200, {"status": "ok"}),
+        }
+        client = FakeClient(routes)
+        got_metrics, got_history, status, health = gather_top(client)
+        assert status == 200
+        assert got_metrics is metrics
+        # Catalog-discovered shard series was fetched; 'other' was not.
+        assert any("shard" in path for path in client.requests)
+        assert shard_key in got_history
+
+    def test_run_top_once_emits_one_frame(self):
+        metrics, _ = fake_documents()
+        routes = {
+            "/metrics/history?series=": (200, {"points": []}),
+            "/metrics/history": (200, {"series": []}),
+            "/metrics": (200, metrics),
+            "/healthz": (200, {"status": "ok"}),
+        }
+        frames = []
+        run_top(
+            FakeClient(routes),
+            iterations=1,
+            out=frames.append,
+            clear=False,
+        )
+        assert len(frames) == 1
+        assert "repro-stream top" in frames[0]
+        assert "\x1b" not in frames[0]  # --once never clears the screen
+
+    def test_run_top_clear_prefixes_ansi(self):
+        metrics, _ = fake_documents()
+        routes = {
+            "/metrics/history?series=": (200, {"points": []}),
+            "/metrics/history": (200, {"series": []}),
+            "/metrics": (200, metrics),
+            "/healthz": (200, {"status": "ok"}),
+        }
+        frames = []
+        run_top(
+            FakeClient(routes), iterations=1, out=frames.append, clear=True
+        )
+        assert frames[0].startswith("\x1b[2J\x1b[H")

@@ -1,0 +1,234 @@
+"""Unit tests for SLO burn-rate evaluation and alert lifecycle."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import (
+    SLO,
+    AlertLog,
+    SLOMonitor,
+    default_slos,
+    parse_slo_spec,
+)
+from repro.telemetry.timeseries import MetricsFlightRecorder
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def build(clock, slo, alert_log=None, registry=None):
+    """A recorder+monitor pair over one gauge series named ``lat``."""
+    reg = registry if registry is not None else MetricsRegistry()
+    gauge = reg.gauge("lat", "latency proxy")
+    recorder = MetricsFlightRecorder(
+        reg,
+        interval=1.0,
+        resolutions=((1.0, 64),),
+        clock=clock,
+        wall_clock=lambda: 7_000.0,
+    )
+    monitor = SLOMonitor(
+        recorder,
+        [slo],
+        alert_log=alert_log,
+        registry=registry,
+        clock=clock,
+        wall_clock=lambda: 7_000.0,
+    )
+    return gauge, recorder, monitor
+
+
+TIGHT = SLO(
+    name="lat",
+    series="lat",
+    threshold=1.0,
+    objective=0.5,  # budget 0.5: burn = 2 x bad fraction
+    fast_window=4.0,
+    slow_window=10.0,
+    burn=1.5,
+    min_samples=2,
+)
+
+
+def feed(gauge, recorder, monitor, clock, values):
+    for value in values:
+        gauge.set(value)
+        recorder.sample_once()
+        monitor.evaluate()
+        clock.advance(1.0)
+
+
+class TestBurnMath:
+    def test_burn_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT)
+        feed(gauge, recorder, monitor, clock, [2.0, 0.0, 2.0, 0.0])
+        alert = monitor.alerts()[0]
+        # fast window (4 s): 2 bad of 4 → 0.5 / budget 0.5 = 1.0
+        assert alert.fast_burn == pytest.approx(1.0)
+
+    def test_under_min_samples_burn_is_zero(self):
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT)
+        gauge.set(100.0)
+        recorder.sample_once()
+        monitor.evaluate()
+        alert = monitor.alerts()[0]
+        assert alert.fast_burn == 0.0  # one sample < min_samples=2
+        assert not alert.active
+
+
+class TestAlertLifecycle:
+    def test_raise_requires_both_windows(self):
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT)
+        # Every sample bad: fast and slow both burn at 2.0 >= 1.5.
+        feed(gauge, recorder, monitor, clock, [5.0] * 6)
+        alert = monitor.alerts()[0]
+        assert alert.active
+        assert alert.raised_count == 1
+        assert monitor.active_alerts() == [alert]
+        assert monitor.page_active()  # default severity is page
+
+    def test_clears_at_fast_window_latency(self):
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT)
+        feed(gauge, recorder, monitor, clock, [5.0] * 6)
+        assert monitor.alerts()[0].active
+        # Recovery: fast window (4 samples) empties of violations.
+        feed(gauge, recorder, monitor, clock, [0.0] * 5)
+        alert = monitor.alerts()[0]
+        assert not alert.active
+        assert not monitor.page_active()
+
+    def test_ticket_severity_never_pages(self):
+        clock = FakeClock()
+        slo = SLO(
+            name="t",
+            series="lat",
+            threshold=1.0,
+            objective=0.5,
+            fast_window=4.0,
+            slow_window=10.0,
+            burn=1.0,
+            severity="ticket",
+        )
+        gauge, recorder, monitor = build(clock, slo)
+        feed(gauge, recorder, monitor, clock, [5.0] * 6)
+        assert monitor.alerts()[0].active
+        assert not monitor.page_active()
+
+    def test_transitions_append_jsonl(self, tmp_path):
+        log_path = tmp_path / "alerts.jsonl"
+        log = AlertLog(str(log_path))
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT, alert_log=log)
+        feed(gauge, recorder, monitor, clock, [5.0] * 6)
+        feed(gauge, recorder, monitor, clock, [0.0] * 5)
+        monitor.close()
+        events = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds == ["alert_raised", "alert_cleared"]
+        raised, cleared = events
+        assert raised["slo"] == "lat"
+        assert raised["severity"] == "page"
+        assert raised["fast_burn"] >= TIGHT.burn
+        assert cleared["active_seconds"] > 0
+        # emit after close is a no-op, not an error
+        log.emit({"event": "late"})
+
+    def test_registry_gauges_mirror_alert_state(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT, registry=registry)
+        feed(gauge, recorder, monitor, clock, [5.0] * 6)
+        snapshot = {
+            (family.name, labels): metric
+            for family in registry.families()
+            for labels, metric in family.children.items()
+        }
+        active = snapshot[("repro_alert_active", (("slo", "lat"),))]
+        assert active.value == 1.0
+        fast = snapshot[
+            ("repro_slo_burn_rate", (("slo", "lat"), ("window", "fast")))
+        ]
+        assert fast.value >= TIGHT.burn
+
+
+class TestSnapshotAndConfig:
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        gauge, recorder, monitor = build(clock, TIGHT)
+        feed(gauge, recorder, monitor, clock, [5.0] * 6)
+        document = json.loads(json.dumps(monitor.snapshot()))
+        assert document["active"] == ["lat"]
+        assert document["objectives"][0]["series"] == "lat"
+        assert document["alerts"][0]["active"] is True
+        assert document["evaluations"] == 6
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        recorder = MetricsFlightRecorder(
+            registry, interval=1.0, resolutions=((1.0, 4),)
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor(recorder, [TIGHT, TIGHT])
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            SLO(name="", series="s", threshold=1.0)
+        with pytest.raises(ValueError):
+            SLO(name="x", series="s", threshold=1.0, objective=1.5)
+        with pytest.raises(ValueError):
+            SLO(name="x", series="s", threshold=1.0, fast_window=60, slow_window=10)
+        with pytest.raises(ValueError):
+            SLO(name="x", series="s", threshold=1.0, severity="email")
+
+    def test_default_slos_cover_the_serving_plane(self):
+        slos = default_slos()
+        series = {s.series for s in slos}
+        assert "repro_slide_seconds:p99" in series
+        assert "repro_ingest_queue_wait_seconds:p99" in series
+        assert any(s.severity == "page" for s in slos)
+        assert any(s.severity == "ticket" for s in slos)
+
+
+class TestParseSpec:
+    def test_full_spec(self):
+        slo = parse_slo_spec(
+            "tight=repro_slide_seconds:p99,threshold=0.5,objective=0.9,"
+            "fast=5,slow=30,burn=2,severity=ticket,min-samples=3"
+        )
+        assert slo.name == "tight"
+        assert slo.series == "repro_slide_seconds:p99"
+        assert slo.threshold == 0.5
+        assert slo.objective == 0.9
+        assert slo.fast_window == 5.0
+        assert slo.slow_window == 30.0
+        assert slo.burn == 2.0
+        assert slo.severity == "ticket"
+        assert slo.min_samples == 3
+
+    def test_threshold_required(self):
+        with pytest.raises(ValueError, match="threshold"):
+            parse_slo_spec("a=series")
+
+    def test_bad_shapes_rejected(self):
+        for spec in ("noequals", "=series,threshold=1", "a=", "a=s,bogus=1"):
+            with pytest.raises(ValueError):
+                parse_slo_spec(spec)

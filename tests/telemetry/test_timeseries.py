@@ -1,0 +1,350 @@
+"""Unit tests for the metrics flight recorder (retained time-series)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import (
+    DEFAULT_RESOLUTIONS,
+    MetricsFlightRecorder,
+    SeriesRing,
+    _delta_percentile,
+    resolutions_for,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def make_recorder(registry, clock, wall=None, **kwargs):
+    kwargs.setdefault("interval", 1.0)
+    kwargs.setdefault("resolutions", ((1.0, 8), (4.0, 8)))
+    return MetricsFlightRecorder(
+        registry,
+        clock=clock,
+        wall_clock=wall if wall is not None else (lambda: 5_000.0),
+        **kwargs,
+    )
+
+
+class TestSeriesRing:
+    def test_append_and_eviction(self):
+        ring = SeriesRing(3)
+        for i in range(5):
+            ring.append(float(i), float(i * 10))
+        assert ring.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert ring.latest() == (4.0, 40.0)
+
+    def test_since_filter_and_empty(self):
+        ring = SeriesRing(4)
+        assert ring.points() == []
+        assert ring.latest() is None
+        for i in range(4):
+            ring.append(float(i), 1.0)
+        assert [t for t, _ in ring.points(since=2.0)] == [2.0, 3.0]
+
+
+class TestSampling:
+    def test_counter_yields_raw_and_rate_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "jobs")
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        counter.value = 10.0
+        recorder.sample_once()
+        clock.advance(1.0)
+        counter.value = 30.0
+        recorder.sample_once()
+        assert recorder.latest("jobs_total") == 30.0
+        assert recorder.latest("jobs_total:rate") == pytest.approx(20.0)
+
+    def test_counter_reset_records_zero_rate_not_negative(self):
+        """A restarted worker resets its counter; rate must not go negative."""
+        registry = MetricsRegistry()
+        counter = registry.counter("work_total", "w")
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        counter.value = 100.0
+        recorder.sample_once()
+        clock.advance(1.0)
+        counter.value = 5.0  # reset
+        recorder.sample_once()
+        assert recorder.latest("work_total:rate") == 0.0
+        clock.advance(1.0)
+        counter.value = 15.0
+        recorder.sample_once()
+        assert recorder.latest("work_total:rate") == pytest.approx(10.0)
+
+    def test_gauge_recorded_as_is(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "queue depth")
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        gauge.set(7.0)
+        recorder.sample_once()
+        assert recorder.latest("depth") == 7.0
+
+    def test_histogram_yields_delta_quantiles_and_rate(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "latency")
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        recorder.sample_once()
+        clock.advance(1.0)
+        for _ in range(100):
+            hist.observe(0.010)
+        recorder.sample_once()
+        p99 = recorder.latest("lat_seconds:p99")
+        assert p99 is not None and 0.005 < p99 <= 0.011
+        assert recorder.latest("lat_seconds:rate") == pytest.approx(100.0)
+
+    def test_idle_histogram_interval_records_zero_quantiles(self):
+        """No observations in an interval → 0, so SLO burns can decay."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "latency")
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        recorder.sample_once()
+        clock.advance(1.0)
+        hist.observe(5.0)
+        recorder.sample_once()
+        busy = recorder.latest("lat_seconds:p99")
+        assert busy is not None and 4.0 < busy <= 5.0
+        clock.advance(1.0)
+        recorder.sample_once()  # idle interval
+        assert recorder.latest("lat_seconds:p99") == 0.0
+
+    def test_labeled_children_become_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("busy_total", "b", shard="0").value = 4.0
+        registry.counter("busy_total", "b", shard="1").value = 9.0
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        recorder.sample_once()
+        names = recorder.series_names()
+        assert 'busy_total{shard="0"}' in names
+        assert 'busy_total{shard="1"}' in names
+
+    def test_pre_and_post_sample_hooks_fire_in_order(self):
+        calls = []
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        recorder = MetricsFlightRecorder(
+            registry,
+            interval=1.0,
+            resolutions=((1.0, 4),),
+            pre_sample=lambda: calls.append("pre"),
+            post_sample=lambda t: calls.append(("post", t)),
+            clock=clock,
+            wall_clock=lambda: 0.0,
+        )
+        recorder.sample_once()
+        assert calls[0] == "pre"
+        assert calls[1] == ("post", clock.now)
+
+
+class TestDownsampling:
+    def test_coarse_ring_means_fine_points(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "g")
+        clock = FakeClock(start=0.0)
+        recorder = make_recorder(registry, clock)
+        # 4 s coarse buckets: values 0..3 → mean 1.5 in the first bucket.
+        for value in range(9):
+            gauge.set(float(value))
+            recorder.sample_once()
+            clock.advance(1.0)
+        coarse = recorder.history("g", resolution=4.0)
+        assert coarse["resolution_seconds"] == 4.0
+        values = [v for _, v in coarse["points"]]
+        assert values[0] == pytest.approx(1.5)  # mean(0,1,2,3)
+
+    def test_quantile_series_downsample_with_max(self):
+        """A p99 spike must survive into the coarse ring (max, not mean)."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "l")
+        clock = FakeClock(start=0.0)
+        recorder = make_recorder(registry, clock)
+        for i in range(9):
+            hist.observe(9.0 if i == 2 else 0.001)
+            recorder.sample_once()
+            clock.advance(1.0)
+        coarse = recorder.history("lat:p99", resolution=4.0)
+        assert coarse["agg"] == "max"
+        values = [v for _, v in coarse["points"]]
+        assert max(values) > 1.0  # the spike survived downsampling
+
+    def test_window_picks_finest_spanning_level(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "g")
+        clock = FakeClock(start=0.0)
+        recorder = make_recorder(registry, clock)  # 1s×8 and 4s×8 levels
+        gauge.set(1.0)
+        for _ in range(6):
+            recorder.sample_once()
+            clock.advance(1.0)
+        assert recorder.history("g", window=5.0)["resolution_seconds"] == 1.0
+        assert recorder.history("g", window=20.0)["resolution_seconds"] == 4.0
+
+    def test_window_falls_back_to_finer_level_before_first_coarse_bucket(self):
+        """A big window right after start must not serve an empty chart
+        while base-resolution points exist (coarse buckets lag)."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "g")
+        clock = FakeClock(start=0.0)
+        recorder = make_recorder(registry, clock)
+        gauge.set(2.0)
+        recorder.sample_once()  # one base point; no 4 s bucket complete
+        out = recorder.history("g", window=20.0)
+        assert out["resolution_seconds"] == 1.0  # fell back
+        assert len(out["points"]) == 1
+        # An explicitly pinned resolution never falls back.
+        assert recorder.history("g", resolution=4.0)["points"] == []
+
+    def test_unknown_series_and_resolution_raise(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "g").set(1.0)
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        recorder.sample_once()
+        with pytest.raises(KeyError):
+            recorder.history("nope")
+        with pytest.raises(ValueError):
+            recorder.history("g", resolution=7.0)
+
+
+class TestClockAnchor:
+    def test_exported_timestamps_survive_ntp_step(self):
+        """Satellite: one wall anchor per recorder → an NTP step after
+        construction shifts no retained point and never reorders them."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "g")
+        clock = FakeClock(start=100.0)
+        wall = {"now": 1_000_000.0}
+        recorder = make_recorder(registry, clock, wall=lambda: wall["now"])
+        gauge.set(1.0)
+        recorder.sample_once()
+        clock.advance(1.0)
+        wall["now"] -= 3600.0  # NTP steps wall time back one hour
+        recorder.sample_once()
+        clock.advance(1.0)
+        wall["now"] += 7200.0  # ...then forward two
+        recorder.sample_once()
+        points = recorder.history("g")["points"]
+        times = [t for t, _ in points]
+        # Monotone, exactly 1 s apart, anchored at construction wall time.
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(1_000_000.0)
+        assert times[1] - times[0] == pytest.approx(1.0)
+        assert times[2] - times[1] == pytest.approx(1.0)
+
+    def test_to_wall_is_pure_offset(self):
+        registry = MetricsRegistry()
+        clock = FakeClock(start=50.0)
+        recorder = make_recorder(registry, clock, wall=lambda: 500.0)
+        assert recorder.to_wall(53.5) == pytest.approx(503.5)
+
+
+class TestLifecycleAndExport:
+    def test_start_stop_idempotent(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "g").set(1.0)
+        recorder = MetricsFlightRecorder(
+            registry, interval=0.01, resolutions=((0.01, 16),)
+        )
+        recorder.start()
+        recorder.start()  # no-op
+        assert recorder.running
+        recorder.stop()
+        recorder.stop()  # no-op
+        assert not recorder.running
+        assert recorder.samples_taken >= 0
+
+    def test_background_sampler_takes_samples(self):
+        import time as _time
+
+        registry = MetricsRegistry()
+        registry.gauge("g", "g").set(3.0)
+        recorder = MetricsFlightRecorder(
+            registry, interval=0.01, resolutions=((0.01, 64),)
+        )
+        recorder.start()
+        deadline = _time.time() + 2.0
+        while recorder.samples_taken < 3 and _time.time() < deadline:
+            _time.sleep(0.01)
+        recorder.stop()
+        assert recorder.samples_taken >= 3
+        assert recorder.latest("g") == 3.0
+
+    def test_export_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "g").set(2.0)
+        clock = FakeClock()
+        recorder = make_recorder(registry, clock)
+        recorder.sample_once()
+        document = json.loads(json.dumps(recorder.export()))
+        assert document["series"]["g"]["points"][0][1] == 2.0
+        assert document["samples_taken"] == 1
+
+    def test_memory_bound_is_fixed(self):
+        """Rings never grow past capacity, whatever the sample count."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "g")
+        clock = FakeClock(start=0.0)
+        recorder = make_recorder(registry, clock)  # 1s×8, 4s×8
+        for i in range(100):
+            gauge.set(float(i))
+            recorder.sample_once()
+            clock.advance(1.0)
+        assert len(recorder.history("g")["points"]) == 8
+        assert len(recorder.history("g", resolution=4.0)["points"]) <= 8
+
+    def test_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            MetricsFlightRecorder(registry, interval=0.0)
+        with pytest.raises(ValueError):
+            MetricsFlightRecorder(registry, resolutions=())
+        with pytest.raises(ValueError):
+            MetricsFlightRecorder(registry, resolutions=((1.0, 4), (1.0, 4)))
+
+    def test_default_resolutions_ladder(self):
+        assert DEFAULT_RESOLUTIONS[0][0] == 1.0
+        spans = [interval * capacity for interval, capacity in DEFAULT_RESOLUTIONS]
+        assert spans == sorted(spans)  # coarser levels retain longer
+
+    def test_resolutions_for_scales_base_level(self):
+        ladder = resolutions_for(0.05)
+        assert ladder[0] == (0.05, DEFAULT_RESOLUTIONS[0][1])
+        assert ladder[1:] == DEFAULT_RESOLUTIONS[1:]
+        # A coarse sampling interval drops now-finer default levels.
+        assert resolutions_for(30.0) == ((30.0, 120), (60.0, 720))
+        assert resolutions_for(1.0) == DEFAULT_RESOLUTIONS
+        # The result is always a valid ladder.
+        MetricsFlightRecorder(
+            MetricsRegistry(), interval=90.0, resolutions=resolutions_for(90.0)
+        )
+
+
+class TestDeltaPercentile:
+    def test_empty_delta_is_zero(self):
+        assert _delta_percentile([0.001, 0.01], [0, 0, 0], 0.0, 0.99) == 0.0
+
+    def test_all_in_overflow_returns_max(self):
+        assert _delta_percentile([0.001], [0, 5], 9.0, 0.99) == 9.0
+
+    def test_interpolates_within_bucket(self):
+        value = _delta_percentile([1.0, 2.0], [0, 10, 0], 2.0, 0.5)
+        assert 1.0 <= value <= 2.0
