@@ -32,15 +32,26 @@ Reported figures:
   rate covers processing, not just transport;
 * ``service_ingest_sharded`` — the same socket workload with the write
   plane split over 4 influencer-partitioned shard engines in forked
-  worker processes (``repro.sharding``), plus the speedup over the
+  worker processes (``repro.sharding``) on the legacy *broadcast* ingest
+  (every shard consumes the whole stream), plus the speedup over the
   single-shard rate.  On single-core runners (the report records
   ``cpus``) the ratio mostly measures dispatch overhead — the parallel
   win needs >= 4 cores;
-* ``shard_scaling`` — the hardware-independent scaling witness: each
-  shard engine's standalone processing time on the same stream vs the
-  unsharded engine.  ``implied_speedup_at_s4`` = single seconds / slowest
-  shard seconds is the ingest speedup an otherwise-idle 4-core machine
-  would see (dispatch overhead aside), measurable even on 1 CPU;
+* ``service_ingest_sharded_routed`` — the same sharded socket workload on
+  *routed* ingest: the facade resolves each slide once and sends every
+  shard only its owned influence records, so per-shard work shrinks with
+  S instead of replicating;
+* ``shard_scaling`` — the hardware-independent scaling witness for the
+  routed ingest plane.  The unsharded engine is timed against the routed
+  pipeline's two stages: the facade's resolve+partition pass (stream-
+  global, runs once) and each shard's apply pass over only its routed
+  records.  ``implied_speedup_at_s4`` = single seconds / max(resolver
+  seconds, slowest shard apply seconds) — the pipeline bottleneck an
+  otherwise-idle 4-core machine would see, measurable even on 1 CPU.
+  The broadcast-era numbers (each shard consuming the full stream and
+  discarding unowned pairs) are kept under ``broadcast_*`` keys, and
+  ``routed_speedup_vs_broadcast`` is the gated ratio of the two
+  bottlenecks;
 * ``chaos_recovery`` — the supervision-plane cost: a scripted SIGKILL of
   one process-backend shard mid-stream, reporting the time the in-place
   heal took (restore + WAL-tail replay + suffix redelivery), the degraded
@@ -375,13 +386,15 @@ def bench_service_ingest(stream, n_actions):
     }
 
 
-def bench_service_ingest_sharded(stream, n_actions, shards=4):
+def bench_service_ingest_sharded(stream, n_actions, shards=4, routed=False):
     """Socket ingest with the write plane sharded over worker processes.
 
     Identical client workload to :func:`bench_service_ingest`, but the
-    served engine is a ``ShardedEngine``: the stream is broadcast to
-    ``shards`` forked workers, each indexing only its owned influencers,
-    and every slide publishes a merge-on-read answer board.
+    served engine is a ``ShardedEngine``.  With ``routed=False`` the
+    stream is broadcast to ``shards`` forked workers, each indexing only
+    its owned influencers; with ``routed=True`` the facade resolves each
+    slide once and ships every worker only its owned influence records.
+    Every slide publishes a merge-on-read answer board either way.
     """
     from repro.service.client import ServiceClient
     from repro.service.config import ServiceConfig
@@ -395,6 +408,7 @@ def bench_service_ingest_sharded(stream, n_actions, shards=4):
         ),
         shards,
         backend="process",
+        routed=routed,
     )
     config = ServiceConfig(
         port=0, slide=50, flush_interval=60.0, queue_capacity=8192,
@@ -412,6 +426,7 @@ def bench_service_ingest_sharded(stream, n_actions, shards=4):
         "slide": 50,
         "shards": shards,
         "backend": "process",
+        "ingest": "routed" if routed else "broadcast",
         "seconds": round(elapsed, 3),
         "actions_per_sec": round(len(actions) / elapsed, 1),
         "slides": summary["slide"],
@@ -422,20 +437,42 @@ def bench_service_ingest_sharded(stream, n_actions, shards=4):
 def bench_shard_scaling(stream, n_actions, shards=4):
     """Per-shard work reduction: the scaling witness that needs no cores.
 
-    Runs the unsharded IC engine over the stream, then each of the
-    ``shards`` influencer-partitioned shard engines standalone on the same
-    batches.  A shard's engine does the full forest/window bookkeeping but
-    only its owned share of index+oracle work, so ``single seconds /
-    max(shard seconds)`` is the ingest speedup S parallel workers would
-    reach on idle cores — reported as ``implied_speedup_at_s4`` and
-    honest on any machine, including single-CPU CI runners.
+    Runs the unsharded IC engine over the stream, then both sharded
+    ingest planes on the same batches:
 
-    Two regimes are reported: the oracle-dominated ``l1`` (one checkpoint
-    per action, where partitioning the feeds pays off most) and the
-    service plane's coalesced ``l50`` (20 checkpoints, where the
-    replicated forest/window share is proportionally larger).
+    * **routed** (the default ingest): one facade pass resolves each
+      slide through the diffusion forest and partitions the influence
+      records by influencer owner, then each shard applies only its
+      routed share.  Resolver and shards pipeline, so the bottleneck is
+      ``max(resolver seconds, slowest shard apply seconds)`` and
+      ``implied_speedup_at_s4 = single seconds / bottleneck`` — the
+      ingest speedup S parallel workers would reach on idle cores,
+      honest on any machine, including single-CPU CI runners;
+    * **broadcast** (legacy): each shard engine standalone consumes the
+      *whole* stream and discards unowned pairs — full forest/window
+      bookkeeping replicated S times.  Kept under ``broadcast_*`` keys so
+      ``routed_speedup_vs_broadcast`` (the gated ratio of the two
+      bottlenecks) records what the routing redesign bought.
+
+    Both planes run the load-aware :class:`HeatPartitioner` (warmed on
+    the measured stream's influence pairs) — per-shard work, not just the
+    stream, is what must balance for the bottleneck to shrink with S.
+
+    Two regimes are reported: the per-slide-overhead-bound ``l1`` (one
+    checkpoint opened per action — the kernel's fixed slide cost is
+    replicated on every shard and caps the ratio) and the service plane's
+    coalesced ``l50`` (20 checkpoints, where the oracle work dominates
+    and partitions well).  The section's *top-level*
+    ``implied_speedup_at_s4``/``routed_speedup_vs_broadcast`` are the
+    ``l50`` figures — the regime the serving plane actually runs — and
+    are the gated witness of the routing redesign.
     """
-    from repro.sharding.partition import HashPartitioner, ShardAssignment
+    from repro.core.resolve import SlideResolver, partition_slide
+    from repro.sharding.partition import (
+        HeatPartitioner,
+        ShardAssignment,
+        influencer_heat,
+    )
 
     def build(assignment=None):
         return InfluentialCheckpoints(
@@ -453,37 +490,88 @@ def bench_shard_scaling(stream, n_actions, shards=4):
 
         total = sum(len(b) for b in batches)
         single_elapsed, single = best_of(build)
-        partitioner = HashPartitioner(shards)
-        shard_seconds = []
+        partitioner = HeatPartitioner(
+            shards, influencer_heat(a for batch in batches for a in batch)
+        )
+
+        # Broadcast: each shard standalone over the full stream.
+        broadcast_seconds = []
         for shard in range(shards):
             assignment = ShardAssignment(partitioner, shard)
             elapsed, _framework = best_of(lambda: build(assignment))
-            shard_seconds.append(round(elapsed, 4))
-        slowest = max(shard_seconds)
+            broadcast_seconds.append(round(elapsed, 4))
+        broadcast_bottleneck = max(broadcast_seconds)
+
+        # Routed stage 1: the facade's resolve+partition pass.
+        resolver_elapsed = None
+        routed_parts = None
+        for _ in range(repeats):
+            resolver = SlideResolver()
+            started = time.perf_counter()
+            parts = [
+                partition_slide(resolver.resolve(batch), partitioner)
+                for batch in batches
+            ]
+            elapsed = time.perf_counter() - started
+            if resolver_elapsed is None or elapsed < resolver_elapsed:
+                resolver_elapsed, routed_parts = elapsed, parts
+
+        # Routed stage 2: each shard applies only its routed records.
+        apply_seconds = []
+        for shard in range(shards):
+            best = None
+            for _ in range(repeats):
+                framework = build(ShardAssignment(partitioner, shard))
+                started = time.perf_counter()
+                for slide_parts in routed_parts:
+                    framework.apply_resolved(slide_parts[shard])
+                elapsed = time.perf_counter() - started
+                if best is None or elapsed < best:
+                    best = elapsed
+            apply_seconds.append(round(best, 4))
+        routed_bottleneck = max(resolver_elapsed, max(apply_seconds))
+
         return {
             "shards": shards,
             "single_seconds": round(single_elapsed, 4),
             "single_actions_per_sec": round(total / single_elapsed, 1),
-            "shard_seconds": shard_seconds,
-            "sum_shard_seconds": round(sum(shard_seconds), 4),
-            "max_shard_seconds": round(slowest, 4),
-            "implied_speedup_at_s4": round(single_elapsed / slowest, 2),
+            "resolver_seconds": round(resolver_elapsed, 4),
+            "shard_apply_seconds": apply_seconds,
+            "max_shard_apply_seconds": round(max(apply_seconds), 4),
+            "routed_bottleneck_seconds": round(routed_bottleneck, 4),
+            "implied_speedup_at_s4": round(
+                single_elapsed / routed_bottleneck, 2
+            ),
+            "broadcast_shard_seconds": broadcast_seconds,
+            "broadcast_max_shard_seconds": round(broadcast_bottleneck, 4),
+            "broadcast_implied_speedup": round(
+                single_elapsed / broadcast_bottleneck, 2
+            ),
+            "routed_speedup_vs_broadcast": round(
+                broadcast_bottleneck / routed_bottleneck, 2
+            ),
             "query_value": single.query().value,
         }
 
     actions = stream[:n_actions]
     # L=1 is slow per action; half the stream keeps the section bounded
     # while still covering a full window plus steady-state slides.
-    # best-of-2: the gated implied-speedup ratio divides two timings, so
+    # best-of-N: the gated implied-speedup ratio divides two timings, so
     # single-shot scheduler noise on a shared runner hits it twice.
     l1_actions = actions[: max(len(actions) // 2, 1)]
-    return {
+    report = {
         "l1": measure([[a] for a in l1_actions], repeats=2),
         "l50": measure(
             [actions[i : i + 50] for i in range(0, len(actions), 50)],
-            repeats=3,
+            repeats=4,
         ),
     }
+    # The canonical gated witness: the serving plane's coalesced regime.
+    report["implied_speedup_at_s4"] = report["l50"]["implied_speedup_at_s4"]
+    report["routed_speedup_vs_broadcast"] = report["l50"][
+        "routed_speedup_vs_broadcast"
+    ]
+    return report
 
 
 def bench_observability_overhead(stream, n_actions):
@@ -625,7 +713,10 @@ def main(argv=None):
             stream, min(n_actions, len(stream))
         ),
         "service_ingest_sharded": bench_service_ingest_sharded(
-            stream, min(n_actions, len(stream))
+            stream, min(n_actions, len(stream)), routed=False
+        ),
+        "service_ingest_sharded_routed": bench_service_ingest_sharded(
+            stream, min(n_actions, len(stream)), routed=True
         ),
         "shard_scaling": bench_shard_scaling(
             stream, min(n_actions, len(stream))
@@ -637,11 +728,12 @@ def main(argv=None):
             stream, min(n_actions, len(stream))
         ),
     }
-    report["service_ingest_sharded"]["speedup_vs_single"] = round(
-        report["service_ingest_sharded"]["actions_per_sec"]
-        / report["service_ingest"]["actions_per_sec"],
-        2,
-    )
+    for section in ("service_ingest_sharded", "service_ingest_sharded_routed"):
+        report[section]["speedup_vs_single"] = round(
+            report[section]["actions_per_sec"]
+            / report["service_ingest"]["actions_per_sec"],
+            2,
+        )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     headline = report["ic_n1000_l1"]
@@ -666,14 +758,18 @@ def main(argv=None):
     print(f"service socket ingest:   {service['actions_per_sec']:>10,.1f} actions/s "
           f"({service['actions']} actions, {service['slides']} slides)")
     sharded = report["service_ingest_sharded"]
-    print(f"service ingest S=4 proc: {sharded['actions_per_sec']:>10,.1f} actions/s "
+    print(f"service ingest S=4 bcast:{sharded['actions_per_sec']:>10,.1f} actions/s "
           f"({sharded['speedup_vs_single']}x vs single on {report['cpus']} cpu(s))")
+    routed = report["service_ingest_sharded_routed"]
+    print(f"service ingest S=4 routed:{routed['actions_per_sec']:>9,.1f} actions/s "
+          f"({routed['speedup_vs_single']}x vs single on {report['cpus']} cpu(s))")
     for regime in ("l1", "l50"):
         scaling = report["shard_scaling"][regime]
         print(f"shard work split {regime:>4}:   single "
-              f"{scaling['single_seconds']}s, slowest shard "
-              f"{scaling['max_shard_seconds']}s -> implied "
-              f"{scaling['implied_speedup_at_s4']}x on idle 4 cores")
+              f"{scaling['single_seconds']}s, routed bottleneck "
+              f"{scaling['routed_bottleneck_seconds']}s -> implied "
+              f"{scaling['implied_speedup_at_s4']}x on idle 4 cores "
+              f"({scaling['routed_speedup_vs_broadcast']}x vs broadcast)")
     chaos = report["chaos_recovery"]
     print(f"chaos shard SIGKILL:     healed in {chaos['heal_seconds']}s "
           f"({chaos['restarts']} restart(s), degraded "

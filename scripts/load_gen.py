@@ -66,6 +66,13 @@ def main(argv=None):
         "--chunk", type=int, default=256, help="lines per socket write"
     )
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="send one JSON array of N actions per line (the batched wire "
+        "format) instead of one action per line; 0 = unbatched",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -93,7 +100,10 @@ def main(argv=None):
     client = ServiceClient(args.host, args.port, timeout=120.0)
     health = client.wait_healthy()
     started = time.perf_counter()
-    summary = client.ingest(actions, sync=True, chunk=args.chunk)
+    if args.batch > 0:
+        summary = client.send_batch(actions, batch=args.batch, sync=True)
+    else:
+        summary = client.ingest(actions, sync=True, chunk=args.chunk)
     elapsed = time.perf_counter() - started
 
     board = {}
@@ -109,6 +119,7 @@ def main(argv=None):
     # gate (scripts/bench_check.py) can consume either report.
     report = {
         "actions": len(actions),
+        "batch": args.batch,
         "seed": args.seed,
         "seconds": round(elapsed, 3),
         "actions_per_sec": round(len(actions) / elapsed, 1),

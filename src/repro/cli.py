@@ -637,6 +637,55 @@ def _prune_store(state_dir, keep: int) -> None:
         store.close()
 
 
+def _describe_partitioner(state: dict) -> str:
+    """A one-line partitioner identity; heat tables are summarized."""
+    kind = state.get("kind")
+    if kind == "heat":
+        heat = state.get("heat", {})
+        total = sum(heat.values())
+        return (
+            f"heat (shards={state.get('shards')}, {len(heat)} hot users, "
+            f"total heat {total:g})"
+        )
+    return str(state)
+
+
+def _shard_routed_tuples(shard_dir) -> tuple:
+    """``(consumed_at_snapshot, wal_records, wal_tuples)`` for one shard.
+
+    ``consumed_at_snapshot`` is the routed records the shard had absorbed
+    when its newest snapshot was taken; the WAL numbers cover the
+    replayable tail beyond it (routed-tuple batches only — broadcast-era
+    action records in a mixed log are not counted here).
+    """
+    from repro.core.resolve import ResolvedSlide
+    from repro.persistence.engine import StateStore
+
+    store = StateStore(shard_dir)
+    try:
+        latest = store.snapshots.load_latest()
+        snap_seq = 0
+        consumed = 0
+        if latest is not None:
+            snap_seq, document = latest
+            algorithm = document["algorithm"]
+            if algorithm.get("algorithm") == "multi":
+                consumed = algorithm.get("actions_processed", 0)
+            else:
+                consumed = algorithm.get("base", {}).get(
+                    "actions_processed", 0
+                )
+        wal_records = 0
+        wal_tuples = 0
+        for _seq, payload in store.wal.replay(after=snap_seq):
+            if isinstance(payload, ResolvedSlide):
+                wal_records += 1
+                wal_tuples += len(payload.records)
+    finally:
+        store.close()
+    return consumed, wal_records, wal_tuples
+
+
 def _cmd_snapshot(args) -> int:
     from repro.persistence.engine import (
         RecoverableEngine,
@@ -657,16 +706,35 @@ def _cmd_snapshot(args) -> int:
         # a corrupt WAL tail — so every per-shard step reports unhealthy
         # state and continues instead of aborting the whole inspection.
         expected = None
+        routed = False
         if manifest_path.exists():
             try:
                 manifest = json.loads(manifest_path.read_text())
                 expected = int(manifest["shards"])
+                routed = manifest.get("ingest") == "routed"
+                ingest = "routed" if routed else "broadcast"
                 print(
                     f"sharded root   {root}  ({manifest['shards']} shards, "
-                    f"partitioner {manifest['partitioner']})"
+                    f"{ingest} ingest, partitioner "
+                    f"{_describe_partitioner(manifest['partitioner'])})"
                 )
             except (ValueError, KeyError, TypeError) as error:
                 print(f"unhealthy      corrupt sharding.json: {error}")
+        if routed and args.snapshot_command == "info":
+            resolver_dir = root / "resolver"
+            if resolver_dir.is_dir():
+                store = StateStore(resolver_dir)
+                try:
+                    retained = store.snapshots.sequences()
+                    newest = max(retained) if retained else 0
+                    print(
+                        f"resolver       snapshot slide {newest}, "
+                        f"wal last seq {store.wal.last_seq}"
+                    )
+                finally:
+                    store.close()
+            else:
+                print("unhealthy      routed manifest but no resolver/ dir")
         if args.snapshot_command not in ("info", "prune"):
             example = shard_dirs[0] if shard_dirs else root / "shard-0"
             raise PersistenceError(
@@ -696,6 +764,15 @@ def _cmd_snapshot(args) -> int:
                             state_dir=str(shard_dir), snapshot_command="info"
                         )
                     )
+                    if routed:
+                        consumed, records, tuples = _shard_routed_tuples(
+                            shard_dir
+                        )
+                        print(
+                            f"routed tuples  {consumed:,} consumed at "
+                            f"snapshot + {tuples:,} in {records} WAL "
+                            "record(s)"
+                        )
                 else:
                     _prune_store(shard_dir, args.keep)
             except (PersistenceError, OSError) as error:

@@ -19,6 +19,7 @@ from typing import Deque, FrozenSet, List, Optional, Sequence
 
 from repro.core.actions import Action
 from repro.core.diffusion import ActionRecord, DiffusionForest
+from repro.core.resolve import ResolvedSlide
 from repro.core.window import SlidingWindow
 from repro.telemetry.trace import active_trace
 
@@ -132,8 +133,86 @@ class SIMAlgorithm(ABC):
         """The shared diffusion forest."""
         return self._forest
 
+    def resolve_slide(self, batch: Sequence[Action]) -> ResolvedSlide:
+        """Phase 1 of the two-phase ingest API: forest resolution only.
+
+        Validates stream order against the engine clock, feeds the
+        diffusion forest exactly once, and returns the slide's resolved
+        influence records — without advancing the window or touching the
+        oracles.  Pair each ``resolve_slide`` with exactly one
+        :meth:`process`-style application; :meth:`process` composes the
+        two for the single-engine path, while the sharded facade
+        resolves once and routes the records to :meth:`apply_resolved`
+        on each shard.
+        """
+        batch = list(batch)
+        if not batch:
+            return ResolvedSlide.empty()
+        previous = self.now
+        for action in batch:
+            if action.time <= previous:
+                raise ValueError(
+                    f"window received out-of-order action {action.time} "
+                    f"after {previous}"
+                )
+            previous = action.time
+        records = tuple(self._forest.add(a) for a in batch)
+        return ResolvedSlide(
+            start=batch[0].time,
+            last=batch[-1].time,
+            count=len(batch),
+            records=records,
+        )
+
+    def apply_resolved(self, resolved: ResolvedSlide) -> None:
+        """Phase 2 of the two-phase ingest API: apply pre-resolved records.
+
+        Advances the stream clock to ``resolved.last`` and feeds the
+        influence index + oracles from ``resolved.records`` — no raw
+        actions needed, no forest walk.  This is the routed-shard entry
+        point: the records were resolved elsewhere (the facade's
+        :class:`~repro.core.resolve.SlideResolver`) and, for a sharded
+        algorithm, must already be narrowed to this shard's influencers
+        (projection is idempotent, so sharded subclasses re-project
+        defensively).
+
+        Unlike :meth:`process`, the window stores no actions — only the
+        clock advances — so ``active_users``/``start_time`` reflect an
+        empty window and expiry records are not reported.  IC/SIC never
+        consume either; algorithms that do (e.g. the windowed greedy
+        baseline) do not support pre-resolved slides.
+        """
+        if resolved.count == 0:
+            return
+        if resolved.start <= self.now:
+            raise ValueError(
+                f"engine received out-of-order slide starting "
+                f"{resolved.start} at clock {self.now}"
+            )
+        trace = active_trace()
+        started = perf_counter() if trace is not None else 0.0
+        self._window.advance_clock(resolved.last, resolved.count)
+        # Drain broadcast-era window records (a shard dir migrated from
+        # broadcast ingest restores a populated deque) at slide rate.
+        for _ in range(min(resolved.count, len(self._window_records))):
+            self._window_records.popleft()
+        self._actions_processed += len(resolved.records)
+        if trace is not None:
+            self._on_slide_resolved(resolved)
+            trace.add_stage(
+                "oracle", perf_counter() - started, len(resolved.records)
+            )
+        else:
+            self._on_slide_resolved(resolved)
+
     def process(self, batch: Sequence[Action]) -> None:
         """Slide the window by ``len(batch)`` actions (Section 5.3's ``L``).
+
+        The composed single-engine path of the two-phase ingest API:
+        :meth:`resolve_slide` (forest) followed by window bookkeeping and
+        the oracle application — with the window keeping the raw actions
+        for full state fidelity, which the routed :meth:`apply_resolved`
+        path skips.
 
         When a :class:`~repro.telemetry.SlideTrace` is active on this
         thread (the serving plane's writer), the slide splits into two
@@ -145,7 +224,8 @@ class SIMAlgorithm(ABC):
             return
         trace = active_trace()
         started = perf_counter() if trace is not None else 0.0
-        arrived: List[ActionRecord] = [self._forest.add(a) for a in batch]
+        resolved = self.resolve_slide(batch)
+        arrived: List[ActionRecord] = list(resolved.records)
         self._window.slide(batch)
         self._window_records.extend(arrived)
         expired: List[ActionRecord] = []
@@ -227,3 +307,17 @@ class SIMAlgorithm(ABC):
         expired: Sequence[ActionRecord],
     ) -> None:
         """React to one window slide (records are already resolved)."""
+
+    def _on_slide_resolved(self, resolved: ResolvedSlide) -> None:
+        """React to one pre-resolved slide (the routed apply path).
+
+        Subclasses that can absorb a slide from resolved records alone —
+        IC and SIC, whose checkpoints never look at raw actions — override
+        this; the default refuses, so algorithms needing raw actions
+        (windowed greedy, graph baselines) fail loudly instead of
+        silently diverging.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support pre-resolved slides; "
+            "use process() (the composed resolve+apply path)"
+        )

@@ -50,6 +50,11 @@ from repro.core.influence_index import (
 )
 from repro.core.oracles.base import CheckpointOracle, make_oracle
 from repro.core.oracles.streaming_base import StreamingThresholdOracle
+
+# Projection (narrowing resolved records to one shard's influencers) lives
+# with the rest of the resolve-phase machinery; re-exported here because
+# every checkpoint framework imports it from this module.
+from repro.core.resolve import project_records
 from repro.influence.functions import InfluenceFunction
 
 __all__ = [
@@ -154,40 +159,6 @@ def make_columnar_kernel(spec, shared, columnar, batch_feeds: bool = True):
     return module.ColumnarThresholdKernel(spec, shared)
 
 
-def project_records(records: Sequence[ActionRecord], owns) -> List[ActionRecord]:
-    """Project a slide's records onto one shard's owned influencers.
-
-    Sharded engines consume the full action stream (global ancestor chains
-    stay exact) but index only the influence pairs whose influencer they
-    own.  This helper narrows each record's ``influencers`` tuple to the
-    owned ones and drops records that credit no owned influencer at all —
-    those contribute no pairs, so neither index nor oracles need to see
-    them.  Records whose influencers are all owned are passed through
-    unchanged (no allocation on the common path of coarse partitions).
-
-    Args:
-        records: The slide's resolved records, in arrival order.
-        owns: Predicate ``owns(user) -> bool`` — typically
-            :meth:`repro.sharding.partition.ShardAssignment.owns`.
-    """
-    projected: List[ActionRecord] = []
-    for record in records:
-        influencers = record.influencers
-        owned = tuple(u for u in influencers if owns(u))
-        if not owned:
-            continue
-        if len(owned) == len(influencers):
-            projected.append(record)
-        else:
-            projected.append(
-                ActionRecord(
-                    time=record.time,
-                    user=record.user,
-                    influencers=owned,
-                    depth=record.depth,
-                )
-            )
-    return projected
 
 
 @dataclass(frozen=True)

@@ -189,25 +189,53 @@ class InfluentialCheckpoints(SIMAlgorithm):
         arrived: Sequence[ActionRecord],
         expired: Sequence[ActionRecord],
     ) -> None:
-        # Algorithm 1 lines 2-5: retire the checkpoint that no longer covers
-        # a window suffix, then open one for the arriving slide.
-        roster = self._roster
-        open_checkpoint = self._slide_index % self._interval == 0
-        self._slide_index += 1
         records = (
             arrived
             if self._shard is None
             else project_records(arrived, self._shard.owns)
         )
+        self._absorb_slide(
+            records, start=arrived[0].time, absorbed=len(arrived)
+        )
+
+    def _on_slide_resolved(self, resolved) -> None:
+        # The routed apply path: records were resolved (and routed) at the
+        # facade; the slide's global boundaries ride along so checkpoints
+        # open at the same starts and the absorption ledger counts the
+        # same global L a broadcast engine would.  A ``routed`` slide
+        # promises facade-side narrowing (the sharded manifest pins the
+        # partitioner identity), so re-projection — idempotent but paid
+        # per influence pair — only guards direct unrouted callers.
+        records = (
+            list(resolved.records)
+            if self._shard is None or resolved.routed
+            else project_records(resolved.records, self._shard.owns)
+        )
+        self._absorb_slide(
+            records, start=resolved.start, absorbed=resolved.count
+        )
+
+    def _absorb_slide(self, records, start: int, absorbed: int) -> None:
+        """Absorb one slide's (possibly projected) records into the roster.
+
+        Algorithm 1 lines 2-5: retire the checkpoint that no longer covers
+        a window suffix, then open one for the arriving slide.  ``start``
+        and ``absorbed`` are the slide's *global* first timestamp and
+        action count — a sharded engine may own none of the slide's
+        records yet must still open the checkpoint and advance the
+        ledger exactly like the single engine.
+        """
+        roster = self._roster
+        open_checkpoint = self._slide_index % self._interval == 0
+        self._slide_index += 1
         shared = self._shared
         kernel = self._kernel
         if kernel is not None:
             if open_checkpoint:
-                roster.append(kernel.new_checkpoint(arrived[0].time, roster))
-            kernel.absorb_slide(roster, records, absorbed=len(arrived))
+                roster.append(kernel.new_checkpoint(start, roster))
+            kernel.absorb_slide(roster, records, absorbed=absorbed)
         elif shared is not None:
             if open_checkpoint:
-                start = arrived[0].time
                 roster.append(
                     Checkpoint(
                         start,
@@ -221,11 +249,11 @@ class InfluentialCheckpoints(SIMAlgorithm):
                 roster,
                 records,
                 batch=self._batch_feeds,
-                absorbed=len(arrived),
+                absorbed=absorbed,
             )
         else:
             if open_checkpoint:
-                roster.append(Checkpoint(arrived[0].time, self._spec))
+                roster.append(Checkpoint(start, self._spec))
             if len(records) == 1:
                 record = records[0]
                 for checkpoint in roster.checkpoints:

@@ -196,6 +196,46 @@ class MultiQueryEngine:
             for hook in self._publish_hooks:
                 hook(answers)
 
+    def supports_resolved(self) -> bool:
+        """Whether every registered query can absorb pre-resolved slides.
+
+        Filtered queries observe raw actions (their predicates run on the
+        action, not its influence records), so a board holding any makes
+        routed ingest impossible; likewise any algorithm that keeps the
+        base-class refusal of ``_on_slide_resolved``.
+        """
+        if self._filtered:
+            return False
+        return all(
+            type(a)._on_slide_resolved is not SIMAlgorithm._on_slide_resolved
+            for a in self._algorithms.values()
+        )
+
+    def apply_resolved(self, resolved) -> None:
+        """Feed one pre-resolved slide to every registered query.
+
+        The routed-shard counterpart of :meth:`process`: the facade
+        resolved the slide once and routed this shard its records.
+        Boards holding filtered queries refuse — those need the raw
+        actions (see :meth:`supports_resolved`).
+        """
+        if resolved.count == 0:
+            return
+        if self._filtered:
+            raise ValueError(
+                "filtered queries need raw actions and cannot run on "
+                f"routed (pre-resolved) slides: {sorted(self._filtered)}; "
+                "remove them or use broadcast ingest"
+            )
+        for algorithm in self._algorithms.values():
+            algorithm.apply_resolved(resolved)
+        self._actions_processed += len(resolved.records)
+        self._now = resolved.last
+        if self._publish_hooks:
+            answers = self.query_all()
+            for hook in self._publish_hooks:
+                hook(answers)
+
     def query(self, name: str) -> SIMResult:
         """Answer one registered query."""
         if name in self._algorithms:

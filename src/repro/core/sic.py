@@ -182,19 +182,43 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
         arrived: Sequence[ActionRecord],
         expired: Sequence[ActionRecord],
     ) -> None:
-        # Lines 2-8: new checkpoint for the arriving slide, then feed all.
-        roster = self._roster
-        start = arrived[0].time
         records = (
             arrived
             if self._shard is None
             else project_records(arrived, self._shard.owns)
         )
+        self._absorb_slide(
+            records, start=arrived[0].time, absorbed=len(arrived)
+        )
+
+    def _on_slide_resolved(self, resolved) -> None:
+        # The routed apply path: see InfluentialCheckpoints; checkpoints
+        # open at the slide's global start and the ledger counts the
+        # global L, so routed ≡ broadcast holds per slide.  ``routed``
+        # slides were already narrowed at the facade — skip the per-pair
+        # defensive re-projection.
+        records = (
+            list(resolved.records)
+            if self._shard is None or resolved.routed
+            else project_records(resolved.records, self._shard.owns)
+        )
+        self._absorb_slide(
+            records, start=resolved.start, absorbed=resolved.count
+        )
+
+    def _absorb_slide(self, records, start: int, absorbed: int) -> None:
+        """Absorb one slide's (possibly projected) records into the roster.
+
+        Lines 2-8: new checkpoint for the arriving slide, then feed all.
+        ``start``/``absorbed`` are the slide's global first timestamp and
+        action count (see :class:`~repro.core.resolve.ResolvedSlide`).
+        """
+        roster = self._roster
         shared = self._shared
         kernel = self._kernel
         if kernel is not None:
             roster.append(kernel.new_checkpoint(start, roster))
-            kernel.absorb_slide(roster, records, absorbed=len(arrived))
+            kernel.absorb_slide(roster, records, absorbed=absorbed)
         elif shared is not None:
             roster.append(
                 Checkpoint(
@@ -206,7 +230,7 @@ class SparseInfluentialCheckpoints(SIMAlgorithm):
                 roster,
                 records,
                 batch=self._batch_feeds,
-                absorbed=len(arrived),
+                absorbed=absorbed,
             )
         else:
             roster.append(Checkpoint(start, self._spec))

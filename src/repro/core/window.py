@@ -54,8 +54,41 @@ class SlidingWindow:
 
     @property
     def end_time(self) -> int:
-        """Timestamp ``t`` of the newest action; 0 for an empty window."""
-        return self._window[-1].time if self._window else 0
+        """The stream clock ``t``: newest observed timestamp; 0 initially.
+
+        Equal to the newest retained action's timestamp after a
+        :meth:`slide`; a window advanced with :meth:`advance_clock`
+        (routed shards, which never store raw actions) keeps an accurate
+        clock even while empty.
+        """
+        return self._last_time
+
+    def advance_clock(self, last_time: int, count: int) -> None:
+        """Advance the stream clock without storing the slide's actions.
+
+        Routed shards receive pre-resolved influence records instead of
+        raw actions: the window then tracks only the clock, and any
+        actions still stored (restored from a broadcast-era snapshot)
+        drain as if the slide had expired them.
+
+        Args:
+            last_time: The slide's final timestamp (the new clock).
+            count: Number of actions in the slide (how many stored
+                actions to drain).
+        """
+        if last_time <= self._last_time:
+            raise ValueError(
+                f"window received out-of-order slide ending {last_time} "
+                f"after {self._last_time}"
+            )
+        self._last_time = last_time
+        for _ in range(min(count, len(self._window))):
+            old = self._window.popleft()
+            remaining = self._user_counts[old.user] - 1
+            if remaining:
+                self._user_counts[old.user] = remaining
+            else:
+                del self._user_counts[old.user]
 
     def slide(self, arrivals: Sequence[Action]) -> List[Action]:
         """Append ``arrivals`` and return the actions that expired.

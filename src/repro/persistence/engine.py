@@ -39,6 +39,7 @@ import time
 from typing import Callable, Optional
 
 from repro.core.base import SIMAlgorithm, SIMResult
+from repro.core.resolve import ResolvedSlide
 from repro.persistence.serialize import (
     SNAPSHOT_FORMAT_VERSION,
     PersistenceError,
@@ -203,7 +204,7 @@ class RecoverableEngine:
             seq = 0
             algorithm = None
         replayed = 0
-        for wal_seq, actions in store.wal.replay(after=seq):
+        for wal_seq, payload in store.wal.replay(after=seq):
             if algorithm is None:
                 # No snapshot: the WAL must cover the stream from slide 1.
                 if wal_seq != 1 and replayed == 0:
@@ -222,7 +223,14 @@ class RecoverableEngine:
                     f"WAL gap after snapshot: expected slide {seq + 1}, "
                     f"found {wal_seq}"
                 )
-            algorithm.process(actions)
+            # Dispatch on record kind: raw action batches replay through
+            # process(), routed-slide records through apply_resolved() —
+            # a shard log migrated from broadcast to routed ingest holds
+            # both, in sequence order.
+            if isinstance(payload, ResolvedSlide):
+                algorithm.apply_resolved(payload)
+            else:
+                algorithm.process(payload)
             replayed += 1
             seq = wal_seq
         if algorithm is None:
@@ -268,6 +276,39 @@ class RecoverableEngine:
             self.fsync_hist.observe(wal_elapsed)
             record_stage("wal_fsync", wal_elapsed, len(batch))
         self._algorithm.process(batch)
+        self._slide_seq = seq
+        if (
+            self._store is not None
+            and self._snapshot_every
+            and seq % self._snapshot_every == 0
+        ):
+            self.snapshot()
+
+    def apply_resolved(self, resolved: ResolvedSlide) -> None:
+        """Log one routed slide ahead, then apply it (write-ahead ordering).
+
+        The routed-shard counterpart of :meth:`process`: the facade
+        resolved the slide once and routed this shard its influence
+        records; the WAL record carries the routed tuples, not raw
+        actions, so recovery replays exactly what this shard consumed.
+        Same validate-before-log contract as :meth:`process`.
+        """
+        if resolved.count == 0:
+            return
+        now = self._algorithm.now
+        if resolved.start <= now:
+            raise ValueError(
+                f"engine received out-of-order slide starting "
+                f"{resolved.start} at clock {now}"
+            )
+        seq = self._slide_seq + 1
+        if self._store is not None:
+            wal_started = time.perf_counter()
+            self._store.wal.append_resolved(seq, resolved)
+            wal_elapsed = time.perf_counter() - wal_started
+            self.fsync_hist.observe(wal_elapsed)
+            record_stage("wal_fsync", wal_elapsed, len(resolved.records))
+        self._algorithm.apply_resolved(resolved)
         self._slide_seq = seq
         if (
             self._store is not None

@@ -2,9 +2,24 @@
 
 The write-ahead log is the cheap half of the durability plane: every
 window slide is appended — *before* the engine processes it — as one JSON
-line ``{"seq": n, "actions": [[t, u, p], ...]}``.  Recovery then replays
-the records newer than the latest snapshot, so a crash costs O(WAL tail)
-work instead of O(stream).
+line.  Recovery then replays the records newer than the latest snapshot,
+so a crash costs O(WAL tail) work instead of O(stream).
+
+Two record kinds share a log:
+
+* **Action records** ``{"seq": n, "actions": [[t, u, p], ...]}`` — raw
+  slide batches, written by broadcast/single-engine ingest
+  (:meth:`ActionWAL.append`).
+* **Routed-slide records** ``{"seq": n, "slide": <ResolvedSlide wire>}``
+  — pre-resolved influence tuples routed to one shard, written by routed
+  sharded ingest (:meth:`ActionWAL.append_resolved`).  The wire document
+  is format-versioned (:data:`~repro.core.resolve.RESOLVED_WIRE_VERSION`);
+  replay refuses an unknown version instead of guessing.
+
+Both kinds may appear in the same log (a shard migrated from broadcast to
+routed ingest keeps its old action records); :meth:`ActionWAL.replay`
+yields ``(seq, List[Action])`` for the former and
+``(seq, ResolvedSlide)`` for the latter, and consumers dispatch on type.
 
 Design points, all standard WAL practice:
 
@@ -42,6 +57,7 @@ import zlib
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.actions import Action
+from repro.core.resolve import ResolvedSlide
 from repro.persistence.serialize import (
     PersistenceError,
     decode_action,
@@ -51,12 +67,26 @@ from repro.persistence.serialize import (
 __all__ = ["ActionWAL"]
 
 
-def _record_crc(seq: int, encoded_actions: list) -> int:
-    """CRC32 of a record's canonical payload (everything but ``crc``)."""
-    payload = json.dumps(
-        {"seq": seq, "actions": encoded_actions}, separators=(",", ":")
-    )
-    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+def _record_payload(record: dict) -> dict:
+    """A record's canonical CRC payload (everything but ``crc``).
+
+    Action records keep the exact legacy key order (``seq``, ``actions``)
+    so checksums written before routed records existed still verify;
+    routed records checksum ``seq`` + the slide wire document.
+
+    Raises:
+        KeyError: when the record carries neither payload key (callers
+            surface this as a corrupt/torn record).
+    """
+    if "actions" in record:
+        return {"seq": record["seq"], "actions": record["actions"]}
+    return {"seq": record["seq"], "slide": record["slide"]}
+
+
+def _record_crc(payload: dict) -> int:
+    """CRC32 of one canonical record payload."""
+    encoded = json.dumps(payload, separators=(",", ":"))
+    return zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF
 
 
 def _crc_mismatch(record: dict) -> Optional[int]:
@@ -68,9 +98,22 @@ def _crc_mismatch(record: dict) -> Optional[int]:
     stored = record.get("crc")
     if stored is None:
         return None
-    if stored == _record_crc(record["seq"], record["actions"]):
+    if stored == _record_crc(_record_payload(record)):
         return None
     return stored
+
+
+def _decode_record_payload(record: dict):
+    """Decode a record's payload: ``List[Action]`` or :class:`ResolvedSlide`.
+
+    Raises:
+        ValueError: on a malformed payload or an unsupported routed-slide
+            wire version (the latter must NOT be swallowed as a torn tail
+            — see :meth:`ActionWAL.replay`).
+    """
+    if "actions" in record:
+        return [decode_action(f) for f in record["actions"]]
+    return ResolvedSlide.from_wire(record["slide"])
 
 
 class ActionWAL:
@@ -125,6 +168,21 @@ class ActionWAL:
         accepts any positive start (the tail below a snapshot may have
         been pruned).
         """
+        encoded = [encode_action(a) for a in actions]
+        self._append_record(seq, {"seq": seq, "actions": encoded})
+
+    def append_resolved(self, seq: int, slide: ResolvedSlide) -> None:
+        """Durably log one routed (pre-resolved) slide.
+
+        The routed-shard counterpart of :meth:`append`: the record carries
+        the slide's format-versioned wire document instead of raw actions.
+        Same sequencing contract as :meth:`append`; both record kinds may
+        interleave in one log (broadcast-era prefix, routed suffix).
+        """
+        self._append_record(seq, {"seq": seq, "slide": slide.to_wire()})
+
+    def _append_record(self, seq: int, payload: dict) -> None:
+        """Sequence-check, checksum, write and fsync one record."""
         if seq <= 0:
             raise PersistenceError(f"slide seq must be positive, got {seq}")
         if self._last_seq and seq != self._last_seq + 1:
@@ -133,12 +191,8 @@ class ActionWAL:
             )
         if self._handle is None or self._active_records >= self._segment_records:
             self._open_segment(seq)
-        encoded = [encode_action(a) for a in actions]
-        record = {
-            "seq": seq,
-            "actions": encoded,
-            "crc": _record_crc(seq, encoded),
-        }
+        record = dict(payload)
+        record["crc"] = _record_crc(payload)
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         if self._fsync:
@@ -154,12 +208,16 @@ class ActionWAL:
 
     # -- reading -----------------------------------------------------------
 
-    def replay(self, after: int = 0) -> Iterator[Tuple[int, List[Action]]]:
-        """Yield ``(seq, actions)`` for every record with ``seq > after``.
+    def replay(self, after: int = 0) -> Iterator[Tuple[int, object]]:
+        """Yield ``(seq, payload)`` for every record with ``seq > after``.
 
-        Verifies record contiguity across segment boundaries.  A torn
-        final line (crash mid-append) ends the replay cleanly; corruption
-        anywhere else raises
+        The payload is a ``List[Action]`` for action records and a
+        :class:`~repro.core.resolve.ResolvedSlide` for routed-slide
+        records; consumers dispatch on type.  Verifies record contiguity
+        across segment boundaries.  A torn final line (crash mid-append)
+        ends the replay cleanly; corruption anywhere else — including a
+        checksum-valid routed record whose wire version this build does
+        not read — raises
         :class:`~repro.persistence.serialize.PersistenceError`.
         """
         segments = self.segments()
@@ -175,7 +233,6 @@ class ActionWAL:
                     record = json.loads(raw.decode("utf-8"))
                     seq = record["seq"]
                     bad_crc = _crc_mismatch(record)
-                    actions = [decode_action(f) for f in record["actions"]]
                 except (ValueError, KeyError, TypeError) as exc:
                     if torn_ok:
                         return
@@ -190,6 +247,19 @@ class ActionWAL:
                         f"record seq {seq} (line {line_number}): stored crc "
                         f"{bad_crc} does not match the record payload"
                     )
+                try:
+                    payload = _decode_record_payload(record)
+                except (ValueError, KeyError, TypeError) as exc:
+                    # A checksum-verified record decoded its exact written
+                    # bytes, so a decode failure there is a format problem
+                    # (e.g. a newer routed wire version), never a torn
+                    # append; only unchecksummed legacy tails stay torn-ok.
+                    if torn_ok and record.get("crc") is None:
+                        return
+                    raise PersistenceError(
+                        f"unreadable WAL record {path.name}:{line_number} "
+                        f"at seq {seq} ({exc})"
+                    ) from exc
                 if expected is not None and seq != expected:
                     raise PersistenceError(
                         f"WAL gap at {path.name}:{line_number}: "
@@ -197,7 +267,7 @@ class ActionWAL:
                     )
                 expected = seq + 1
                 if seq > after:
-                    yield seq, actions
+                    yield seq, payload
 
     # -- retention ---------------------------------------------------------
 
@@ -265,7 +335,9 @@ class ActionWAL:
                     try:
                         record = json.loads(raw.decode("utf-8"))
                         seq = record["seq"]
-                        record["actions"]
+                        # Either payload kind must be present (KeyError
+                        # from _record_payload flags a payload-less line).
+                        _record_payload(record)
                         bad_crc = _crc_mismatch(record)
                     except (ValueError, KeyError, TypeError) as exc:
                         if torn_ok:

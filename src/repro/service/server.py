@@ -5,10 +5,14 @@ connection's first line:
 
 * a line starting with ``{`` or ``[`` speaks the **ingest line protocol**
   — one JSON action per line (``{"time": t, "user": u, "parent": p}`` or
-  the compact ``[t, u, p]`` triple), acknowledged in batches, plus two
-  control commands: ``{"cmd": "flush"}`` forces the partial slide out and
-  ``{"cmd": "sync"}`` is a barrier that answers with the engine position
-  once everything submitted before it is processed and published;
+  the compact ``[t, u, p]`` triple), or one JSON *array of actions* per
+  line (``[[t1,u1,p1],[t2,u2,p2],...]`` — the batched wire format, one
+  syscall and one parse per batch).  Acks count actions, not lines, and
+  fire once per crossed ``ack_every`` boundary.  Two control commands
+  ride the same stream: ``{"cmd": "flush"}`` forces the partial slide
+  out and ``{"cmd": "sync"}`` is a barrier that answers with the engine
+  position once everything submitted before it is processed and
+  published;
 * anything else is parsed as an **HTTP request** — the lock-free read
   path.  ``GET /healthz``, ``GET /metrics``, ``GET /queries``,
   ``GET /queries/<name>/topk`` and ``GET /queries/<name>/history?limit=n``
@@ -365,35 +369,61 @@ class ReproService:
         while line:
             stripped = line.strip()
             if stripped:
-                received += 1
-                response = await self._ingest_line(stripped, received)
+                before = received
+                response, received = await self._ingest_line(stripped, received)
                 if response is not None:
                     writer.write(_encode_json_line(response))
                     await writer.drain()
-                elif received % self._config.ack_every == 0:
-                    writer.write(_encode_json_line(self._ack(received)))
-                    await writer.drain()
+                else:
+                    # Acks count *actions* (a batched line advances the
+                    # counter by its batch size), firing once per crossed
+                    # ack_every boundary.
+                    every = self._config.ack_every
+                    if received // every > before // every:
+                        writer.write(_encode_json_line(self._ack(received)))
+                        await writer.drain()
             line = await reader.readline()
 
-    async def _ingest_line(self, raw: bytes, received: int) -> Optional[dict]:
-        """Process one ingest line; a dict reply is written immediately."""
+    async def _ingest_line(
+        self, raw: bytes, received: int
+    ) -> Tuple[Optional[dict], int]:
+        """Process one ingest line (action, batch, or command).
+
+        Returns ``(response, new_received)``: a dict response is written
+        immediately, and ``new_received`` is the running *action* count
+        (a batched line — a JSON array whose first element is itself an
+        action object or triple — advances it by the batch size).
+        """
         try:
             document = json.loads(raw)
         except ValueError as error:
             self._ingest.stats.rejected_lines += 1
-            return {"error": f"unparseable line: {error}", "line": received}
+            received += 1
+            return {"error": f"unparseable line: {error}", "line": received}, received
         if isinstance(document, dict) and "cmd" in document:
-            return await self._ingest_command(document, received)
+            return await self._ingest_command(document, received), received
+        if (
+            isinstance(document, (list, tuple))
+            and document
+            and isinstance(document[0], (list, tuple, dict))
+        ):
+            batch = document
+        else:
+            batch = [document]
         try:
-            action = self._decode_action(document)
+            actions = [self._decode_action(item) for item in batch]
         except (ValueError, TypeError, KeyError) as error:
+            # A batch rejects atomically: no prefix is submitted.
             self._ingest.stats.rejected_lines += 1
-            return {"error": f"invalid action: {error}", "line": received}
-        try:
-            await self._ingest.submit(action)
-        except RuntimeError as error:
-            return {"error": str(error), "line": received}
-        return None
+            received += 1
+            return {"error": f"invalid action: {error}", "line": received}, received
+        received += len(actions)
+        for action in actions:
+            try:
+                await self._ingest.submit(action)
+            except RuntimeError as error:
+                return {"error": str(error), "line": received}, received
+        return None, received
 
     async def _ingest_command(self, document: dict, received: int) -> Optional[dict]:
         command = document["cmd"]
@@ -751,6 +781,9 @@ class ReproService:
         if shard_count is not None:
             engine["shards"] = shard_count
             engine["shard_backend"] = self._engine.backend_name
+            engine["ingest_mode"] = getattr(
+                self._engine, "ingest_mode", "broadcast"
+            )
         if hasattr(self._engine, "supervision_stats"):
             engine["degraded"] = self._engine.degraded
             engine["degraded_shards"] = self._engine.degraded_shards
@@ -879,6 +912,22 @@ class ReproService:
                     "1 when the shard is serving, 0 while down/healing",
                     shard=shard,
                 ).set(1.0 if state.get("state") == "up" else 0.0)
+                # The replicated-work accounting: routed shards consume
+                # only the influence records routed to them; broadcast
+                # shards each replicate the full action stream.
+                if "routed_records" in state:
+                    registry.counter(
+                        "repro_shard_routed_records_total",
+                        "Routed influence records this shard consumed",
+                        shard=shard,
+                    ).value = float(state["routed_records"] or 0)
+                elif "actions" in state:
+                    registry.counter(
+                        "repro_shard_actions_total",
+                        "Stream actions this shard consumed (broadcast "
+                        "replicates the stream to every shard)",
+                        shard=shard,
+                    ).value = float(state["actions"] or 0)
             registry.gauge(
                 "repro_shards_degraded", "Shards currently down or healing"
             ).set(float(len(supervision.get("degraded_shards", ()))))
@@ -890,3 +939,13 @@ class ReproService:
                 "repro_shard_call_timeouts_total",
                 "Shard calls that timed out at the supervisor",
             ).value = float(supervision.get("call_timeouts", 0))
+            resolver = supervision.get("resolver")
+            if resolver is not None:
+                registry.counter(
+                    "repro_resolver_actions_total",
+                    "Stream actions resolved once at the routed facade",
+                ).value = float(resolver["actions_processed"])
+                registry.gauge(
+                    "repro_routed_records_last_slide",
+                    "Influence records routed to shards on the last slide",
+                ).set(float(supervision.get("last_routed_records", 0)))

@@ -21,7 +21,12 @@ The division of labour:
   facade exposing the familiar engine API (``process``/``query``/``now``/
   ``close``) over per-shard writer loops (in-process, thread, or
   ``multiprocessing`` workers) with per-shard ``shard-<i>/`` WAL+snapshot
-  directories for parallel, independent crash recovery;
+  directories for parallel, independent crash recovery.  In **routed**
+  mode (the default for fresh state) the facade resolves each slide's
+  diffusion chains once and routes each shard only its owned influence
+  records instead of broadcasting the raw stream;
+  :func:`~repro.sharding.engine.migrate_to_routed` converts legacy
+  broadcast state roots in place;
 * :mod:`repro.sharding.supervisor` — the
   :class:`~repro.sharding.supervisor.ShardSupervisor` running every
   fan-out under per-call timeouts, in-place restart with exponential
@@ -29,22 +34,31 @@ The division of labour:
   degraded-read accounting surfaced through ``/metrics`` and ``/healthz``.
 """
 
-from repro.sharding.engine import ShardedBoard, ShardedEngine, ShardingError
+from repro.sharding.engine import (
+    ShardedBoard,
+    ShardedEngine,
+    ShardingError,
+    migrate_to_routed,
+)
 from repro.sharding.supervisor import ShardSupervisor
 from repro.sharding.merge import SeedCandidate, ShardAnswer, merge_shard_answers
 from repro.sharding.partition import (
     ConstantPartitioner,
     HashPartitioner,
+    HeatPartitioner,
     Partitioner,
     ShardAssignment,
     assignment_from_state,
+    influencer_heat,
     partitioner_from_state,
 )
 
 __all__ = [
     "Partitioner",
     "HashPartitioner",
+    "HeatPartitioner",
     "ConstantPartitioner",
+    "influencer_heat",
     "ShardAssignment",
     "partitioner_from_state",
     "assignment_from_state",
@@ -55,4 +69,5 @@ __all__ = [
     "ShardedBoard",
     "ShardingError",
     "ShardSupervisor",
+    "migrate_to_routed",
 ]

@@ -8,11 +8,25 @@ instance (or a :class:`~repro.core.multi.MultiQueryEngine` board of them)
 restricted to the influencers its
 :class:`~repro.sharding.partition.ShardAssignment` owns.
 
-**Write path.**  Every slide is broadcast to all shards: each shard
-resolves the full diffusion forest (ancestor chains stay globally exact)
-but pays index and oracle costs only for its owned pairs — the dominant
-cost on the measured workloads, which is what makes the plane scale with
-cores.  Three interchangeable backends run the shard hosts:
+**Write path.**  Two ingest modes share the facade API:
+
+* **Routed** (the default for new state when every query supports it):
+  the facade resolves each slide exactly once through its own
+  :class:`~repro.core.resolve.SlideResolver` (the ``resolve_slide`` half
+  of the engine's two-phase API), partitions the resolved influence
+  tuples by owning influencer, and sends each shard *only its routed
+  records* (``apply_resolved``, the other half).  Shards hold no
+  diffusion forest and never parse an unowned action — per-shard work is
+  proportional to owned pairs, not stream length.  The facade resolver
+  has its own snapshot+WAL state under ``<root>/resolver/``, logged
+  *before* routing, so its clock always covers every shard's clock and
+  redelivery re-resolves idempotently.
+* **Broadcast** (the legacy mode; still used by boards with filtered
+  queries or algorithms that need raw actions): every slide is sent to
+  all shards, each shard resolves the full diffusion forest but pays
+  index and oracle costs only for its owned pairs.
+
+Three interchangeable backends run the shard hosts:
 
 * ``serial`` — direct in-process calls (deterministic; tests, debugging);
 * ``thread`` — one worker thread per shard (the default; shares one
@@ -47,13 +61,18 @@ answer cache composes unchanged.
 **Durability.**  With a state directory the layout is::
 
     <state_dir>/
-      sharding.json     shard count + partitioner (refuses mismatched reopens)
+      sharding.json     shard count + partitioner + ingest mode
+      resolver/         facade resolver snapshot+WAL (routed mode only)
       shard-0/ ... shard-(S-1)/    one full snapshot+WAL StateStore each
 
 Each shard recovers independently (newest snapshot + own WAL tail), so
 recovery parallelises with the backend and a crash that hit shards at
 different slide positions heals on redelivery: :meth:`ShardedEngine.process`
-forwards to each shard only the actions beyond *that shard's* clock.
+forwards to each shard only the work beyond *that shard's* clock.  The
+manifest is format-versioned: broadcast roots stay at format 1 (readable
+by older builds), routed roots use format 2 with ``"ingest": "routed"``;
+opening a root in the wrong mode refuses with a pointer at
+:func:`migrate_to_routed`, which converts a broadcast root in place.
 """
 
 from __future__ import annotations
@@ -70,10 +89,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.actions import Action
 from repro.core.base import SIMAlgorithm, SIMResult
 from repro.core.multi import MultiQueryEngine
+from repro.core.resolve import ResolvedSlide, SlideResolver, partition_slide
 from repro.faults.inject import WorkerFaultInjector, WorkerKilled
 from repro.faults.plan import FaultPlan
 from repro.influence.queries import FilteredSIM
-from repro.persistence.engine import RecoverableEngine, shard_state_dir
+from repro.persistence.engine import (
+    RecoverableEngine,
+    StateStore,
+    list_shard_state_dirs,
+    shard_state_dir,
+)
 from repro.persistence.serialize import (
     PersistenceError,
     ensure_same_engine_config,
@@ -98,10 +123,31 @@ from repro.sharding.supervisor import (
 )
 from repro.telemetry.trace import record_stage
 
-__all__ = ["ShardedEngine", "ShardedBoard", "ShardingError"]
+__all__ = [
+    "ShardedEngine",
+    "ShardedBoard",
+    "ShardingError",
+    "migrate_to_routed",
+]
 
-#: File at the sharded state root recording shard count and partitioner.
+#: File at the sharded state root recording shard count, partitioner and
+#: ingest mode.
 MANIFEST_NAME = "sharding.json"
+
+#: Manifest format of broadcast-ingest state roots (the original layout;
+#: kept bit-identical so older builds still open them).
+MANIFEST_FORMAT_BROADCAST = 1
+
+#: Manifest format of routed-ingest state roots (adds the ``ingest`` key
+#: and the facade resolver directory).
+MANIFEST_FORMAT_ROUTED = 2
+
+#: Directory under a routed state root holding the facade resolver's
+#: snapshot+WAL state.
+RESOLVER_DIR_NAME = "resolver"
+
+#: Snapshot document format of the facade resolver state.
+RESOLVER_SNAPSHOT_FORMAT = 1
 
 _BACKENDS = ("serial", "thread", "process")
 
@@ -197,6 +243,19 @@ class _ShardHost:
             self.engine.process(
                 [Action(time=t, user=u, parent=p) for t, u, p in payload]
             )
+            self.busy_seconds += time.perf_counter() - busy_started
+            return _Dropped(self.info()) if drop else self.info()
+        if cmd == "apply":
+            # Routed ingest: the facade resolved the slide once and this
+            # payload carries only the influence records this shard owns.
+            drop = False
+            if self._injector is not None:
+                drop = self._injector.before_slide(
+                    self.engine.slides_processed + 1,
+                    abandoned=self.abandoned_check,
+                )
+            busy_started = time.perf_counter()
+            self.engine.apply_resolved(ResolvedSlide.from_wire(payload))
             self.busy_seconds += time.perf_counter() - busy_started
             return _Dropped(self.info()) if drop else self.info()
         if cmd == "answers":
@@ -678,6 +737,163 @@ class _ProcessBackend:
         self._processes = [None] * len(self._processes)
 
 
+class _FacadeResolver:
+    """The facade's slide resolver plus its optional durable state.
+
+    Routed ingest resolves every slide exactly once, at the facade; this
+    wrapper gives that resolver the same snapshot+WAL recipe a shard
+    engine gets, under ``<root>/resolver/``.  The WAL logs the *raw
+    action slides* (appended before routing), so after a crash the
+    resolver replays its tail and its clock always covers every shard's
+    clock — a redelivered suffix then re-resolves idempotently and the
+    routed records a lagging shard receives are identical to the
+    originals.
+    """
+
+    def __init__(
+        self,
+        resolver: SlideResolver,
+        store: Optional[StateStore],
+        slide_seq: int,
+        replayed: int,
+        snapshot_every: int,
+    ):
+        self._resolver = resolver
+        self._store = store
+        self._slide_seq = slide_seq
+        self._replayed = replayed
+        self._snapshot_every = snapshot_every
+        self._last_snapshot_seq = slide_seq if replayed == 0 else None
+
+    @classmethod
+    def open(
+        cls,
+        state_root: Optional[pathlib.Path],
+        retention: Optional[int],
+        snapshot_every: int,
+        keep_snapshots: int,
+        segment_records: int,
+        fsync: bool,
+    ) -> "_FacadeResolver":
+        """Restore (or freshly build) the facade resolver."""
+        if state_root is None:
+            return cls(SlideResolver(retention=retention), None, 0, 0, snapshot_every)
+        store = StateStore(
+            state_root / RESOLVER_DIR_NAME,
+            keep_snapshots=keep_snapshots,
+            segment_records=segment_records,
+            fsync=fsync,
+        )
+        latest = store.snapshots.load_latest()
+        if latest is not None:
+            seq, document = latest
+            version = document.get("format")
+            if version != RESOLVER_SNAPSHOT_FORMAT:
+                raise PersistenceError(
+                    f"unsupported resolver snapshot format {version!r}; "
+                    f"this build reads version {RESOLVER_SNAPSHOT_FORMAT}"
+                )
+            resolver = SlideResolver.from_state(document["resolver"])
+        else:
+            seq = 0
+            resolver = SlideResolver(retention=retention)
+        replayed = 0
+        for wal_seq, payload in store.wal.replay(after=seq):
+            if isinstance(payload, ResolvedSlide):
+                raise PersistenceError(
+                    "the facade resolver WAL logs raw action slides, but "
+                    f"seq {wal_seq} holds a routed record; the state dir "
+                    "is corrupt or mislaid"
+                )
+            if replayed == 0 and latest is None and wal_seq != 1:
+                raise PersistenceError(
+                    f"no resolver snapshot and its WAL starts at slide "
+                    f"{wal_seq}; cannot recover the stream prefix"
+                )
+            if replayed or latest is not None:
+                if wal_seq != seq + 1:
+                    raise PersistenceError(
+                        f"resolver WAL gap: expected slide {seq + 1}, "
+                        f"found {wal_seq}"
+                    )
+            resolver.resolve(payload)
+            replayed += 1
+            seq = wal_seq
+        return cls(resolver, store, seq, replayed, snapshot_every)
+
+    @property
+    def now(self) -> int:
+        """The resolver's stream clock."""
+        return self._resolver.now
+
+    @property
+    def actions_processed(self) -> int:
+        """Distinct stream actions resolved (global, not per shard)."""
+        return self._resolver.actions_processed
+
+    @property
+    def replayed_slides(self) -> int:
+        """WAL slides replayed by :meth:`open`."""
+        return self._replayed
+
+    @property
+    def slides_processed(self) -> int:
+        """Resolver slide sequence (== resolved slides in its lifetime)."""
+        return self._slide_seq
+
+    def log_and_resolve(self, batch: Sequence[Action]) -> ResolvedSlide:
+        """Validate, write-ahead-log, then resolve one slide.
+
+        The batch is validated (strictly ascending) *before* it reaches
+        the WAL, so a poisoned slide is never logged; actions at or
+        below the resolver clock (redelivery) resolve idempotently.
+        """
+        previous = 0
+        for action in batch:
+            if action.time <= previous:
+                raise ValueError(
+                    f"resolver received out-of-order action {action.time} "
+                    f"after {previous}"
+                )
+            previous = action.time
+        seq = self._slide_seq + 1
+        if self._store is not None:
+            self._store.wal.append(seq, batch)
+        resolved = self._resolver.resolve(batch)
+        self._slide_seq = seq
+        if (
+            self._store is not None
+            and self._snapshot_every
+            and seq % self._snapshot_every == 0
+        ):
+            self.snapshot()
+        return resolved
+
+    def snapshot(self) -> None:
+        """Write a resolver snapshot and prune the covered WAL tail."""
+        if self._store is None:
+            return
+        self._store.snapshots.save(
+            self._slide_seq,
+            {
+                "format": RESOLVER_SNAPSHOT_FORMAT,
+                "slide_seq": self._slide_seq,
+                "resolver": self._resolver.to_state(),
+            },
+        )
+        self._last_snapshot_seq = self._slide_seq
+        retained = self._store.snapshots.sequences()
+        if retained:
+            self._store.wal.prune_through(min(retained))
+
+    def close(self, snapshot: bool = True) -> None:
+        """Seal (final snapshot by default) and release file handles."""
+        if self._store is not None:
+            if snapshot and self._slide_seq != self._last_snapshot_seq:
+                self.snapshot()
+            self._store.close()
+
+
 class ShardedBoard:
     """Board adapter: the merged, multi-query face of a sharded engine.
 
@@ -727,6 +943,7 @@ class ShardedBoard:
             entry = {
                 "kind": "sharded",
                 "shards": engine.shard_count,
+                "ingest": engine.ingest_mode,
                 "actions_processed": engine.actions_processed,
                 "time": engine.now,
                 "degraded": degraded,
@@ -753,6 +970,7 @@ class ShardedEngine:
         multi: bool,
         state_root: Optional[pathlib.Path],
         infos: List[dict],
+        resolver: Optional[_FacadeResolver] = None,
     ):
         """Internal constructor — use :meth:`open`."""
         self._backend = backend
@@ -761,10 +979,14 @@ class ShardedEngine:
         self._merge_params = merge_params
         self._multi = multi
         self._state_root = state_root
+        self._resolver = resolver
         self._shard_nows = [info["now"] for info in infos]
         self._shard_slides = [info["slides"] for info in infos]
         self._snapshots = [info["snapshots_written"] for info in infos]
         self._actions = max((info["actions"] for info in infos), default=0)
+        #: Per-shard consumed-work counters: stream actions in broadcast
+        #: mode, routed records in routed mode (the replicated-work fix).
+        self._shard_actions = [info["actions"] for info in infos]
         self._replayed = [info["replayed"] for info in infos]
         # Per-shard busy-seconds: cumulative across worker incarnations
         # (restarts reset a worker's own counter; we fold the delta).
@@ -775,6 +997,9 @@ class ShardedEngine:
         #: Busy-time gap between the hottest and coolest shard on the
         #: last processed slide — the slide-barrier straggler signal.
         self.last_straggler_seconds = 0.0
+        #: Influence records routed to shards on the last processed slide
+        #: (0 before any slide; stays 0 in broadcast mode).
+        self.last_routed_records = 0
         self._publish_hooks: List = []
         self._board = ShardedBoard(self)
         self._lock = threading.Lock()
@@ -799,6 +1024,7 @@ class ShardedEngine:
         backoff_max: float = 2.0,
         call_timeout: Optional[float] = 30.0,
         fault_plan: Optional[FaultPlan] = None,
+        routed: Optional[bool] = None,
     ) -> "ShardedEngine":
         """Build (or recover) a sharded engine.
 
@@ -814,6 +1040,16 @@ class ShardedEngine:
             backend: ``"serial"``, ``"thread"`` (default) or ``"process"``.
             partitioner: Influencer partitioner; defaults to
                 :class:`~repro.sharding.partition.HashPartitioner`.
+            routed: Ingest mode.  ``None`` (default) follows an existing
+                manifest's mode, and for fresh state picks routed ingest
+                whenever every query supports pre-resolved slides (no
+                filtered queries, every algorithm overrides the resolved
+                absorb hook) — broadcast otherwise.  ``True``/``False``
+                force a mode: forcing routed on an unsupporting board
+                raises :class:`ShardingError`; opening an existing state
+                root in the other mode raises
+                :class:`~repro.persistence.serialize.PersistenceError`
+                (use :func:`migrate_to_routed` for broadcast roots).
             snapshot_every: Per-shard auto-snapshot cadence in slides.
             keep_snapshots: Per-shard snapshot retention.
             segment_records: Per-shard WAL records per segment.
@@ -853,12 +1089,37 @@ class ShardedEngine:
                 f"only {shards} shard(s) were requested"
             )
         state_root = None
+        stored_manifest = None
         if state_dir is not None:
             state_root = pathlib.Path(state_dir)
-            cls._check_manifest(state_root, shards, partitioner)
+            stored_manifest = cls._read_manifest(state_root)
         probe = factory(None)
         merge_params = cls._probe_merge_params(probe)
         multi = isinstance(probe, MultiQueryEngine)
+        supports_resolved = cls._probe_resolved_support(probe)
+        if routed is None:
+            if stored_manifest is not None:
+                routed = stored_manifest.get("ingest") == "routed"
+            else:
+                routed = supports_resolved
+        if routed and not supports_resolved:
+            raise ShardingError(
+                "routed ingest needs every query to absorb pre-resolved "
+                "slides (no filtered queries; IC/SIC-style algorithms); "
+                "this board cannot — use routed=False (broadcast ingest)"
+            )
+        if state_root is not None:
+            cls._check_manifest(state_root, shards, partitioner, routed)
+        resolver = None
+        if routed:
+            resolver = _FacadeResolver.open(
+                state_root,
+                retention=cls._probe_retention(probe),
+                snapshot_every=snapshot_every,
+                keep_snapshots=keep_snapshots,
+                segment_records=segment_records,
+                fsync=fsync,
+            )
         state_dirs = [
             shard_state_dir(state_root, shard) if state_root is not None else None
             for shard in range(shards)
@@ -918,7 +1179,7 @@ class ShardedEngine:
             call_timeout=call_timeout,
             fault_plan=fault_plan,
         )
-        return cls(
+        engine = cls(
             backend_obj,
             supervisor,
             partitioner,
@@ -926,22 +1187,81 @@ class ShardedEngine:
             multi,
             state_root,
             infos,
+            resolver=resolver,
         )
+        if resolver is not None and engine.now > resolver.now:
+            # Shards can never outrun the write-ahead resolver log; a
+            # clock ahead of the resolver means the resolver state was
+            # deleted or swapped from under the shard dirs.
+            backend_obj.stop()
+            raise PersistenceError(
+                f"shard clocks reach {engine.now} but the facade resolver "
+                f"only covers {resolver.now}; the resolver state under "
+                f"{state_root}/{RESOLVER_DIR_NAME} is stale or missing"
+            )
+        return engine
 
     @staticmethod
-    def _check_manifest(
-        root: pathlib.Path, shards: int, partitioner: Partitioner
-    ) -> None:
-        """Create or validate the state root's ``sharding.json``."""
-        expected = {
-            "format": 1,
-            "shards": shards,
-            "partitioner": partitioner.to_state(),
-        }
+    def _read_manifest(root: pathlib.Path) -> Optional[dict]:
+        """The stored ``sharding.json``, or ``None`` for a fresh root."""
         manifest_path = root / MANIFEST_NAME
-        if manifest_path.exists():
-            stored = json.loads(manifest_path.read_text())
+        if not manifest_path.exists():
+            return None
+        return json.loads(manifest_path.read_text())
+
+    @classmethod
+    def _check_manifest(
+        cls,
+        root: pathlib.Path,
+        shards: int,
+        partitioner: Partitioner,
+        routed: bool,
+    ) -> None:
+        """Create or validate the state root's ``sharding.json``.
+
+        Broadcast roots keep the original format-1 document bit for bit
+        (older builds still open them); routed roots are format 2 with an
+        explicit ``ingest`` key.
+        """
+        if routed:
+            expected = {
+                "format": MANIFEST_FORMAT_ROUTED,
+                "shards": shards,
+                "partitioner": partitioner.to_state(),
+                "ingest": "routed",
+            }
+        else:
+            expected = {
+                "format": MANIFEST_FORMAT_BROADCAST,
+                "shards": shards,
+                "partitioner": partitioner.to_state(),
+            }
+        stored = cls._read_manifest(root)
+        if stored is not None:
             if stored != expected:
+                stored_mode = (
+                    "routed" if stored.get("ingest") == "routed" else "broadcast"
+                )
+                wanted_mode = "routed" if routed else "broadcast"
+                if (
+                    stored_mode != wanted_mode
+                    and stored.get("shards") == shards
+                    and stored.get("partitioner") == partitioner.to_state()
+                ):
+                    hint = (
+                        "convert it in place with migrate_to_routed() or "
+                        "reopen with routed=False"
+                        if routed
+                        else "its shard WALs hold routed records that "
+                        "broadcast ingest cannot replay; reopen with "
+                        "routed=True"
+                    )
+                    raise PersistenceError(
+                        f"sharded state dir {root} holds {stored_mode}-"
+                        f"ingest state (manifest format "
+                        f"{stored.get('format')}), but {wanted_mode} "
+                        f"ingest was requested; {hint}"
+                    )
                 raise PersistenceError(
                     f"sharded state dir {root} was created with "
                     f"{stored.get('shards')} shards and partitioner "
@@ -955,7 +1275,40 @@ class ShardedEngine:
         root.mkdir(parents=True, exist_ok=True)
         tmp = root / (MANIFEST_NAME + ".tmp")
         tmp.write_text(json.dumps(expected, sort_keys=True) + "\n")
-        os.replace(tmp, manifest_path)
+        os.replace(tmp, root / MANIFEST_NAME)
+
+    @staticmethod
+    def _probe_resolved_support(probe) -> bool:
+        """Whether the probe board can run on routed (pre-resolved) slides."""
+        if isinstance(probe, MultiQueryEngine):
+            return probe.supports_resolved()
+        if isinstance(probe, SIMAlgorithm):
+            return (
+                type(probe)._on_slide_resolved
+                is not SIMAlgorithm._on_slide_resolved
+            )
+        return False
+
+    @staticmethod
+    def _probe_retention(probe) -> Optional[int]:
+        """The facade resolver's retention horizon from the probe board.
+
+        The resolver's forest feeds *every* shard algorithm, so it must
+        retain at least as much history as the most demanding one:
+        ``None`` (unbounded) if any algorithm is unbounded, else the
+        maximum retention.  Only called on resolved-capable boards, which
+        hold no filtered queries.
+        """
+        if isinstance(probe, MultiQueryEngine):
+            algorithms = [probe.get(name) for name in probe.names()]
+        else:
+            algorithms = [probe]
+        retentions = [
+            a.forest.to_state().get("retention") for a in algorithms
+        ]
+        if any(r is None for r in retentions):
+            return None
+        return max(retentions)
 
     @staticmethod
     def _probe_merge_params(probe) -> Dict[str, tuple]:
@@ -986,17 +1339,24 @@ class ShardedEngine:
     # -- streaming ---------------------------------------------------------
 
     def process(self, batch: Sequence[Action]) -> None:
-        """Broadcast one slide to every shard (with per-shard catch-up).
+        """Feed one slide to the shards (routed or broadcast fan-out).
 
         The batch must be strictly ascending and beyond the facade clock
         (the minimum shard clock).  A shard that is *ahead* — possible
         after a crash that hit shards at different positions — receives
-        only the suffix beyond its own clock, so at-least-once redelivery
+        only the work beyond its own clock, so at-least-once redelivery
         heals the lag instead of tripping the per-shard stream contract.
+
+        In routed mode the facade write-ahead-logs the raw slide,
+        resolves it exactly once through its
+        :class:`~repro.core.resolve.SlideResolver`, partitions the
+        resolved influence tuples by owning influencer and sends each
+        shard only its routed records; in broadcast mode every shard
+        receives the raw actions and resolves its own forest.
 
         A shard worker that dies or hangs during the call is healed in
         place by the supervisor (restart from its snapshot + WAL, then
-        redeliver the suffix beyond its recovered clock); the caller sees
+        redeliver the work beyond its recovered clock); the caller sees
         :class:`ShardingError` only after the retry budget is exhausted.
         """
         if self._closed:
@@ -1012,26 +1372,16 @@ class ShardedEngine:
                     f"after {last}"
                 )
             last = action.time
-        encoded = [(a.time, a.user, a.parent) for a in batch]
-        aligned = all(now == self._shard_nows[0] for now in self._shard_nows)
-        payloads: List = []
-        for shard_now in self._shard_nows:
-            if aligned:
-                payloads.append(encoded)
-            else:
-                suffix = [item for item in encoded if item[0] > shard_now]
-                payloads.append(suffix if suffix else _SKIP)
+        if self._resolver is not None:
+            cmd, payloads, repayload = self._routed_fanout(batch)
+        else:
+            cmd, payloads, repayload = self._broadcast_fanout(batch)
         incidents = [slides + 1 for slides in self._shard_slides]
-
-        def repayload(shard: int, restored: dict):
-            suffix = [item for item in encoded if item[0] > restored["now"]]
-            return suffix if suffix else _SKIP
-
         busy_before = list(self._busy_seconds)
         fanout_started = time.perf_counter()
         with self._lock:
             replies = self._supervisor.call(
-                "process",
+                cmd,
                 payloads,
                 heal=True,
                 repayload=repayload,
@@ -1057,14 +1407,91 @@ class ShardedEngine:
             for hook in self._publish_hooks:
                 hook(answers)
 
+    def _broadcast_fanout(self, batch: List[Action]):
+        """Per-shard raw-action payloads (the legacy broadcast write path)."""
+        encoded = [(a.time, a.user, a.parent) for a in batch]
+        aligned = all(now == self._shard_nows[0] for now in self._shard_nows)
+        payloads: List = []
+        for shard_now in self._shard_nows:
+            if aligned:
+                payloads.append(encoded)
+            else:
+                suffix = [item for item in encoded if item[0] > shard_now]
+                payloads.append(suffix if suffix else _SKIP)
+
+        def repayload(shard: int, restored: dict):
+            suffix = [item for item in encoded if item[0] > restored["now"]]
+            return suffix if suffix else _SKIP
+
+        return "process", payloads, repayload
+
+    def _routed_fanout(self, batch: List[Action]):
+        """Resolve once, partition by influencer, build per-shard payloads.
+
+        Every shard behind the slide receives a payload — even one whose
+        projected record list is empty: checkpoints must open at the
+        slide's *global* start and the absorption ledger counts the
+        global ``L``, which is what keeps routed answers identical to
+        broadcast.  Only a shard already at or beyond the slide's end
+        (post-crash redelivery) is skipped.
+        """
+        resolve_started = time.perf_counter()
+        resolved = self._resolver.log_and_resolve(batch)
+        record_stage(
+            "resolve", time.perf_counter() - resolve_started, len(batch)
+        )
+        route_started = time.perf_counter()
+        parts = partition_slide(resolved, self._partitioner)
+        payloads: List = []
+        routed_records = 0
+        for shard, part in enumerate(parts):
+            shard_now = self._shard_nows[shard]
+            if shard_now >= resolved.last:
+                payloads.append(_SKIP)
+                continue
+            if shard_now >= resolved.start:
+                # Mid-slide catch-up: slice the *global* slide beyond the
+                # shard clock, then narrow to owned influencers.
+                owns = ShardAssignment(self._partitioner, shard).owns
+                part = resolved.slice_after(shard_now).project(owns)
+                if part.count == 0:
+                    payloads.append(_SKIP)
+                    continue
+            payloads.append(part.to_wire())
+            routed_records += len(part.records)
+        self.last_routed_records = routed_records
+        record_stage(
+            "route", time.perf_counter() - route_started, routed_records
+        )
+
+        def repayload(shard: int, restored: dict):
+            now = restored["now"]
+            if now >= resolved.last:
+                return _SKIP
+            if now < resolved.start:
+                return parts[shard].to_wire()
+            owns = ShardAssignment(self._partitioner, shard).owns
+            suffix = resolved.slice_after(now).project(owns)
+            return suffix.to_wire() if suffix.count else _SKIP
+
+        return "apply", payloads, repayload
+
     def _absorb_infos(self, replies: Sequence[Optional[dict]]) -> None:
-        """Update cached per-shard positions from command replies."""
+        """Update cached per-shard positions from command replies.
+
+        ``info["actions"]`` counts what the shard *consumed*: stream
+        actions in broadcast mode, routed records in routed mode — the
+        facade keeps both the per-shard counters (``/metrics``,
+        :meth:`supervision_stats`) and, in broadcast mode only, the
+        stream-global maximum (routed mode reads the resolver instead).
+        """
         for shard, info in enumerate(replies):
             if info is None:
                 continue
             self._shard_nows[shard] = info["now"]
             self._shard_slides[shard] = info["slides"]
             self._snapshots[shard] = info["snapshots_written"]
+            self._shard_actions[shard] = info["actions"]
             self._actions = max(self._actions, info["actions"])
             busy = float(info.get("busy_seconds", 0.0))
             delta = busy - self._busy_last_seen[shard]
@@ -1157,16 +1584,37 @@ class ShardedEngine:
         return self._supervisor.heal_hist
 
     def supervision_stats(self) -> dict:
-        """Supervisor counters plus per-shard health and last-known clocks."""
+        """Supervisor counters plus per-shard health and last-known clocks.
+
+        Per-shard entries report the work each shard actually consumed:
+        in routed mode ``routed_records`` (the influence tuples it was
+        sent), in broadcast mode ``actions`` (the full stream — every
+        shard replicates it).  Routed stats additionally carry the facade
+        resolver's position.
+        """
         stats = self._supervisor.stats()
         states = self._supervisor.shard_states()
+        routed = self._resolver is not None
         for state in states:
             shard = state["shard"]
             state["last_known_now"] = self._shard_nows[shard]
             state["busy_seconds"] = round(self._busy_seconds[shard], 6)
             state["slides"] = self._shard_slides[shard]
+            if routed:
+                state["routed_records"] = self._shard_actions[shard]
+            else:
+                state["actions"] = self._shard_actions[shard]
         stats["shards"] = states
         stats["straggler_seconds"] = round(self.last_straggler_seconds, 6)
+        stats["ingest"] = self.ingest_mode
+        if routed:
+            stats["resolver"] = {
+                "now": self._resolver.now,
+                "actions_processed": self._resolver.actions_processed,
+                "slides": self._resolver.slides_processed,
+                "replayed": self._resolver.replayed_slides,
+            }
+            stats["last_routed_records"] = self.last_routed_records
         return stats
 
     def heal(self) -> bool:
@@ -1188,9 +1636,11 @@ class ShardedEngine:
     # -- durability --------------------------------------------------------
 
     def snapshot(self) -> None:
-        """Write a full-state snapshot on every shard now."""
+        """Write a full-state snapshot on every shard (and the resolver) now."""
         if self._state_root is None:
             raise PersistenceError("engine has no state store to snapshot to")
+        if self._resolver is not None:
+            self._resolver.snapshot()
         with self._lock:
             replies = self._supervisor.call(
                 "snapshot",
@@ -1219,6 +1669,8 @@ class ShardedEngine:
             pass
         finally:
             self._backend.stop()
+            if self._resolver is not None:
+                self._resolver.close(snapshot=snapshot)
 
     def __enter__(self) -> "ShardedEngine":
         """Context-manager entry: the engine itself."""
@@ -1251,6 +1703,23 @@ class ShardedEngine:
         return self._backend.name
 
     @property
+    def ingest_mode(self) -> str:
+        """``"routed"`` (resolve-once fan-out) or ``"broadcast"``."""
+        return "routed" if self._resolver is not None else "broadcast"
+
+    @property
+    def routed(self) -> bool:
+        """True when this engine routes resolved records (not raw actions)."""
+        return self._resolver is not None
+
+    @property
+    def shard_routed_records(self) -> Optional[List[int]]:
+        """Per-shard routed records consumed (``None`` in broadcast mode)."""
+        if self._resolver is None:
+            return None
+        return list(self._shard_actions)
+
+    @property
     def worker_pids(self) -> Optional[List[Optional[int]]]:
         """Shard worker process ids (``None`` for in-process backends)."""
         return self._backend.pids
@@ -1275,7 +1744,14 @@ class ShardedEngine:
 
     @property
     def actions_processed(self) -> int:
-        """Actions consumed at the most advanced shard."""
+        """Stream actions consumed (global).
+
+        Broadcast mode reads the most advanced shard (every shard
+        replicates the stream); routed mode reads the facade resolver —
+        shard counters there count routed records, not stream actions.
+        """
+        if self._resolver is not None:
+            return self._resolver.actions_processed
         return self._actions
 
     @property
@@ -1331,3 +1807,150 @@ class ShardedEngine:
                 }
             out.append(entry)
         return out
+
+
+def migrate_to_routed(state_dir) -> dict:
+    """Convert a broadcast-era sharded state dir to routed ingest, in place.
+
+    Broadcast shards each hold the *full* diffusion forest (every shard saw
+    every action), so any shard's recovered state can seed the facade
+    resolver — the migration picks the most advanced shard (newest snapshot
+    plus longest WAL tail), rebuilds a :class:`~repro.core.resolve.SlideResolver`
+    from its forest/clock/accounting, replays that shard's WAL tail through
+    it, writes the resolver's snapshot under ``<root>/resolver/``, and
+    rewrites the manifest to format 2 with ``"ingest": "routed"``.
+
+    The shard directories themselves are untouched: their broadcast-era
+    action WALs replay fine on reopen (the durable engine dispatches on
+    record kind), and every *subsequent* slide is logged as a routed-tuple
+    batch.  The operation is idempotent — an already-routed root returns
+    without writing anything.
+
+    Args:
+        state_dir: A sharded state root (the directory holding
+            ``sharding.json``).
+
+    Returns:
+        A summary dict: ``state_dir``, ``ingest``, ``migrated`` (False when
+        the root was already routed), and — after a conversion — the
+        ``seed_shard`` used, its ``slide_seq``, the resolver ``now`` clock
+        and ``actions_processed``, and ``replayed`` WAL slides.
+
+    Raises:
+        PersistenceError: when the root has no manifest, no recoverable
+            shard state, or its shard WALs already hold routed records
+            without a routed manifest (a corrupt or half-converted root).
+    """
+    root = pathlib.Path(state_dir)
+    manifest = ShardedEngine._read_manifest(root)
+    if manifest is None:
+        raise PersistenceError(
+            f"no sharding manifest under {root}; not a sharded state dir"
+        )
+    if manifest.get("ingest") == "routed":
+        return {"state_dir": str(root), "ingest": "routed", "migrated": False}
+    shard_dirs = list_shard_state_dirs(root)
+    if not shard_dirs:
+        raise PersistenceError(
+            f"sharded state dir {root} has a manifest but no shard-*/ "
+            "directories; nothing to migrate from"
+        )
+
+    # Survey every shard; the most advanced one (snapshot seq + WAL tail)
+    # defines the resolver's coverage.  Ties break on the lowest shard id.
+    best = None  # (slide_seq, -shard, shard_dir, snapshot_doc, snap_seq)
+    for shard, shard_dir in enumerate(shard_dirs):
+        store = StateStore(shard_dir, fsync=False)
+        try:
+            latest = store.snapshots.load_latest()
+            snap_seq = latest[0] if latest is not None else 0
+            doc = latest[1] if latest is not None else None
+            last_seq = snap_seq
+            for wal_seq, payload in store.wal.replay(after=snap_seq):
+                if isinstance(payload, ResolvedSlide):
+                    raise PersistenceError(
+                        f"shard WAL under {shard_dir} holds routed records "
+                        "but the manifest says broadcast; the root is "
+                        "corrupt or half-converted"
+                    )
+                last_seq = wal_seq
+        finally:
+            store.close()
+        if doc is None and last_seq == 0:
+            continue
+        key = (last_seq, -shard)
+        if best is None or key > best[0]:
+            best = (key, shard, shard_dir, doc, snap_seq)
+    if best is None:
+        raise PersistenceError(
+            f"no shard under {root} has a snapshot or WAL records; "
+            "nothing to migrate from"
+        )
+    _key, seed_shard, seed_dir, doc, snap_seq = best
+
+    # Seed the resolver from the snapshot's algorithm state (forest, clock,
+    # accounting).  Multi-query boards: the member with the widest retention
+    # horizon carries the most history (matches _probe_retention).
+    if doc is not None:
+        state = doc["algorithm"]
+        if state.get("algorithm") == "multi":
+            def horizon(query_state: dict):
+                retention = query_state["base"]["forest"].get("retention")
+                return float("inf") if retention is None else retention
+
+            state = max(doc["algorithm"]["queries"].values(), key=horizon)
+        base = state["base"]
+        resolver = SlideResolver.from_state(
+            {
+                "forest": base["forest"],
+                "last_time": base["window"]["last_time"],
+                "actions_processed": base["actions_processed"],
+            }
+        )
+    else:
+        resolver = SlideResolver()
+
+    # Replay the seed shard's WAL tail (broadcast = the full stream).
+    replayed = 0
+    final_seq = snap_seq
+    store = StateStore(seed_dir, fsync=False)
+    try:
+        for wal_seq, payload in store.wal.replay(after=snap_seq):
+            resolver.resolve(payload)
+            replayed += 1
+            final_seq = wal_seq
+    finally:
+        store.close()
+
+    resolver_store = StateStore(root / RESOLVER_DIR_NAME)
+    try:
+        resolver_store.snapshots.save(
+            final_seq,
+            {
+                "format": RESOLVER_SNAPSHOT_FORMAT,
+                "slide_seq": final_seq,
+                "resolver": resolver.to_state(),
+            },
+        )
+    finally:
+        resolver_store.close()
+
+    routed_manifest = {
+        "format": MANIFEST_FORMAT_ROUTED,
+        "shards": manifest["shards"],
+        "partitioner": manifest["partitioner"],
+        "ingest": "routed",
+    }
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(routed_manifest, sort_keys=True) + "\n")
+    os.replace(tmp, root / MANIFEST_NAME)
+    return {
+        "state_dir": str(root),
+        "ingest": "routed",
+        "migrated": True,
+        "seed_shard": seed_shard,
+        "slide_seq": final_seq,
+        "now": resolver.now,
+        "actions_processed": resolver.actions_processed,
+        "replayed": replayed,
+    }

@@ -1,0 +1,241 @@
+"""The two-phase ingest API: resolve once, apply anywhere.
+
+Covers the PR's core acceptance criteria:
+
+* **Split ≡ composed** — ``resolve_slide`` + ``apply_resolved`` gives the
+  same per-slide answers as the composed ``process`` path, for IC and SIC
+  at L ∈ {1, 5} (including applying a slide resolved by a *different*
+  engine's resolver, the routed topology);
+* **ResolvedSlide semantics** — projection keeps the global slide
+  boundaries, partitioning covers every influence pair exactly once,
+  ``slice_after`` implements catch-up redelivery, and the wire codec
+  round-trips and refuses unknown versions;
+* **SlideResolver** — strict stream-order validation, idempotent
+  re-resolution of redelivered actions, and state round-trip;
+* **Refusals** — algorithms that need raw actions (windowed greedy)
+  refuse pre-resolved slides loudly, and so does a board holding
+  filtered queries.
+"""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.greedy import WindowedGreedy
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.multi import MultiQueryEngine
+from repro.core.resolve import (
+    RESOLVED_WIRE_VERSION,
+    ResolvedSlide,
+    SlideResolver,
+    partition_slide,
+)
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.influence.queries import TopicAwareSIM
+from repro.sharding.partition import HashPartitioner
+from tests.conftest import random_stream
+
+MAKERS = {
+    "ic": lambda: InfluentialCheckpoints(window_size=40, k=3, beta=0.3),
+    "sic": lambda: SparseInfluentialCheckpoints(window_size=40, k=3, beta=0.3),
+}
+
+
+class TestSplitEqualsComposed:
+    @pytest.mark.parametrize("algorithm", ["ic", "sic"])
+    @pytest.mark.parametrize("slide", [1, 5])
+    def test_resolve_then_apply_matches_process(self, algorithm, slide):
+        """One engine split against another composed: identical answers."""
+        actions = random_stream(150, 15, seed=51)
+        composed = MAKERS[algorithm]()
+        split = MAKERS[algorithm]()
+        for batch in batched(actions, slide):
+            composed.process(batch)
+            split.apply_resolved(split.resolve_slide(batch))
+            assert split.query() == composed.query()
+        assert split.actions_processed == composed.actions_processed
+        assert split.now == composed.now
+
+    @pytest.mark.parametrize("algorithm", ["ic", "sic"])
+    def test_apply_from_external_resolver_matches_process(self, algorithm):
+        """The routed topology: a standalone resolver feeds the engine."""
+        actions = random_stream(150, 15, seed=52)
+        composed = MAKERS[algorithm]()
+        applied = MAKERS[algorithm]()
+        resolver = SlideResolver()
+        for batch in batched(actions, 5):
+            composed.process(batch)
+            applied.apply_resolved(resolver.resolve(batch))
+            assert applied.query() == composed.query()
+
+    def test_wire_round_trip_preserves_answers(self):
+        """apply(from_wire(to_wire(resolved))) ≡ process — the IPC path."""
+        actions = random_stream(100, 10, seed=53)
+        composed = MAKERS["sic"]()
+        applied = MAKERS["sic"]()
+        resolver = SlideResolver()
+        for batch in batched(actions, 4):
+            composed.process(batch)
+            wire = resolver.resolve(batch).to_wire()
+            applied.apply_resolved(ResolvedSlide.from_wire(wire))
+        assert applied.query() == composed.query()
+
+    def test_apply_resolved_rejects_out_of_order_slides(self):
+        engine = MAKERS["ic"]()
+        resolver = SlideResolver()
+        first = resolver.resolve([Action(time=t, user=t % 3) for t in (1, 2, 3)])
+        engine.apply_resolved(first)
+        with pytest.raises(ValueError, match="out-of-order"):
+            engine.apply_resolved(first)
+
+    def test_empty_slide_is_a_no_op(self):
+        engine = MAKERS["ic"]()
+        engine.apply_resolved(ResolvedSlide.empty())
+        assert engine.now == 0
+        assert engine.actions_processed == 0
+
+
+class TestResolvedSlide:
+    def _resolved(self, n=12, users=5, seed=54):
+        resolver = SlideResolver()
+        return resolver.resolve(random_stream(n, users, seed=seed))
+
+    def test_wire_codec_round_trips(self):
+        resolved = self._resolved()
+        assert ResolvedSlide.from_wire(resolved.to_wire()) == resolved
+
+    def test_wire_version_refusal(self):
+        document = self._resolved().to_wire()
+        document["v"] = RESOLVED_WIRE_VERSION + 1
+        with pytest.raises(ValueError, match="wire version"):
+            ResolvedSlide.from_wire(document)
+        with pytest.raises(ValueError, match="wire version"):
+            ResolvedSlide.from_wire({"start": 1, "last": 2, "count": 1})
+
+    def test_projection_keeps_global_boundaries(self):
+        resolved = self._resolved()
+        projected = resolved.project(lambda user: user == 0)
+        assert projected.start == resolved.start
+        assert projected.last == resolved.last
+        assert projected.count == resolved.count
+        assert all(
+            set(r.influencers) <= {0} for r in projected.records
+        )
+        # Projection is idempotent.
+        assert projected.project(lambda user: user == 0) == projected
+
+    def test_partition_covers_every_pair_exactly_once(self):
+        resolved = self._resolved(n=40, users=8)
+        partitioner = HashPartitioner(3)
+        parts = partition_slide(resolved, partitioner)
+        assert len(parts) == 3
+        total_pairs = {
+            (r.time, u) for r in resolved.records for u in r.influencers
+        }
+        seen = set()
+        for shard, part in enumerate(parts):
+            assert part.start == resolved.start
+            assert part.count == resolved.count
+            for record in part.records:
+                for user in record.influencers:
+                    assert partitioner.shard_of(user) == shard
+                    pair = (record.time, user)
+                    assert pair not in seen
+                    seen.add(pair)
+        assert seen == total_pairs
+
+    def test_slice_after_redelivery_suffix(self):
+        resolved = self._resolved(n=10, users=4, seed=55)
+        assert resolved.slice_after(resolved.start - 1) is resolved
+        mid = resolved.records[4].time
+        suffix = resolved.slice_after(mid)
+        assert suffix.records == resolved.records[5:]
+        assert suffix.start == resolved.records[5].time
+        assert suffix.last == resolved.last
+        assert suffix.count == len(suffix.records)
+        assert resolved.slice_after(resolved.last) == ResolvedSlide.empty()
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            ResolvedSlide(start=1, last=2, count=-1, records=())
+        with pytest.raises(ValueError, match="out of order"):
+            ResolvedSlide(start=5, last=2, count=3, records=())
+
+
+class TestSlideResolver:
+    def test_rejects_out_of_order_within_batch(self):
+        resolver = SlideResolver()
+        with pytest.raises(ValueError, match="out-of-order"):
+            resolver.resolve(
+                [Action(time=2, user=0), Action(time=2, user=1)]
+            )
+
+    def test_redelivery_is_idempotent(self):
+        actions = random_stream(30, 6, seed=56)
+        resolver = SlideResolver()
+        first = resolver.resolve(actions)
+        again = resolver.resolve(actions)  # full redelivery
+        assert again.records == first.records
+        assert resolver.actions_processed == 30
+        assert resolver.now == 30
+
+    def test_state_round_trip_continues_stream(self):
+        actions = random_stream(60, 8, seed=57)
+        resolver = SlideResolver()
+        resolver.resolve(actions[:30])
+        restored = SlideResolver.from_state(resolver.to_state())
+        assert restored.now == resolver.now
+        assert restored.actions_processed == resolver.actions_processed
+        assert restored.resolve(actions[30:]) == resolver.resolve(actions[30:])
+
+
+class TestRefusals:
+    def test_windowed_greedy_refuses_resolved_slides(self):
+        engine = WindowedGreedy(window_size=20, k=2)
+        resolver = SlideResolver()
+        resolved = resolver.resolve(random_stream(10, 4, seed=58))
+        with pytest.raises(NotImplementedError, match="pre-resolved"):
+            engine.apply_resolved(resolved)
+
+    def test_board_support_probe(self):
+        capable = (
+            MultiQueryEngine()
+            .add("a", MAKERS["ic"]())
+            .add("b", MAKERS["sic"]())
+        )
+        assert capable.supports_resolved()
+        greedy = MultiQueryEngine().add("g", WindowedGreedy(window_size=20, k=2))
+        assert not greedy.supports_resolved()
+        filtered = MultiQueryEngine().add(
+            "topic", TopicAwareSIM({"x"}, {}, window_size=20, k=2)
+        )
+        assert not filtered.supports_resolved()
+
+    def test_board_with_filtered_queries_refuses_apply(self):
+        board = (
+            MultiQueryEngine()
+            .add("plain", MAKERS["ic"]())
+            .add("topic", TopicAwareSIM({"x"}, {}, window_size=20, k=2))
+        )
+        resolved = SlideResolver().resolve(random_stream(10, 4, seed=59))
+        with pytest.raises(ValueError, match="filtered"):
+            board.apply_resolved(resolved)
+
+    def test_board_apply_matches_board_process(self):
+        actions = random_stream(100, 10, seed=60)
+        composed = (
+            MultiQueryEngine()
+            .add("a", MAKERS["ic"]())
+            .add("b", MAKERS["sic"]())
+        )
+        applied = (
+            MultiQueryEngine()
+            .add("a", MAKERS["ic"]())
+            .add("b", MAKERS["sic"]())
+        )
+        resolver = SlideResolver()
+        for batch in batched(actions, 5):
+            composed.process(batch)
+            applied.apply_resolved(resolver.resolve(batch))
+        assert applied.query_all() == composed.query_all()
+        assert applied.actions_processed == composed.actions_processed

@@ -237,3 +237,125 @@ class TestChecksums:
         reopened = ActionWAL(tmp_path, fsync=False)
         assert reopened.last_seq == 2
         assert [seq for seq, _ in reopened.replay()] == [1, 2]
+
+
+class TestRoutedRecords:
+    """Routed-slide WAL records: the format behind routed sharded ingest."""
+
+    def _resolved(self, n=6, start_seed=61):
+        from repro.core.resolve import SlideResolver
+
+        from tests.conftest import random_stream
+
+        resolver = SlideResolver()
+        return [
+            resolver.resolve(batch)
+            for batch in (
+                random_stream(n * 3, 5, seed=start_seed)[i : i + 3]
+                for i in range(0, n * 3, 3)
+            )
+        ]
+
+    def test_append_resolved_roundtrip(self, tmp_path):
+        from repro.core.resolve import ResolvedSlide
+
+        wal = ActionWAL(tmp_path, fsync=False)
+        resolved = self._resolved()
+        for seq, slide in enumerate(resolved, start=1):
+            wal.append_resolved(seq, slide)
+        wal.close()
+        replayed = list(ActionWAL(tmp_path, fsync=False).replay())
+        assert [seq for seq, _ in replayed] == list(range(1, len(resolved) + 1))
+        for _, payload in replayed:
+            assert isinstance(payload, ResolvedSlide)
+        assert [payload for _, payload in replayed] == resolved
+
+    def test_action_and_routed_records_interleave(self, tmp_path):
+        """A migrated shard log: broadcast-era prefix, routed suffix."""
+        from repro.core.resolve import ResolvedSlide
+
+        wal = ActionWAL(tmp_path, fsync=False)
+        batches = slides(2)
+        wal.append(1, batches[0])
+        wal.append(2, batches[1])
+        routed = self._resolved(n=2, start_seed=62)
+        # Shift routed slides past the action prefix's clock.
+        wal.append_resolved(3, routed[0])
+        wal.append_resolved(4, routed[1])
+        wal.close()
+        replayed = list(ActionWAL(tmp_path, fsync=False).replay())
+        kinds = [type(payload).__name__ for _, payload in replayed]
+        assert kinds == ["list", "list", "ResolvedSlide", "ResolvedSlide"]
+        assert replayed[0][1] == batches[0]
+        assert replayed[2][1] == routed[0]
+
+    def test_newer_wire_version_raises_even_at_tail(self, tmp_path):
+        """A checksum-valid routed record this build cannot decode is a
+        format problem, never a torn tail — replay must refuse, not
+        silently truncate the shard's history."""
+        from repro.persistence.wal import _record_crc, _record_payload
+
+        wal = ActionWAL(tmp_path, fsync=False)
+        for seq, slide in enumerate(self._resolved(n=3), start=1):
+            wal.append_resolved(seq, slide)
+        wal.close()
+        segment = wal.segments()[-1]
+        lines = segment.read_text().strip().split("\n")
+        record = json.loads(lines[-1])
+        record["slide"]["v"] += 1  # a future wire format
+        record["crc"] = _record_crc(_record_payload(record))
+        lines[-1] = json.dumps(record, separators=(",", ":"))
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PersistenceError, match="unreadable WAL record"):
+            list(ActionWAL(tmp_path, fsync=False).replay())
+
+    def test_unchecksummed_routed_tail_stays_torn_ok(self, tmp_path):
+        """Only legacy records without a CRC keep torn-tail forgiveness."""
+        wal = ActionWAL(tmp_path, fsync=False)
+        for seq, slide in enumerate(self._resolved(n=2), start=1):
+            wal.append_resolved(seq, slide)
+        wal.close()
+        segment = wal.segments()[-1]
+        lines = segment.read_text().strip().split("\n")
+        record = json.loads(lines[-1])
+        del record["crc"]
+        record["slide"]["v"] += 1  # undecodable, but no checksum: torn-ok
+        lines[-1] = json.dumps(record, separators=(",", ":"))
+        # No trailing newline: the damaged record is a genuine torn append.
+        segment.write_text("\n".join(lines))
+        replayed = list(ActionWAL(tmp_path, fsync=False).replay())
+        assert [seq for seq, _ in replayed] == [1]
+
+    def test_recoverable_engine_routed_crash_reopen(self, tmp_path):
+        """apply_resolved is write-ahead: a crash between snapshots replays
+        routed records and answers exactly like the unbroken run."""
+        from repro.core.ic import InfluentialCheckpoints
+        from repro.core.resolve import SlideResolver
+        from repro.core.stream import batched
+        from repro.persistence.engine import RecoverableEngine
+
+        from tests.conftest import random_stream
+
+        actions = random_stream(80, 10, seed=63)
+        make = lambda: InfluentialCheckpoints(window_size=30, k=3, beta=0.3)
+
+        oracle = make()
+        resolver = SlideResolver()
+        resolved = [resolver.resolve(list(b)) for b in batched(actions, 4)]
+        for slide in resolved:
+            oracle.apply_resolved(slide)
+
+        engine = RecoverableEngine.open(
+            tmp_path, make, snapshot_every=5, fsync=False
+        )
+        for slide in resolved[:13]:
+            engine.apply_resolved(slide)
+        engine._store.close()  # crash: snapshot at 10, WAL tail 11-13
+
+        recovered = RecoverableEngine.open(tmp_path, make, fsync=False)
+        assert recovered.slides_processed == 13
+        assert recovered.replayed_slides == 3
+        for slide in resolved[13:]:
+            recovered.apply_resolved(slide)
+        assert recovered.query() == oracle.query()
+        recovered.close()

@@ -568,3 +568,95 @@ class TestServeSubprocess:
         assert answer["time"] == expected.time
         assert answer["value"] == expected.value
         assert answer["seeds"] == sorted(expected.seeds)
+
+
+class TestBatchedWire:
+    """The batched ingest wire format: one JSON array of actions per line."""
+
+    def test_send_batch_matches_unbatched_ingest(self):
+        """Batched and line-per-action clients produce identical boards."""
+        actions = random_stream(150, 15, seed=41)
+        offline = SparseInfluentialCheckpoints(window_size=40, k=3, beta=0.3)
+        answers = []
+        for batch in batched(actions, 5):
+            offline.process(batch)
+            answers.append(offline.query())
+
+        make = lambda: SparseInfluentialCheckpoints(
+            window_size=40, k=3, beta=0.3
+        )
+        with serve(make, slide=5, history=400) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            summary = client.send_batch(actions, batch=32)
+            assert summary["accepted"] == len(actions)
+            assert summary["slide"] == len(answers)
+            history = client.history("main")
+            assert len(history) == len(answers)
+            for served, expected in zip(history, answers):
+                assert served["time"] == expected.time
+                assert served["value"] == expected.value
+                assert served["seeds"] == sorted(expected.seeds)
+
+    def test_acks_count_actions_not_lines(self):
+        """A 25-action line crosses ack_every=10: the ack reports 25
+        actions received, not 1 line."""
+        import socket as socket_module
+
+        from repro.service.client import encode_action
+
+        actions = random_stream(25, 6, seed=42)
+        with serve(
+            lambda: WindowedGreedy(window_size=20, k=2),
+            slide=5,
+            ack_every=10,
+        ) as runner:
+            with socket_module.create_connection(
+                ("127.0.0.1", runner.port), timeout=10
+            ) as sock:
+                payload = json.dumps(
+                    [encode_action(a) for a in actions],
+                    separators=(",", ":"),
+                )
+                sock.sendall(payload.encode("utf-8") + b"\n")
+                sock.sendall(b'{"cmd":"sync"}\n')
+                reader = sock.makefile("rb")
+                lines = [json.loads(reader.readline()) for _ in range(2)]
+            acks = [l for l in lines if "acked" in l]
+            assert [a["acked"] for a in acks] == [25]
+            synced = [l for l in lines if l.get("synced")]
+            assert synced and synced[0]["accepted"] == 25
+
+    def test_batch_rejection_is_atomic(self):
+        """A batch with one bad action is refused whole: no prefix lands."""
+        import socket as socket_module
+
+        with serve(
+            lambda: WindowedGreedy(window_size=20, k=2), slide=2
+        ) as runner:
+            with socket_module.create_connection(
+                ("127.0.0.1", runner.port), timeout=10
+            ) as sock:
+                # Third element is malformed: not a triple, not an object.
+                sock.sendall(b'[[1,0,-1],[2,1,1],"bogus"]\n')
+                sock.sendall(b'[[1,0,-1],[2,1,1]]\n')
+                sock.sendall(b'{"cmd":"sync"}\n')
+                reader = sock.makefile("rb")
+                lines = [json.loads(reader.readline()) for _ in range(2)]
+            errors = [l for l in lines if "error" in l]
+            synced = [l for l in lines if l.get("synced")]
+            assert len(errors) == 1
+            assert synced[0]["accepted"] == 2  # only the clean batch
+            assert synced[0]["rejected"] == 1  # one rejected *line*
+            client = ServiceClient("127.0.0.1", runner.port)
+            assert client.topk("main")["time"] == 2
+
+    def test_send_batch_surfaces_server_errors(self):
+        actions = random_stream(10, 4, seed=43)
+        stale = list(actions) + [actions[0]]  # out of order at the tail
+        with serve(
+            lambda: WindowedGreedy(window_size=20, k=2), slide=100
+        ) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            summary = client.send_batch(stale, batch=4)
+            # The stale tail batch is dropped, the clean prefix lands.
+            assert summary["accepted"] == 10

@@ -1,0 +1,349 @@
+"""Routed ingest: the facade resolves once, shards apply owned records.
+
+Covers the PR's acceptance criteria:
+
+* **Routed ≡ broadcast equivalence matrix** — identical per-slide top-k
+  values/seeds for IC + SIC at L ∈ {1, 5}, S ∈ {1, 2, 4}, hash and heat
+  partitioners, across the serial/thread/process backends;
+* **Accounting** — per-shard stats report routed records consumed (not
+  the stream-global action count), the facade resolver position is
+  exposed, and ``experiments.memory.sharded_work`` shows broadcast's S×
+  replication against routed's ~1×;
+* **Crash recovery on the routed WAL format** — unsealed crash + reopen
+  + refeed converges, kill-at-every-slide heals in place, and a deleted
+  resolver dir is refused (shards can never outrun the resolver);
+* **Manifest versioning** — broadcast roots keep the format-1 manifest,
+  routed roots are format 2; opening in the wrong mode refuses with a
+  migration hint, and :func:`migrate_to_routed` converts in place.
+"""
+
+import json
+
+import pytest
+
+from repro.core.ic import InfluentialCheckpoints
+from repro.core.multi import MultiQueryEngine
+from repro.core.sic import SparseInfluentialCheckpoints
+from repro.core.stream import batched
+from repro.experiments.memory import sharded_work
+from repro.faults import Fault, FaultPlan
+from repro.persistence.serialize import PersistenceError
+from repro.sharding.engine import ShardedEngine, migrate_to_routed
+from repro.sharding.partition import HeatPartitioner, influencer_heat
+from tests.conftest import random_stream
+
+MAKERS = {
+    "ic": lambda shard=None: InfluentialCheckpoints(
+        window_size=40, k=3, beta=0.3, shard=shard
+    ),
+    "sic": lambda shard=None: SparseInfluentialCheckpoints(
+        window_size=40, k=3, beta=0.3, shard=shard
+    ),
+}
+
+ACTIONS = random_stream(150, 15, seed=71)
+
+
+def run_mode(make, actions, slide, shards, routed, **open_kwargs):
+    """Drive one engine; returns (per-slide answers, ingest mode)."""
+    open_kwargs.setdefault("backend", "serial")
+    answers = []
+    with ShardedEngine.open(
+        lambda assignment=None: make(shard=assignment),
+        shards,
+        routed=routed,
+        **open_kwargs,
+    ) as engine:
+        for batch in batched(actions, slide):
+            engine.process(list(batch))
+            answers.append(engine.query())
+        return answers, engine.ingest_mode
+
+
+class TestRoutedBroadcastEquivalence:
+    @pytest.mark.parametrize("algorithm", ["ic", "sic"])
+    @pytest.mark.parametrize("slide", [1, 5])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_hash_partitioner_matrix(self, algorithm, slide, shards):
+        """Identical per-slide values/seeds on every matrix cell."""
+        make = MAKERS[algorithm]
+        broadcast, b_mode = run_mode(make, ACTIONS, slide, shards, False)
+        routed, r_mode = run_mode(make, ACTIONS, slide, shards, True)
+        assert b_mode == "broadcast" and r_mode == "routed"
+        assert routed == broadcast
+
+    @pytest.mark.parametrize("algorithm", ["ic", "sic"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_heat_partitioner_matrix(self, algorithm, shards):
+        heat = influencer_heat(ACTIONS[:75])
+        make = MAKERS[algorithm]
+        broadcast, _ = run_mode(
+            make, ACTIONS, 5, shards, False,
+            partitioner=HeatPartitioner(shards, heat),
+        )
+        routed, _ = run_mode(
+            make, ACTIONS, 5, shards, True,
+            partitioner=HeatPartitioner(shards, heat),
+        )
+        assert routed == broadcast
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_agree_with_serial(self, backend):
+        serial, _ = run_mode(MAKERS["ic"], ACTIONS, 5, 3, True)
+        other, _ = run_mode(
+            MAKERS["ic"], ACTIONS, 5, 3, True, backend=backend
+        )
+        assert other == serial
+
+    def test_multi_board_defaults_to_routed_and_matches(self):
+        def factory(assignment=None):
+            return (
+                MultiQueryEngine()
+                .add("fast", MAKERS["ic"](shard=assignment))
+                .add("sparse", MAKERS["sic"](shard=assignment))
+            )
+
+        boards = {}
+        for routed in (False, True):
+            with ShardedEngine.open(
+                factory, 2, backend="serial", routed=routed
+            ) as engine:
+                for batch in batched(ACTIONS, 5):
+                    engine.process(list(batch))
+                boards[routed] = engine.query_all()
+        assert boards[True] == boards[False]
+        # Auto-detection: a capable board picks routed without being asked.
+        with ShardedEngine.open(factory, 2, backend="serial") as engine:
+            assert engine.ingest_mode == "routed"
+
+    def test_unsupporting_board_refuses_forced_routed(self):
+        from repro.influence.queries import TopicAwareSIM
+
+        def factory(assignment=None):
+            return MultiQueryEngine().add(
+                "topic", TopicAwareSIM({"x"}, {}, window_size=20, k=2)
+            )
+
+        from repro.sharding.engine import ShardingError
+
+        with pytest.raises(ShardingError, match="routed"):
+            ShardedEngine.open(factory, 2, backend="serial", routed=True)
+        # And auto-detection falls back to broadcast.
+        with ShardedEngine.open(factory, 2, backend="serial") as engine:
+            assert engine.ingest_mode == "broadcast"
+
+
+class TestAccounting:
+    def test_per_shard_stats_report_routed_records(self):
+        factory = lambda a=None: MAKERS["sic"](shard=a)
+        with ShardedEngine.open(
+            factory, 3, backend="serial", routed=True
+        ) as engine:
+            for batch in batched(ACTIONS, 5):
+                engine.process(list(batch))
+            stats = engine.supervision_stats()
+            assert stats["ingest"] == "routed"
+            assert stats["resolver"]["actions_processed"] == len(ACTIONS)
+            assert stats["resolver"]["now"] == 150
+            per_shard = [s["routed_records"] for s in stats["shards"]]
+            assert all("actions" not in s for s in stats["shards"])
+            # The stream is resolved once; shards split the records (a
+            # record is duplicated only when its influencer chain spans
+            # shards), so total routed work stays well under S× stream.
+            assert sum(per_shard) < 3 * len(ACTIONS)
+            assert engine.actions_processed == len(ACTIONS)
+            assert engine.shard_routed_records == per_shard
+            assert engine.last_routed_records > 0
+
+            work = sharded_work(engine)
+            assert work["unit"] == "routed_records"
+            assert work["per_shard"] == per_shard
+            assert work["stream_actions"] == len(ACTIONS)
+            assert work["replication_factor"] < 3
+
+    def test_broadcast_replication_factor_is_shard_count(self):
+        factory = lambda a=None: MAKERS["sic"](shard=a)
+        with ShardedEngine.open(
+            factory, 3, backend="serial", routed=False
+        ) as engine:
+            for batch in batched(ACTIONS, 5):
+                engine.process(list(batch))
+            work = sharded_work(engine)
+            assert work["unit"] == "actions"
+            assert work["per_shard"] == [len(ACTIONS)] * 3
+            assert work["replication_factor"] == 3.0
+            stats = engine.supervision_stats()
+            assert stats["ingest"] == "broadcast"
+            assert "resolver" not in stats
+
+
+class TestRoutedRecovery:
+    def _feed(self, engine, batches):
+        resume = engine.now
+        for batch in batches:
+            if batch[-1].time <= resume:
+                continue
+            engine.process([a for a in batch if a.time > resume])
+
+    def test_unsealed_crash_reopen_refeed_converges(self, tmp_path):
+        actions = random_stream(200, 20, seed=72)
+        batches = [list(b) for b in batched(actions, 5)]
+        factory = lambda a=None: MAKERS["ic"](shard=a)
+        expected, _ = run_mode(MAKERS["ic"], actions, 5, 2, False)
+
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="serial",
+            snapshot_every=7, fsync=False, routed=True,
+        )
+        for batch in batches[:23]:
+            engine.process(batch)
+        engine._backend.stop()  # crash: no seal, WAL tails remain
+
+        recovered = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="serial",
+            snapshot_every=7, fsync=False,
+        )
+        assert recovered.ingest_mode == "routed"  # manifest remembers
+        assert recovered.slides_processed == 23
+        self._feed(recovered, batches)
+        assert recovered.query() == expected[-1]
+        recovered.close()
+
+        sealed = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="serial", fsync=False
+        )
+        assert sealed.shard_replayed_slides == [0, 0]
+        assert sealed.query() == expected[-1]
+        sealed.close()
+
+    @pytest.mark.parametrize("algo", ["ic", "sic"])
+    def test_kill_at_every_slide_heals_on_routed_path(self, algo, tmp_path):
+        """The supervisor kill matrix rerun on the routed WAL format."""
+        actions = random_stream(200, 25, seed=73)
+        batches = [list(b) for b in batched(actions, 25)]
+        factory = lambda a=None: MAKERS[algo](shard=a)
+        expected, _ = run_mode(MAKERS[algo], actions, 25, 2, True)
+        plan = FaultPlan(
+            [
+                Fault(kind="kill", shard=(s - 1) % 2, at_slide=s)
+                for s in range(1, len(batches) + 1)
+            ],
+            seed=73,
+        )
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=tmp_path / "state", backend="process",
+            snapshot_every=3, fsync=False, fault_plan=plan, routed=True,
+        )
+        try:
+            for batch in batches:
+                engine.process(batch)
+            assert engine.query() == expected[-1]
+            stats = engine.supervision_stats()
+            assert stats["restarts"] == len(batches)
+            assert stats["escalations"] == 0
+            assert not stats["degraded"]
+        finally:
+            engine.close()
+
+    def test_missing_resolver_state_is_refused(self, tmp_path):
+        import shutil
+
+        factory = lambda a=None: MAKERS["ic"](shard=a)
+        state = tmp_path / "state"
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="serial",
+            fsync=False, routed=True,
+        )
+        engine.process([a for a in random_stream(20, 5, seed=74)])
+        engine.close()
+        shutil.rmtree(state / "resolver")
+        with pytest.raises(PersistenceError, match="resolver"):
+            ShardedEngine.open(
+                factory, 2, state_dir=state, backend="serial", fsync=False
+            )
+
+
+class TestManifestAndMigration:
+    def _fill(self, state, routed, slides=23, seal=True):
+        factory = lambda a=None: MAKERS["ic"](shard=a)
+        actions = random_stream(200, 20, seed=75)
+        batches = [list(b) for b in batched(actions, 5)]
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="serial",
+            snapshot_every=7, fsync=False, routed=routed,
+        )
+        for batch in batches[:slides]:
+            engine.process(batch)
+        if seal:
+            engine.close()
+        else:
+            engine._backend.stop()
+        return factory, batches
+
+    def test_broadcast_manifest_stays_format_1(self, tmp_path):
+        state = tmp_path / "state"
+        self._fill(state, routed=False)
+        manifest = json.loads((state / "sharding.json").read_text())
+        assert manifest["format"] == 1
+        assert "ingest" not in manifest
+        assert not (state / "resolver").exists()
+
+    def test_routed_manifest_is_format_2(self, tmp_path):
+        state = tmp_path / "state"
+        self._fill(state, routed=True)
+        manifest = json.loads((state / "sharding.json").read_text())
+        assert manifest["format"] == 2
+        assert manifest["ingest"] == "routed"
+        assert (state / "resolver").is_dir()
+
+    def test_mode_mismatch_refusals(self, tmp_path):
+        factory, _ = self._fill(tmp_path / "broadcast", routed=False)
+        with pytest.raises(PersistenceError, match="migrate_to_routed"):
+            ShardedEngine.open(
+                factory, 2, state_dir=tmp_path / "broadcast",
+                backend="serial", fsync=False, routed=True,
+            )
+        self._fill(tmp_path / "routed", routed=True)
+        with pytest.raises(PersistenceError, match="routed=True"):
+            ShardedEngine.open(
+                factory, 2, state_dir=tmp_path / "routed",
+                backend="serial", fsync=False, routed=False,
+            )
+
+    @pytest.mark.parametrize("seal", [True, False])
+    def test_migrate_then_continue_converges(self, tmp_path, seal):
+        """In-place conversion: sealed roots and crashed roots (whose WAL
+        tail seeds the resolver) both reopen routed and converge."""
+        state = tmp_path / "state"
+        factory, batches = self._fill(state, routed=False, seal=seal)
+        expected, _ = run_mode(
+            MAKERS["ic"],
+            [a for batch in batches for a in batch], 5, 2, False,
+        )
+        summary = migrate_to_routed(state)
+        assert summary["migrated"] and summary["ingest"] == "routed"
+        assert summary["now"] == 115
+        if not seal:
+            assert summary["replayed"] > 0  # WAL tail replayed into the resolver
+        # Idempotent: a second call is a no-op.
+        assert migrate_to_routed(state)["migrated"] is False
+
+        engine = ShardedEngine.open(
+            factory, 2, state_dir=state, backend="serial",
+            snapshot_every=7, fsync=False,
+        )
+        try:
+            assert engine.ingest_mode == "routed"
+            resume = engine.now
+            for batch in batches:
+                if batch[-1].time <= resume:
+                    continue
+                engine.process([a for a in batch if a.time > resume])
+            assert engine.query() == expected[-1]
+        finally:
+            engine.close()
+
+    def test_migrate_refuses_non_sharded_dirs(self, tmp_path):
+        with pytest.raises(PersistenceError, match="manifest"):
+            migrate_to_routed(tmp_path)

@@ -132,7 +132,8 @@ class TestShardedServeSubprocess:
                     sys.executable,
                     str(REPO_ROOT / "scripts" / "load_gen.py"),
                     "--port", str(port), "-n", "2000", "-u", "200",
-                    "--seed", "15", "--output", str(report_path),
+                    "--seed", "15", "--batch", "64",
+                    "--output", str(report_path),
                 ],
                 capture_output=True,
                 text=True,
@@ -143,6 +144,7 @@ class TestShardedServeSubprocess:
             assert completed.returncode == 0, completed.stderr[-1500:]
             report = json.loads(report_path.read_text())
             assert report["actions"] == 2000
+            assert report["batch"] == 64  # the batched wire format
             assert report["accepted"] == 2000
             assert report["rejected"] == 0
             assert report["slides"] == 80
@@ -167,7 +169,11 @@ class TestShardedServeSubprocess:
                 assert samples["repro_shard_busy_seconds_total"][labels] > 0
                 assert samples["repro_shard_restarts_total"][labels] == 0
                 assert samples["repro_shard_up"][labels] == 1
+                # Routed ingest: each shard consumed its routed records,
+                # not the broadcast stream.
+                assert samples["repro_shard_routed_records_total"][labels] > 0
             assert samples["repro_shards_degraded"][""] == 0
+            assert samples["repro_resolver_actions_total"][""] == 2000
             # The flight recorder's own health rides the exposition too.
             assert samples["repro_flight_samples_total"][""] >= 1
             assert "" in samples["repro_flight_sampler_lag_seconds"]
